@@ -1,0 +1,184 @@
+// Command nlidb is an interactive natural-language interface to the demo
+// databases: type English, see the generated SQL and its result.
+//
+// Usage:
+//
+//	nlidb [-domain sales] [-engine athena] [-chat] [-seed N]
+//
+// Engines: keyword, pattern, parse, athena (default). With -chat the
+// session runs through the agent-based dialogue manager, so follow-ups
+// like "only those with credit over 20000" and "how many are there" work.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nlidb/internal/athena"
+	"nlidb/internal/autocomplete"
+	"nlidb/internal/benchdata"
+	"nlidb/internal/dialogue"
+	"nlidb/internal/keywordnl"
+	"nlidb/internal/lexicon"
+	"nlidb/internal/nlq"
+	"nlidb/internal/ontology"
+	"nlidb/internal/parsenl"
+	"nlidb/internal/patternnl"
+	"nlidb/internal/sqldata"
+	"nlidb/internal/sqlexec"
+)
+
+func main() {
+	domain := flag.String("domain", "sales", "demo domain: sales, movies, hospital, flights, university, medical")
+	engine := flag.String("engine", "athena", "interpreter: keyword, pattern, parse, athena")
+	chat := flag.Bool("chat", false, "conversational mode (agent-based dialogue manager)")
+	seed := flag.Int64("seed", 1, "data generation seed")
+	csvFiles := flag.String("csv", "", "comma-separated CSV files to query instead of a demo domain (table name = file name)")
+	flag.Parse()
+
+	var d *benchdata.Domain
+	switch {
+	case *csvFiles != "":
+		db := sqldata.NewDatabase("csv")
+		for _, path := range strings.Split(*csvFiles, ",") {
+			path = strings.TrimSpace(path)
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nlidb: %v\n", err)
+				os.Exit(1)
+			}
+			name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+			tbl, err := sqldata.LoadCSV(name, f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nlidb: %v\n", err)
+				os.Exit(1)
+			}
+			if err := db.AddTable(tbl); err != nil {
+				fmt.Fprintf(os.Stderr, "nlidb: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		d = &benchdata.Domain{Name: "csv", DB: db}
+	case strings.EqualFold(*domain, "medical"):
+		d = benchdata.Medical(*seed)
+	default:
+		d = benchdata.DomainByName(*domain, *seed)
+	}
+	if d == nil {
+		fmt.Fprintf(os.Stderr, "nlidb: unknown domain %q\n", *domain)
+		os.Exit(1)
+	}
+
+	lex := lexicon.New()
+	var interp nlq.Interpreter
+	switch strings.ToLower(*engine) {
+	case "keyword":
+		interp = keywordnl.New(d.DB, lex)
+	case "pattern":
+		interp = patternnl.New(d.DB, lex)
+	case "parse":
+		interp = parsenl.New(d.DB, lex)
+	case "athena":
+		interp = athena.New(d.DB, lex)
+	default:
+		fmt.Fprintf(os.Stderr, "nlidb: unknown engine %q\n", *engine)
+		os.Exit(1)
+	}
+
+	fmt.Printf("nlidb — domain %q, engine %q%s\n", d.Name, interp.Name(),
+		map[bool]string{true: ", conversational", false: ""}[*chat])
+	fmt.Println("tables:")
+	for _, t := range d.DB.Tables() {
+		fmt.Printf("  %s\n", t.Schema.DDL())
+	}
+	fmt.Println(`type a question ("exit" to quit; "? <prefix>" for completions):`)
+
+	completer := autocomplete.New(d.DB, ontology.FromDatabase(d.DB), lex)
+	eng := sqlexec.New(d.DB)
+	var agent *dialogue.Agent
+	if *chat {
+		agent = dialogue.NewAgent(d.DB, interp, lex)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "exit" || line == "quit" {
+			break
+		}
+		if strings.HasPrefix(line, "?") {
+			// TR-Discover-style completion of the typed prefix.
+			prefix := strings.TrimSpace(strings.TrimPrefix(line, "?"))
+			for _, s := range completer.Suggest(prefix, 8) {
+				fmt.Printf("  %-24s (%s)\n", s.Text, s.Kind)
+			}
+			continue
+		}
+		if q, ok := strings.CutPrefix(line, "explain "); ok {
+			ins, err := interp.Interpret(q)
+			if err != nil {
+				fmt.Printf("  could not interpret: %v\n", err)
+				continue
+			}
+			best, _ := nlq.Best(ins)
+			fmt.Printf("  SQL: %s\n", best.SQL)
+			plan, err := eng.Explain(best.SQL)
+			if err != nil {
+				fmt.Printf("  explain failed: %v\n", err)
+				continue
+			}
+			fmt.Println(indent(plan))
+			continue
+		}
+
+		if agent != nil {
+			resp, err := agent.Respond(line)
+			if err != nil {
+				fmt.Printf("  %s (%v)\n", resp.Message, err)
+				continue
+			}
+			if resp.SQL != nil {
+				fmt.Printf("  SQL: %s\n", resp.SQL)
+			}
+			if resp.Result != nil {
+				fmt.Println(indent(resp.Result.String()))
+			} else {
+				fmt.Printf("  %s\n", resp.Message)
+			}
+			continue
+		}
+
+		ins, err := interp.Interpret(line)
+		if err != nil {
+			fmt.Printf("  could not interpret: %v\n", err)
+			continue
+		}
+		best, _ := nlq.Best(ins)
+		fmt.Printf("  SQL: %s  (confidence %.2f)\n", best.SQL, best.Score)
+		if best.Clarification != nil {
+			fmt.Printf("  note: ambiguous — %s %v\n", best.Clarification.Question, best.Clarification.Options)
+		}
+		res, err := eng.Run(best.SQL)
+		if err != nil {
+			fmt.Printf("  execution failed: %v\n", err)
+			continue
+		}
+		fmt.Println(indent(res.String()))
+	}
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
+}

@@ -1,0 +1,3 @@
+module nlidb
+
+go 1.24

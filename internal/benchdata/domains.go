@@ -1,0 +1,418 @@
+// Package benchdata generates the benchmark corpora the experiments run
+// on, in the styles of the datasets the tutorial's benchmark section
+// discusses: WikiSQL-style single-table corpora, Spider-style cross-domain
+// multi-table corpora stratified by the four complexity classes, and
+// SParC/CoSQL-style multi-turn conversations. All generation is seeded
+// and deterministic.
+package benchdata
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"nlidb/internal/sqldata"
+)
+
+// Domain is one self-contained database with seeded content.
+type Domain struct {
+	// Name labels the domain ("sales", "movies", …).
+	Name string
+	// DB holds the populated database.
+	DB *sqldata.Database
+	// Main names the WikiSQL-style main entity table.
+	Main string
+}
+
+// name pools for seeded data generation.
+var (
+	personPool = []string{"ann", "bob", "carol", "dan", "erin", "frank", "grace",
+		"heidi", "ivan", "judy", "karl", "lena", "mallory", "nick", "olga",
+		"peggy", "quinn", "rita", "steve", "trudy", "ursula", "victor", "wendy"}
+	cityPool      = []string{"Berlin", "Munich", "Hamburg", "Cologne", "Frankfurt", "Stuttgart"}
+	segmentPool   = []string{"retail", "corporate", "wholesale", "online"}
+	categoryPool  = []string{"toys", "books", "tools", "garden", "sports", "music"}
+	productPool   = []string{"widget", "gadget", "sprocket", "gizmo", "doohickey", "contraption", "apparatus", "fixture"}
+	countryPool   = []string{"france", "japan", "brazil", "canada", "italy", "spain"}
+	titlePool     = []string{"horizon", "eclipse", "voyager", "labyrinth", "cascade", "zenith", "mirage", "odyssey", "tempest", "aurora"}
+	specialtyPool = []string{"cardiology", "oncology", "neurology", "pediatrics", "radiology"}
+	airlinePool   = []string{"skyways", "aerojet", "cloudline", "jetstream", "altitude"}
+	deptPool      = []string{"engineering", "marketing", "finance", "research", "support"}
+	coursePool    = []string{"algebra", "databases", "poetry", "genetics", "robotics", "ethics", "statistics", "painting"}
+)
+
+func pick(r *rand.Rand, pool []string) string { return pool[r.Intn(len(pool))] }
+
+// uniqueNames returns n distinct single-token names built from a pool.
+func uniqueNames(r *rand.Rand, pool []string, n int) []string {
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		base := pool[i%len(pool)]
+		if i < len(pool) {
+			out[i] = base
+		} else {
+			out[i] = fmt.Sprintf("%s%d", base, i/len(pool)+1)
+		}
+	}
+	r.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func mustTable(db *sqldata.Database, s *sqldata.Schema) *sqldata.Table {
+	t, err := db.CreateTable(s)
+	if err != nil {
+		panic(fmt.Sprintf("benchdata: %v", err))
+	}
+	return t
+}
+
+// Sales builds the sales domain: category ← product, customer, orders.
+func Sales(seed int64) *Domain {
+	r := rand.New(rand.NewSource(seed))
+	db := sqldata.NewDatabase("sales")
+
+	cat := mustTable(db, &sqldata.Schema{Name: "category", Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "name", Type: sqldata.TypeText},
+	}})
+	for i, c := range categoryPool {
+		cat.MustInsert(sqldata.NewInt(int64(i+1)), sqldata.NewText(c))
+	}
+
+	prod := mustTable(db, &sqldata.Schema{Name: "product", Synonyms: []string{"item", "good"}, Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "name", Type: sqldata.TypeText},
+		{Name: "price", Type: sqldata.TypeFloat, Synonyms: []string{"cost", "expensive", "cheap"}},
+		{Name: "stock", Type: sqldata.TypeInt, Synonyms: []string{"inventory"}},
+		{Name: "category_id", Type: sqldata.TypeInt},
+	}, ForeignKeys: []sqldata.ForeignKey{{Column: "category_id", RefTable: "category", RefColumn: "id"}}})
+	prodNames := uniqueNames(r, productPool, 24)
+	for i, n := range prodNames {
+		prod.MustInsert(sqldata.NewInt(int64(i+1)), sqldata.NewText(n),
+			sqldata.NewFloat(float64(r.Intn(9000)+100)/10.0+r.Float64()),
+			sqldata.NewInt(int64(r.Intn(500))),
+			sqldata.NewInt(int64(r.Intn(len(categoryPool))+1)))
+	}
+
+	cust := mustTable(db, &sqldata.Schema{Name: "customer", Synonyms: []string{"client", "buyer"}, Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "name", Type: sqldata.TypeText},
+		{Name: "city", Type: sqldata.TypeText, Synonyms: []string{"town"}},
+		{Name: "segment", Type: sqldata.TypeText},
+		{Name: "credit", Type: sqldata.TypeFloat, Synonyms: []string{"limit"}},
+	}})
+	custNames := uniqueNames(r, personPool, 30)
+	for i, n := range custNames {
+		cust.MustInsert(sqldata.NewInt(int64(i+1)), sqldata.NewText(n),
+			sqldata.NewText(pick(r, cityPool)), sqldata.NewText(pick(r, segmentPool)),
+			sqldata.NewFloat(float64(r.Intn(50000))+r.Float64()))
+	}
+
+	ord := mustTable(db, &sqldata.Schema{Name: "orders", Synonyms: []string{"order", "purchase", "sale"}, Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "customer_id", Type: sqldata.TypeInt},
+		{Name: "product_id", Type: sqldata.TypeInt},
+		{Name: "quantity", Type: sqldata.TypeInt, Synonyms: []string{"amount"}},
+		{Name: "total", Type: sqldata.TypeFloat, Synonyms: []string{"revenue"}},
+	}, ForeignKeys: []sqldata.ForeignKey{
+		{Column: "customer_id", RefTable: "customer", RefColumn: "id"},
+		{Column: "product_id", RefTable: "product", RefColumn: "id"},
+	}})
+	// Leave a few customers order-less for the NOT EXISTS templates.
+	for i := 0; i < 90; i++ {
+		ord.MustInsert(sqldata.NewInt(int64(i+1)),
+			sqldata.NewInt(int64(r.Intn(25)+1)),
+			sqldata.NewInt(int64(r.Intn(24)+1)),
+			sqldata.NewInt(int64(r.Intn(9)+1)),
+			sqldata.NewFloat(float64(r.Intn(2000)+10)+r.Float64()))
+	}
+	return &Domain{Name: "sales", DB: db, Main: "customer"}
+}
+
+// Movies builds the movies domain: director ← movie.
+func Movies(seed int64) *Domain {
+	r := rand.New(rand.NewSource(seed))
+	db := sqldata.NewDatabase("movies")
+
+	dir := mustTable(db, &sqldata.Schema{Name: "director", Synonyms: []string{"filmmaker"}, Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "name", Type: sqldata.TypeText},
+		{Name: "country", Type: sqldata.TypeText, Synonyms: []string{"nation"}},
+	}})
+	dirNames := uniqueNames(r, personPool, 12)
+	for i, n := range dirNames {
+		dir.MustInsert(sqldata.NewInt(int64(i+1)), sqldata.NewText(n), sqldata.NewText(pick(r, countryPool)))
+	}
+
+	mov := mustTable(db, &sqldata.Schema{Name: "movie", Synonyms: []string{"film"}, Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "title", Type: sqldata.TypeText},
+		{Name: "year", Type: sqldata.TypeInt},
+		{Name: "rating", Type: sqldata.TypeFloat, Synonyms: []string{"score"}},
+		{Name: "gross", Type: sqldata.TypeFloat, Synonyms: []string{"earnings", "revenue"}},
+		{Name: "director_id", Type: sqldata.TypeInt},
+	}, ForeignKeys: []sqldata.ForeignKey{{Column: "director_id", RefTable: "director", RefColumn: "id"}}})
+	movTitles := uniqueNames(r, titlePool, 40)
+	for i, tt := range movTitles {
+		mov.MustInsert(sqldata.NewInt(int64(i+1)), sqldata.NewText(tt),
+			sqldata.NewInt(int64(1980+r.Intn(44))),
+			sqldata.NewFloat(float64(r.Intn(90)+10)/10.0+r.Float64()/10),
+			sqldata.NewFloat(float64(r.Intn(90000)+1000)+r.Float64()),
+			sqldata.NewInt(int64(r.Intn(10)+1))) // directors 11-12 stay movie-less
+	}
+	return &Domain{Name: "movies", DB: db, Main: "movie"}
+}
+
+// Hospital builds the hospital domain: department ← doctor ← visit → patient.
+func Hospital(seed int64) *Domain {
+	r := rand.New(rand.NewSource(seed))
+	db := sqldata.NewDatabase("hospital")
+
+	dept := mustTable(db, &sqldata.Schema{Name: "department", Synonyms: []string{"ward", "unit"}, Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "name", Type: sqldata.TypeText},
+		{Name: "budget", Type: sqldata.TypeFloat, Synonyms: []string{"funding"}},
+	}})
+	for i, n := range specialtyPool {
+		dept.MustInsert(sqldata.NewInt(int64(i+1)), sqldata.NewText(n), sqldata.NewFloat(float64(r.Intn(900000)+100000)))
+	}
+	// One department with no doctors.
+	dept.MustInsert(sqldata.NewInt(int64(len(specialtyPool)+1)), sqldata.NewText("archive"), sqldata.NewFloat(50000))
+
+	doc := mustTable(db, &sqldata.Schema{Name: "doctor", Synonyms: []string{"physician"}, Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "name", Type: sqldata.TypeText},
+		{Name: "salary", Type: sqldata.TypeFloat, Synonyms: []string{"pay", "wage"}},
+		{Name: "experience", Type: sqldata.TypeInt, Synonyms: []string{"seniority", "years"}},
+		{Name: "department_id", Type: sqldata.TypeInt},
+	}, ForeignKeys: []sqldata.ForeignKey{{Column: "department_id", RefTable: "department", RefColumn: "id"}}})
+	docNames := uniqueNames(r, personPool, 20)
+	for i, n := range docNames {
+		doc.MustInsert(sqldata.NewInt(int64(i+1)), sqldata.NewText(n),
+			sqldata.NewFloat(float64(r.Intn(150000)+60000)+r.Float64()),
+			sqldata.NewInt(int64(r.Intn(30)+1)),
+			sqldata.NewInt(int64(r.Intn(len(specialtyPool))+1)))
+	}
+
+	pat := mustTable(db, &sqldata.Schema{Name: "patient", Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "name", Type: sqldata.TypeText},
+		{Name: "age", Type: sqldata.TypeInt},
+	}})
+	patNames := uniqueNames(r, personPool, 30)
+	for i, n := range patNames {
+		pat.MustInsert(sqldata.NewInt(int64(i+1)), sqldata.NewText(n), sqldata.NewInt(int64(r.Intn(80)+5)))
+	}
+
+	vis := mustTable(db, &sqldata.Schema{Name: "visit", Synonyms: []string{"appointment", "consultation"}, Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "doctor_id", Type: sqldata.TypeInt},
+		{Name: "patient_id", Type: sqldata.TypeInt},
+		{Name: "cost", Type: sqldata.TypeFloat, Synonyms: []string{"charge", "fee"}},
+	}, ForeignKeys: []sqldata.ForeignKey{
+		{Column: "doctor_id", RefTable: "doctor", RefColumn: "id"},
+		{Column: "patient_id", RefTable: "patient", RefColumn: "id"},
+	}})
+	for i := 0; i < 80; i++ {
+		vis.MustInsert(sqldata.NewInt(int64(i+1)),
+			sqldata.NewInt(int64(r.Intn(16)+1)), // doctors 17-20 stay visit-less
+			sqldata.NewInt(int64(r.Intn(30)+1)),
+			sqldata.NewFloat(float64(r.Intn(900)+50)+r.Float64()))
+	}
+	return &Domain{Name: "hospital", DB: db, Main: "doctor"}
+}
+
+// Flights builds the flights domain: airline ← flight.
+func Flights(seed int64) *Domain {
+	r := rand.New(rand.NewSource(seed))
+	db := sqldata.NewDatabase("flights")
+
+	air := mustTable(db, &sqldata.Schema{Name: "airline", Synonyms: []string{"carrier"}, Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "name", Type: sqldata.TypeText},
+		{Name: "country", Type: sqldata.TypeText},
+		{Name: "fleet", Type: sqldata.TypeInt, Synonyms: []string{"planes", "aircraft"}},
+	}})
+	for i, n := range airlinePool {
+		air.MustInsert(sqldata.NewInt(int64(i+1)), sqldata.NewText(n),
+			sqldata.NewText(pick(r, countryPool)), sqldata.NewInt(int64(r.Intn(200)+10)))
+	}
+	// One airline with no flights.
+	air.MustInsert(sqldata.NewInt(int64(len(airlinePool)+1)), sqldata.NewText("paperjet"),
+		sqldata.NewText(pick(r, countryPool)), sqldata.NewInt(3))
+
+	fl := mustTable(db, &sqldata.Schema{Name: "flight", Synonyms: []string{"trip", "route"}, Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "code", Type: sqldata.TypeText},
+		{Name: "origin", Type: sqldata.TypeText, Synonyms: []string{"from"}},
+		{Name: "destination", Type: sqldata.TypeText, Synonyms: []string{"to"}},
+		{Name: "price", Type: sqldata.TypeFloat, Synonyms: []string{"fare", "cost"}},
+		{Name: "distance", Type: sqldata.TypeFloat, Synonyms: []string{"length"}},
+		{Name: "airline_id", Type: sqldata.TypeInt},
+	}, ForeignKeys: []sqldata.ForeignKey{{Column: "airline_id", RefTable: "airline", RefColumn: "id"}}})
+	for i := 0; i < 50; i++ {
+		src, dst := pick(r, cityPool), pick(r, cityPool)
+		for dst == src {
+			dst = pick(r, cityPool)
+		}
+		fl.MustInsert(sqldata.NewInt(int64(i+1)),
+			sqldata.NewText(fmt.Sprintf("fl%03d", i+1)),
+			sqldata.NewText(src), sqldata.NewText(dst),
+			sqldata.NewFloat(float64(r.Intn(900)+50)+r.Float64()),
+			sqldata.NewFloat(float64(r.Intn(2000)+100)+r.Float64()),
+			sqldata.NewInt(int64(r.Intn(len(airlinePool))+1)))
+	}
+	return &Domain{Name: "flights", DB: db, Main: "flight"}
+}
+
+// University builds the university domain: department ← professor ← course.
+func University(seed int64) *Domain {
+	r := rand.New(rand.NewSource(seed))
+	db := sqldata.NewDatabase("university")
+
+	dept := mustTable(db, &sqldata.Schema{Name: "department", Synonyms: []string{"faculty", "school"}, Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "name", Type: sqldata.TypeText},
+		{Name: "budget", Type: sqldata.TypeFloat, Synonyms: []string{"funding"}},
+	}})
+	for i, n := range deptPool {
+		dept.MustInsert(sqldata.NewInt(int64(i+1)), sqldata.NewText(n), sqldata.NewFloat(float64(r.Intn(5000000)+500000)))
+	}
+	dept.MustInsert(sqldata.NewInt(int64(len(deptPool)+1)), sqldata.NewText("annex"), sqldata.NewFloat(100000))
+
+	prof := mustTable(db, &sqldata.Schema{Name: "professor", Synonyms: []string{"teacher", "instructor", "lecturer"}, Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "name", Type: sqldata.TypeText},
+		{Name: "salary", Type: sqldata.TypeFloat, Synonyms: []string{"pay", "wage"}},
+		{Name: "tenure", Type: sqldata.TypeInt, Synonyms: []string{"years"}},
+		{Name: "dept_id", Type: sqldata.TypeInt},
+	}, ForeignKeys: []sqldata.ForeignKey{{Column: "dept_id", RefTable: "department", RefColumn: "id"}}})
+	profNames := uniqueNames(r, personPool, 18)
+	for i, n := range profNames {
+		prof.MustInsert(sqldata.NewInt(int64(i+1)), sqldata.NewText(n),
+			sqldata.NewFloat(float64(r.Intn(100000)+50000)+r.Float64()),
+			sqldata.NewInt(int64(r.Intn(25))),
+			sqldata.NewInt(int64(r.Intn(len(deptPool))+1)))
+	}
+
+	course := mustTable(db, &sqldata.Schema{Name: "course", Synonyms: []string{"class", "lecture"}, Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "title", Type: sqldata.TypeText},
+		{Name: "credits", Type: sqldata.TypeInt, Synonyms: []string{"units"}},
+		{Name: "enrollment", Type: sqldata.TypeInt, Synonyms: []string{"students", "size"}},
+		{Name: "prof_id", Type: sqldata.TypeInt},
+	}, ForeignKeys: []sqldata.ForeignKey{{Column: "prof_id", RefTable: "professor", RefColumn: "id"}}})
+	courseTitles := uniqueNames(r, coursePool, 36)
+	for i, tt := range courseTitles {
+		course.MustInsert(sqldata.NewInt(int64(i+1)), sqldata.NewText(tt),
+			sqldata.NewInt(int64(r.Intn(5)+1)),
+			sqldata.NewInt(int64(r.Intn(200)+5)),
+			sqldata.NewInt(int64(r.Intn(15)+1))) // professors 16-18 course-less
+	}
+	return &Domain{Name: "university", DB: db, Main: "professor"}
+}
+
+// Medical builds the small medical knowledge base used by the query-
+// relaxation experiment (T9) and the medkb example: conditions treated by
+// medications, plus patients. Kept out of the standard domain set.
+func Medical(seed int64) *Domain {
+	r := rand.New(rand.NewSource(seed))
+	db := sqldata.NewDatabase("medical")
+
+	cond := mustTable(db, &sqldata.Schema{Name: "condition", Synonyms: []string{"disease", "illness", "disorder"}, Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "name", Type: sqldata.TypeText},
+		{Name: "severity", Type: sqldata.TypeInt},
+	}})
+	conditions := []string{"hypertension", "diabetes", "asthma", "migraine", "arthritis", "insomnia"}
+	for i, c := range conditions {
+		cond.MustInsert(sqldata.NewInt(int64(i+1)), sqldata.NewText(c), sqldata.NewInt(int64(r.Intn(9)+1)))
+	}
+
+	drug := mustTable(db, &sqldata.Schema{Name: "drug", Synonyms: []string{"medication", "medicine"}, Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "name", Type: sqldata.TypeText},
+		{Name: "price", Type: sqldata.TypeFloat, Synonyms: []string{"cost"}},
+		{Name: "dosage", Type: sqldata.TypeInt},
+		{Name: "condition_id", Type: sqldata.TypeInt},
+	}, ForeignKeys: []sqldata.ForeignKey{{Column: "condition_id", RefTable: "condition", RefColumn: "id"}}})
+	drugs := []string{"lisinopril", "metformin", "albuterol", "sumatriptan", "ibuprofen", "zolpidem", "aspirin", "atorvastatin"}
+	for i, dname := range drugs {
+		drug.MustInsert(sqldata.NewInt(int64(i+1)), sqldata.NewText(dname),
+			sqldata.NewFloat(float64(r.Intn(190)+10)+r.Float64()),
+			sqldata.NewInt(int64(r.Intn(500)+10)),
+			sqldata.NewInt(int64(i%len(conditions)+1)))
+	}
+
+	pat := mustTable(db, &sqldata.Schema{Name: "patient", Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "name", Type: sqldata.TypeText},
+		{Name: "age", Type: sqldata.TypeInt},
+		{Name: "condition_id", Type: sqldata.TypeInt},
+	}, ForeignKeys: []sqldata.ForeignKey{{Column: "condition_id", RefTable: "condition", RefColumn: "id"}}})
+	patNames := uniqueNames(r, personPool, 24)
+	for i, n := range patNames {
+		pat.MustInsert(sqldata.NewInt(int64(i+1)), sqldata.NewText(n),
+			sqldata.NewInt(int64(r.Intn(70)+15)),
+			sqldata.NewInt(int64(r.Intn(len(conditions))+1)))
+	}
+	return &Domain{Name: "medical", DB: db, Main: "drug"}
+}
+
+// Airports builds the ambiguous-join domain for the query-log experiment
+// (T10): hop carries TWO foreign keys to airport (origin and destination),
+// so "hops of the airport X" has two structurally valid join readings.
+func Airports(seed int64) *Domain {
+	r := rand.New(rand.NewSource(seed))
+	db := sqldata.NewDatabase("airports")
+
+	ap := mustTable(db, &sqldata.Schema{Name: "airport", Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "name", Type: sqldata.TypeText},
+		{Name: "city", Type: sqldata.TypeText},
+	}})
+	names := []string{"tegel", "schoenefeld", "riem", "lohausen", "fuhlsbuettel", "echterdingen"}
+	for i, n := range names {
+		ap.MustInsert(sqldata.NewInt(int64(i+1)), sqldata.NewText(n), sqldata.NewText(pick(r, cityPool)))
+	}
+
+	hop := mustTable(db, &sqldata.Schema{Name: "hop", Synonyms: []string{"leg", "segment"}, Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "code", Type: sqldata.TypeText},
+		{Name: "price", Type: sqldata.TypeFloat},
+		{Name: "origin_id", Type: sqldata.TypeInt},
+		{Name: "dest_id", Type: sqldata.TypeInt},
+	}, ForeignKeys: []sqldata.ForeignKey{
+		{Column: "origin_id", RefTable: "airport", RefColumn: "id"},
+		{Column: "dest_id", RefTable: "airport", RefColumn: "id"},
+	}})
+	for i := 0; i < 40; i++ {
+		o := r.Intn(len(names)) + 1
+		d := r.Intn(len(names)) + 1
+		for d == o {
+			d = r.Intn(len(names)) + 1
+		}
+		hop.MustInsert(sqldata.NewInt(int64(i+1)),
+			sqldata.NewText(fmt.Sprintf("h%03d", i+1)),
+			sqldata.NewFloat(float64(r.Intn(400)+40)+r.Float64()),
+			sqldata.NewInt(int64(o)), sqldata.NewInt(int64(d)))
+	}
+	return &Domain{Name: "airports", DB: db, Main: "hop"}
+}
+
+// Domains builds all five benchmark domains from one seed.
+func Domains(seed int64) []*Domain {
+	return []*Domain{
+		Sales(seed), Movies(seed + 1), Hospital(seed + 2), Flights(seed + 3), University(seed + 4),
+	}
+}
+
+// DomainByName returns the named domain from the standard set.
+func DomainByName(name string, seed int64) *Domain {
+	for _, d := range Domains(seed) {
+		if strings.EqualFold(d.Name, name) {
+			return d
+		}
+	}
+	return nil
+}

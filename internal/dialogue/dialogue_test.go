@@ -1,0 +1,259 @@
+package dialogue
+
+import (
+	"testing"
+
+	"nlidb/internal/athena"
+	"nlidb/internal/benchdata"
+	"nlidb/internal/lexicon"
+	"nlidb/internal/nlq"
+	"nlidb/internal/sqlexec"
+	"nlidb/internal/sqlparse"
+)
+
+func TestClassifyIntent(t *testing.T) {
+	cases := []struct {
+		u      string
+		hasCtx bool
+		want   Intent
+	}{
+		{"show customers in Berlin", false, IntentQuery},
+		{"show customers in Berlin", true, IntentQuery},
+		{"only those with credit over 5000", true, IntentRefine},
+		{"just the corporate ones", true, IntentRefine},
+		{"how many are there", true, IntentAggregate},
+		{"count them", true, IntentAggregate},
+		{"how many are there", false, IntentQuery},
+		{"show their credit instead", true, IntentShift},
+		{"hello", false, IntentGreeting},
+		{"reset", true, IntentReset},
+	}
+	for _, c := range cases {
+		if got := ClassifyIntent(c.u, c.hasCtx); got != c.want {
+			t.Errorf("ClassifyIntent(%q, ctx=%v) = %v, want %v", c.u, c.hasCtx, got, c.want)
+		}
+	}
+}
+
+func managers(t *testing.T) (*FiniteState, *Frame, *Agent, *benchdata.Domain) {
+	t.Helper()
+	d := benchdata.Sales(60)
+	lex := lexicon.New()
+	interp := athena.New(d.DB, lex)
+	return NewFiniteState(d.DB, interp), NewFrame(d.DB, interp, lex), NewAgent(d.DB, interp, lex), d
+}
+
+func TestFiniteStateGrammarGate(t *testing.T) {
+	fsm, _, _, _ := managers(t)
+	if _, err := fsm.Respond("show customers with city Berlin"); err != nil {
+		t.Fatalf("in-grammar command failed: %v", err)
+	}
+	if _, err := fsm.Respond("only those with credit over 5000"); err == nil {
+		t.Fatal("finite-state accepted a follow-up")
+	}
+}
+
+func TestFrameHandlesRefineAndAggregate(t *testing.T) {
+	_, frame, _, d := managers(t)
+	r1, err := frame.Respond("show customers with city Berlin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1 := len(r1.Result.Rows)
+
+	r2, err := frame.Respond("only those with credit over 20000")
+	if err != nil {
+		t.Fatalf("frame refine: %v", err)
+	}
+	if len(r2.Result.Rows) > n1 {
+		t.Fatal("refinement grew the result")
+	}
+
+	r3, err := frame.Respond("how many are there")
+	if err != nil {
+		t.Fatalf("frame aggregate: %v", err)
+	}
+	if r3.Result.Rows[0][0].Int() != int64(len(r2.Result.Rows)) {
+		t.Fatalf("count %v != rows %d", r3.Result.Rows[0][0], len(r2.Result.Rows))
+	}
+	_ = d
+}
+
+func TestFrameRejectsFreeShift(t *testing.T) {
+	_, frame, _, _ := managers(t)
+	if _, err := frame.Respond("show customers with city Berlin"); err != nil {
+		t.Fatal(err)
+	}
+	// Canonical pattern works…
+	if _, err := frame.Respond("show their credit instead"); err != nil {
+		t.Fatalf("canonical shift failed: %v", err)
+	}
+	// …free phrasing does not.
+	if _, err := frame.Respond("what about their segment instead"); err == nil {
+		t.Fatal("frame accepted free-form shift")
+	}
+}
+
+func TestAgentFullConversation(t *testing.T) {
+	_, _, agent, _ := managers(t)
+	r1, err := agent.Respond("show customers with city Berlin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := agent.Respond("only those with credit over 20000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Result.Rows) > len(r1.Result.Rows) {
+		t.Fatal("refine grew result")
+	}
+	r3, err := agent.Respond("how many are there")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Result.Rows[0][0].Int() != int64(len(r2.Result.Rows)) {
+		t.Fatal("aggregate inconsistent with refine")
+	}
+	// Shift after aggregate applies to the rows, not the count.
+	r4, err := agent.Respond("what about their segment instead")
+	if err != nil {
+		t.Fatalf("agent free shift: %v", err)
+	}
+	if len(r4.Result.Rows) != len(r2.Result.Rows) {
+		t.Fatalf("shift rows = %d, want %d", len(r4.Result.Rows), len(r2.Result.Rows))
+	}
+}
+
+func TestAgentGreetingAndReset(t *testing.T) {
+	_, _, agent, _ := managers(t)
+	r, err := agent.Respond("hello")
+	if err != nil || r.SQL != nil {
+		t.Fatalf("greeting: %v %v", r, err)
+	}
+	if _, err := agent.Respond("show customers with city Berlin"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.Respond("reset"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.Respond("how many are there"); err == nil {
+		// After reset there is no context; "how many are there" becomes a
+		// full query that may or may not parse — but must not use stale
+		// context. Verify the context is actually empty.
+		if agent.ctx.Turns > 1 {
+			t.Fatal("reset did not clear context")
+		}
+	}
+}
+
+func TestUserSimValidateAndChoose(t *testing.T) {
+	d := benchdata.Sales(60)
+	gold := sqlparse.MustParse("SELECT name FROM customer WHERE city = 'Berlin'")
+	u, err := NewUserSim(d.DB, gold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Validate(sqlparse.MustParse("SELECT name FROM customer WHERE city = 'Berlin'")) {
+		t.Fatal("gold-equivalent rejected")
+	}
+	if u.Validate(sqlparse.MustParse("SELECT name FROM customer WHERE city = 'Munich'")) {
+		t.Fatal("wrong candidate accepted")
+	}
+	if u.Interactions != 2 {
+		t.Fatalf("interactions = %d", u.Interactions)
+	}
+}
+
+func TestAgentWithUserSimRecovers(t *testing.T) {
+	d := benchdata.Sales(60)
+	lex := lexicon.New()
+	interp := athena.New(d.DB, lex)
+	agent := NewAgent(d.DB, interp, lex)
+	gold := sqlparse.MustParse("SELECT name FROM customer WHERE city = 'Berlin'")
+	u, err := NewUserSim(d.DB, gold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent.User = u
+	r, err := agent.Respond("list customers with city Berlin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldRes, _ := sqlexec.New(d.DB).Run(gold)
+	if !r.Result.EqualUnordered(goldRes) {
+		t.Fatalf("agent+user missed gold: %s", r.SQL)
+	}
+}
+
+func TestIntentStrings(t *testing.T) {
+	want := map[Intent]string{
+		IntentQuery: "query", IntentRefine: "refine", IntentAggregate: "aggregate",
+		IntentShift: "shift", IntentGreeting: "greeting", IntentReset: "reset",
+	}
+	for i, w := range want {
+		if i.String() != w {
+			t.Errorf("%d.String() = %q", int(i), i.String())
+		}
+	}
+	if Intent(99).String() != "unknown" {
+		t.Error("unknown intent string")
+	}
+}
+
+func TestManagerResets(t *testing.T) {
+	fsm, frame, agent, _ := managers(t)
+	// Resets must be callable at any time and clear state.
+	fsm.Reset()
+	if _, err := frame.Respond("show customers with city Berlin"); err != nil {
+		t.Fatal(err)
+	}
+	frame.Reset()
+	if frame.ctx.LastSQL != nil {
+		t.Error("frame reset did not clear context")
+	}
+	if _, err := agent.Respond("show customers with city Berlin"); err != nil {
+		t.Fatal(err)
+	}
+	agent.Reset()
+	if agent.ctx.LastSQL != nil || agent.pending != nil {
+		t.Error("agent reset did not clear state")
+	}
+}
+
+func TestUserSimSetGoldAndChoose(t *testing.T) {
+	d := benchdata.Sales(60)
+	gold1 := sqlparse.MustParse("SELECT name FROM customer WHERE city = 'Berlin'")
+	u, err := NewUserSim(d.DB, gold1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := []nlq.Interpretation{
+		{SQL: sqlparse.MustParse("SELECT name FROM customer WHERE city = 'Munich'")},
+		{SQL: sqlparse.MustParse("SELECT name FROM customer WHERE city = 'Berlin'")},
+	}
+	if idx := u.Choose(candidates); idx != 1 {
+		t.Errorf("Choose = %d, want 1", idx)
+	}
+	// Repointing the gold flips the choice.
+	if err := u.SetGold(sqlparse.MustParse("SELECT name FROM customer WHERE city = 'Munich'")); err != nil {
+		t.Fatal(err)
+	}
+	if idx := u.Choose(candidates); idx != 0 {
+		t.Errorf("Choose after SetGold = %d, want 0", idx)
+	}
+	// No candidate matches → default 0.
+	none := []nlq.Interpretation{{SQL: sqlparse.MustParse("SELECT name FROM customer WHERE city = 'Hamburg'")}}
+	if idx := u.Choose(none); idx != 0 {
+		t.Errorf("Choose fallback = %d", idx)
+	}
+	if err := u.SetGold(sqlparse.MustParse("SELECT nosuch FROM customer")); err == nil {
+		t.Error("SetGold accepted an invalid gold")
+	}
+}
+
+func TestManagerNames(t *testing.T) {
+	fsm, frame, agent, _ := managers(t)
+	if fsm.Name() != "finite-state" || frame.Name() != "frame" || agent.Name() != "agent" {
+		t.Error("manager names wrong")
+	}
+}

@@ -1,0 +1,297 @@
+package dialogue
+
+import (
+	"fmt"
+	"strings"
+
+	"nlidb/internal/lexicon"
+	"nlidb/internal/nlq"
+	"nlidb/internal/sqldata"
+	"nlidb/internal/sqlexec"
+	"nlidb/internal/sqlparse"
+)
+
+// Response is what a dialogue manager returns for one utterance.
+type Response struct {
+	// SQL is the resolved query (nil for greetings/errors).
+	SQL *sqlparse.SelectStmt
+	// Result is the executed answer (nil when SQL is nil).
+	Result *sqldata.Result
+	// Message is the conversational reply.
+	Message string
+	// Clarification, when non-nil, asks the user to choose a reading.
+	Clarification *nlq.Clarification
+}
+
+// Manager is a dialogue manager bound to one database.
+type Manager interface {
+	// Name identifies the family in experiment tables.
+	Name() string
+	// Respond processes one utterance in conversation order.
+	Respond(utterance string) (*Response, error)
+	// Reset clears conversational state between conversations.
+	Reset()
+}
+
+// --- finite-state manager ---------------------------------------------------
+
+// FiniteState is the rule-based family: a fixed command grammar, no
+// conversational context. Follow-ups fail; inputs outside the patterns are
+// rejected — "restricting user input to predetermined words and phrases".
+type FiniteState struct {
+	interp nlq.Interpreter
+	eng    *sqlexec.Engine
+}
+
+// NewFiniteState builds the manager over an interpreter.
+func NewFiniteState(db *sqldata.Database, interp nlq.Interpreter) *FiniteState {
+	return &FiniteState{interp: interp, eng: sqlexec.New(db)}
+}
+
+// Name implements Manager.
+func (f *FiniteState) Name() string { return "finite-state" }
+
+// Reset implements Manager (stateless).
+func (f *FiniteState) Reset() {}
+
+// commandOpeners is the rigid grammar gate.
+var commandOpeners = []string{
+	"show", "list", "what", "which", "how", "count", "find", "display",
+	"give", "top", "total", "average", "sum", "number", "who",
+}
+
+// Respond accepts only utterances matching the command grammar and treats
+// each independently.
+func (f *FiniteState) Respond(utterance string) (*Response, error) {
+	u := strings.ToLower(strings.TrimSpace(utterance))
+	ok := false
+	for _, c := range commandOpeners {
+		if strings.HasPrefix(u, c+" ") || u == c {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return &Response{Message: "Please phrase your request as a command, e.g. \"show …\" or \"how many …\"."},
+			fmt.Errorf("dialogue: utterance outside the finite-state grammar")
+	}
+	ins, err := f.interp.Interpret(utterance)
+	if err != nil {
+		return &Response{Message: "I could not understand that command."}, err
+	}
+	best, _ := nlq.Best(ins)
+	res, err := f.eng.Run(best.SQL)
+	if err != nil {
+		return &Response{Message: "That command failed to execute."}, err
+	}
+	return &Response{SQL: best.SQL, Result: res, Message: fmt.Sprintf("%d row(s).", len(res.Rows))}, nil
+}
+
+// --- frame-based manager ----------------------------------------------------
+
+// Frame is the frame/slot family: it tracks context as a frame (the
+// previous query) and fills slots from follow-ups, but only recognizes
+// follow-ups phrased with its slot patterns (the refine openers and the
+// canonical aggregate/shift forms).
+type Frame struct {
+	interp nlq.Interpreter
+	eng    *sqlexec.Engine
+	res    *resolver
+	ctx    Context
+}
+
+// NewFrame builds the manager.
+func NewFrame(db *sqldata.Database, interp nlq.Interpreter, lex *lexicon.Lexicon) *Frame {
+	return &Frame{interp: interp, eng: sqlexec.New(db), res: newResolver(db, lex)}
+}
+
+// Name implements Manager.
+func (f *Frame) Name() string { return "frame" }
+
+// Reset implements Manager.
+func (f *Frame) Reset() { f.ctx.Reset() }
+
+// Respond fills frame slots; unrecognized follow-up phrasings are asked
+// back to the user instead of being guessed.
+func (f *Frame) Respond(utterance string) (*Response, error) {
+	intent := ClassifyIntent(utterance, f.ctx.LastSQL != nil)
+	switch intent {
+	case IntentGreeting:
+		return &Response{Message: "Hello! Ask me about the data."}, nil
+	case IntentReset:
+		f.ctx.Reset()
+		return &Response{Message: "Context cleared."}, nil
+	case IntentRefine:
+		// The frame requires the canonical "only …" slot phrasing, which
+		// ClassifyIntent guarantees; anything its resolver cannot slot is
+		// re-asked.
+		stmt, err := f.res.refine(&f.ctx, utterance)
+		if err != nil {
+			return &Response{Message: "Which attribute should I filter by?"}, err
+		}
+		return f.finish(stmt, false)
+	case IntentAggregate:
+		stmt, err := f.res.aggregate(&f.ctx)
+		if err != nil {
+			return &Response{Message: "There is nothing to count yet."}, err
+		}
+		return f.finish(stmt, true)
+	case IntentShift:
+		// Frame-based systems track a projection slot only for the exact
+		// "show their X" pattern.
+		if !strings.HasPrefix(strings.ToLower(strings.TrimSpace(utterance)), "show their ") {
+			return &Response{Message: "Which attribute would you like to see?"},
+				fmt.Errorf("dialogue: shift outside frame patterns")
+		}
+		stmt, err := f.res.shift(&f.ctx, utterance)
+		if err != nil {
+			return &Response{Message: "Which attribute would you like to see?"}, err
+		}
+		return f.finish(stmt, false)
+	default:
+		ins, err := f.interp.Interpret(utterance)
+		if err != nil {
+			return &Response{Message: "I could not understand; try naming the data you need."}, err
+		}
+		best, _ := nlq.Best(ins)
+		return f.finish(best.SQL, false)
+	}
+}
+
+func (f *Frame) finish(stmt *sqlparse.SelectStmt, wasAggregate bool) (*Response, error) {
+	res, err := f.eng.Run(stmt)
+	if err != nil {
+		return &Response{Message: "That request failed to execute."}, err
+	}
+	if wasAggregate {
+		f.ctx.BeforeAggregate = rowContext(&f.ctx)
+	} else {
+		f.ctx.BeforeAggregate = nil
+	}
+	f.ctx.Remember(stmt)
+	return &Response{SQL: stmt, Result: res, Message: fmt.Sprintf("%d row(s).", len(res.Rows))}, nil
+}
+
+// --- agent-based manager ------------------------------------------------------
+
+// Agent is the most flexible family: full context persistence, flexible
+// follow-up phrasing, ranked-hypothesis recovery, and DialSQL-style
+// validation against a user (simulated in experiments). "Agent-based
+// systems are able to manage complex dialogues, where the user can
+// initiate and lead the conversation."
+type Agent struct {
+	interp nlq.Interpreter
+	eng    *sqlexec.Engine
+	res    *resolver
+	ctx    Context
+	// User, when non-nil, answers validation questions (DialSQL).
+	User *UserSim
+	// IntentModel, when non-nil, augments the rule-based intent
+	// classifier with the statistical one trained on ontology-generated
+	// artifacts (Quamar et al.) — "agent-based methods … are typically
+	// statistical models trained on corpora".
+	IntentModel *IntentClassifier
+	// pending holds lower-ranked hypotheses for feedback recovery.
+	pending []nlq.Interpretation
+}
+
+// NewAgent builds the manager.
+func NewAgent(db *sqldata.Database, interp nlq.Interpreter, lex *lexicon.Lexicon) *Agent {
+	return &Agent{interp: interp, eng: sqlexec.New(db), res: newResolver(db, lex)}
+}
+
+// Name implements Manager.
+func (a *Agent) Name() string { return "agent" }
+
+// Reset implements Manager.
+func (a *Agent) Reset() {
+	a.ctx.Reset()
+	a.pending = nil
+}
+
+// Respond resolves the utterance flexibly: follow-up intents edit the
+// context query (with free phrasing); full queries go through the
+// interpreter; when a simulated user is attached, candidate queries are
+// validated and lower-ranked hypotheses retried (DialSQL).
+func (a *Agent) Respond(utterance string) (*Response, error) {
+	intent := ClassifyIntent(utterance, a.ctx.LastSQL != nil)
+	// The statistical classifier can upgrade a generic "query" reading to
+	// a context intent the rule patterns missed — never the reverse.
+	if a.IntentModel != nil && intent == IntentQuery && a.ctx.LastSQL != nil {
+		name, p := a.IntentModel.Classify(utterance)
+		if p >= 0.6 {
+			switch name {
+			case "refine":
+				intent = IntentRefine
+			case "count_result":
+				intent = IntentAggregate
+			}
+		}
+	}
+	switch intent {
+	case IntentGreeting:
+		return &Response{Message: "Hi! What would you like to explore?"}, nil
+	case IntentReset:
+		a.Reset()
+		return &Response{Message: "Starting fresh."}, nil
+	case IntentRefine:
+		stmt, err := a.res.refine(&a.ctx, utterance)
+		if err != nil {
+			return &Response{Message: "I could not find that filter; can you name the attribute?"}, err
+		}
+		return a.finish(stmt, false)
+	case IntentAggregate:
+		stmt, err := a.res.aggregate(&a.ctx)
+		if err != nil {
+			return &Response{Message: "There is nothing to count yet."}, err
+		}
+		return a.finish(stmt, true)
+	case IntentShift:
+		stmt, err := a.res.shift(&a.ctx, utterance)
+		if err != nil {
+			return &Response{Message: "Which attribute should I show?"}, err
+		}
+		return a.finish(stmt, false)
+	}
+
+	ins, err := a.interp.Interpret(utterance)
+	if err != nil {
+		// Agent flexibility: an unparseable utterance with context is
+		// retried as a refinement before giving up.
+		if a.ctx.LastSQL != nil {
+			if stmt, rerr := a.res.refine(&a.ctx, utterance); rerr == nil {
+				return a.finish(stmt, false)
+			}
+		}
+		return &Response{Message: "I could not map that to the data."}, err
+	}
+
+	// DialSQL-style validation loop over ranked hypotheses.
+	if a.User != nil {
+		for i, cand := range ins {
+			if i >= 3 {
+				break
+			}
+			if a.User.Validate(cand.SQL) {
+				return a.finish(cand.SQL, false)
+			}
+		}
+	}
+	best, _ := nlq.Best(ins)
+	a.pending = ins
+	return a.finish(best.SQL, false)
+}
+
+func (a *Agent) finish(stmt *sqlparse.SelectStmt, wasAggregate bool) (*Response, error) {
+	res, err := a.eng.Run(stmt)
+	if err != nil {
+		return &Response{Message: "That failed to execute."}, err
+	}
+	if wasAggregate {
+		a.ctx.BeforeAggregate = rowContext(&a.ctx)
+	} else {
+		a.ctx.BeforeAggregate = nil
+	}
+	a.ctx.Remember(stmt)
+	return &Response{SQL: stmt, Result: res, Message: fmt.Sprintf("%d row(s).", len(res.Rows))}, nil
+}

@@ -1,0 +1,166 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"nlidb/internal/athena"
+	"nlidb/internal/benchdata"
+	"nlidb/internal/dataset"
+	"nlidb/internal/dialogue"
+	"nlidb/internal/keywordnl"
+	"nlidb/internal/lexicon"
+	"nlidb/internal/nlq"
+	"nlidb/internal/sqlparse"
+)
+
+// perfect answers every question with the gold SQL; broken answers none.
+type perfect struct{ set *dataset.Set }
+
+func (p *perfect) Name() string { return "perfect" }
+func (p *perfect) Interpret(q string) ([]nlq.Interpretation, error) {
+	for _, pair := range p.set.Pairs {
+		if pair.Question == q {
+			return []nlq.Interpretation{{SQL: pair.SQL, Score: 1}}, nil
+		}
+	}
+	return nil, nlq.ErrNoInterpretation
+}
+
+type broken struct{}
+
+func (b *broken) Name() string { return "broken" }
+func (b *broken) Interpret(string) ([]nlq.Interpretation, error) {
+	return nil, nlq.ErrNoInterpretation
+}
+
+// half answers everything but is right only on Simple pairs.
+type half struct{ set *dataset.Set }
+
+func (h *half) Name() string { return "half" }
+func (h *half) Interpret(q string) ([]nlq.Interpretation, error) {
+	for _, pair := range h.set.Pairs {
+		if pair.Question == q {
+			if pair.Complexity == nlq.Simple {
+				return []nlq.Interpretation{{SQL: pair.SQL, Score: 1}}, nil
+			}
+			return []nlq.Interpretation{{SQL: sqlparse.MustParse("SELECT id FROM customer WHERE id < 0"), Score: 1}}, nil
+		}
+	}
+	return nil, nlq.ErrNoInterpretation
+}
+
+func corpus(t *testing.T) *dataset.Set {
+	t.Helper()
+	d := benchdata.Sales(42)
+	set := &dataset.Set{Name: "test", DB: d.DB, Pairs: d.GeneratePairs(40, 5)}
+	return set
+}
+
+func TestEvaluatePerfect(t *testing.T) {
+	set := corpus(t)
+	rep, err := Evaluate(&perfect{set}, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overall.Accuracy() != 1 || rep.Overall.Precision() != 1 || rep.Overall.F1() != 1 {
+		t.Fatalf("perfect scored %+v", rep.Overall)
+	}
+	if rep.Overall.ExactAccuracy() != 1 {
+		t.Fatalf("perfect exact = %v", rep.Overall.ExactAccuracy())
+	}
+}
+
+func TestEvaluateBroken(t *testing.T) {
+	set := corpus(t)
+	rep, err := Evaluate(&broken{}, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overall.Accuracy() != 0 || rep.Overall.Answered != 0 {
+		t.Fatalf("broken scored %+v", rep.Overall)
+	}
+}
+
+func TestEvaluatePrecisionVsRecall(t *testing.T) {
+	set := corpus(t)
+	rep, err := Evaluate(&half{set}, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Answers everything → precision == recall; correct only on Simple.
+	if rep.Overall.Answered != rep.Overall.Total {
+		t.Fatalf("half answered %d/%d", rep.Overall.Answered, rep.Overall.Total)
+	}
+	simple := rep.ByClass[nlq.Simple]
+	if simple == nil || simple.Accuracy() != 1 {
+		t.Fatalf("simple class = %+v", simple)
+	}
+	// The dummy query can coincide with empty-result golds, so nested
+	// accuracy is low but not necessarily zero.
+	if nested := rep.ByClass[nlq.Nested]; nested != nil && nested.Accuracy() >= simple.Accuracy() {
+		t.Fatalf("nested (%+v) should score below simple", nested)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	set := corpus(t)
+	rep, _ := Evaluate(&perfect{set}, set)
+	s := rep.String()
+	if !strings.Contains(s, "acc=1.000") || !strings.Contains(s, "simple") {
+		t.Errorf("report string: %s", s)
+	}
+	if len(rep.Classes()) == 0 {
+		t.Error("no classes")
+	}
+}
+
+func TestRealInterpreterOrdering(t *testing.T) {
+	// Sanity: athena must beat keyword overall on a mixed corpus.
+	set := corpus(t)
+	lex := lexicon.New()
+	kw, err := Evaluate(keywordnl.New(set.DB, lex), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, err := Evaluate(athena.New(set.DB, lex), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at.Overall.Accuracy() <= kw.Overall.Accuracy() {
+		t.Errorf("athena (%.3f) did not beat keyword (%.3f)",
+			at.Overall.Accuracy(), kw.Overall.Accuracy())
+	}
+}
+
+func TestEvaluateConversations(t *testing.T) {
+	d := benchdata.Sales(42)
+	cs := benchdata.Conversations(d, 8, 3)
+	lex := lexicon.New()
+	interp := athena.New(d.DB, lex)
+
+	agent := dialogue.NewAgent(d.DB, interp, lex)
+	rep, err := EvaluateConversations(agent, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overall.Total != cs.TotalTurns() {
+		t.Fatalf("turns = %d, want %d", rep.Overall.Total, cs.TotalTurns())
+	}
+	fsm := dialogue.NewFiniteState(d.DB, interp)
+	frep, err := EvaluateConversations(fsm, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frep.Overall.Accuracy() >= rep.Overall.Accuracy() {
+		t.Errorf("finite-state (%.3f) not below agent (%.3f)",
+			frep.Overall.Accuracy(), rep.Overall.Accuracy())
+	}
+	// Context-dependent turns must be where the finite-state manager dies.
+	if c := frep.ByKind[dataset.TurnRefine]; c != nil && c.Correct != 0 {
+		t.Errorf("finite-state answered a refine turn: %+v", c)
+	}
+	if !strings.Contains(rep.String(), "turn-acc") {
+		t.Error("conv report string")
+	}
+}

@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parsePct turns " 42.0%" back into 0.42.
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s), "%"))
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parsePct(%q): %v", s, err)
+	}
+	return v / 100
+}
+
+func TestTableString(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "t", Claim: "c",
+		Header: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}, Notes: []string{"n"}}
+	s := tbl.String()
+	for _, frag := range []string{"== X", "Claim:", "a", "note: n"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("table string missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestT1ComplexityCeilingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	tbl, err := T1ComplexityCeiling(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+	get := func(interp string, col int) float64 {
+		for _, row := range tbl.Rows {
+			if row[0] == interp {
+				return parsePct(t, row[col])
+			}
+		}
+		t.Fatalf("row %s missing", interp)
+		return 0
+	}
+	// Ceiling claims: keyword does nothing past simple.
+	if get("keyword", 2) > 0.15 || get("keyword", 3) > 0.15 || get("keyword", 4) > 0.15 {
+		t.Errorf("keyword exceeded its ceiling: %v", tbl.Rows)
+	}
+	// Pattern handles aggregation far better than keyword.
+	if get("pattern", 2) <= get("keyword", 2) {
+		t.Errorf("pattern should beat keyword on aggregation")
+	}
+	// Parse handles joins; pattern does not.
+	if get("parse", 3) <= get("pattern", 3) {
+		t.Errorf("parse should beat pattern on joins")
+	}
+	// Only athena is competent on nested.
+	if get("athena", 4) <= get("parse", 4) {
+		t.Errorf("athena should beat parse on nested")
+	}
+	if get("athena", 4) < 0.4 {
+		t.Errorf("athena nested accuracy too low: %v", get("athena", 4))
+	}
+	// mlsql stays within classes 1–2: near zero on joins and nesting.
+	if get("mlsql", 3) > 0.2 || get("mlsql", 4) > 0.2 {
+		t.Errorf("mlsql exceeded single-table ceiling")
+	}
+}
+
+func TestT2ParaphraseShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	tbl, err := T2Paraphrase(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+	drops := map[string]float64{}
+	baseline := map[string]float64{}
+	for _, row := range tbl.Rows {
+		drops[row[0]] = parsePct(t, row[5])
+		baseline[row[0]] = parsePct(t, row[1])
+	}
+	// ML must degrade less than every *capable* entity system (a system
+	// already at its floor, like keyword, has nothing left to lose).
+	for name, d := range drops {
+		if name == "mlsql" || baseline[name] < 0.6 {
+			continue
+		}
+		if drops["mlsql"] > d+0.02 {
+			t.Errorf("mlsql drop (%.2f) exceeds %s drop (%.2f)", drops["mlsql"], name, d)
+		}
+	}
+}
+
+func TestT3PrecisionRecallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	tbl, err := T3PrecisionRecall(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+	row := func(name string) []string {
+		for _, r := range tbl.Rows {
+			if r[0] == name {
+				return r
+			}
+		}
+		t.Fatalf("row %s missing", name)
+		return nil
+	}
+	at, ml, hy := row("athena+abstain"), row("mlsql"), row("hybrid")
+	if parsePct(t, at[1]) <= parsePct(t, ml[1]) {
+		t.Errorf("entity precision (%s) should beat ML precision (%s)", at[1], ml[1])
+	}
+	if parsePct(t, ml[2]) <= parsePct(t, at[2]) {
+		t.Errorf("ML recall (%s) should beat entity recall (%s)", ml[2], at[2])
+	}
+	if parsePct(t, hy[3]) < parsePct(t, ml[3]) || parsePct(t, hy[3]) < parsePct(t, at[3]) {
+		t.Errorf("hybrid F1 (%s) should top both (%s, %s)", hy[3], at[3], ml[3])
+	}
+}
+
+func TestA1SketchShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	tbl, err := A1SketchVsSeq(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+	sketch := parsePct(t, tbl.Rows[0][1])
+	ordered := parsePct(t, tbl.Rows[1][1])
+	if sketch < ordered+0.1 {
+		t.Errorf("sketch (%.2f) should clearly beat ordered (%.2f)", sketch, ordered)
+	}
+}
+
+func TestA2TypedShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	tbl, err := A2TypeFeatures(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+	on := parsePct(t, tbl.Rows[0][1])
+	off := parsePct(t, tbl.Rows[1][1])
+	if on+0.02 < off {
+		t.Errorf("typed channel (%.2f) should not trail untyped (%.2f)", on, off)
+	}
+}
+
+func TestT9RelaxationShape(t *testing.T) {
+	tbl, err := T9Relaxation(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+	// The relaxed-vocabulary row must improve when relaxation turns on.
+	var relaxedRow []string
+	for _, row := range tbl.Rows {
+		if row[0] == "relaxed" {
+			relaxedRow = row
+		}
+	}
+	if relaxedRow == nil {
+		t.Fatal("relaxed row missing")
+	}
+	off := strings.Split(relaxedRow[1], "/")[0]
+	on := strings.Split(relaxedRow[2], "/")[0]
+	offN, _ := strconv.Atoi(off)
+	onN, _ := strconv.Atoi(on)
+	if onN <= offN {
+		t.Errorf("relaxation did not help: off=%s on=%s", relaxedRow[1], relaxedRow[2])
+	}
+}
+
+func TestT10QueryLogShape(t *testing.T) {
+	tbl, err := T10QueryLog(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+	off := parsePct(t, tbl.Rows[0][1])
+	on := parsePct(t, tbl.Rows[1][1])
+	if on <= off {
+		t.Errorf("query-log priors did not help: off=%.2f on=%.2f", off, on)
+	}
+	if on < 0.8 {
+		t.Errorf("with priors accuracy should be high, got %.2f", on)
+	}
+}
+
+func TestT7FeedbackShape(t *testing.T) {
+	tbl, err := T7Feedback(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+	a0 := parsePct(t, tbl.Rows[0][1])
+	a1 := parsePct(t, tbl.Rows[1][1])
+	if a1 <= a0 {
+		t.Errorf("clarification did not help: %.2f → %.2f", a0, a1)
+	}
+}
+
+func TestT6DialogueShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	tbl, err := T6Dialogue(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+	overall := map[string]float64{}
+	for _, row := range tbl.Rows {
+		overall[row[0]] = parsePct(t, row[5])
+	}
+	if !(overall["agent"] > overall["frame"] && overall["frame"] > overall["finite-state"]) {
+		t.Errorf("flexibility ladder violated: %v", overall)
+	}
+	// Finite-state must be 0 on refine turns.
+	for _, row := range tbl.Rows {
+		if row[0] == "finite-state" && parsePct(t, row[2]) != 0 {
+			t.Errorf("finite-state answered refines: %v", row)
+		}
+	}
+}
+
+func TestT11DecompositionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	tbl, err := T11Decomposition(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+	oneShot := parsePct(t, tbl.Rows[0][1])
+	decomposed := parsePct(t, tbl.Rows[1][1])
+	if oneShot > 0.2 {
+		t.Errorf("one-shot nested accuracy should be near zero, got %.2f", oneShot)
+	}
+	if decomposed < oneShot+0.5 {
+		t.Errorf("decomposition should add ≥50 points: %.2f → %.2f", oneShot, decomposed)
+	}
+}
+
+func TestT8DatasetsRuns(t *testing.T) {
+	tbl, err := T8Datasets(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	t.Log("\n" + tbl.String())
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nlidb/internal/benchdata"
+	"nlidb/internal/dataset"
+	"nlidb/internal/lexicon"
+	"nlidb/internal/mlsql"
+	"nlidb/internal/nlq"
+	"nlidb/internal/sqldata"
+	"nlidb/internal/sqlexec"
+	"nlidb/internal/synth"
+)
+
+// T11Decomposition reproduces §5's proposal: "One possible solution to
+// handling complex queries is to express them as a sequence of simpler
+// questions. This is in line with machine learning-based approaches …
+// while restricting their applicability to simpler individual queries."
+// A learned single-table parser cannot answer a nested question one-shot,
+// but a two-turn conversation — first compute the aggregate, then filter
+// by the returned number — stays inside its ceiling.
+func T11Decomposition(seed int64) (*Table, error) {
+	lex := lexicon.New()
+	d := benchdata.Sales(seed)
+	eng := sqlexec.New(d.DB)
+
+	// The complex questions: above-average filters on the main table.
+	pairs := d.GeneratePairs(60, seed+3, nlq.Nested)
+	var items []dataset.Pair
+	for _, p := range pairs {
+		if p.Table == d.Main && len(p.SQL.Subqueries()) == 1 {
+			items = append(items, p)
+		}
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("experiments: no decomposable nested questions generated")
+	}
+
+	train := synth.TrainingSet(d, 400, 1, lex, seed+5)
+	model, _, err := mlsql.Train([]*dataset.Set{train}, cfgWithSeed(seed))
+	if err != nil {
+		return nil, err
+	}
+	tbl := d.DB.Table(d.Main)
+
+	oneShot, decomposed := 0, 0
+	for _, it := range items {
+		gold, err := eng.Run(it.SQL)
+		if err != nil {
+			return nil, err
+		}
+
+		// One shot: ask the nested question directly.
+		if stmt, err := model.Parse(it.Question, tbl); err == nil {
+			if res, err := eng.Run(stmt); err == nil && res.EqualUnordered(gold) {
+				oneShot++
+			}
+		}
+
+		// Decomposed: the user first asks for the aggregate the nested
+		// question references, then re-asks with the concrete number —
+		// two simple questions the sketch parser can handle.
+		sub := it.SQL.Subqueries()[0]
+		subRes, err := eng.Run(sub)
+		if err != nil || len(subRes.Rows) != 1 || subRes.Rows[0][0].Null {
+			continue
+		}
+		// Turn 1 (simulated): "what is the average <col>" → the system
+		// must actually get the aggregate right.
+		aggQ := fmt.Sprintf("what is the average %s of %s", propOf(sub), pluralName(d.Main))
+		stmt1, err := model.Parse(aggQ, tbl)
+		if err != nil {
+			continue
+		}
+		r1, err := eng.Run(stmt1)
+		if err != nil || len(r1.Rows) != 1 || r1.Rows[0][0].Null ||
+			!r1.Rows[0][0].Equal(coerced(subRes.Rows[0][0])) {
+			continue
+		}
+		// Turn 2: the same filter with the concrete number.
+		simpleQ := fmt.Sprintf("%s with %s over %v", pluralName(d.Main), propOf(sub), r1.Rows[0][0])
+		stmt2, err := model.Parse(simpleQ, tbl)
+		if err != nil {
+			continue
+		}
+		r2, err := eng.Run(stmt2)
+		if err == nil && r2.EqualUnordered(gold) {
+			decomposed++
+		}
+	}
+
+	t := &Table{
+		ID:     "T11",
+		Title:  "Nested questions one-shot vs decomposed into two simple turns (learned parser)",
+		Claim:  "§5: \"One possible solution to handling complex queries is to express them as a sequence of simpler questions\", which suits ML-based translation that is restricted \"to simpler individual queries\".",
+		Header: []string{"strategy", "accuracy"},
+	}
+	n := float64(len(items))
+	t.Rows = append(t.Rows,
+		[]string{"one-shot nested question", pct(float64(oneShot) / n)},
+		[]string{"decomposed into 2 simple turns", pct(float64(decomposed) / n)},
+	)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d above-average questions over the %s table; the decomposition is user-driven (ask the aggregate, then filter by the returned number)", len(items), d.Main),
+		"expected shape: near zero one-shot (outside the single-table sketch), high when decomposed")
+	return t, nil
+}
+
+func cfgWithSeed(seed int64) mlsql.Config {
+	cfg := mlsql.DefaultConfig()
+	cfg.Seed = seed
+	return cfg
+}
+
+// propOf extracts the aggregated column of a scalar sub-query.
+func propOf(sub interface{ String() string }) string {
+	// Sub-queries here have the shape SELECT AVG(col) FROM t.
+	s := sub.String()
+	open, end := -1, -1
+	for i := 0; i < len(s); i++ {
+		if s[i] == '(' {
+			open = i
+			break
+		}
+	}
+	for i := open + 1; i > 0 && i < len(s); i++ {
+		if s[i] == ')' {
+			end = i
+			break
+		}
+	}
+	if open < 0 || end < 0 {
+		return ""
+	}
+	return s[open+1 : end]
+}
+
+func pluralName(table string) string {
+	if len(table) > 0 && table[len(table)-1] == 's' {
+		return table
+	}
+	return table + "s"
+}
+
+// coerced widens ints so Equal compares numerically with AVG floats.
+func coerced(v sqldata.Value) sqldata.Value {
+	if !v.Null && v.T == sqldata.TypeInt {
+		return sqldata.NewFloat(v.Float())
+	}
+	return v
+}

@@ -1,0 +1,143 @@
+// Package hmm implements a discrete hidden Markov model with supervised
+// maximum-likelihood training (add-one smoothed), Viterbi decoding, and
+// sequence scoring. It is the statistical core of the QUEST-style hybrid
+// interpreter, which tags query tokens with entity roles learned from
+// previous (validated) searches.
+package hmm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a first-order HMM over discrete observations. States and
+// observations are dense indices; callers keep their own vocabularies.
+type Model struct {
+	NStates int
+	NObs    int
+	// logInit[s], logTrans[s][s'], logEmit[s][o] are log-probabilities.
+	logInit  []float64
+	logTrans [][]float64
+	logEmit  [][]float64
+}
+
+// Train fits the model by smoothed frequency counting over labelled
+// sequences: states[i][t] is the state of observation obs[i][t].
+func Train(nStates, nObs int, obs [][]int, states [][]int) (*Model, error) {
+	if len(obs) != len(states) {
+		return nil, fmt.Errorf("hmm: %d observation sequences vs %d state sequences", len(obs), len(states))
+	}
+	if nStates <= 0 || nObs <= 0 {
+		return nil, fmt.Errorf("hmm: invalid sizes %d states %d observations", nStates, nObs)
+	}
+	initC := make([]float64, nStates)
+	transC := make([][]float64, nStates)
+	emitC := make([][]float64, nStates)
+	for s := 0; s < nStates; s++ {
+		transC[s] = make([]float64, nStates)
+		emitC[s] = make([]float64, nObs)
+	}
+	for i := range obs {
+		if len(obs[i]) != len(states[i]) {
+			return nil, fmt.Errorf("hmm: sequence %d length mismatch", i)
+		}
+		for t, o := range obs[i] {
+			s := states[i][t]
+			if s < 0 || s >= nStates || o < 0 || o >= nObs {
+				return nil, fmt.Errorf("hmm: sequence %d position %d out of range (state %d, obs %d)", i, t, s, o)
+			}
+			emitC[s][o]++
+			if t == 0 {
+				initC[s]++
+			} else {
+				transC[states[i][t-1]][s]++
+			}
+		}
+	}
+
+	m := &Model{NStates: nStates, NObs: nObs}
+	m.logInit = normalizeLog(initC)
+	m.logTrans = make([][]float64, nStates)
+	m.logEmit = make([][]float64, nStates)
+	for s := 0; s < nStates; s++ {
+		m.logTrans[s] = normalizeLog(transC[s])
+		m.logEmit[s] = normalizeLog(emitC[s])
+	}
+	return m, nil
+}
+
+// normalizeLog converts counts to add-one-smoothed log-probabilities.
+func normalizeLog(counts []float64) []float64 {
+	total := 0.0
+	for _, c := range counts {
+		total += c + 1
+	}
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		out[i] = math.Log((c + 1) / total)
+	}
+	return out
+}
+
+// Viterbi returns the most probable state sequence for the observations
+// and its log-probability.
+func (m *Model) Viterbi(obs []int) ([]int, float64, error) {
+	n := len(obs)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	for _, o := range obs {
+		if o < 0 || o >= m.NObs {
+			return nil, 0, fmt.Errorf("hmm: observation %d out of range", o)
+		}
+	}
+	v := make([][]float64, n)
+	bp := make([][]int, n)
+	for t := range v {
+		v[t] = make([]float64, m.NStates)
+		bp[t] = make([]int, m.NStates)
+	}
+	for s := 0; s < m.NStates; s++ {
+		v[0][s] = m.logInit[s] + m.logEmit[s][obs[0]]
+	}
+	for t := 1; t < n; t++ {
+		for s := 0; s < m.NStates; s++ {
+			best, bi := math.Inf(-1), 0
+			for p := 0; p < m.NStates; p++ {
+				c := v[t-1][p] + m.logTrans[p][s]
+				if c > best {
+					best, bi = c, p
+				}
+			}
+			v[t][s] = best + m.logEmit[s][obs[t]]
+			bp[t][s] = bi
+		}
+	}
+	best, bi := math.Inf(-1), 0
+	for s := 0; s < m.NStates; s++ {
+		if v[n-1][s] > best {
+			best, bi = v[n-1][s], s
+		}
+	}
+	path := make([]int, n)
+	path[n-1] = bi
+	for t := n - 1; t > 0; t-- {
+		path[t-1] = bp[t][path[t]]
+	}
+	return path, best, nil
+}
+
+// LogProb scores a given state/observation sequence.
+func (m *Model) LogProb(obs, states []int) (float64, error) {
+	if len(obs) != len(states) {
+		return 0, fmt.Errorf("hmm: length mismatch")
+	}
+	if len(obs) == 0 {
+		return 0, nil
+	}
+	lp := m.logInit[states[0]] + m.logEmit[states[0]][obs[0]]
+	for t := 1; t < len(obs); t++ {
+		lp += m.logTrans[states[t-1]][states[t]] + m.logEmit[states[t]][obs[t]]
+	}
+	return lp, nil
+}

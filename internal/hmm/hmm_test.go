@@ -1,0 +1,118 @@
+package hmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// A toy weather model: states {rain, sun}, observations {umbrella, none}.
+func toyModel(t *testing.T) *Model {
+	t.Helper()
+	// Hand-built training data with strong correlations.
+	var obs, states [][]int
+	for i := 0; i < 50; i++ {
+		obs = append(obs, []int{0, 0, 1, 1})       // umbrella umbrella none none
+		states = append(states, []int{0, 0, 1, 1}) // rain rain sun sun
+	}
+	m, err := Train(2, 2, obs, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestViterbiRecoversPattern(t *testing.T) {
+	m := toyModel(t)
+	path, lp, err := m.Viterbi([]int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 1, 1}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if lp >= 0 {
+		t.Errorf("log prob = %v", lp)
+	}
+}
+
+func TestViterbiEmpty(t *testing.T) {
+	m := toyModel(t)
+	path, _, err := m.Viterbi(nil)
+	if err != nil || path != nil {
+		t.Errorf("empty viterbi = %v, %v", path, err)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(2, 2, [][]int{{0}}, [][]int{{0, 1}}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Train(2, 2, [][]int{{5}}, [][]int{{0}}); err == nil {
+		t.Error("out-of-range observation accepted")
+	}
+	if _, err := Train(0, 2, nil, nil); err == nil {
+		t.Error("zero states accepted")
+	}
+}
+
+func TestViterbiValidation(t *testing.T) {
+	m := toyModel(t)
+	if _, _, err := m.Viterbi([]int{9}); err == nil {
+		t.Error("out-of-range observation accepted")
+	}
+}
+
+// Property: the Viterbi path is at least as probable as any sampled path.
+func TestPropertyViterbiOptimal(t *testing.T) {
+	m := toyModel(t)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		obs := make([]int, n)
+		for i := range obs {
+			obs[i] = r.Intn(2)
+		}
+		path, best, err := m.Viterbi(obs)
+		if err != nil {
+			return false
+		}
+		vp, err := m.LogProb(obs, path)
+		if err != nil || math.Abs(vp-best) > 1e-9 {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			rnd := make([]int, n)
+			for i := range rnd {
+				rnd[i] = r.Intn(2)
+			}
+			lp, err := m.LogProb(obs, rnd)
+			if err != nil {
+				return false
+			}
+			if lp > best+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSmoothingHandlesUnseen(t *testing.T) {
+	// Training never shows observation 1 in state 0; smoothed decode must
+	// still work without -Inf explosions.
+	m, err := Train(2, 2, [][]int{{0, 0}}, [][]int{{0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, lp, err := m.Viterbi([]int{1, 1}); err != nil || lp == 0 {
+		t.Errorf("unseen decode: lp=%v err=%v", lp, err)
+	}
+}

@@ -1,0 +1,230 @@
+// Package invindex builds an inverted index over a database's metadata
+// (table and column names, with declared synonyms) and its data content
+// (distinct text values). Keyword-driven interpreters in the style of
+// SODA, QUICK, and BELA resolve natural-language tokens to schema elements
+// and literals through this index, with exact, stem, synonym, and fuzzy
+// lookup tiers.
+package invindex
+
+import (
+	"sort"
+	"strings"
+
+	"nlidb/internal/lexicon"
+	"nlidb/internal/nlp"
+	"nlidb/internal/sqldata"
+)
+
+// Kind says what an index entry points at.
+type Kind int
+
+const (
+	// KindTable is a table name entry.
+	KindTable Kind = iota
+	// KindColumn is a column name entry.
+	KindColumn
+	// KindValue is a data value entry (a distinct TEXT cell).
+	KindValue
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindTable:
+		return "table"
+	case KindColumn:
+		return "column"
+	default:
+		return "value"
+	}
+}
+
+// Entry is one indexed object.
+type Entry struct {
+	Kind   Kind
+	Table  string
+	Column string // set for KindColumn and KindValue
+	Value  string // set for KindValue: the original cell text
+}
+
+// key returns a deduplication identity for the entry.
+func (e Entry) key() string {
+	return e.Kind.String() + "\x00" + e.Table + "\x00" + e.Column + "\x00" + e.Value
+}
+
+// Match is a scored lookup hit.
+type Match struct {
+	Entry
+	// Score in (0,1]; 1 is an exact match.
+	Score float64
+	// Via names the tier that produced the hit: exact, synonym, or fuzzy.
+	Via string
+}
+
+// Index is an immutable inverted index; build once per database.
+type Index struct {
+	exact map[string][]Entry
+	keys  []string // sorted normalized keys, for the fuzzy tier
+	lex   *lexicon.Lexicon
+}
+
+// normPhrase stems each word of a phrase and joins with single spaces.
+func normPhrase(s string) string {
+	fields := strings.Fields(strings.ToLower(s))
+	for i, f := range fields {
+		fields[i] = nlp.Stem(f)
+	}
+	return strings.Join(fields, " ")
+}
+
+// Build indexes every table name, column name, declared synonym, and
+// distinct text value of db. lex may be nil to disable the synonym tier.
+func Build(db *sqldata.Database, lex *lexicon.Lexicon) *Index {
+	ix := &Index{exact: make(map[string][]Entry), lex: lex}
+	add := func(key string, e Entry) {
+		k := normPhrase(key)
+		if k == "" {
+			return
+		}
+		for _, ex := range ix.exact[k] {
+			if ex.key() == e.key() {
+				return
+			}
+		}
+		ix.exact[k] = append(ix.exact[k], e)
+	}
+
+	for _, t := range db.Tables() {
+		s := t.Schema
+		te := Entry{Kind: KindTable, Table: s.Name}
+		add(nlp.NormalizeIdent(s.Name), te)
+		for _, syn := range s.Synonyms {
+			add(syn, te)
+		}
+		for _, c := range s.Columns {
+			ce := Entry{Kind: KindColumn, Table: s.Name, Column: c.Name}
+			add(nlp.NormalizeIdent(c.Name), ce)
+			for _, syn := range c.Synonyms {
+				add(syn, ce)
+			}
+			if c.Type == sqldata.TypeText {
+				vals, err := t.DistinctText(c.Name)
+				if err != nil {
+					continue
+				}
+				for _, v := range vals {
+					add(v, Entry{Kind: KindValue, Table: s.Name, Column: c.Name, Value: v})
+				}
+			}
+		}
+	}
+
+	ix.keys = make([]string, 0, len(ix.exact))
+	for k := range ix.exact {
+		ix.keys = append(ix.keys, k)
+	}
+	sort.Strings(ix.keys)
+	return ix
+}
+
+// LookupOptions tunes a lookup.
+type LookupOptions struct {
+	// FuzzyThreshold is the minimum string similarity for the fuzzy tier;
+	// 0 disables fuzzy matching.
+	FuzzyThreshold float64
+	// NoSynonyms disables the synonym tier.
+	NoSynonyms bool
+	// KindFilter, when non-nil, keeps only entries of the listed kinds.
+	KindFilter []Kind
+}
+
+// DefaultOptions enables synonyms and a 0.78 fuzzy threshold.
+func DefaultOptions() LookupOptions { return LookupOptions{FuzzyThreshold: 0.78} }
+
+// Lookup resolves a word or phrase to scored entries, best first.
+// Tiers: exact/stem match (1.0), synonym match (0.9), fuzzy match
+// (threshold–1.0, scaled by 0.85). Ties break deterministically by kind
+// (table < column < value) then name.
+func (ix *Index) Lookup(phrase string, opts LookupOptions) []Match {
+	best := map[string]Match{}
+	record := func(e Entry, score float64, via string) {
+		if !kindAllowed(e.Kind, opts.KindFilter) {
+			return
+		}
+		k := e.key()
+		if m, ok := best[k]; !ok || score > m.Score {
+			best[k] = Match{Entry: e, Score: score, Via: via}
+		}
+	}
+
+	key := normPhrase(phrase)
+	if key == "" {
+		return nil
+	}
+
+	for _, e := range ix.exact[key] {
+		record(e, 1.0, "exact")
+	}
+
+	if !opts.NoSynonyms && ix.lex != nil && !strings.Contains(key, " ") {
+		for _, syn := range ix.lex.Synonyms(key) {
+			if syn == key {
+				continue
+			}
+			for _, e := range ix.exact[syn] {
+				record(e, 0.9, "synonym")
+			}
+		}
+	}
+
+	if opts.FuzzyThreshold > 0 {
+		for _, k := range ix.keys {
+			if k == key {
+				continue
+			}
+			var sim float64
+			if strings.Contains(key, " ") || strings.Contains(k, " ") {
+				// Trigram Jaccard penalizes uncovered words, so "in new
+				// york" does not swallow the key "customer" and a lone
+				// "york" does not match "new york".
+				sim = nlp.TrigramJaccard(key, k)
+			} else {
+				sim = nlp.Similarity(key, k)
+			}
+			if sim >= opts.FuzzyThreshold {
+				for _, e := range ix.exact[k] {
+					record(e, 0.85*sim, "fuzzy")
+				}
+			}
+		}
+	}
+
+	out := make([]Match, 0, len(best))
+	for _, m := range best {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].key() < out[j].key()
+	})
+	return out
+}
+
+func kindAllowed(k Kind, filter []Kind) bool {
+	if len(filter) == 0 {
+		return true
+	}
+	for _, f := range filter {
+		if f == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Size returns the number of distinct normalized keys (for dataset stats).
+func (ix *Index) Size() int { return len(ix.keys) }

@@ -1,0 +1,175 @@
+package invindex
+
+import (
+	"testing"
+
+	"nlidb/internal/lexicon"
+	"nlidb/internal/sqldata"
+)
+
+func demoDB(t testing.TB) *sqldata.Database {
+	t.Helper()
+	db := sqldata.NewDatabase("shop")
+	cust, err := db.CreateTable(&sqldata.Schema{
+		Name:     "customer",
+		Synonyms: []string{"client"},
+		Columns: []sqldata.Column{
+			{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+			{Name: "name", Type: sqldata.TypeText},
+			{Name: "city", Type: sqldata.TypeText},
+			{Name: "annual_income", Type: sqldata.TypeFloat, Synonyms: []string{"salary", "earnings"}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cust.MustInsert(sqldata.NewInt(1), sqldata.NewText("Alice Smith"), sqldata.NewText("Berlin"), sqldata.NewFloat(70000))
+	cust.MustInsert(sqldata.NewInt(2), sqldata.NewText("Bob Jones"), sqldata.NewText("Munich"), sqldata.NewFloat(55000))
+	cust.MustInsert(sqldata.NewInt(3), sqldata.NewText("Carol King"), sqldata.NewText("Berlin"), sqldata.NewFloat(91000))
+	return db
+}
+
+func TestExactTableLookup(t *testing.T) {
+	ix := Build(demoDB(t), lexicon.New())
+	ms := ix.Lookup("customers", DefaultOptions()) // plural stems to customer
+	if len(ms) == 0 || ms[0].Kind != KindTable || ms[0].Table != "customer" {
+		t.Fatalf("Lookup(customers) = %+v", ms)
+	}
+	if ms[0].Score != 1.0 || ms[0].Via != "exact" {
+		t.Errorf("stem match should score 1.0: %+v", ms[0])
+	}
+}
+
+func TestColumnSynonymFromSchema(t *testing.T) {
+	ix := Build(demoDB(t), lexicon.New())
+	ms := ix.Lookup("salary", DefaultOptions())
+	foundCol := false
+	for _, m := range ms {
+		if m.Kind == KindColumn && m.Column == "annual_income" {
+			foundCol = true
+		}
+	}
+	if !foundCol {
+		t.Errorf("schema synonym salary→annual_income missing: %+v", ms)
+	}
+}
+
+func TestLexiconSynonymTier(t *testing.T) {
+	ix := Build(demoDB(t), lexicon.New())
+	// "wage" is a lexicon synonym of "salary", which is a schema synonym
+	// of annual_income.
+	ms := ix.Lookup("wage", DefaultOptions())
+	found := false
+	for _, m := range ms {
+		if m.Kind == KindColumn && m.Column == "annual_income" && m.Via == "synonym" {
+			found = true
+			if m.Score != 0.9 {
+				t.Errorf("synonym score = %v", m.Score)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("lexicon synonym tier missed: %+v", ms)
+	}
+	// Table synonym via lexicon: "client" declared on schema, "buyer" via lexicon.
+	ms = ix.Lookup("buyers", DefaultOptions())
+	found = false
+	for _, m := range ms {
+		if m.Kind == KindTable && m.Table == "customer" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("buyer→customer missed: %+v", ms)
+	}
+}
+
+func TestValueLookup(t *testing.T) {
+	ix := Build(demoDB(t), lexicon.New())
+	ms := ix.Lookup("Berlin", DefaultOptions())
+	if len(ms) == 0 || ms[0].Kind != KindValue || ms[0].Value != "Berlin" || ms[0].Column != "city" {
+		t.Fatalf("Lookup(Berlin) = %+v", ms)
+	}
+	ms = ix.Lookup("alice smith", DefaultOptions())
+	if len(ms) == 0 || ms[0].Value != "Alice Smith" {
+		t.Fatalf("multi-word value lookup = %+v", ms)
+	}
+}
+
+func TestFuzzyLookup(t *testing.T) {
+	ix := Build(demoDB(t), lexicon.New())
+	ms := ix.Lookup("Berln", DefaultOptions()) // typo
+	found := false
+	for _, m := range ms {
+		if m.Kind == KindValue && m.Value == "Berlin" && m.Via == "fuzzy" {
+			found = true
+			if m.Score >= 1.0 || m.Score < 0.5 {
+				t.Errorf("fuzzy score = %v", m.Score)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("fuzzy tier missed typo: %+v", ms)
+	}
+	// Fuzzy disabled.
+	ms = ix.Lookup("Berln", LookupOptions{})
+	for _, m := range ms {
+		if m.Via == "fuzzy" {
+			t.Errorf("fuzzy hit with fuzzy disabled: %+v", m)
+		}
+	}
+}
+
+func TestKindFilter(t *testing.T) {
+	ix := Build(demoDB(t), lexicon.New())
+	opts := DefaultOptions()
+	opts.KindFilter = []Kind{KindColumn}
+	for _, m := range ix.Lookup("city", opts) {
+		if m.Kind != KindColumn {
+			t.Errorf("filter leaked %v", m.Kind)
+		}
+	}
+}
+
+func TestNoMatch(t *testing.T) {
+	ix := Build(demoDB(t), lexicon.New())
+	if ms := ix.Lookup("zzzqqqxxx", DefaultOptions()); len(ms) != 0 {
+		t.Errorf("garbage matched: %+v", ms)
+	}
+	if ms := ix.Lookup("", DefaultOptions()); ms != nil {
+		t.Errorf("empty phrase matched: %+v", ms)
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	ix := Build(demoDB(t), lexicon.New())
+	a := ix.Lookup("name", DefaultOptions())
+	b := ix.Lookup("name", DefaultOptions())
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic result count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic order at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSizeAndDedup(t *testing.T) {
+	db := demoDB(t)
+	ix := Build(db, nil)
+	if ix.Size() == 0 {
+		t.Fatal("empty index")
+	}
+	// Berlin appears twice in data but must index once.
+	ms := ix.Lookup("berlin", LookupOptions{})
+	count := 0
+	for _, m := range ms {
+		if m.Kind == KindValue && m.Value == "Berlin" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("Berlin indexed %d times", count)
+	}
+}

@@ -1,0 +1,340 @@
+package ir
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nlidb/internal/ontology"
+	"nlidb/internal/schemagraph"
+	"nlidb/internal/sqldata"
+	"nlidb/internal/sqlexec"
+	"nlidb/internal/sqlparse"
+)
+
+// fixture builds db + auto-ontology + graph + compiler.
+func fixture(t testing.TB) (*sqldata.Database, *Compiler) {
+	t.Helper()
+	db := sqldata.NewDatabase("shop")
+	mk := func(s *sqldata.Schema) *sqldata.Table {
+		tbl, err := db.CreateTable(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl
+	}
+	dept := mk(&sqldata.Schema{Name: "department", Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "name", Type: sqldata.TypeText},
+		{Name: "budget", Type: sqldata.TypeFloat},
+	}})
+	emp := mk(&sqldata.Schema{Name: "employee", Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "name", Type: sqldata.TypeText},
+		{Name: "salary", Type: sqldata.TypeFloat},
+		{Name: "dept_id", Type: sqldata.TypeInt},
+	}, ForeignKeys: []sqldata.ForeignKey{{Column: "dept_id", RefTable: "department", RefColumn: "id"}}})
+
+	dept.MustInsert(sqldata.NewInt(1), sqldata.NewText("eng"), sqldata.NewFloat(900))
+	dept.MustInsert(sqldata.NewInt(2), sqldata.NewText("sales"), sqldata.NewFloat(400))
+	dept.MustInsert(sqldata.NewInt(3), sqldata.NewText("empty"), sqldata.NewFloat(100))
+	emp.MustInsert(sqldata.NewInt(1), sqldata.NewText("ann"), sqldata.NewFloat(120), sqldata.NewInt(1))
+	emp.MustInsert(sqldata.NewInt(2), sqldata.NewText("bob"), sqldata.NewFloat(80), sqldata.NewInt(1))
+	emp.MustInsert(sqldata.NewInt(3), sqldata.NewText("cyd"), sqldata.NewFloat(60), sqldata.NewInt(2))
+
+	ont := ontology.FromDatabase(db)
+	g := schemagraph.Build(db)
+	return db, &Compiler{Ont: ont, Graph: g}
+}
+
+func compileRun(t *testing.T, db *sqldata.Database, c *Compiler, q *Query) *sqldata.Result {
+	t.Helper()
+	stmt, err := c.Compile(q)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	// Generated SQL must re-parse (well-formedness invariant).
+	if _, err := sqlparse.Parse(stmt.String()); err != nil {
+		t.Fatalf("generated SQL unparseable: %s: %v", stmt, err)
+	}
+	res, err := sqlexec.New(db).Run(stmt)
+	if err != nil {
+		t.Fatalf("execute %s: %v", stmt, err)
+	}
+	return res
+}
+
+func TestSimpleSelection(t *testing.T) {
+	db, c := fixture(t)
+	q := NewQuery("employee")
+	q.Projections = []Projection{{Prop: &PropRef{"employee", "name"}}}
+	v := sqldata.NewFloat(100)
+	q.Conditions = []Condition{{Prop: PropRef{"employee", "salary"}, Op: ">", Operand: Operand{Value: &v}}}
+	res := compileRun(t, db, c, q)
+	if len(res.Rows) != 1 || res.Rows[0][0].Text() != "ann" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestAggregationGroupHaving(t *testing.T) {
+	db, c := fixture(t)
+	q := NewQuery("employee")
+	q.Projections = []Projection{
+		{Prop: &PropRef{"department", "name"}},
+		{Agg: AggAvg, Prop: &PropRef{"employee", "salary"}, Alias: "avg_sal"},
+	}
+	q.GroupBy = []PropRef{{"department", "name"}}
+	one := sqldata.NewInt(1)
+	q.Conditions = []Condition{{Agg: AggCount, Prop: PropRef{"employee", "id"}, Op: ">", Operand: Operand{Value: &one}}}
+	q.OrderBy = []OrderSpec{{Agg: AggAvg, Prop: &PropRef{"employee", "salary"}, Desc: true}}
+	res := compileRun(t, db, c, q)
+	if len(res.Rows) != 1 || res.Rows[0][0].Text() != "eng" || res.Rows[0][1].Float() != 100 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestJoinInference(t *testing.T) {
+	db, c := fixture(t)
+	q := NewQuery("employee")
+	q.Projections = []Projection{{Prop: &PropRef{"employee", "name"}}}
+	eng := sqldata.NewText("eng")
+	q.Conditions = []Condition{{Prop: PropRef{"department", "name"}, Op: "=", Operand: Operand{Value: &eng}}}
+	stmt, err := c.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stmt.String(), "JOIN") {
+		t.Fatalf("join not inferred: %s", stmt)
+	}
+	res := compileRun(t, db, c, q)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestCountStarAndLimit(t *testing.T) {
+	db, c := fixture(t)
+	q := NewQuery("employee")
+	q.Projections = []Projection{{Agg: AggCount, Star: true}}
+	res := compileRun(t, db, c, q)
+	if res.Rows[0][0].Int() != 3 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+
+	q2 := NewQuery("employee")
+	q2.Projections = []Projection{{Prop: &PropRef{"employee", "name"}}}
+	q2.OrderBy = []OrderSpec{{Prop: &PropRef{"employee", "salary"}, Desc: true}}
+	q2.Limit = 1
+	res = compileRun(t, db, c, q2)
+	if len(res.Rows) != 1 || res.Rows[0][0].Text() != "ann" {
+		t.Fatalf("top-1 = %v", res.Rows)
+	}
+}
+
+func TestScalarSubquery(t *testing.T) {
+	db, c := fixture(t)
+	// employees with salary > avg(salary)
+	sub := NewQuery("employee")
+	sub.Projections = []Projection{{Agg: AggAvg, Prop: &PropRef{"employee", "salary"}}}
+	q := NewQuery("employee")
+	q.Projections = []Projection{{Prop: &PropRef{"employee", "name"}}}
+	q.Conditions = []Condition{{Prop: PropRef{"employee", "salary"}, Op: ">", Operand: Operand{Sub: sub}}}
+	res := compileRun(t, db, c, q)
+	if len(res.Rows) != 1 || res.Rows[0][0].Text() != "ann" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestInSubquery(t *testing.T) {
+	db, c := fixture(t)
+	// departments whose id is in (dept_id of employees with salary > 100)
+	// modelled at concept level via property reference.
+	sub := NewQuery("employee")
+	sub.Projections = []Projection{{Prop: &PropRef{"employee", "id"}}}
+	hundred := sqldata.NewFloat(100)
+	sub.Conditions = []Condition{{Prop: PropRef{"employee", "salary"}, Op: ">", Operand: Operand{Value: &hundred}}}
+	q := NewQuery("employee")
+	q.Projections = []Projection{{Prop: &PropRef{"employee", "name"}}}
+	q.Conditions = []Condition{{Prop: PropRef{"employee", "id"}, Op: "in", Operand: Operand{Sub: sub}}}
+	res := compileRun(t, db, c, q)
+	if len(res.Rows) != 1 || res.Rows[0][0].Text() != "ann" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestInValues(t *testing.T) {
+	db, c := fixture(t)
+	q := NewQuery("employee")
+	q.Projections = []Projection{{Prop: &PropRef{"employee", "name"}}}
+	q.Conditions = []Condition{{
+		Prop: PropRef{"employee", "name"}, Op: "in",
+		InValues: []sqldata.Value{sqldata.NewText("ann"), sqldata.NewText("cyd")},
+	}}
+	res := compileRun(t, db, c, q)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestExistsNested(t *testing.T) {
+	db, c := fixture(t)
+	// departments without employees → NOT EXISTS
+	q := NewQuery("department")
+	q.Projections = []Projection{{Prop: &PropRef{"department", "name"}}}
+	q.Exists = []ExistsCond{{Concept: "employee", Not: true}}
+	res := compileRun(t, db, c, q)
+	if len(res.Rows) != 1 || res.Rows[0][0].Text() != "empty" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// departments WITH at least one employee earning > 100
+	hundred := sqldata.NewFloat(100)
+	q2 := NewQuery("department")
+	q2.Projections = []Projection{{Prop: &PropRef{"department", "name"}}}
+	q2.Exists = []ExistsCond{{
+		Concept: "employee",
+		Conditions: []Condition{
+			{Prop: PropRef{"employee", "salary"}, Op: ">", Operand: Operand{Value: &hundred}},
+		},
+	}}
+	res = compileRun(t, db, c, q2)
+	if len(res.Rows) != 1 || res.Rows[0][0].Text() != "eng" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestBetweenAndLike(t *testing.T) {
+	db, c := fixture(t)
+	lo, hi := sqldata.NewFloat(70), sqldata.NewFloat(130)
+	q := NewQuery("employee")
+	q.Projections = []Projection{{Prop: &PropRef{"employee", "name"}}}
+	q.Conditions = []Condition{{Prop: PropRef{"employee", "salary"}, Op: "between", Operand: Operand{Value: &lo}, Hi: &Operand{Value: &hi}}}
+	res := compileRun(t, db, c, q)
+	if len(res.Rows) != 2 {
+		t.Fatalf("between rows = %v", res.Rows)
+	}
+	pat := sqldata.NewText("a%")
+	q2 := NewQuery("employee")
+	q2.Projections = []Projection{{Prop: &PropRef{"employee", "name"}}}
+	q2.Conditions = []Condition{{Prop: PropRef{"employee", "name"}, Op: "like", Operand: Operand{Value: &pat}}}
+	res = compileRun(t, db, c, q2)
+	if len(res.Rows) != 1 {
+		t.Fatalf("like rows = %v", res.Rows)
+	}
+}
+
+func TestImplicitGroupBy(t *testing.T) {
+	db, c := fixture(t)
+	// Plain property + aggregate without explicit GROUP BY → inferred.
+	q := NewQuery("employee")
+	q.Projections = []Projection{
+		{Prop: &PropRef{"department", "name"}},
+		{Agg: AggCount, Prop: &PropRef{"employee", "id"}},
+	}
+	stmt, err := c.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.GroupBy) != 1 {
+		t.Fatalf("implicit group by missing: %s", stmt)
+	}
+	res := compileRun(t, db, c, q)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+// Property: randomly assembled well-typed IR queries always compile to
+// SQL that re-parses and executes.
+func TestPropertyCompiledSQLWellFormed(t *testing.T) {
+	db, c := fixture(t)
+	eng := sqlexec.New(db)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := NewQuery("employee")
+		props := []PropRef{
+			{"employee", "name"}, {"employee", "salary"},
+			{"department", "name"}, {"department", "budget"},
+		}
+		numeric := []PropRef{{"employee", "salary"}, {"department", "budget"}}
+
+		// Projection: property, aggregate, or COUNT(*).
+		switch r.Intn(3) {
+		case 0:
+			p := props[r.Intn(len(props))]
+			q.Projections = []Projection{{Prop: &p}}
+		case 1:
+			p := numeric[r.Intn(len(numeric))]
+			aggs := []Agg{AggSum, AggAvg, AggMin, AggMax}
+			q.Projections = []Projection{{Agg: aggs[r.Intn(len(aggs))], Prop: &p}}
+		default:
+			q.Projections = []Projection{{Agg: AggCount, Star: true}}
+		}
+
+		// 0-2 conditions.
+		for i := 0; i < r.Intn(3); i++ {
+			p := numeric[r.Intn(len(numeric))]
+			ops := []string{"=", ">", "<", ">=", "<="}
+			v := sqldata.NewFloat(float64(r.Intn(1000)))
+			q.Conditions = append(q.Conditions, Condition{
+				Prop: p, Op: ops[r.Intn(len(ops))], Operand: Operand{Value: &v},
+			})
+		}
+		// Optional nested scalar condition.
+		if r.Intn(3) == 0 {
+			p := numeric[r.Intn(len(numeric))]
+			sub := NewQuery(p.Concept)
+			sub.Projections = []Projection{{Agg: AggAvg, Prop: &p}}
+			q.Conditions = append(q.Conditions, Condition{
+				Prop: p, Op: ">", Operand: Operand{Sub: sub},
+			})
+		}
+		// Optional order/limit when the projection is plain.
+		if q.Projections[0].Agg == AggNone && r.Intn(2) == 0 {
+			p := numeric[r.Intn(len(numeric))]
+			q.OrderBy = []OrderSpec{{Prop: &p, Desc: r.Intn(2) == 0}}
+			q.Limit = r.Intn(5) + 1
+		}
+
+		stmt, err := c.Compile(q)
+		if err != nil {
+			t.Logf("seed %d: compile: %v", seed, err)
+			return false
+		}
+		if _, err := sqlparse.Parse(stmt.String()); err != nil {
+			t.Logf("seed %d: reparse: %s: %v", seed, stmt, err)
+			return false
+		}
+		if _, err := eng.Run(stmt); err != nil {
+			t.Logf("seed %d: execute: %s: %v", seed, stmt, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	_, c := fixture(t)
+	if _, err := c.Compile(NewQuery("employee")); err == nil {
+		t.Error("no projections accepted")
+	}
+	q := NewQuery("ghost")
+	q.Projections = []Projection{{Prop: &PropRef{"ghost", "x"}}}
+	if _, err := c.Compile(q); err == nil {
+		t.Error("unknown concept accepted")
+	}
+	q2 := NewQuery("employee")
+	q2.Projections = []Projection{{Prop: &PropRef{"employee", "ghostprop"}}}
+	if _, err := c.Compile(q2); err == nil {
+		t.Error("unknown property accepted")
+	}
+	q3 := NewQuery("employee")
+	q3.Projections = []Projection{{Prop: &PropRef{"employee", "name"}}}
+	q3.Conditions = []Condition{{Prop: PropRef{"employee", "salary"}, Op: "???", Operand: Operand{}}}
+	if _, err := c.Compile(q3); err == nil {
+		t.Error("bad operator accepted")
+	}
+}

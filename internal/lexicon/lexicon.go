@@ -1,0 +1,234 @@
+// Package lexicon provides a WordNet-lite lexical knowledge base: synonym
+// sets, hypernym/hyponym links, and a Wu–Palmer-flavoured word similarity.
+// It substitutes for WordNet in the NaLIR-style similarity function and
+// supplies the domain-synonym and relaxation machinery that ATHENA-style
+// ontology-driven interpretation and the medical-KB query-relaxation work
+// (Lei et al. 2020) rely on.
+package lexicon
+
+import (
+	"sort"
+	"strings"
+
+	"nlidb/internal/nlp"
+)
+
+// Lexicon is a mutable lexical KB. The zero value is not usable; call New.
+type Lexicon struct {
+	// synset maps a normalized word to its synonym-set id.
+	synset map[string]int
+	// sets holds the members of each synonym set.
+	sets [][]string
+	// hyper maps a word to its hypernyms ("ancestor" terms).
+	hyper map[string][]string
+	// hypo is the inverse of hyper.
+	hypo map[string][]string
+}
+
+// New returns a lexicon preloaded with general business-query vocabulary
+// (the kind of domain-independent synonymy every surveyed system ships).
+func New() *Lexicon {
+	l := Empty()
+	for _, group := range builtinSynonyms {
+		l.AddSynonyms(group...)
+	}
+	for w, h := range builtinHypernyms {
+		l.AddHypernym(w, h)
+	}
+	return l
+}
+
+// Empty returns a lexicon with no entries (useful for tests and for fully
+// domain-specific vocabularies).
+func Empty() *Lexicon {
+	return &Lexicon{
+		synset: make(map[string]int),
+		hyper:  make(map[string][]string),
+		hypo:   make(map[string][]string),
+	}
+}
+
+func norm(w string) string { return nlp.Stem(strings.ToLower(strings.TrimSpace(w))) }
+
+// AddSynonyms declares all given words mutually synonymous, merging any
+// synonym sets they already belong to.
+func (l *Lexicon) AddSynonyms(words ...string) {
+	if len(words) == 0 {
+		return
+	}
+	target := -1
+	for _, w := range words {
+		if id, ok := l.synset[norm(w)]; ok {
+			target = id
+			break
+		}
+	}
+	if target < 0 {
+		target = len(l.sets)
+		l.sets = append(l.sets, nil)
+	}
+	for _, w := range words {
+		n := norm(w)
+		if id, ok := l.synset[n]; ok && id != target {
+			// Merge set id into target.
+			for _, m := range l.sets[id] {
+				l.synset[m] = target
+				l.sets[target] = append(l.sets[target], m)
+			}
+			l.sets[id] = nil
+			continue
+		}
+		if _, ok := l.synset[n]; !ok {
+			l.synset[n] = target
+			l.sets[target] = append(l.sets[target], n)
+		}
+	}
+}
+
+// AddHypernym declares hypernym as a broader term for word
+// ("hypertension" IS-A "disease").
+func (l *Lexicon) AddHypernym(word, hypernym string) {
+	w, h := norm(word), norm(hypernym)
+	l.hyper[w] = appendUnique(l.hyper[w], h)
+	l.hypo[h] = appendUnique(l.hypo[h], w)
+}
+
+func appendUnique(s []string, v string) []string {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// Synonyms returns the normalized synonym set of w, always including
+// norm(w) itself, sorted.
+func (l *Lexicon) Synonyms(w string) []string {
+	n := norm(w)
+	out := []string{n}
+	if id, ok := l.synset[n]; ok {
+		for _, m := range l.sets[id] {
+			if m != n {
+				out = append(out, m)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsSynonym reports whether a and b share a synonym set (or stem-match).
+func (l *Lexicon) IsSynonym(a, b string) bool {
+	na, nb := norm(a), norm(b)
+	if na == nb {
+		return true
+	}
+	ia, oka := l.synset[na]
+	ib, okb := l.synset[nb]
+	return oka && okb && ia == ib
+}
+
+// Hypernyms returns the declared broader terms of w (normalized).
+func (l *Lexicon) Hypernyms(w string) []string { return l.hyper[norm(w)] }
+
+// Hyponyms returns the declared narrower terms of w (normalized).
+func (l *Lexicon) Hyponyms(w string) []string { return l.hypo[norm(w)] }
+
+// Related returns synonyms plus one-hop hypernyms and hyponyms — the
+// expansion set used by query relaxation.
+func (l *Lexicon) Related(w string) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(x string) {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	for _, s := range l.Synonyms(w) {
+		add(s)
+	}
+	for _, h := range l.Hypernyms(w) {
+		add(h)
+	}
+	for _, h := range l.Hyponyms(w) {
+		add(h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Similarity returns a [0,1] lexical similarity: 1 for synonyms/equal
+// stems, 0.8 for direct hypernym/hyponym pairs, 0.6 for synset siblings
+// through a shared hypernym, otherwise the string similarity of the stems
+// (Wu–Palmer in spirit, with the taxonomy depth capped at one hop).
+func (l *Lexicon) Similarity(a, b string) float64 {
+	na, nb := norm(a), norm(b)
+	if l.IsSynonym(na, nb) {
+		return 1
+	}
+	if contains(l.hyper[na], nb) || contains(l.hyper[nb], na) {
+		return 0.8
+	}
+	for _, ha := range l.hyper[na] {
+		if contains(l.hyper[nb], ha) {
+			return 0.6
+		}
+	}
+	return nlp.Similarity(na, nb)
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// builtinSynonyms is the domain-independent business vocabulary.
+var builtinSynonyms = [][]string{
+	{"salary", "pay", "wage", "earnings", "income", "compensation"},
+	{"employee", "worker", "staff", "personnel"},
+	{"customer", "client", "buyer", "shopper"},
+	{"company", "firm", "business", "corporation"},
+	{"department", "division", "unit"},
+	{"price", "cost", "rate"},
+	{"revenue", "sales", "turnover"},
+	{"profit", "margin", "gain"},
+	{"product", "item", "good", "merchandise"},
+	{"quantity", "amount", "count", "number"},
+	{"city", "town"},
+	{"country", "nation"},
+	{"date", "day", "time"},
+	{"year", "annual"},
+	{"big", "large", "huge"},
+	{"small", "little", "tiny"},
+	{"cheap", "inexpensive", "affordable"},
+	{"expensive", "costly", "pricey"},
+	{"movie", "film"},
+	{"doctor", "physician"},
+	{"drug", "medication", "medicine"},
+	{"disease", "illness", "condition", "disorder"},
+	{"manager", "supervisor", "boss"},
+	{"budget", "funding", "allocation"},
+	{"teacher", "instructor", "professor"},
+	{"student", "pupil"},
+	{"order", "purchase"},
+	{"flight", "trip"},
+	{"plane", "aircraft", "airplane"},
+	{"hospital", "clinic"},
+}
+
+// builtinHypernyms adds a thin taxonomy layer used by relaxation tests.
+var builtinHypernyms = map[string]string{
+	"manager":  "employee",
+	"engineer": "employee",
+	"nurse":    "employee",
+	"aspirin":  "drug",
+	"car":      "vehicle",
+	"truck":    "vehicle",
+	"sedan":    "car",
+}

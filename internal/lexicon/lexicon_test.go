@@ -1,0 +1,118 @@
+package lexicon
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSynonymsBuiltin(t *testing.T) {
+	l := New()
+	if !l.IsSynonym("salary", "pay") {
+		t.Error("salary/pay not synonyms")
+	}
+	if !l.IsSynonym("earnings", "wage") {
+		t.Error("earnings/wage not synonyms (transitivity through set)")
+	}
+	if l.IsSynonym("salary", "customer") {
+		t.Error("salary/customer wrongly synonyms")
+	}
+	// Plural and case handled by normalization.
+	if !l.IsSynonym("Salaries", "PAY") {
+		t.Error("normalization failed")
+	}
+}
+
+func TestSynonymsIncludeSelf(t *testing.T) {
+	l := New()
+	syns := l.Synonyms("unknownword")
+	if len(syns) != 1 || syns[0] != "unknownword" {
+		t.Errorf("Synonyms(unknown) = %v", syns)
+	}
+	syns = l.Synonyms("client")
+	found := false
+	for _, s := range syns {
+		if s == "customer" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("customer not in Synonyms(client): %v", syns)
+	}
+}
+
+func TestAddSynonymsMergesSets(t *testing.T) {
+	l := Empty()
+	l.AddSynonyms("a", "b")
+	l.AddSynonyms("c", "d")
+	l.AddSynonyms("b", "c") // merges both sets
+	if !l.IsSynonym("a", "d") {
+		t.Error("merge failed: a/d")
+	}
+}
+
+func TestHypernyms(t *testing.T) {
+	l := New()
+	hs := l.Hypernyms("manager")
+	if len(hs) != 1 || hs[0] != "employee" {
+		t.Errorf("Hypernyms(manager) = %v", hs)
+	}
+	hypo := l.Hyponyms("employee")
+	if len(hypo) < 2 {
+		t.Errorf("Hyponyms(employee) = %v", hypo)
+	}
+}
+
+func TestRelated(t *testing.T) {
+	l := New()
+	rel := l.Related("manager")
+	want := map[string]bool{"manager": false, "employee": false, "boss": false}
+	for _, r := range rel {
+		if _, ok := want[r]; ok {
+			want[r] = true
+		}
+	}
+	for w, seen := range want {
+		if !seen {
+			t.Errorf("Related(manager) missing %q: %v", w, rel)
+		}
+	}
+}
+
+func TestSimilarityTiers(t *testing.T) {
+	l := New()
+	if s := l.Similarity("salary", "wage"); s != 1 {
+		t.Errorf("synonym similarity = %v", s)
+	}
+	if s := l.Similarity("manager", "employee"); s != 0.8 {
+		t.Errorf("hypernym similarity = %v", s)
+	}
+	if s := l.Similarity("manager", "engineer"); s != 0.6 {
+		t.Errorf("sibling similarity = %v", s)
+	}
+	if s := l.Similarity("salary", "salaries"); s != 1 {
+		t.Errorf("stem match = %v", s)
+	}
+	if s := l.Similarity("budget", "flavor"); s >= 0.6 {
+		t.Errorf("unrelated = %v", s)
+	}
+}
+
+// Property: IsSynonym is symmetric and reflexive; Similarity is symmetric.
+func TestPropertySymmetry(t *testing.T) {
+	l := New()
+	vocab := []string{"salary", "pay", "manager", "employee", "car", "truck", "random", "wage", "client"}
+	f := func(ai, bi uint8) bool {
+		a := vocab[int(ai)%len(vocab)]
+		b := vocab[int(bi)%len(vocab)]
+		if l.IsSynonym(a, b) != l.IsSynonym(b, a) {
+			return false
+		}
+		if !l.IsSynonym(a, a) {
+			return false
+		}
+		return l.Similarity(a, b) == l.Similarity(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

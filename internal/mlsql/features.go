@@ -1,0 +1,270 @@
+// Package mlsql implements a learned, SQLNet-style sketch semantic parser
+// for single-table questions: separate neural classifiers fill the slots
+// of a SQL sketch (aggregate, select column, condition count, condition
+// columns, operators, ordering), with deterministic pointer-style value
+// extraction. Schema-agnostic (question, column) interaction features give
+// the cross-domain transfer that SQLNet/TypeSQL exhibit; a TypeSQL-style
+// typed-feature channel and a Seq2SQL-style order-sensitive condition
+// decoder are available as ablation switches. Its ceiling is single-table
+// queries — exactly the class the tutorial assigns the ML family.
+package mlsql
+
+import (
+	"hash/fnv"
+	"math"
+	"strings"
+
+	"nlidb/internal/nlp"
+	"nlidb/internal/sqldata"
+)
+
+// Feature dimensions. Question features are hashed n-grams plus a typed
+// channel (zeroed when TypeFeatures is off, keeping dimensions stable).
+const (
+	qDim  = 192
+	tDim  = 48
+	QFDim = qDim + tDim + 4 // + global counters
+	CFDim = 15
+)
+
+func hashTo(s string, dim int) int {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return int(h.Sum32()) % dim
+}
+
+// tableVocab caches per-table lookup structures for feature extraction.
+type tableVocab struct {
+	schema *sqldata.Schema
+	// colWords maps each column to its stemmed name+synonym words.
+	colWords map[string]map[string]bool
+	// values maps stemmed data-value tokens to the columns containing them.
+	values map[string]map[string]bool
+	// distinct holds each text column's distinct values.
+	distinct map[string][]string
+}
+
+func newTableVocab(t *sqldata.Table) *tableVocab {
+	v := &tableVocab{
+		schema:   t.Schema,
+		colWords: map[string]map[string]bool{},
+		values:   map[string]map[string]bool{},
+		distinct: map[string][]string{},
+	}
+	for _, c := range t.Schema.Columns {
+		words := map[string]bool{}
+		for _, w := range strings.Fields(nlp.NormalizeIdent(c.Name)) {
+			words[nlp.Stem(w)] = true
+		}
+		for _, syn := range c.Synonyms {
+			for _, w := range strings.Fields(strings.ToLower(syn)) {
+				words[nlp.Stem(w)] = true
+			}
+		}
+		v.colWords[strings.ToLower(c.Name)] = words
+		if c.Type == sqldata.TypeText {
+			vals, err := t.DistinctText(c.Name)
+			if err == nil {
+				v.distinct[strings.ToLower(c.Name)] = vals
+				for _, val := range vals {
+					for _, w := range strings.Fields(strings.ToLower(val)) {
+						st := nlp.Stem(w)
+						if v.values[st] == nil {
+							v.values[st] = map[string]bool{}
+						}
+						v.values[st][strings.ToLower(c.Name)] = true
+					}
+				}
+			}
+		}
+	}
+	return v
+}
+
+// questionFeatures builds the question-level feature vector: hashed stem
+// uni/bigrams, an optional typed channel (tokens normalized to <col>,
+// <val>, <num> markers — the TypeSQL idea), and global counters.
+func questionFeatures(toks []nlp.Token, voc *tableVocab, typed bool) []float64 {
+	f := make([]float64, QFDim)
+	var prev string
+	for _, t := range toks {
+		if t.Kind == nlp.KindPunct {
+			continue
+		}
+		f[hashTo("u:"+t.Stem, qDim)]++
+		if prev != "" {
+			f[hashTo("b:"+prev+"_"+t.Stem, qDim)]++
+		}
+		prev = t.Stem
+	}
+	if typed {
+		var tprev string
+		for _, t := range toks {
+			if t.Kind == nlp.KindPunct {
+				continue
+			}
+			tt := typedToken(t, voc)
+			f[qDim+hashTo("tu:"+tt, tDim)]++
+			if tprev != "" {
+				f[qDim+hashTo("tb:"+tprev+"_"+tt, tDim)]++
+			}
+			tprev = tt
+		}
+	}
+	// Global counters: numbers, quoted, value hits, length bucket.
+	nums, quoted, vals := 0, 0, 0
+	for _, t := range toks {
+		switch {
+		case t.Kind == nlp.KindNumber:
+			nums++
+		case t.Kind == nlp.KindQuoted:
+			quoted++
+		}
+		if voc != nil && voc.values[t.Stem] != nil {
+			vals++
+		}
+	}
+	base := qDim + tDim
+	f[base] = float64(nums)
+	f[base+1] = float64(quoted)
+	f[base+2] = float64(vals)
+	f[base+3] = float64(len(toks)) / 10.0
+	l2normalize(f)
+	return f
+}
+
+// typedToken maps a token to its TypeSQL-style type marker.
+func typedToken(t nlp.Token, voc *tableVocab) string {
+	if t.Kind == nlp.KindNumber {
+		return "<num>"
+	}
+	if voc != nil {
+		if voc.values[t.Stem] != nil {
+			return "<val>"
+		}
+		for _, words := range voc.colWords {
+			if words[t.Stem] {
+				return "<col>"
+			}
+		}
+	}
+	return t.Stem
+}
+
+// columnFeatures builds the (question, column) interaction vector — the
+// schema-agnostic channel that lets the model transfer across domains.
+func columnFeatures(toks []nlp.Token, voc *tableVocab, col sqldata.Column) []float64 {
+	f := make([]float64, CFDim)
+	lc := strings.ToLower(col.Name)
+	words := voc.colWords[lc]
+
+	matched := 0
+	firstPos := -1
+	maxSim := 0.0
+	for _, t := range toks {
+		if t.Kind == nlp.KindPunct || t.IsStop() {
+			continue
+		}
+		if words[t.Stem] {
+			matched++
+			if firstPos < 0 {
+				firstPos = t.Pos
+			}
+		}
+		for w := range words {
+			if s := nlp.Similarity(t.Stem, w); s > maxSim {
+				maxSim = s
+			}
+		}
+	}
+	if len(words) > 0 {
+		f[0] = float64(matched) / float64(len(words)) // coverage of col words
+	}
+	if matched > 0 {
+		f[1] = 1
+	}
+	f[2] = maxSim
+	if firstPos >= 0 && len(toks) > 0 {
+		f[3] = float64(firstPos) / float64(len(toks))
+	}
+	// Type one-hots.
+	switch col.Type {
+	case sqldata.TypeInt:
+		f[4] = 1
+	case sqldata.TypeFloat:
+		f[5] = 1
+	case sqldata.TypeText:
+		f[6] = 1
+	case sqldata.TypeBool:
+		f[7] = 1
+	case sqldata.TypeDate:
+		f[8] = 1
+	}
+	// A data value of this column appears in the question.
+	for _, t := range toks {
+		if cols := voc.values[t.Stem]; cols != nil && cols[lc] {
+			f[9] = 1
+			break
+		}
+	}
+	// A number appears and this column is numeric.
+	for _, t := range toks {
+		if t.Kind == nlp.KindNumber && col.Type.Numeric() {
+			f[10] = 1
+			break
+		}
+	}
+	// A comparative phrase appears near the column mention.
+	if firstPos >= 0 {
+		for _, t := range toks {
+			if t.POS == nlp.POSComparative && abs(t.Pos-firstPos) <= 3 {
+				f[11] = 1
+				break
+			}
+		}
+	}
+	// Primary key flag (rarely selected or filtered in NL).
+	if col.PrimaryKey {
+		f[12] = 1
+	}
+	// Column mentioned before any number token (select-ish position).
+	if firstPos >= 0 {
+		f[13] = 1
+		for _, t := range toks {
+			if t.Kind == nlp.KindNumber && t.Pos < firstPos {
+				f[13] = 0
+				break
+			}
+		}
+	}
+	f[14] = 1 // bias
+	return f
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func l2normalize(f []float64) {
+	var s float64
+	for _, v := range f {
+		s += v * v
+	}
+	if s == 0 {
+		return
+	}
+	inv := 1 / math.Sqrt(s)
+	for i := range f {
+		f[i] *= inv
+	}
+}
+
+func concat(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}

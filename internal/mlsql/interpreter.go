@@ -1,0 +1,99 @@
+package mlsql
+
+import (
+	"fmt"
+	"strings"
+
+	"nlidb/internal/nlp"
+	"nlidb/internal/nlq"
+	"nlidb/internal/sqldata"
+)
+
+// Interpreter adapts a trained Model to the common nlq.Interpreter
+// interface over one database. For multi-table databases it routes the
+// question to the best-overlapping table — but always emits a
+// single-table query, the ML family's ceiling.
+type Interpreter struct {
+	db    *sqldata.Database
+	model *Model
+	// FixedTable, when set, pins all questions to one table
+	// (WikiSQL-style evaluation).
+	FixedTable string
+}
+
+// NewInterpreter wraps a trained model for a database.
+func NewInterpreter(db *sqldata.Database, model *Model) *Interpreter {
+	return &Interpreter{db: db, model: model}
+}
+
+// Name implements nlq.Interpreter.
+func (i *Interpreter) Name() string {
+	if i.model.Cfg.Ordered {
+		return "mlsql-ordered"
+	}
+	return "mlsql"
+}
+
+// Interpret routes the question to a table and fills the sketch.
+func (i *Interpreter) Interpret(question string) ([]nlq.Interpretation, error) {
+	tbl := i.pickTable(question)
+	if tbl == nil {
+		return nil, fmt.Errorf("%w: no table matches the question", nlq.ErrNoInterpretation)
+	}
+	stmt, conf, err := i.model.ParseScored(question, tbl)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", nlq.ErrNoInterpretation, err)
+	}
+	return []nlq.Interpretation{{
+		SQL:         stmt,
+		Score:       conf,
+		Explanation: fmt.Sprintf("sketch decoding over table %s (confidence %.2f)", tbl.Schema.Name, conf),
+	}}, nil
+}
+
+// pickTable scores tables by stemmed-token overlap with the table name,
+// column names, synonyms, and data values.
+func (i *Interpreter) pickTable(question string) *sqldata.Table {
+	if i.FixedTable != "" {
+		return i.db.Table(i.FixedTable)
+	}
+	toks := nlp.Tokenize(question)
+	qstems := map[string]bool{}
+	for _, t := range toks {
+		if t.Kind == nlp.KindWord && !t.IsStop() {
+			qstems[t.Stem] = true
+		}
+	}
+	var best *sqldata.Table
+	bestScore := 0
+	for _, t := range i.db.Tables() {
+		voc := newTableVocab(t)
+		score := 0
+		for _, w := range strings.Fields(nlp.NormalizeIdent(t.Schema.Name)) {
+			if qstems[nlp.Stem(w)] {
+				score += 3 // table-name mention dominates
+			}
+		}
+		for _, syn := range t.Schema.Synonyms {
+			if qstems[nlp.Stem(strings.ToLower(syn))] {
+				score += 3
+			}
+		}
+		for _, words := range voc.colWords {
+			for w := range words {
+				if qstems[w] {
+					score++
+				}
+			}
+		}
+		for st := range voc.values {
+			if qstems[st] {
+				score += 2
+			}
+		}
+		if score > bestScore {
+			best, bestScore = t, score
+		}
+	}
+	return best
+}

@@ -1,0 +1,240 @@
+package mlsql
+
+import (
+	"encoding/json"
+	"testing"
+
+	"nlidb/internal/benchdata"
+	"nlidb/internal/dataset"
+	"nlidb/internal/lexicon"
+	"nlidb/internal/nlp"
+	"nlidb/internal/sqldata"
+	"nlidb/internal/sqlexec"
+	"nlidb/internal/sqlparse"
+	"nlidb/internal/synth"
+)
+
+func TestExtractSlots(t *testing.T) {
+	cases := []struct {
+		sql    string
+		agg    int
+		sel    string
+		nConds int
+		order  int
+	}{
+		{"SELECT name FROM customer WHERE city = 'Berlin'", 0, "name", 1, 0},
+		{"SELECT COUNT(*) FROM customer", aggIndex("COUNT"), "", 0, 0},
+		{"SELECT AVG(credit) FROM customer WHERE segment = 'retail'", aggIndex("AVG"), "credit", 1, 0},
+		{"SELECT name FROM customer WHERE credit > 100 AND city = 'Berlin'", 0, "name", 2, 0},
+		{"SELECT name FROM customer ORDER BY credit DESC LIMIT 3", 0, "name", 0, 1},
+	}
+	for _, c := range cases {
+		sl, err := extractSlots(sqlparse.MustParse(c.sql))
+		if err != nil {
+			t.Fatalf("extractSlots(%q): %v", c.sql, err)
+		}
+		if sl.agg != c.agg || sl.selCol != c.sel || len(sl.conds) != c.nConds || sl.order != c.order {
+			t.Errorf("%q → %+v", c.sql, sl)
+		}
+	}
+}
+
+func TestExtractSlotsRejectsBeyondSketch(t *testing.T) {
+	bad := []string{
+		"SELECT a.name FROM a JOIN b ON a.id = b.aid",
+		"SELECT name FROM t WHERE x > (SELECT AVG(x) FROM t)",
+		"SELECT city, COUNT(*) FROM t GROUP BY city",
+		"SELECT name FROM t WHERE a = 1 OR b = 2",
+		"SELECT name, city FROM t",
+		"SELECT name FROM t WHERE a = 1 AND b = 2 AND c = 3",
+	}
+	for _, sql := range bad {
+		if _, err := extractSlots(sqlparse.MustParse(sql)); err == nil {
+			t.Errorf("%q accepted by sketch", sql)
+		}
+	}
+}
+
+func TestSlotsRoundTrip(t *testing.T) {
+	sql := "SELECT AVG(credit) FROM customer WHERE city = 'Berlin' AND credit > 100"
+	sl, err := extractSlots(sqlparse.MustParse(sql))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sl.toSQL("customer")
+	if !sqlparse.EqualCanonical(out, sqlparse.MustParse(sql)) {
+		t.Errorf("round trip: %s vs %s", out, sql)
+	}
+}
+
+// trainModel trains a small model on the sales domain for tests.
+func trainModel(t testing.TB, cfg Config) (*Model, *benchdata.Domain) {
+	t.Helper()
+	d := benchdata.Sales(100)
+	train := synth.TrainingSet(d, 400, 0, lexicon.New(), 200)
+	m, skipped, err := Train([]*dataset.Set{train}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped > len(train.Pairs)/2 {
+		t.Fatalf("too many skipped: %d/%d", skipped, len(train.Pairs))
+	}
+	return m, d
+}
+
+func TestTrainAndParseAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 25
+	m, d := trainModel(t, cfg)
+
+	// Evaluate on a held-out slice of the same distribution.
+	test := benchdata.WikiSQLStyle(d, 80, 999)
+	tbl := d.DB.Table(d.Main)
+	eng := sqlexec.New(d.DB)
+	correct := 0
+	for _, p := range test.Pairs {
+		stmt, err := m.Parse(p.Question, tbl)
+		if err != nil {
+			continue
+		}
+		pred, err := eng.Run(stmt)
+		if err != nil {
+			continue
+		}
+		gold, err := eng.Run(p.SQL)
+		if err != nil {
+			t.Fatalf("gold fails: %v", err)
+		}
+		if pred.EqualUnordered(gold) {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(test.Pairs))
+	t.Logf("in-domain execution accuracy = %.2f (%d/%d)", acc, correct, len(test.Pairs))
+	if acc < 0.5 {
+		t.Errorf("model failed to learn: accuracy %.2f", acc)
+	}
+}
+
+func TestValueExtraction(t *testing.T) {
+	d := benchdata.Sales(100)
+	tbl := d.DB.Table("customer")
+	voc := newTableVocab(tbl)
+	toks := tagged("customers in Berlin with credit over 5000")
+	col := *tbl.Schema.Column("city")
+	v, ok := extractValue(toks, voc, col, 0, map[int]bool{}, map[string]bool{})
+	if !ok || v.Text() != "Berlin" {
+		t.Fatalf("city value = %v %v", v, ok)
+	}
+	ncol := *tbl.Schema.Column("credit")
+	nv, ok := extractValue(toks, voc, ncol, 1, map[int]bool{}, map[string]bool{})
+	if !ok || nv.Float() != 5000 {
+		t.Fatalf("credit value = %v %v", nv, ok)
+	}
+}
+
+func TestLimitNumberNotConsumedAsValue(t *testing.T) {
+	d := benchdata.Sales(100)
+	tbl := d.DB.Table("customer")
+	voc := newTableVocab(tbl)
+	toks := tagged("top 3 customers by credit")
+	ncol := *tbl.Schema.Column("credit")
+	if _, ok := extractValue(toks, voc, ncol, 1, map[int]bool{}, map[string]bool{}); ok {
+		t.Fatal("limit number consumed as condition value")
+	}
+	if extractLimit(toks) != 3 {
+		t.Fatal("limit not extracted")
+	}
+}
+
+func TestInterpreterSingleTableCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 10
+	m, d := trainModel(t, cfg)
+	in := NewInterpreter(d.DB, m)
+	ins, err := in.Interpret("customers of the category toys") // needs a join
+	if err != nil {
+		return // refusing is fine
+	}
+	for _, i := range ins {
+		if len(i.SQL.From.Joins) != 0 || len(i.SQL.Subqueries()) != 0 {
+			t.Fatalf("ML family exceeded single-table ceiling: %s", i.SQL)
+		}
+	}
+}
+
+func TestInterpreterRoutesTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 10
+	m, d := trainModel(t, cfg)
+	in := NewInterpreter(d.DB, m)
+	ins, err := in.Interpret("products with price over 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins[0].SQL.From.First.Name != "product" {
+		t.Fatalf("routed to %s", ins[0].SQL.From.First.Name)
+	}
+	if in.Name() != "mlsql" {
+		t.Errorf("name = %s", in.Name())
+	}
+}
+
+func TestModelSerialization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 5
+	m, d := trainModel(t, cfg)
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m2 Model
+	if err := json.Unmarshal(data, &m2); err != nil {
+		t.Fatal(err)
+	}
+	tbl := d.DB.Table(d.Main)
+	q := "customers with credit over 1000"
+	s1, err1 := m.Parse(q, tbl)
+	s2, err2 := m2.Parse(q, tbl)
+	if err1 != nil || err2 != nil || s1.String() != s2.String() {
+		t.Fatalf("serialization changed behaviour: %v %v %v %v", s1, err1, s2, err2)
+	}
+}
+
+func TestTrainErrorsOnEmpty(t *testing.T) {
+	_, _, err := Train([]*dataset.Set{{Name: "empty", DB: sqldata.NewDatabase("x")}}, DefaultConfig())
+	if err == nil {
+		t.Fatal("empty training accepted")
+	}
+}
+
+func TestOrderedVsSketchBothTrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	for _, ordered := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.Ordered = ordered
+		cfg.Epochs = 8
+		m, d := trainModel(t, cfg)
+		tbl := d.DB.Table(d.Main)
+		if _, err := m.Parse("customers with credit over 1000", tbl); err != nil {
+			t.Fatalf("ordered=%v parse: %v", ordered, err)
+		}
+		_ = d
+	}
+}
+
+func tagged(q string) []nlp.Token { return nlp.Tag(nlp.Tokenize(q)) }

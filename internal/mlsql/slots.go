@@ -1,0 +1,199 @@
+package mlsql
+
+import (
+	"fmt"
+	"strings"
+
+	"nlidb/internal/sqldata"
+	"nlidb/internal/sqlparse"
+)
+
+// aggClass indexes the aggregate slot classes.
+var aggClasses = []string{"", "COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+func aggIndex(name string) int {
+	for i, a := range aggClasses {
+		if a == name {
+			return i
+		}
+	}
+	return 0
+}
+
+// opClasses indexes the condition-operator slot.
+var opClasses = []string{"=", ">", "<"}
+
+func opIndex(op string) int {
+	for i, o := range opClasses {
+		if o == op {
+			return i
+		}
+	}
+	return 0
+}
+
+// orderClasses indexes the ordering slot: none, descending, ascending.
+var orderClasses = []string{"", "DESC", "ASC"}
+
+// maxConds is the sketch's condition capacity (WikiSQL-style questions
+// rarely exceed two).
+const maxConds = 2
+
+// slots is the sketch decomposition of a gold single-table query.
+type slots struct {
+	agg     int // index into aggClasses
+	aggStar bool
+	selCol  string // lower-case column; empty for COUNT(*)
+	conds   []condSlot
+	order   int    // index into orderClasses
+	orderBy string // column when order != 0
+	limit   int    // -1 none
+}
+
+type condSlot struct {
+	col string
+	op  int // index into opClasses
+	val sqldata.Value
+}
+
+// extractSlots decomposes a gold statement into sketch slots. It fails for
+// queries outside the sketch (joins, sub-queries, GROUP BY, multiple
+// projections) — exactly the ML family's ceiling.
+func extractSlots(stmt *sqlparse.SelectStmt) (*slots, error) {
+	if stmt.From == nil || len(stmt.From.Joins) > 0 {
+		return nil, fmt.Errorf("mlsql: sketch covers single tables only")
+	}
+	if len(stmt.Subqueries()) > 0 || len(stmt.GroupBy) > 0 || stmt.Having != nil {
+		return nil, fmt.Errorf("mlsql: sketch covers flat queries only")
+	}
+	if len(stmt.Items) != 1 {
+		return nil, fmt.Errorf("mlsql: sketch covers one projection, got %d", len(stmt.Items))
+	}
+
+	s := &slots{limit: stmt.Limit}
+
+	switch e := stmt.Items[0].Expr.(type) {
+	case *sqlparse.ColumnRef:
+		s.selCol = strings.ToLower(e.Column)
+	case *sqlparse.FuncCall:
+		if !e.IsAggregate() {
+			return nil, fmt.Errorf("mlsql: non-aggregate function %s", e.Name)
+		}
+		s.agg = aggIndex(e.Name)
+		if e.Star {
+			s.aggStar = true
+		} else if col, ok := e.Args[0].(*sqlparse.ColumnRef); ok {
+			s.selCol = strings.ToLower(col.Column)
+		} else {
+			return nil, fmt.Errorf("mlsql: aggregate over non-column")
+		}
+	default:
+		if stmt.Items[0].Star {
+			return nil, fmt.Errorf("mlsql: star projection outside sketch")
+		}
+		return nil, fmt.Errorf("mlsql: unsupported projection %T", e)
+	}
+
+	if stmt.Where != nil {
+		conds, err := flattenConds(stmt.Where)
+		if err != nil {
+			return nil, err
+		}
+		if len(conds) > maxConds {
+			return nil, fmt.Errorf("mlsql: %d conditions exceed sketch capacity", len(conds))
+		}
+		s.conds = conds
+	}
+
+	if len(stmt.OrderBy) > 0 {
+		if len(stmt.OrderBy) > 1 {
+			return nil, fmt.Errorf("mlsql: sketch covers one order key")
+		}
+		col, ok := stmt.OrderBy[0].Expr.(*sqlparse.ColumnRef)
+		if !ok {
+			return nil, fmt.Errorf("mlsql: order by non-column")
+		}
+		s.orderBy = strings.ToLower(col.Column)
+		if stmt.OrderBy[0].Desc {
+			s.order = 1
+		} else {
+			s.order = 2
+		}
+	}
+	return s, nil
+}
+
+// flattenConds decomposes an AND-chain of col-op-literal comparisons.
+func flattenConds(e sqlparse.Expr) ([]condSlot, error) {
+	if b, ok := e.(*sqlparse.BinaryExpr); ok && b.Op == "AND" {
+		l, err := flattenConds(b.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := flattenConds(b.R)
+		if err != nil {
+			return nil, err
+		}
+		return append(l, r...), nil
+	}
+	b, ok := e.(*sqlparse.BinaryExpr)
+	if !ok {
+		return nil, fmt.Errorf("mlsql: condition %T outside sketch", e)
+	}
+	col, ok := b.L.(*sqlparse.ColumnRef)
+	if !ok {
+		return nil, fmt.Errorf("mlsql: condition lhs %T outside sketch", b.L)
+	}
+	lit, ok := b.R.(*sqlparse.Literal)
+	if !ok {
+		return nil, fmt.Errorf("mlsql: condition rhs %T outside sketch", b.R)
+	}
+	op := b.Op
+	switch op {
+	case ">=":
+		op = ">"
+	case "<=":
+		op = "<"
+	}
+	if op != "=" && op != ">" && op != "<" {
+		return nil, fmt.Errorf("mlsql: operator %q outside sketch", b.Op)
+	}
+	return []condSlot{{col: strings.ToLower(col.Column), op: opIndex(op), val: lit.Val}}, nil
+}
+
+// toSQL re-assembles a sketch into a statement over the given table.
+func (s *slots) toSQL(table string) *sqlparse.SelectStmt {
+	stmt := sqlparse.NewSelect()
+	stmt.From = &sqlparse.FromClause{First: sqlparse.TableRef{Name: strings.ToLower(table)}}
+	var proj sqlparse.Expr
+	switch {
+	case s.agg > 0 && s.aggStar:
+		proj = &sqlparse.FuncCall{Name: aggClasses[s.agg], Star: true}
+	case s.agg > 0:
+		proj = &sqlparse.FuncCall{Name: aggClasses[s.agg], Args: []sqlparse.Expr{&sqlparse.ColumnRef{Column: s.selCol}}}
+	default:
+		proj = &sqlparse.ColumnRef{Column: s.selCol}
+	}
+	stmt.Items = []sqlparse.SelectItem{{Expr: proj}}
+
+	var where sqlparse.Expr
+	for _, c := range s.conds {
+		cond := &sqlparse.BinaryExpr{
+			Op: opClasses[c.op],
+			L:  &sqlparse.ColumnRef{Column: c.col},
+			R:  &sqlparse.Literal{Val: c.val},
+		}
+		if where == nil {
+			where = cond
+		} else {
+			where = &sqlparse.BinaryExpr{Op: "AND", L: where, R: cond}
+		}
+	}
+	stmt.Where = where
+
+	if s.order > 0 && s.orderBy != "" {
+		stmt.OrderBy = []sqlparse.OrderItem{{Expr: &sqlparse.ColumnRef{Column: s.orderBy}, Desc: s.order == 1}}
+		stmt.Limit = s.limit
+	}
+	return stmt
+}

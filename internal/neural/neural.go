@@ -1,0 +1,311 @@
+// Package neural is a small, dependency-free neural-network library: dense
+// layers with ReLU activations, softmax cross-entropy loss, and minibatch
+// SGD with momentum. It is the training substrate for the learned semantic
+// parser in package mlsql, standing in for the deep-learning frameworks
+// the surveyed ML-based NLIDB systems use (the survey's claims under test
+// concern training-data dependence and robustness, which a compact MLP
+// reproduces at laptop scale).
+package neural
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// leak is the negative-side slope of the leaky rectifier. A plain ReLU
+// (slope 0) lets whole hidden layers die under momentum SGD — the network
+// then predicts class priors forever; the leak keeps gradients flowing.
+const leak = 0.05
+
+// Layer is one dense layer: out = act(W·in + b).
+type Layer struct {
+	In, Out int
+	// W is row-major Out×In.
+	W []float64
+	B []float64
+	// ReLU applies the (leaky) rectifier; the last layer of a classifier
+	// leaves it false (logits).
+	ReLU bool
+
+	// Momentum buffers (not serialized).
+	vw, vb []float64
+}
+
+// MLP is a feed-forward classifier.
+type MLP struct {
+	Layers []*Layer
+}
+
+// NewMLP builds an MLP with the given layer sizes (e.g. 256, 32, 6 is a
+// 256-input, one-hidden-layer, 6-class model) using He initialization
+// from the provided RNG (pass a fixed seed for reproducibility).
+func NewMLP(rng *rand.Rand, sizes ...int) *MLP {
+	if len(sizes) < 2 {
+		panic("neural: NewMLP needs at least input and output sizes")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		in, out := sizes[i], sizes[i+1]
+		l := &Layer{
+			In: in, Out: out,
+			W:    make([]float64, in*out),
+			B:    make([]float64, out),
+			ReLU: i+2 < len(sizes),
+			vw:   make([]float64, in*out),
+			vb:   make([]float64, out),
+		}
+		scale := math.Sqrt(2.0 / float64(in))
+		for j := range l.W {
+			l.W[j] = rng.NormFloat64() * scale
+		}
+		m.Layers = append(m.Layers, l)
+	}
+	return m
+}
+
+// Forward computes the network output (logits) for one input.
+func (m *MLP) Forward(x []float64) []float64 {
+	h := x
+	for _, l := range m.Layers {
+		h = l.forward(h)
+	}
+	return h
+}
+
+func (l *Layer) forward(x []float64) []float64 {
+	if len(x) != l.In {
+		panic(fmt.Sprintf("neural: layer expects %d inputs, got %d", l.In, len(x)))
+	}
+	out := make([]float64, l.Out)
+	for o := 0; o < l.Out; o++ {
+		s := l.B[o]
+		row := l.W[o*l.In : (o+1)*l.In]
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		if l.ReLU && s < 0 {
+			s *= leak
+		}
+		out[o] = s
+	}
+	return out
+}
+
+// Softmax converts logits to probabilities (numerically stable).
+func Softmax(logits []float64) []float64 {
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - maxv)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Predict returns the argmax class for x.
+func (m *MLP) Predict(x []float64) int {
+	logits := m.Forward(x)
+	best, bi := math.Inf(-1), 0
+	for i, v := range logits {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// Probs returns class probabilities for x.
+func (m *MLP) Probs(x []float64) []float64 { return Softmax(m.Forward(x)) }
+
+// TrainBatch runs one SGD-with-momentum step on a minibatch and returns
+// the mean cross-entropy loss. ys are class indices.
+func (m *MLP) TrainBatch(xs [][]float64, ys []int, lr, momentum float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if len(xs) != len(ys) {
+		panic("neural: TrainBatch length mismatch")
+	}
+	// Accumulated gradients.
+	gw := make([][]float64, len(m.Layers))
+	gb := make([][]float64, len(m.Layers))
+	for li, l := range m.Layers {
+		gw[li] = make([]float64, len(l.W))
+		gb[li] = make([]float64, len(l.B))
+	}
+
+	var loss float64
+	for n, x := range xs {
+		// Forward pass, keeping activations.
+		acts := [][]float64{x}
+		h := x
+		for _, l := range m.Layers {
+			h = l.forward(h)
+			acts = append(acts, h)
+		}
+		probs := Softmax(h)
+		p := probs[ys[n]]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss += -math.Log(p)
+
+		// Backward: dL/dlogits = probs - onehot.
+		delta := make([]float64, len(probs))
+		copy(delta, probs)
+		delta[ys[n]] -= 1
+
+		for li := len(m.Layers) - 1; li >= 0; li-- {
+			l := m.Layers[li]
+			in := acts[li]
+			out := acts[li+1]
+			// Leaky-ReLU derivative (applied to this layer's outputs).
+			if l.ReLU {
+				for o := range delta {
+					if out[o] <= 0 {
+						delta[o] *= leak
+					}
+				}
+			}
+			// Gradients.
+			for o := 0; o < l.Out; o++ {
+				d := delta[o]
+				if d == 0 {
+					continue
+				}
+				gb[li][o] += d
+				row := gw[li][o*l.In : (o+1)*l.In]
+				for i, xi := range in {
+					row[i] += d * xi
+				}
+			}
+			// Propagate.
+			if li > 0 {
+				nd := make([]float64, l.In)
+				for o := 0; o < l.Out; o++ {
+					d := delta[o]
+					if d == 0 {
+						continue
+					}
+					row := l.W[o*l.In : (o+1)*l.In]
+					for i := range nd {
+						nd[i] += d * row[i]
+					}
+				}
+				delta = nd
+			}
+		}
+	}
+
+	inv := 1.0 / float64(len(xs))
+	for li, l := range m.Layers {
+		if l.vw == nil {
+			l.vw = make([]float64, len(l.W))
+			l.vb = make([]float64, len(l.B))
+		}
+		for i := range l.W {
+			l.vw[i] = momentum*l.vw[i] - lr*gw[li][i]*inv
+			l.W[i] += l.vw[i]
+		}
+		for i := range l.B {
+			l.vb[i] = momentum*l.vb[i] - lr*gb[li][i]*inv
+			l.B[i] += l.vb[i]
+		}
+	}
+	return loss * inv
+}
+
+// Fit trains for epochs over the whole set with the given batch size,
+// shuffling with rng each epoch; returns the final epoch's mean loss.
+func (m *MLP) Fit(rng *rand.Rand, xs [][]float64, ys []int, epochs, batch int, lr, momentum float64) float64 {
+	if batch <= 0 {
+		batch = 16
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	var last float64
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var total float64
+		var steps int
+		for s := 0; s < len(idx); s += batch {
+			e := s + batch
+			if e > len(idx) {
+				e = len(idx)
+			}
+			bx := make([][]float64, 0, e-s)
+			by := make([]int, 0, e-s)
+			for _, i := range idx[s:e] {
+				bx = append(bx, xs[i])
+				by = append(by, ys[i])
+			}
+			total += m.TrainBatch(bx, by, lr, momentum)
+			steps++
+		}
+		if steps > 0 {
+			last = total / float64(steps)
+		}
+	}
+	return last
+}
+
+// Loss computes the mean cross-entropy of the model on a labelled set.
+func (m *MLP) Loss(xs [][]float64, ys []int) float64 {
+	var total float64
+	for i, x := range xs {
+		p := m.Probs(x)[ys[i]]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		total += -math.Log(p)
+	}
+	return total / float64(len(xs))
+}
+
+// MarshalJSON / UnmarshalJSON round-trip model weights for cmd/nlidb-train.
+
+type layerJSON struct {
+	In, Out int
+	W, B    []float64
+	ReLU    bool
+}
+
+// MarshalJSON serializes the model weights.
+func (m *MLP) MarshalJSON() ([]byte, error) {
+	ls := make([]layerJSON, len(m.Layers))
+	for i, l := range m.Layers {
+		ls[i] = layerJSON{In: l.In, Out: l.Out, W: l.W, B: l.B, ReLU: l.ReLU}
+	}
+	return json.Marshal(ls)
+}
+
+// UnmarshalJSON restores model weights.
+func (m *MLP) UnmarshalJSON(data []byte) error {
+	var ls []layerJSON
+	if err := json.Unmarshal(data, &ls); err != nil {
+		return err
+	}
+	m.Layers = nil
+	for _, l := range ls {
+		if len(l.W) != l.In*l.Out || len(l.B) != l.Out {
+			return fmt.Errorf("neural: corrupt layer %dx%d", l.In, l.Out)
+		}
+		m.Layers = append(m.Layers, &Layer{In: l.In, Out: l.Out, W: l.W, B: l.B, ReLU: l.ReLU,
+			vw: make([]float64, len(l.W)), vb: make([]float64, len(l.B))})
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package neural
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestForwardShapes(t *testing.T) {
+	m := NewMLP(rand.New(rand.NewSource(1)), 4, 8, 3)
+	out := m.Forward([]float64{1, 0, -1, 0.5})
+	if len(out) != 3 {
+		t.Fatalf("output size = %d", len(out))
+	}
+	probs := m.Probs([]float64{1, 0, -1, 0.5})
+	var sum float64
+	for _, p := range probs {
+		if p < 0 || p > 1 {
+			t.Fatalf("prob out of range: %v", probs)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probs sum to %v", sum)
+	}
+}
+
+func TestSoftmaxStable(t *testing.T) {
+	p := Softmax([]float64{1000, 1000, 1000})
+	for _, v := range p {
+		if math.Abs(v-1.0/3) > 1e-9 {
+			t.Fatalf("softmax overflow: %v", p)
+		}
+	}
+}
+
+// Numerical gradient check: analytic gradients from one TrainBatch step
+// must match finite differences of the loss.
+func TestGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMLP(rng, 3, 4, 2)
+	x := []float64{0.5, -0.2, 0.8}
+	y := 1
+
+	// Analytic gradient via a tiny-lr step: W' = W - lr*g → g = (W-W')/lr.
+	clone := func(m *MLP) *MLP {
+		data, _ := json.Marshal(m)
+		var c MLP
+		if err := json.Unmarshal(data, &c); err != nil {
+			t.Fatal(err)
+		}
+		return &c
+	}
+	m2 := clone(m)
+	const lr = 1e-6
+	m2.TrainBatch([][]float64{x}, []int{y}, lr, 0)
+
+	lossAt := func(mm *MLP) float64 { return mm.Loss([][]float64{x}, []int{y}) }
+	const eps = 1e-5
+	checked := 0
+	for li, l := range m.Layers {
+		for wi := 0; wi < len(l.W); wi += 3 { // sample every third weight
+			mp := clone(m)
+			mp.Layers[li].W[wi] += eps
+			mn := clone(m)
+			mn.Layers[li].W[wi] -= eps
+			numeric := (lossAt(mp) - lossAt(mn)) / (2 * eps)
+			analytic := (m.Layers[li].W[wi] - m2.Layers[li].W[wi]) / lr
+			if math.Abs(numeric-analytic) > 1e-3*(1+math.Abs(numeric)) {
+				t.Fatalf("grad mismatch layer %d w%d: numeric %v analytic %v", li, wi, numeric, analytic)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no weights checked")
+	}
+}
+
+// The model must learn XOR — a non-linearly-separable function — proving
+// the hidden layer and backprop work end to end.
+func TestLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := NewMLP(rng, 2, 8, 2)
+	xs := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	ys := []int{0, 1, 1, 0}
+	m.Fit(rng, xs, ys, 2000, 4, 0.5, 0.9)
+	for i, x := range xs {
+		if got := m.Predict(x); got != ys[i] {
+			t.Fatalf("XOR(%v) = %d, want %d", x, got, ys[i])
+		}
+	}
+}
+
+func TestFitReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMLP(rng, 5, 10, 3)
+	var xs [][]float64
+	var ys []int
+	for i := 0; i < 90; i++ {
+		c := i % 3
+		x := make([]float64, 5)
+		for j := range x {
+			x[j] = rng.NormFloat64() * 0.1
+		}
+		x[c] += 1.0
+		xs = append(xs, x)
+		ys = append(ys, c)
+	}
+	before := m.Loss(xs, ys)
+	m.Fit(rng, xs, ys, 50, 16, 0.1, 0.9)
+	after := m.Loss(xs, ys)
+	if after >= before {
+		t.Fatalf("loss did not decrease: %v → %v", before, after)
+	}
+	correct := 0
+	for i, x := range xs {
+		if m.Predict(x) == ys[i] {
+			correct++
+		}
+	}
+	if correct < 80 {
+		t.Fatalf("train accuracy = %d/90", correct)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewMLP(rng, 3, 4, 2)
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m2 MLP
+	if err := json.Unmarshal(data, &m2); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, 0.2, 0.3}
+	a, b := m.Forward(x), m2.Forward(x)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("round-trip changed output: %v vs %v", a, b)
+		}
+	}
+	if err := m2.UnmarshalJSON([]byte(`[{"In":2,"Out":2,"W":[1],"B":[0,0]}]`)); err == nil {
+		t.Error("corrupt layer accepted")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	train := func() []float64 {
+		rng := rand.New(rand.NewSource(11))
+		m := NewMLP(rng, 2, 4, 2)
+		xs := [][]float64{{0, 1}, {1, 0}}
+		ys := []int{1, 0}
+		m.Fit(rng, xs, ys, 20, 2, 0.1, 0.9)
+		return m.Forward([]float64{0.5, 0.5})
+	}
+	a, b := train(), train()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("training is nondeterministic with fixed seed")
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package nlp
+
+import "strings"
+
+// POS is a coarse part-of-speech tag. The interpreters need only the
+// distinctions that drive structure detection: question words, nouns
+// (entity candidates), verbs (relationship candidates), comparatives and
+// superlatives (ORDER BY / filters), prepositions (join/grouping cues),
+// and numbers.
+type POS int
+
+const (
+	// POSUnknown is the default tag.
+	POSUnknown POS = iota
+	// POSNoun covers common and proper nouns.
+	POSNoun
+	// POSVerb covers verbs.
+	POSVerb
+	// POSAdj covers plain adjectives.
+	POSAdj
+	// POSComparative covers "more", "greater", "higher", "-er" forms.
+	POSComparative
+	// POSSuperlative covers "most", "highest", "-est" forms.
+	POSSuperlative
+	// POSPrep covers prepositions ("in", "by", "per", "with").
+	POSPrep
+	// POSWh covers question words ("what", "which", "how").
+	POSWh
+	// POSDet covers determiners.
+	POSDet
+	// POSConj covers conjunctions ("and", "or").
+	POSConj
+	// POSNum covers numerals.
+	POSNum
+	// POSNeg covers negation ("not", "no", "without", "except").
+	POSNeg
+	// POSPunct covers punctuation tokens.
+	POSPunct
+)
+
+// String returns a short tag mnemonic.
+func (p POS) String() string {
+	switch p {
+	case POSNoun:
+		return "NOUN"
+	case POSVerb:
+		return "VERB"
+	case POSAdj:
+		return "ADJ"
+	case POSComparative:
+		return "COMP"
+	case POSSuperlative:
+		return "SUP"
+	case POSPrep:
+		return "PREP"
+	case POSWh:
+		return "WH"
+	case POSDet:
+		return "DET"
+	case POSConj:
+		return "CONJ"
+	case POSNum:
+		return "NUM"
+	case POSNeg:
+		return "NEG"
+	case POSPunct:
+		return "PUNCT"
+	default:
+		return "UNK"
+	}
+}
+
+var posLexicon = map[string]POS{
+	// Question words.
+	"what": POSWh, "which": POSWh, "who": POSWh, "whom": POSWh,
+	"where": POSWh, "when": POSWh, "how": POSWh, "whose": POSWh,
+	// Determiners.
+	"a": POSDet, "an": POSDet, "the": POSDet, "each": POSDet,
+	"every": POSDet, "all": POSDet, "any": POSDet, "some": POSDet,
+	// Prepositions.
+	"in": POSPrep, "on": POSPrep, "at": POSPrep, "by": POSPrep,
+	"per": POSPrep, "for": POSPrep, "from": POSPrep, "with": POSPrep,
+	"of": POSPrep, "to": POSPrep, "over": POSPrep, "under": POSPrep,
+	"between": POSPrep, "during": POSPrep, "within": POSPrep,
+	"above": POSComparative, "below": POSComparative,
+	// Conjunctions.
+	"and": POSConj, "or": POSConj, "but": POSConj,
+	// Negation.
+	"not": POSNeg, "no": POSNeg, "without": POSNeg, "except": POSNeg,
+	"never": POSNeg, "excluding": POSNeg,
+	// Comparatives / superlatives that don't follow -er/-est.
+	"more": POSComparative, "less": POSComparative, "fewer": POSComparative,
+	"greater": POSComparative, "larger": POSComparative, "smaller": POSComparative,
+	"higher": POSComparative, "lower": POSComparative, "older": POSComparative,
+	"newer": POSComparative, "earlier": POSComparative, "later": POSComparative,
+	"most": POSSuperlative, "least": POSSuperlative, "top": POSSuperlative,
+	"bottom": POSSuperlative, "best": POSSuperlative, "worst": POSSuperlative,
+	"maximum": POSSuperlative, "minimum": POSSuperlative,
+	"highest": POSSuperlative, "lowest": POSSuperlative,
+	"largest": POSSuperlative, "smallest": POSSuperlative,
+	"biggest": POSSuperlative, "latest": POSSuperlative, "newest": POSSuperlative,
+	"oldest": POSSuperlative, "earliest": POSSuperlative,
+	// Common query verbs.
+	"show": POSVerb, "list": POSVerb, "find": POSVerb, "give": POSVerb,
+	"get": POSVerb, "display": POSVerb, "return": POSVerb, "count": POSVerb,
+	"is": POSVerb, "are": POSVerb, "was": POSVerb, "were": POSVerb,
+	"have": POSVerb, "has": POSVerb, "had": POSVerb, "earn": POSVerb,
+	"work": POSVerb, "live": POSVerb, "buy": POSVerb, "sell": POSVerb,
+	"belong": POSVerb, "contain": POSVerb, "include": POSVerb,
+	// Aggregation cue words tag as nouns so entity matching still sees them;
+	// the pattern detector handles their semantics separately.
+	"total": POSNoun, "sum": POSNoun, "average": POSNoun, "mean": POSNoun,
+	"number": POSNoun, "amount": POSNoun,
+}
+
+// Tag assigns POS tags in place and returns the slice for chaining.
+// Strategy: punctuation and numbers by kind; then the lexicon; then
+// suffix heuristics (-est superlative, -er comparative, -ly adverb→ADJ
+// bucket); everything else defaults to NOUN, which is the right default
+// for entity-centric query interpretation.
+func Tag(toks []Token) []Token {
+	for i := range toks {
+		t := &toks[i]
+		switch {
+		case t.Kind == KindPunct:
+			t.POS = POSPunct
+		case t.Kind == KindNumber:
+			t.POS = POSNum
+		case t.Kind == KindQuoted:
+			t.POS = POSNoun
+		default:
+			if p, ok := posLexicon[t.Lower]; ok {
+				t.POS = p
+				break
+			}
+			switch {
+			case strings.HasSuffix(t.Lower, "est") && len(t.Lower) > 4:
+				t.POS = POSSuperlative
+			case strings.HasSuffix(t.Lower, "er") && len(t.Lower) > 4 && looksComparative(t.Lower):
+				t.POS = POSComparative
+			case strings.HasSuffix(t.Lower, "ing") && len(t.Lower) > 5:
+				t.POS = POSVerb
+			default:
+				t.POS = POSNoun
+			}
+		}
+	}
+	return toks
+}
+
+// looksComparative filters -er nouns ("customer", "order", "manager",
+// "supplier", "number") from genuine comparatives ("bigger", "cheaper").
+var erNouns = map[string]bool{
+	"customer": true, "order": true, "manager": true, "supplier": true,
+	"number": true, "user": true, "player": true, "teacher": true,
+	"singer": true, "worker": true, "provider": true, "partner": true,
+	"member": true, "offer": true, "trigger": true, "folder": true,
+	"server": true, "printer": true, "computer": true, "career": true,
+	"winner": true, "owner": true, "other": true, "cover": true,
+	"semester": true, "quarter": true, "september": true, "october": true,
+	"november": true, "december": true, "summer": true, "winter": true,
+}
+
+func looksComparative(w string) bool { return !erNouns[w] }

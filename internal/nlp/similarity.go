@@ -1,0 +1,145 @@
+package nlp
+
+import "strings"
+
+// Levenshtein returns the edit distance between two strings (unit costs).
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// Similarity returns a [0,1] string similarity: 1 for equal strings,
+// falling linearly with edit distance relative to the longer string.
+// Comparison is case-insensitive.
+func Similarity(a, b string) float64 {
+	a, b = strings.ToLower(a), strings.ToLower(b)
+	if a == b {
+		return 1
+	}
+	la, lb := len([]rune(a)), len([]rune(b))
+	longest := la
+	if lb > longest {
+		longest = lb
+	}
+	if longest == 0 {
+		return 1
+	}
+	d := Levenshtein(a, b)
+	return 1 - float64(d)/float64(longest)
+}
+
+// TrigramJaccard returns the Jaccard similarity of the character-trigram
+// sets of two strings — robust to word reordering within short phrases.
+func TrigramJaccard(a, b string) float64 {
+	ta, tb := trigrams(strings.ToLower(a)), trigrams(strings.ToLower(b))
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	inter := 0
+	for g := range ta {
+		if tb[g] {
+			inter++
+		}
+	}
+	union := len(ta) + len(tb) - inter
+	return float64(inter) / float64(union)
+}
+
+func trigrams(s string) map[string]bool {
+	s = "  " + s + "  "
+	rs := []rune(s)
+	out := make(map[string]bool)
+	for i := 0; i+3 <= len(rs); i++ {
+		out[string(rs[i:i+3])] = true
+	}
+	return out
+}
+
+// TokenSetSimilarity compares two multi-word phrases by the best pairwise
+// word similarity, averaged over the smaller phrase. It makes "customer
+// name" match "name of the customer" highly.
+func TokenSetSimilarity(a, b string) float64 {
+	wa := strings.Fields(strings.ToLower(a))
+	wb := strings.Fields(strings.ToLower(b))
+	if len(wa) == 0 || len(wb) == 0 {
+		if len(wa) == len(wb) {
+			return 1
+		}
+		return 0
+	}
+	if len(wa) > len(wb) {
+		wa, wb = wb, wa
+	}
+	var total float64
+	for _, x := range wa {
+		best := 0.0
+		for _, y := range wb {
+			if s := Similarity(Stem(x), Stem(y)); s > best {
+				best = s
+			}
+		}
+		total += best
+	}
+	return total / float64(len(wa))
+}
+
+// NormalizeIdent splits a schema identifier into natural words:
+// "customer_name" and "CustomerName" both become "customer name".
+func NormalizeIdent(ident string) string {
+	var words []string
+	var cur []rune
+	flush := func() {
+		if len(cur) > 0 {
+			words = append(words, strings.ToLower(string(cur)))
+			cur = nil
+		}
+	}
+	for i, r := range ident {
+		switch {
+		case r == '_' || r == ' ' || r == '-' || r == '.':
+			flush()
+		case r >= 'A' && r <= 'Z' && i > 0 && len(cur) > 0 && !(cur[len(cur)-1] >= 'A' && cur[len(cur)-1] <= 'Z'):
+			flush()
+			cur = append(cur, r)
+		default:
+			cur = append(cur, r)
+		}
+	}
+	flush()
+	return strings.Join(words, " ")
+}

@@ -1,0 +1,204 @@
+// Package nlp is the natural-language substrate: tokenizer, rule/lexicon
+// part-of-speech tagger, a light stemmer, stopword handling, string
+// similarity measures, and number/date recognition. It stands in for the
+// Stanford-CoreNLP-class tooling the surveyed entity-based NLIDB systems
+// use; the interpreters only need token types, head words, and fuzzy
+// matching, which this package provides deterministically and offline.
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Kind classifies a token lexically.
+type Kind int
+
+const (
+	// KindWord is an alphabetic word.
+	KindWord Kind = iota
+	// KindNumber is a numeric literal (digits, optionally with a decimal
+	// point) or a recognized number word ("five").
+	KindNumber
+	// KindQuoted is a single- or double-quoted phrase (quotes stripped).
+	KindQuoted
+	// KindPunct is punctuation.
+	KindPunct
+)
+
+// Token is one unit of a natural-language query.
+type Token struct {
+	// Text is the surface form as typed.
+	Text string
+	// Lower is the lower-cased surface form.
+	Lower string
+	// Stem is the stemmed lower-cased form.
+	Stem string
+	// Kind is the lexical class.
+	Kind Kind
+	// POS is the part-of-speech tag, filled by Tag.
+	POS POS
+	// Num holds the parsed numeric value when Kind is KindNumber.
+	Num float64
+	// Pos is the token's index in the sentence.
+	Pos int
+}
+
+// IsStop reports whether the token is a stopword (articles, auxiliaries,
+// and politeness words that carry no query content).
+func (t Token) IsStop() bool { return stopwords[t.Lower] }
+
+// Tokenize splits a natural-language query into tokens, recognizing quoted
+// phrases as single tokens and attaching stems and numeric values. POS tags
+// are not assigned; call Tag for that.
+func Tokenize(s string) []Token {
+	var toks []Token
+	rs := []rune(s)
+	i := 0
+	add := func(text string, kind Kind) {
+		t := Token{Text: text, Lower: strings.ToLower(text), Kind: kind, Pos: len(toks)}
+		t.Stem = Stem(t.Lower)
+		if kind == KindNumber {
+			t.Num = parseNumberToken(t.Lower)
+		}
+		toks = append(toks, t)
+	}
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '\'' || r == '"':
+			quote := r
+			j := i + 1
+			for j < len(rs) && rs[j] != quote {
+				j++
+			}
+			if j < len(rs) {
+				add(string(rs[i+1:j]), KindQuoted)
+				i = j + 1
+			} else {
+				// Unterminated quote (often an apostrophe): treat as part
+				// of a word, e.g. "O'Brien" handled below.
+				i = consumeWord(rs, i, add)
+			}
+		case unicode.IsDigit(r):
+			j := i
+			for j < len(rs) && (unicode.IsDigit(rs[j]) || rs[j] == '.' || rs[j] == ',') {
+				j++
+			}
+			// Trim trailing punctuation that isn't part of the number.
+			for j > i && (rs[j-1] == '.' || rs[j-1] == ',') {
+				j--
+			}
+			add(strings.ReplaceAll(string(rs[i:j]), ",", ""), KindNumber)
+			i = j
+		case unicode.IsLetter(r):
+			i = consumeWord(rs, i, add)
+		default:
+			add(string(r), KindPunct)
+			i++
+		}
+	}
+	// Second pass: number words ("five") become numbers.
+	for i := range toks {
+		if toks[i].Kind == KindWord {
+			if n, ok := numberWords[toks[i].Lower]; ok {
+				toks[i].Kind = KindNumber
+				toks[i].Num = n
+			}
+		}
+	}
+	return toks
+}
+
+// consumeWord scans a word starting at i, allowing internal apostrophes and
+// hyphens ("o'brien", "year-to-date"), calls add, and returns the new index.
+func consumeWord(rs []rune, i int, add func(string, Kind)) int {
+	j := i
+	for j < len(rs) {
+		r := rs[j]
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			j++
+			continue
+		}
+		// Allow ' and - only between letters.
+		if (r == '\'' || r == '-') && j+1 < len(rs) && unicode.IsLetter(rs[j+1]) && j > i {
+			j++
+			continue
+		}
+		break
+	}
+	add(string(rs[i:j]), KindWord)
+	return j
+}
+
+// Words returns the non-stopword, non-punctuation tokens.
+func Words(toks []Token) []Token {
+	var out []Token
+	for _, t := range toks {
+		if t.Kind == KindPunct || t.IsStop() {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// stopwords carry no query content. Deliberately *excludes* words the
+// pattern-based interpreters rely on: "by", "per", "top", "most", "least",
+// "not", "no", comparatives, and aggregate cue words.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "the": true, "of": true, "to": true,
+	"is": true, "are": true, "was": true, "were": true, "be": true,
+	"do": true, "does": true, "did": true, "me": true, "i": true,
+	"please": true, "show": true, "list": true, "give": true, "get": true,
+	"find": true, "tell": true, "display": true, "return": true,
+	"what": true, "which": true, "who": true, "whose": true,
+	"there": true, "their": true, "them": true, "they": true,
+	"it": true, "its": true, "that": true, "this": true, "those": true,
+	"these": true, "can": true, "could": true, "would": true, "will": true,
+	"you": true, "your": true, "we": true, "our": true, "us": true,
+	"have": true, "has": true, "had": true, "want": true, "like": true,
+	"know": true, "see": true, "all": true, "any": true, "some": true,
+	"about": true, "on": true, "at": true, "as": true, "so": true,
+	"hey": true, "hi": true, "hello": true, "thanks": true, "ok": true,
+}
+
+// numberWords maps spelled-out small numbers to their values.
+var numberWords = map[string]float64{
+	"zero": 0, "one": 1, "two": 2, "three": 3, "four": 4, "five": 5,
+	"six": 6, "seven": 7, "eight": 8, "nine": 9, "ten": 10,
+	"eleven": 11, "twelve": 12, "twenty": 20, "thirty": 30, "forty": 40,
+	"fifty": 50, "hundred": 100, "thousand": 1000, "million": 1000000,
+}
+
+func parseNumberToken(s string) float64 {
+	if n, ok := numberWords[s]; ok {
+		return n
+	}
+	var v float64
+	var frac float64
+	inFrac := false
+	div := 1.0
+	for _, r := range s {
+		if r == '.' {
+			if inFrac {
+				break
+			}
+			inFrac = true
+			continue
+		}
+		if r < '0' || r > '9' {
+			continue
+		}
+		d := float64(r - '0')
+		if inFrac {
+			div *= 10
+			frac += d / div
+		} else {
+			v = v*10 + d
+		}
+	}
+	return v + frac
+}

@@ -1,0 +1,133 @@
+package nlq
+
+import (
+	"testing"
+
+	"nlidb/internal/invindex"
+	"nlidb/internal/lexicon"
+	"nlidb/internal/nlp"
+	"nlidb/internal/sqldata"
+)
+
+func TestComplexityStrings(t *testing.T) {
+	want := map[Complexity]string{Simple: "simple", Aggregation: "aggregation", Join: "join", Nested: "nested"}
+	for c, w := range want {
+		if c.String() != w {
+			t.Errorf("%d.String() = %q", int(c), c.String())
+		}
+	}
+	if Complexity(99).String() == "" {
+		t.Error("unknown complexity should still print")
+	}
+}
+
+func TestFindSubqueryComparisons(t *testing.T) {
+	toks := nlp.Tag(nlp.Tokenize("employees with salary greater than the average salary"))
+	scs := FindSubqueryComparisons(toks)
+	if len(scs) != 1 {
+		t.Fatalf("subcompares = %+v", scs)
+	}
+	if scs[0].Op != ">" || scs[0].AggFunc != "AVG" || scs[0].ColumnHint != "salary" {
+		t.Errorf("subcompare = %+v", scs[0])
+	}
+
+	// A number right after the comparative means a plain comparison.
+	toks = nlp.Tag(nlp.Tokenize("employees with salary greater than 100"))
+	if scs := FindSubqueryComparisons(toks); len(scs) != 0 {
+		t.Errorf("numeric comparison misread as nested: %+v", scs)
+	}
+
+	// MAX/MIN/SUM variants.
+	for q, fn := range map[string]string{
+		"price below the maximum price": "MAX",
+		"price above the minimum price": "MIN",
+		"cost over the total budget":    "SUM",
+	} {
+		scs := FindSubqueryComparisons(nlp.Tag(nlp.Tokenize(q)))
+		if len(scs) != 1 || scs[0].AggFunc != fn {
+			t.Errorf("%q → %+v, want %s", q, scs, fn)
+		}
+	}
+}
+
+func TestAnalyzeDropsSubAggCues(t *testing.T) {
+	db := sqldata.NewDatabase("a")
+	tbl, err := db.CreateTable(&sqldata.Schema{Name: "employee", Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "name", Type: sqldata.TypeText},
+		{Name: "salary", Type: sqldata.TypeFloat},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.MustInsert(sqldata.NewInt(1), sqldata.NewText("ann"), sqldata.NewFloat(10))
+	ix := invindex.Build(db, lexicon.New())
+
+	a := Analyze("employees with salary above the average salary", ix, invindex.DefaultOptions())
+	if len(a.SubCompares) != 1 {
+		t.Fatalf("subcompares = %+v", a.SubCompares)
+	}
+	// "average" must not remain as an outer aggregate cue.
+	for _, c := range a.AggCues {
+		if c.Func == "AVG" {
+			t.Errorf("sub-query AVG leaked into outer cues: %+v", a.AggCues)
+		}
+	}
+	// SpanAt must find the employee span and miss out-of-range positions.
+	if sp := a.SpanAt(0); sp == nil {
+		t.Error("SpanAt(0) = nil for the table mention")
+	}
+	if sp := a.SpanAt(999); sp != nil {
+		t.Errorf("SpanAt(999) = %+v", sp)
+	}
+}
+
+func TestAnalyzeTopKSuppressedInsideSubCompare(t *testing.T) {
+	db := sqldata.NewDatabase("a")
+	tbl, err := db.CreateTable(&sqldata.Schema{Name: "product", Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "name", Type: sqldata.TypeText},
+		{Name: "price", Type: sqldata.TypeFloat},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.MustInsert(sqldata.NewInt(1), sqldata.NewText("w"), sqldata.NewFloat(3))
+	ix := invindex.Build(db, lexicon.New())
+	a := Analyze("products with price below the maximum price", ix, invindex.DefaultOptions())
+	if a.TopK != nil {
+		t.Errorf("superlative inside sub-compare drove TopK: %+v", a.TopK)
+	}
+}
+
+func TestPreferMentionedColumnsReordering(t *testing.T) {
+	// Two columns share the value "berlin"; mentioning "origin" must pull
+	// the origin reading ahead of the (alphabetically earlier) destination.
+	db := sqldata.NewDatabase("fl")
+	tbl, err := db.CreateTable(&sqldata.Schema{Name: "flight", Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "origin", Type: sqldata.TypeText},
+		{Name: "destination", Type: sqldata.TypeText},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.MustInsert(sqldata.NewInt(1), sqldata.NewText("Berlin"), sqldata.NewText("Munich"))
+	tbl.MustInsert(sqldata.NewInt(2), sqldata.NewText("Munich"), sqldata.NewText("Berlin"))
+	ix := invindex.Build(db, lexicon.New())
+
+	toks := nlp.Tag(nlp.Tokenize("flights with origin Berlin"))
+	spans := MatchSpans(toks, ix, invindex.DefaultOptions())
+	var berlin *SpanMatch
+	for i := range spans {
+		if spans[i].Text == "Berlin" {
+			berlin = &spans[i]
+		}
+	}
+	if berlin == nil {
+		t.Fatal("Berlin span missing")
+	}
+	if got := berlin.Best(); got.Column != "origin" {
+		t.Errorf("mentioned column not preferred: best = %+v", got)
+	}
+}

@@ -1,0 +1,116 @@
+// Package nlq defines the common framework every natural-language
+// interpreter in this repository implements: the Interpreter interface,
+// ranked Interpretations, the four-class query-complexity taxonomy from
+// Section 3 of the SIGMOD 2020 tutorial, and shared linguistic annotation
+// utilities (entity span matching, comparison and aggregation cue
+// detection) that the individual interpreter families build on.
+package nlq
+
+import (
+	"errors"
+	"fmt"
+
+	"nlidb/internal/sqlparse"
+)
+
+// Complexity is the tutorial's four-class query taxonomy (Section 3).
+type Complexity int
+
+const (
+	// Simple: selection on a single table.
+	Simple Complexity = iota
+	// Aggregation: single table with aggregates, GROUP BY or ORDER BY.
+	Aggregation
+	// Join: multiple tables.
+	Join
+	// Nested: sub-queries (the BI class).
+	Nested
+)
+
+// String names the class the way the experiment tables print it.
+func (c Complexity) String() string {
+	switch c {
+	case Simple:
+		return "simple"
+	case Aggregation:
+		return "aggregation"
+	case Join:
+		return "join"
+	case Nested:
+		return "nested"
+	default:
+		return fmt.Sprintf("Complexity(%d)", int(c))
+	}
+}
+
+// Classify buckets a SQL statement into the taxonomy. Precedence:
+// nesting beats joins beats aggregation beats simple, matching how the
+// tutorial orders the classes by difficulty.
+func Classify(stmt *sqlparse.SelectStmt) Complexity {
+	if stmt == nil {
+		return Simple
+	}
+	if len(stmt.Subqueries()) > 0 || stmt.Having != nil {
+		// HAVING-count queries are the BI class even when phrased without
+		// a literal sub-query (they are interchangeable with IN-subquery
+		// formulations and sit beyond the join-family ceiling).
+		return Nested
+	}
+	if stmt.From != nil && len(stmt.From.Joins) > 0 {
+		return Join
+	}
+	if stmt.HasAggregate() || len(stmt.GroupBy) > 0 || len(stmt.OrderBy) > 0 || stmt.Limit >= 0 {
+		return Aggregation
+	}
+	return Simple
+}
+
+// Clarification is a question the interpreter wants to ask the user, in
+// the NaLIR/DialSQL style: a multiple-choice disambiguation.
+type Clarification struct {
+	// Question is the natural-language question shown to the user.
+	Question string
+	// Options are the candidate readings, best-ranked first.
+	Options []string
+}
+
+// Interpretation is one candidate translation of a natural-language query.
+type Interpretation struct {
+	// SQL is the generated statement.
+	SQL *sqlparse.SelectStmt
+	// Score in (0,1]; higher is more confident.
+	Score float64
+	// Explanation is a human-readable trace of how the reading was built.
+	Explanation string
+	// Clarification, when non-nil, asks the user to confirm an ambiguous
+	// choice this reading depends on.
+	Clarification *Clarification
+}
+
+// ErrNoInterpretation is returned when an interpreter cannot produce any
+// reading of the query. Callers use errors.Is.
+var ErrNoInterpretation = errors.New("nlq: no interpretation found")
+
+// Interpreter translates a natural-language question into ranked SQL
+// candidates. Implementations are deterministic.
+type Interpreter interface {
+	// Name identifies the interpreter family in experiment tables.
+	Name() string
+	// Interpret returns candidate readings, best first, or
+	// ErrNoInterpretation.
+	Interpret(question string) ([]Interpretation, error)
+}
+
+// Best returns the top-ranked interpretation.
+func Best(in []Interpretation) (Interpretation, error) {
+	if len(in) == 0 {
+		return Interpretation{}, ErrNoInterpretation
+	}
+	best := in[0]
+	for _, i := range in[1:] {
+		if i.Score > best.Score {
+			best = i
+		}
+	}
+	return best, nil
+}

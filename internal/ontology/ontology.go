@@ -1,0 +1,275 @@
+// Package ontology models a domain ontology over a relational database:
+// concepts (entity types), data properties (attributes), and relationships
+// (object properties), each carrying natural-language synonyms. It
+// reproduces the ATHENA design point — an ontology as the abstraction
+// between natural language and the physical schema — including automatic
+// ontology generation from database metadata (Jammi et al. 2018) and
+// manual enrichment with domain vocabulary.
+package ontology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nlidb/internal/nlp"
+	"nlidb/internal/sqldata"
+)
+
+// Property is a data property of a concept, mapped to a table column.
+type Property struct {
+	// Name is the ontology-level property name ("annual income").
+	Name string
+	// Column is the mapped physical column.
+	Column string
+	// Type is the column's data type.
+	Type sqldata.Type
+	// Synonyms are extra NL aliases.
+	Synonyms []string
+	// Identifying marks the property used to refer to instances by name
+	// (e.g. customer.name); superlative and lookup questions use it.
+	Identifying bool
+}
+
+// Concept is an entity type, mapped to a table.
+type Concept struct {
+	// Name is the ontology-level concept name ("customer").
+	Name string
+	// Table is the mapped physical table.
+	Table string
+	// Parent optionally names a super-concept (inheritance).
+	Parent string
+	// Synonyms are extra NL aliases.
+	Synonyms []string
+	// Properties in declaration order.
+	Properties []Property
+}
+
+// Property returns the named property, matching the ontology name, the
+// column name, or a synonym (case-insensitive, stemmed); nil if absent.
+func (c *Concept) Property(name string) *Property {
+	n := nlp.Stem(strings.ToLower(name))
+	for i := range c.Properties {
+		p := &c.Properties[i]
+		if nlp.Stem(strings.ToLower(p.Name)) == n || nlp.Stem(strings.ToLower(p.Column)) == n {
+			return p
+		}
+		for _, s := range p.Synonyms {
+			if nlp.Stem(strings.ToLower(s)) == n {
+				return p
+			}
+		}
+	}
+	return nil
+}
+
+// IdentifyingProperty returns the property marked Identifying, or the
+// first TEXT property, or nil.
+func (c *Concept) IdentifyingProperty() *Property {
+	for i := range c.Properties {
+		if c.Properties[i].Identifying {
+			return &c.Properties[i]
+		}
+	}
+	for i := range c.Properties {
+		if c.Properties[i].Type == sqldata.TypeText {
+			return &c.Properties[i]
+		}
+	}
+	return nil
+}
+
+// Relationship is an object property between two concepts, realized by a
+// foreign key.
+type Relationship struct {
+	// Name is a verb-ish label ("placed", "works in").
+	Name string
+	// From and To are concept names; the FK lives on From's table.
+	From, To string
+	// FromColumn and ToColumn are the joined columns.
+	FromColumn, ToColumn string
+	// Synonyms are extra NL aliases for the relationship verb.
+	Synonyms []string
+}
+
+// Ontology is the full domain model.
+type Ontology struct {
+	// Name labels the domain.
+	Name          string
+	concepts      map[string]*Concept
+	order         []string
+	Relationships []Relationship
+}
+
+// New returns an empty ontology.
+func New(name string) *Ontology {
+	return &Ontology{Name: name, concepts: make(map[string]*Concept)}
+}
+
+// AddConcept registers a concept; the name must be unique.
+func (o *Ontology) AddConcept(c *Concept) error {
+	key := strings.ToLower(c.Name)
+	if _, dup := o.concepts[key]; dup {
+		return fmt.Errorf("ontology: duplicate concept %q", c.Name)
+	}
+	o.concepts[key] = c
+	o.order = append(o.order, key)
+	return nil
+}
+
+// Concept returns the named concept (by name or synonym, stem-insensitive),
+// or nil.
+func (o *Ontology) Concept(name string) *Concept {
+	if c, ok := o.concepts[strings.ToLower(name)]; ok {
+		return c
+	}
+	n := nlp.Stem(strings.ToLower(name))
+	for _, key := range o.order {
+		c := o.concepts[key]
+		if nlp.Stem(key) == n {
+			return c
+		}
+		for _, s := range c.Synonyms {
+			if nlp.Stem(strings.ToLower(s)) == n {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+// ConceptForTable returns the concept mapped to the given table, or nil.
+func (o *Ontology) ConceptForTable(table string) *Concept {
+	lt := strings.ToLower(table)
+	for _, key := range o.order {
+		if strings.ToLower(o.concepts[key].Table) == lt {
+			return o.concepts[key]
+		}
+	}
+	return nil
+}
+
+// Concepts lists concepts in registration order.
+func (o *Ontology) Concepts() []*Concept {
+	out := make([]*Concept, 0, len(o.order))
+	for _, k := range o.order {
+		out = append(out, o.concepts[k])
+	}
+	return out
+}
+
+// Ancestors returns the inheritance chain of a concept, nearest first.
+func (o *Ontology) Ancestors(name string) []*Concept {
+	var out []*Concept
+	seen := map[string]bool{strings.ToLower(name): true}
+	c := o.Concept(name)
+	for c != nil && c.Parent != "" {
+		p := strings.ToLower(c.Parent)
+		if seen[p] {
+			break // defensive: cycles in hand-built ontologies
+		}
+		seen[p] = true
+		c = o.Concept(c.Parent)
+		if c != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RelationshipsOf returns relationships touching the concept, sorted.
+func (o *Ontology) RelationshipsOf(name string) []Relationship {
+	n := strings.ToLower(name)
+	var out []Relationship
+	for _, r := range o.Relationships {
+		if strings.ToLower(r.From) == n || strings.ToLower(r.To) == n {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Validate checks referential integrity of parents and relationships.
+func (o *Ontology) Validate() error {
+	for _, c := range o.Concepts() {
+		if c.Parent != "" && o.Concept(c.Parent) == nil {
+			return fmt.Errorf("ontology: concept %q has unknown parent %q", c.Name, c.Parent)
+		}
+		if c.Table == "" {
+			return fmt.Errorf("ontology: concept %q has no table mapping", c.Name)
+		}
+	}
+	for _, r := range o.Relationships {
+		if o.Concept(r.From) == nil || o.Concept(r.To) == nil {
+			return fmt.Errorf("ontology: relationship %q links unknown concepts %q→%q", r.Name, r.From, r.To)
+		}
+	}
+	return nil
+}
+
+// FromDatabase auto-generates an ontology from database metadata: one
+// concept per table (named by the normalized table name), one data
+// property per non-foreign-key column, and one relationship per foreign
+// key. Declared schema synonyms carry over. This reproduces the automatic
+// ontology-generation tooling of the ATHENA line of work.
+func FromDatabase(db *sqldata.Database) *Ontology {
+	o := New(db.Name)
+	fkCols := map[string]map[string]bool{}
+	for _, t := range db.Tables() {
+		m := map[string]bool{}
+		for _, fk := range t.Schema.ForeignKeys {
+			m[strings.ToLower(fk.Column)] = true
+		}
+		fkCols[strings.ToLower(t.Schema.Name)] = m
+	}
+	for _, t := range db.Tables() {
+		s := t.Schema
+		c := &Concept{
+			Name:     nlp.NormalizeIdent(s.Name),
+			Table:    s.Name,
+			Synonyms: append([]string(nil), s.Synonyms...),
+		}
+		for _, col := range s.Columns {
+			if fkCols[strings.ToLower(s.Name)][strings.ToLower(col.Name)] {
+				continue // foreign keys become relationships, not properties
+			}
+			p := Property{
+				Name:     nlp.NormalizeIdent(col.Name),
+				Column:   col.Name,
+				Type:     col.Type,
+				Synonyms: append([]string(nil), col.Synonyms...),
+			}
+			if strings.EqualFold(col.Name, "name") || strings.EqualFold(col.Name, "title") {
+				p.Identifying = true
+			}
+			c.Properties = append(c.Properties, p)
+		}
+		// The auto-generated ontology keeps primary keys as properties so
+		// COUNT and lookups by id still work.
+		if err := o.AddConcept(c); err != nil {
+			continue // duplicate normalized names: keep first
+		}
+	}
+	for _, t := range db.Tables() {
+		s := t.Schema
+		from := o.ConceptForTable(s.Name)
+		if from == nil {
+			continue
+		}
+		for _, fk := range s.ForeignKeys {
+			to := o.ConceptForTable(fk.RefTable)
+			if to == nil {
+				continue
+			}
+			o.Relationships = append(o.Relationships, Relationship{
+				Name:       "has " + to.Name,
+				From:       from.Name,
+				To:         to.Name,
+				FromColumn: fk.Column,
+				ToColumn:   fk.RefColumn,
+			})
+		}
+	}
+	return o
+}

@@ -1,0 +1,136 @@
+package ontology
+
+import (
+	"testing"
+
+	"nlidb/internal/sqldata"
+)
+
+func shopDB(t testing.TB) *sqldata.Database {
+	t.Helper()
+	db := sqldata.NewDatabase("shop")
+	if _, err := db.CreateTable(&sqldata.Schema{
+		Name: "customer",
+		Columns: []sqldata.Column{
+			{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+			{Name: "name", Type: sqldata.TypeText},
+			{Name: "annual_income", Type: sqldata.TypeFloat, Synonyms: []string{"salary"}},
+		},
+		Synonyms: []string{"client"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable(&sqldata.Schema{
+		Name: "orders",
+		Columns: []sqldata.Column{
+			{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+			{Name: "customer_id", Type: sqldata.TypeInt},
+			{Name: "total", Type: sqldata.TypeFloat},
+		},
+		ForeignKeys: []sqldata.ForeignKey{{Column: "customer_id", RefTable: "customer", RefColumn: "id"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestFromDatabase(t *testing.T) {
+	o := FromDatabase(shopDB(t))
+	if err := o.Validate(); err != nil {
+		t.Fatalf("auto ontology invalid: %v", err)
+	}
+	c := o.Concept("customer")
+	if c == nil {
+		t.Fatal("customer concept missing")
+	}
+	if c.Property("annual income") == nil {
+		t.Error("normalized property name missing")
+	}
+	if c.Property("salary") == nil {
+		t.Error("column synonym not carried over")
+	}
+	// FK column must not be a property of orders.
+	oc := o.Concept("orders")
+	if oc == nil {
+		t.Fatal("orders concept missing")
+	}
+	if oc.Property("customer_id") != nil {
+		t.Error("FK column leaked into properties")
+	}
+	// One relationship from the FK.
+	rels := o.RelationshipsOf("customer")
+	if len(rels) != 1 || rels[0].From != "orders" {
+		t.Errorf("relationships = %+v", rels)
+	}
+}
+
+func TestConceptLookupBySynonymAndStem(t *testing.T) {
+	o := FromDatabase(shopDB(t))
+	if o.Concept("clients") == nil {
+		t.Error("synonym+stem lookup failed")
+	}
+	if o.Concept("customers") == nil {
+		t.Error("stem lookup failed")
+	}
+	if o.Concept("nonexistent") != nil {
+		t.Error("phantom concept")
+	}
+}
+
+func TestIdentifyingProperty(t *testing.T) {
+	o := FromDatabase(shopDB(t))
+	p := o.Concept("customer").IdentifyingProperty()
+	if p == nil || p.Column != "name" {
+		t.Errorf("identifying = %+v", p)
+	}
+	// orders has no TEXT column and no Identifying flag → nil.
+	if got := o.Concept("orders").IdentifyingProperty(); got != nil {
+		t.Errorf("orders identifying = %+v", got)
+	}
+}
+
+func TestAncestorsAndValidate(t *testing.T) {
+	o := New("test")
+	if err := o.AddConcept(&Concept{Name: "person", Table: "person"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddConcept(&Concept{Name: "employee", Table: "employee", Parent: "person"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddConcept(&Concept{Name: "manager", Table: "manager", Parent: "employee"}); err != nil {
+		t.Fatal(err)
+	}
+	anc := o.Ancestors("manager")
+	if len(anc) != 2 || anc[0].Name != "employee" || anc[1].Name != "person" {
+		t.Errorf("ancestors = %+v", anc)
+	}
+	if err := o.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if err := o.AddConcept(&Concept{Name: "orphan", Table: "t", Parent: "ghost"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Validate(); err == nil {
+		t.Error("unknown parent accepted")
+	}
+}
+
+func TestAncestorCycleGuard(t *testing.T) {
+	o := New("cyc")
+	_ = o.AddConcept(&Concept{Name: "a", Table: "a", Parent: "b"})
+	_ = o.AddConcept(&Concept{Name: "b", Table: "b", Parent: "a"})
+	anc := o.Ancestors("a") // must terminate
+	if len(anc) > 2 {
+		t.Errorf("cycle not guarded: %d ancestors", len(anc))
+	}
+}
+
+func TestDuplicateConcept(t *testing.T) {
+	o := New("d")
+	if err := o.AddConcept(&Concept{Name: "x", Table: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddConcept(&Concept{Name: "X", Table: "y"}); err == nil {
+		t.Error("duplicate concept accepted")
+	}
+}

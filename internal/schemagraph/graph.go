@@ -1,0 +1,328 @@
+// Package schemagraph models a database schema as a graph whose nodes are
+// tables and whose edges are foreign-key relationships, and infers join
+// paths between the tables a natural-language query mentions. This is the
+// join-inference substrate shared by the parse-tree (NaLIR-style) and
+// ontology-driven (ATHENA-style) interpreters; edge weights support
+// TEMPLAR-style query-log priors that bias inference toward joins users
+// actually run.
+package schemagraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nlidb/internal/sqldata"
+	"nlidb/internal/sqlparse"
+)
+
+// Edge is one foreign-key hop between two tables, stored directionally
+// (From.FromCol joins To.ToCol); every FK yields two mirrored edges.
+type Edge struct {
+	From, FromCol string
+	To, ToCol     string
+}
+
+// key canonicalizes the edge regardless of direction.
+func (e Edge) key() string {
+	a := e.From + "." + e.FromCol
+	b := e.To + "." + e.ToCol
+	if a > b {
+		a, b = b, a
+	}
+	return a + "=" + b
+}
+
+// String renders the edge as a join predicate.
+func (e Edge) String() string {
+	return fmt.Sprintf("%s.%s = %s.%s", e.From, e.FromCol, e.To, e.ToCol)
+}
+
+// Graph is an immutable schema graph with mutable edge weights.
+type Graph struct {
+	adj     map[string][]Edge
+	tables  []string
+	weights map[string]float64
+}
+
+// Build constructs the graph from the database's declared foreign keys.
+func Build(db *sqldata.Database) *Graph {
+	g := &Graph{adj: make(map[string][]Edge), weights: make(map[string]float64)}
+	for _, t := range db.Tables() {
+		name := strings.ToLower(t.Schema.Name)
+		g.tables = append(g.tables, name)
+		if _, ok := g.adj[name]; !ok {
+			g.adj[name] = nil
+		}
+	}
+	for _, t := range db.Tables() {
+		from := strings.ToLower(t.Schema.Name)
+		for _, fk := range t.Schema.ForeignKeys {
+			to := strings.ToLower(fk.RefTable)
+			fwd := Edge{From: from, FromCol: strings.ToLower(fk.Column), To: to, ToCol: strings.ToLower(fk.RefColumn)}
+			rev := Edge{From: to, FromCol: strings.ToLower(fk.RefColumn), To: from, ToCol: strings.ToLower(fk.Column)}
+			g.adj[from] = append(g.adj[from], fwd)
+			g.adj[to] = append(g.adj[to], rev)
+		}
+	}
+	for _, edges := range g.adj {
+		sort.Slice(edges, func(i, j int) bool { return edges[i].String() < edges[j].String() })
+	}
+	sort.Strings(g.tables)
+	return g
+}
+
+// Tables lists all known tables, sorted.
+func (g *Graph) Tables() []string { return g.tables }
+
+// HasTable reports whether the graph knows the table.
+func (g *Graph) HasTable(name string) bool {
+	_, ok := g.adj[strings.ToLower(name)]
+	return ok
+}
+
+// SetWeight overrides an edge's traversal cost (default 1.0). Query-log
+// priors call this with values below 1 for frequently joined pairs.
+func (g *Graph) SetWeight(e Edge, w float64) { g.weights[e.key()] = w }
+
+// Weight returns the traversal cost of an edge.
+func (g *Graph) Weight(e Edge) float64 {
+	if w, ok := g.weights[e.key()]; ok {
+		return w
+	}
+	return 1.0
+}
+
+// Path returns the cheapest join path between two tables (Dijkstra over
+// edge weights; ties broken lexicographically for determinism). An empty
+// path means from == to.
+func (g *Graph) Path(from, to string) ([]Edge, error) {
+	from, to = strings.ToLower(from), strings.ToLower(to)
+	if !g.HasTable(from) {
+		return nil, fmt.Errorf("schemagraph: unknown table %q", from)
+	}
+	if !g.HasTable(to) {
+		return nil, fmt.Errorf("schemagraph: unknown table %q", to)
+	}
+	if from == to {
+		return nil, nil
+	}
+	dist := map[string]float64{from: 0}
+	prev := map[string]Edge{}
+	visited := map[string]bool{}
+	for {
+		// Extract the unvisited node with the smallest distance.
+		cur, best := "", 0.0
+		for n, d := range dist {
+			if visited[n] {
+				continue
+			}
+			if cur == "" || d < best || (d == best && n < cur) {
+				cur, best = n, d
+			}
+		}
+		if cur == "" {
+			return nil, fmt.Errorf("schemagraph: no join path from %q to %q", from, to)
+		}
+		if cur == to {
+			break
+		}
+		visited[cur] = true
+		for _, e := range g.adj[cur] {
+			nd := best + g.Weight(e)
+			if d, ok := dist[e.To]; !ok || nd < d {
+				dist[e.To] = nd
+				prev[e.To] = e
+			}
+		}
+	}
+	var path []Edge
+	for at := to; at != from; {
+		e := prev[at]
+		path = append([]Edge{e}, path...)
+		at = e.From
+	}
+	return path, nil
+}
+
+// ParallelEdges returns all direct foreign-key edges between two tables
+// (a schema may have several, e.g. origin and destination references to
+// the same dimension table); they are distinct join readings.
+func (g *Graph) ParallelEdges(a, b string) []Edge {
+	a, b = strings.ToLower(a), strings.ToLower(b)
+	var out []Edge
+	for _, e := range g.adj[a] {
+		if e.To == b {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// JoinTree connects all the given tables with a minimal set of join edges
+// (greedy Steiner heuristic: grow the connected component by the cheapest
+// path to any uncovered terminal). The result lists the distinct edges to
+// apply; callers order them via BuildFrom.
+func (g *Graph) JoinTree(tables []string) ([]Edge, error) {
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("schemagraph: JoinTree with no tables")
+	}
+	terms := make([]string, 0, len(tables))
+	seen := map[string]bool{}
+	for _, t := range tables {
+		lt := strings.ToLower(t)
+		if !g.HasTable(lt) {
+			return nil, fmt.Errorf("schemagraph: unknown table %q", t)
+		}
+		if !seen[lt] {
+			seen[lt] = true
+			terms = append(terms, lt)
+		}
+	}
+	sort.Strings(terms)
+
+	connected := map[string]bool{terms[0]: true}
+	var edges []Edge
+	edgeSeen := map[string]bool{}
+	remaining := terms[1:]
+
+	for len(remaining) > 0 {
+		// Cheapest path from the connected set to any remaining terminal.
+		var bestPath []Edge
+		bestCost := 0.0
+		bestIdx := -1
+		for i, target := range remaining {
+			for src := range connected {
+				p, err := g.Path(src, target)
+				if err != nil {
+					continue
+				}
+				cost := 0.0
+				for _, e := range p {
+					cost += g.Weight(e)
+				}
+				if bestIdx < 0 || cost < bestCost {
+					bestPath, bestCost, bestIdx = p, cost, i
+				}
+			}
+		}
+		if bestIdx < 0 {
+			return nil, fmt.Errorf("schemagraph: cannot connect tables %v", terms)
+		}
+		for _, e := range bestPath {
+			connected[e.From] = true
+			connected[e.To] = true
+			if !edgeSeen[e.key()] {
+				edgeSeen[e.key()] = true
+				edges = append(edges, e)
+			}
+		}
+		connected[remaining[bestIdx]] = true
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return edges, nil
+}
+
+// BuildFrom converts a set of required tables into a FROM clause whose
+// JOIN chain applies the inferred join tree. Tables not linked by any edge
+// cause an error. The first (sorted) required table anchors the chain.
+func (g *Graph) BuildFrom(tables []string) (*sqlparse.FromClause, error) {
+	edges, err := g.JoinTree(tables)
+	if err != nil {
+		return nil, err
+	}
+	// Collect every table touched (terminals plus Steiner intermediates).
+	need := map[string]bool{}
+	for _, t := range tables {
+		need[strings.ToLower(t)] = true
+	}
+	for _, e := range edges {
+		need[e.From] = true
+		need[e.To] = true
+	}
+	order := make([]string, 0, len(need))
+	for t := range need {
+		order = append(order, t)
+	}
+	sort.Strings(order)
+
+	from := &sqlparse.FromClause{First: sqlparse.TableRef{Name: order[0]}}
+	placed := map[string]bool{order[0]: true}
+	pending := append([]Edge(nil), edges...)
+	for len(pending) > 0 {
+		progressed := false
+		for i, e := range pending {
+			var newTable string
+			switch {
+			case placed[e.From] && !placed[e.To]:
+				newTable = e.To
+			case placed[e.To] && !placed[e.From]:
+				newTable = e.From
+			case placed[e.From] && placed[e.To]:
+				// Redundant edge (cycle); attach as an extra conjunct is
+				// unnecessary for trees — drop it.
+				pending = append(pending[:i], pending[i+1:]...)
+				progressed = true
+			default:
+				continue
+			}
+			if newTable != "" {
+				on := &sqlparse.BinaryExpr{
+					Op: "=",
+					L:  &sqlparse.ColumnRef{Table: e.From, Column: e.FromCol},
+					R:  &sqlparse.ColumnRef{Table: e.To, Column: e.ToCol},
+				}
+				from.Joins = append(from.Joins, sqlparse.Join{Type: sqlparse.JoinInner, Table: sqlparse.TableRef{Name: newTable}, On: on})
+				placed[newTable] = true
+				pending = append(pending[:i], pending[i+1:]...)
+				progressed = true
+			}
+			break
+		}
+		if !progressed {
+			return nil, fmt.Errorf("schemagraph: disconnected join edges %v", pending)
+		}
+	}
+	// Any required table still unplaced has no edge at all (single-table
+	// queries fall out naturally; multi-table without FK is an error).
+	for t := range need {
+		if !placed[t] {
+			if len(need) == 1 {
+				break
+			}
+			return nil, fmt.Errorf("schemagraph: table %q cannot be joined", t)
+		}
+	}
+	return from, nil
+}
+
+// ApplyQueryLog lowers the weight of every join edge seen in the log,
+// reproducing TEMPLAR's use of SQL query logs for join-path inference.
+// Each observation multiplies the edge weight by decay (clamped at min).
+func (g *Graph) ApplyQueryLog(stmts []*sqlparse.SelectStmt, decay, min float64) {
+	for _, s := range stmts {
+		if s.From == nil {
+			continue
+		}
+		for _, j := range s.From.Joins {
+			be, ok := j.On.(*sqlparse.BinaryExpr)
+			if !ok || be.Op != "=" {
+				continue
+			}
+			l, lok := be.L.(*sqlparse.ColumnRef)
+			r, rok := be.R.(*sqlparse.ColumnRef)
+			if !lok || !rok {
+				continue
+			}
+			e := Edge{
+				From: strings.ToLower(l.Table), FromCol: strings.ToLower(l.Column),
+				To: strings.ToLower(r.Table), ToCol: strings.ToLower(r.Column),
+			}
+			w := g.Weight(e) * decay
+			if w < min {
+				w = min
+			}
+			g.SetWeight(e, w)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package schemagraph
+
+import (
+	"strings"
+	"testing"
+
+	"nlidb/internal/sqldata"
+	"nlidb/internal/sqlparse"
+)
+
+// starDB builds a star schema:
+//
+//	orders → customer, orders → product, product → category,
+//	customer → city, employee → city (so employee—customer needs 2 hops).
+func starDB(t testing.TB) *sqldata.Database {
+	t.Helper()
+	db := sqldata.NewDatabase("shop")
+	mk := func(name string, cols []sqldata.Column, fks ...sqldata.ForeignKey) {
+		if _, err := db.CreateTable(&sqldata.Schema{Name: name, Columns: cols, ForeignKeys: fks}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id := func() sqldata.Column { return sqldata.Column{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true} }
+	mk("city", []sqldata.Column{id(), {Name: "name", Type: sqldata.TypeText}})
+	mk("customer", []sqldata.Column{id(), {Name: "name", Type: sqldata.TypeText}, {Name: "city_id", Type: sqldata.TypeInt}},
+		sqldata.ForeignKey{Column: "city_id", RefTable: "city", RefColumn: "id"})
+	mk("category", []sqldata.Column{id(), {Name: "name", Type: sqldata.TypeText}})
+	mk("product", []sqldata.Column{id(), {Name: "name", Type: sqldata.TypeText}, {Name: "category_id", Type: sqldata.TypeInt}},
+		sqldata.ForeignKey{Column: "category_id", RefTable: "category", RefColumn: "id"})
+	mk("orders", []sqldata.Column{id(), {Name: "customer_id", Type: sqldata.TypeInt}, {Name: "product_id", Type: sqldata.TypeInt}, {Name: "qty", Type: sqldata.TypeInt}},
+		sqldata.ForeignKey{Column: "customer_id", RefTable: "customer", RefColumn: "id"},
+		sqldata.ForeignKey{Column: "product_id", RefTable: "product", RefColumn: "id"})
+	mk("employee", []sqldata.Column{id(), {Name: "name", Type: sqldata.TypeText}, {Name: "city_id", Type: sqldata.TypeInt}},
+		sqldata.ForeignKey{Column: "city_id", RefTable: "city", RefColumn: "id"})
+	mk("island", []sqldata.Column{id()}) // disconnected table
+	return db
+}
+
+func TestPathDirect(t *testing.T) {
+	g := Build(starDB(t))
+	p, err := g.Path("orders", "customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 1 || p[0].String() != "orders.customer_id = customer.id" {
+		t.Fatalf("path = %v", p)
+	}
+}
+
+func TestPathMultiHop(t *testing.T) {
+	g := Build(starDB(t))
+	p, err := g.Path("employee", "customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 2 {
+		t.Fatalf("path = %v", p)
+	}
+	if p[0].From != "employee" || p[0].To != "city" || p[1].To != "customer" {
+		t.Errorf("path shape = %v", p)
+	}
+}
+
+func TestPathSameTable(t *testing.T) {
+	g := Build(starDB(t))
+	p, err := g.Path("orders", "orders")
+	if err != nil || p != nil {
+		t.Errorf("same-table path = %v, %v", p, err)
+	}
+}
+
+func TestPathErrors(t *testing.T) {
+	g := Build(starDB(t))
+	if _, err := g.Path("orders", "island"); err == nil {
+		t.Error("disconnected path accepted")
+	}
+	if _, err := g.Path("orders", "nope"); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+func TestJoinTreeThreeTables(t *testing.T) {
+	g := Build(starDB(t))
+	edges, err := g.JoinTree([]string{"category", "customer", "orders"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Needs orders-customer, orders-product, product-category = 3 edges.
+	if len(edges) != 3 {
+		t.Fatalf("edges = %v", edges)
+	}
+}
+
+func TestJoinTreeSingle(t *testing.T) {
+	g := Build(starDB(t))
+	edges, err := g.JoinTree([]string{"orders"})
+	if err != nil || len(edges) != 0 {
+		t.Errorf("single-table tree = %v, %v", edges, err)
+	}
+}
+
+func TestBuildFromSingleTable(t *testing.T) {
+	g := Build(starDB(t))
+	from, err := g.BuildFrom([]string{"customer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from.First.Name != "customer" || len(from.Joins) != 0 {
+		t.Errorf("from = %s", from)
+	}
+}
+
+func TestBuildFromExecutes(t *testing.T) {
+	db := starDB(t)
+	// Populate a little data to execute against.
+	db.Table("city").MustInsert(sqldata.NewInt(1), sqldata.NewText("Berlin"))
+	db.Table("customer").MustInsert(sqldata.NewInt(1), sqldata.NewText("Ann"), sqldata.NewInt(1))
+	db.Table("category").MustInsert(sqldata.NewInt(1), sqldata.NewText("toys"))
+	db.Table("product").MustInsert(sqldata.NewInt(1), sqldata.NewText("ball"), sqldata.NewInt(1))
+	db.Table("orders").MustInsert(sqldata.NewInt(1), sqldata.NewInt(1), sqldata.NewInt(1), sqldata.NewInt(3))
+
+	g := Build(db)
+	from, err := g.BuildFrom([]string{"customer", "category"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt := sqlparse.NewSelect()
+	stmt.Items = []sqlparse.SelectItem{{Expr: &sqlparse.ColumnRef{Table: "customer", Column: "name"}}}
+	stmt.From = from
+	sql := stmt.String()
+	if !strings.Contains(sql, "JOIN") {
+		t.Fatalf("no joins in %s", sql)
+	}
+	// The clause must round-trip through the parser and execute.
+	reparsed, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatalf("generated SQL unparseable: %s: %v", sql, err)
+	}
+	_ = reparsed
+}
+
+func TestBuildFromDisconnected(t *testing.T) {
+	g := Build(starDB(t))
+	if _, err := g.BuildFrom([]string{"orders", "island"}); err == nil {
+		t.Error("disconnected BuildFrom accepted")
+	}
+}
+
+func TestWeightsChangePath(t *testing.T) {
+	db := sqldata.NewDatabase("w")
+	mk := func(name string, cols []sqldata.Column, fks ...sqldata.ForeignKey) {
+		if _, err := db.CreateTable(&sqldata.Schema{Name: name, Columns: cols, ForeignKeys: fks}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id := func() sqldata.Column { return sqldata.Column{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true} }
+	// Diamond: a→b→d and a→c→d; both length 2.
+	mk("d", []sqldata.Column{id()})
+	mk("b", []sqldata.Column{id(), {Name: "d_id", Type: sqldata.TypeInt}}, sqldata.ForeignKey{Column: "d_id", RefTable: "d", RefColumn: "id"})
+	mk("c", []sqldata.Column{id(), {Name: "d_id", Type: sqldata.TypeInt}}, sqldata.ForeignKey{Column: "d_id", RefTable: "d", RefColumn: "id"})
+	mk("a", []sqldata.Column{id(), {Name: "b_id", Type: sqldata.TypeInt}, {Name: "c_id", Type: sqldata.TypeInt}},
+		sqldata.ForeignKey{Column: "b_id", RefTable: "b", RefColumn: "id"},
+		sqldata.ForeignKey{Column: "c_id", RefTable: "c", RefColumn: "id"})
+
+	g := Build(db)
+	p1, err := g.Path("a", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic tie-break goes through b (lexicographically smaller).
+	if p1[0].To != "b" {
+		t.Fatalf("default path = %v", p1)
+	}
+	// Bias the c route strongly.
+	g.SetWeight(Edge{From: "a", FromCol: "c_id", To: "c", ToCol: "id"}, 0.1)
+	g.SetWeight(Edge{From: "c", FromCol: "d_id", To: "d", ToCol: "id"}, 0.1)
+	p2, err := g.Path("a", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2[0].To != "c" {
+		t.Fatalf("weighted path = %v", p2)
+	}
+}
+
+func TestApplyQueryLog(t *testing.T) {
+	g := Build(starDB(t))
+	logStmt := sqlparse.MustParse("SELECT orders.id FROM orders JOIN customer ON orders.customer_id = customer.id")
+	before := g.Weight(Edge{From: "orders", FromCol: "customer_id", To: "customer", ToCol: "id"})
+	g.ApplyQueryLog([]*sqlparse.SelectStmt{logStmt, logStmt}, 0.5, 0.05)
+	after := g.Weight(Edge{From: "orders", FromCol: "customer_id", To: "customer", ToCol: "id"})
+	if before != 1.0 || after != 0.25 {
+		t.Errorf("weights %v → %v", before, after)
+	}
+	// Clamping at min.
+	for i := 0; i < 10; i++ {
+		g.ApplyQueryLog([]*sqlparse.SelectStmt{logStmt}, 0.5, 0.05)
+	}
+	if w := g.Weight(Edge{From: "orders", FromCol: "customer_id", To: "customer", ToCol: "id"}); w < 0.05 {
+		t.Errorf("weight below min: %v", w)
+	}
+}

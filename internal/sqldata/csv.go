@@ -1,0 +1,158 @@
+package sqldata
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LoadCSV reads rows from r (with a header line) into a new table with the
+// given name. Column types are inferred from the data: a column whose
+// non-empty cells all parse as integers is INT, as floats FLOAT, as
+// ISO dates DATE, as true/false BOOL; everything else is TEXT. Empty cells
+// become NULL. The header supplies column names (normalized to lower-case
+// with spaces replaced by underscores).
+func LoadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("sqldata: read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("sqldata: csv %q has no header", name)
+	}
+	header := records[0]
+	body := records[1:]
+
+	types := make([]Type, len(header))
+	for c := range header {
+		types[c] = inferColumnType(body, c)
+	}
+
+	schema := &Schema{Name: name}
+	for c, h := range header {
+		col := strings.ToLower(strings.TrimSpace(h))
+		col = strings.ReplaceAll(col, " ", "_")
+		if col == "" {
+			return nil, fmt.Errorf("sqldata: csv %q: empty header in column %d", name, c+1)
+		}
+		schema.Columns = append(schema.Columns, Column{Name: col, Type: types[c]})
+	}
+	tbl, err := NewTable(schema)
+	if err != nil {
+		return nil, err
+	}
+	for ri, rec := range body {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("sqldata: csv %q row %d: %d cells, want %d", name, ri+2, len(rec), len(header))
+		}
+		row := make(Row, len(rec))
+		for c, cell := range rec {
+			v, err := parseCell(cell, types[c])
+			if err != nil {
+				return nil, fmt.Errorf("sqldata: csv %q row %d column %q: %w", name, ri+2, schema.Columns[c].Name, err)
+			}
+			row[c] = v
+		}
+		if err := tbl.Insert(row); err != nil {
+			return nil, fmt.Errorf("sqldata: csv %q row %d: %w", name, ri+2, err)
+		}
+	}
+	return tbl, nil
+}
+
+// inferColumnType picks the narrowest type all non-empty cells fit.
+func inferColumnType(rows [][]string, c int) Type {
+	sawAny := false
+	isInt, isFloat, isBool, isDate := true, true, true, true
+	for _, rec := range rows {
+		if c >= len(rec) {
+			continue
+		}
+		cell := strings.TrimSpace(rec[c])
+		if cell == "" {
+			continue
+		}
+		sawAny = true
+		if _, err := strconv.ParseInt(cell, 10, 64); err != nil {
+			isInt = false
+		}
+		if _, err := strconv.ParseFloat(cell, 64); err != nil {
+			isFloat = false
+		}
+		lc := strings.ToLower(cell)
+		if lc != "true" && lc != "false" {
+			isBool = false
+		}
+		if _, err := ParseDate(cell); err != nil {
+			isDate = false
+		}
+	}
+	switch {
+	case !sawAny:
+		return TypeText
+	case isInt:
+		return TypeInt
+	case isFloat:
+		return TypeFloat
+	case isBool:
+		return TypeBool
+	case isDate:
+		return TypeDate
+	default:
+		return TypeText
+	}
+}
+
+func parseCell(cell string, t Type) (Value, error) {
+	cell = strings.TrimSpace(cell)
+	if cell == "" {
+		return NullValue(), nil
+	}
+	switch t {
+	case TypeInt:
+		n, err := strconv.ParseInt(cell, 10, 64)
+		if err != nil {
+			return Value{}, err
+		}
+		return NewInt(n), nil
+	case TypeFloat:
+		f, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			return Value{}, err
+		}
+		return NewFloat(f), nil
+	case TypeBool:
+		return NewBool(strings.EqualFold(cell, "true")), nil
+	case TypeDate:
+		return ParseDate(cell)
+	default:
+		return NewText(cell), nil
+	}
+}
+
+// WriteCSV renders a result set as CSV (header + rows); NULLs are empty.
+func WriteCSV(w io.Writer, res *Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(res.Columns); err != nil {
+		return err
+	}
+	for _, row := range res.Rows {
+		rec := make([]string, len(row))
+		for i, v := range row {
+			if v.Null {
+				rec[i] = ""
+			} else {
+				rec[i] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

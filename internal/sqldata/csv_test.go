@@ -1,0 +1,103 @@
+package sqldata
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadCSVInfersTypes(t *testing.T) {
+	src := `id,Name,Salary,Hired,Active,Note
+1,ann,95000.5,2015-02-10,true,fast
+2,bob,72000,2017-06-01,false,
+3,cyd,,2019-09-15,true,42`
+	tbl, err := LoadCSV("employee", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.Schema
+	wantTypes := map[string]Type{
+		"id": TypeInt, "name": TypeText, "salary": TypeFloat,
+		"hired": TypeDate, "active": TypeBool, "note": TypeText,
+	}
+	for col, want := range wantTypes {
+		c := s.Column(col)
+		if c == nil {
+			t.Fatalf("column %q missing", col)
+		}
+		if c.Type != want {
+			t.Errorf("column %q inferred %v, want %v", col, c.Type, want)
+		}
+	}
+	if tbl.Len() != 3 {
+		t.Fatalf("rows = %d", tbl.Len())
+	}
+	if !tbl.Rows[2][2].Null {
+		t.Error("empty cell not NULL")
+	}
+	if tbl.Rows[0][3].String() != "2015-02-10" {
+		t.Errorf("date cell = %s", tbl.Rows[0][3])
+	}
+	if got := tbl.Rows[2][5].Text(); got != "42" {
+		t.Errorf("mixed column not TEXT: %v", got)
+	}
+}
+
+func TestLoadCSVHeaderNormalization(t *testing.T) {
+	tbl, err := LoadCSV("t", strings.NewReader("Full Name,X\nann,1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Schema.Column("full_name") == nil {
+		t.Errorf("header not normalized: %+v", tbl.Schema.Columns)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	if _, err := LoadCSV("t", strings.NewReader("")); err == nil {
+		t.Error("empty csv accepted")
+	}
+	if _, err := LoadCSV("t", strings.NewReader("a,\n1,2\n")); err == nil {
+		t.Error("empty header cell accepted")
+	}
+	// Ragged rows are rejected by encoding/csv itself.
+	if _, err := LoadCSV("t", strings.NewReader("a,b\n1\n")); err == nil {
+		t.Error("ragged row accepted")
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	res := &Result{
+		Columns: []string{"name", "n"},
+		Rows: []Row{
+			{NewText("ann"), NewInt(3)},
+			{NullValue(), NewInt(4)},
+		},
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "name,n\nann,3\n,4\n"
+	if got != want {
+		t.Errorf("csv = %q, want %q", got, want)
+	}
+	// And it loads back.
+	tbl, err := LoadCSV("back", strings.NewReader(got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 || tbl.Schema.Column("n").Type != TypeInt {
+		t.Errorf("round trip: %+v", tbl.Schema.Columns)
+	}
+}
+
+func TestLoadCSVAllEmptyColumnIsText(t *testing.T) {
+	tbl, err := LoadCSV("t", strings.NewReader("a,b\n1,\n2,\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Schema.Column("b").Type != TypeText {
+		t.Errorf("empty column type = %v", tbl.Schema.Column("b").Type)
+	}
+}

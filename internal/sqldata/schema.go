@@ -1,0 +1,122 @@
+package sqldata
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes a single column of a table schema.
+type Column struct {
+	// Name is the SQL identifier (lower-case by convention).
+	Name string
+	// Type is the column's value type.
+	Type Type
+	// PrimaryKey marks the column as (part of) the primary key.
+	PrimaryKey bool
+	// NotNull forbids NULLs on insert.
+	NotNull bool
+	// Synonyms lists natural-language aliases ("salary" for "annual_pay").
+	// Interpreters use these when matching query tokens to columns.
+	Synonyms []string
+}
+
+// ForeignKey declares that Column references RefTable.RefColumn.
+type ForeignKey struct {
+	Column    string
+	RefTable  string
+	RefColumn string
+}
+
+// Schema is the definition of one table: its name, columns, and keys.
+type Schema struct {
+	// Name is the table identifier.
+	Name string
+	// Columns in declaration order.
+	Columns []Column
+	// ForeignKeys declared on this table.
+	ForeignKeys []ForeignKey
+	// Synonyms lists natural-language aliases for the table itself.
+	Synonyms []string
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+// Matching is case-insensitive.
+func (s *Schema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column returns the named column, or nil if absent.
+func (s *Schema) Column(name string) *Column {
+	if i := s.ColumnIndex(name); i >= 0 {
+		return &s.Columns[i]
+	}
+	return nil
+}
+
+// PrimaryKey returns the names of the primary-key columns in order.
+func (s *Schema) PrimaryKey() []string {
+	var pk []string
+	for _, c := range s.Columns {
+		if c.PrimaryKey {
+			pk = append(pk, c.Name)
+		}
+	}
+	return pk
+}
+
+// Validate checks structural invariants: non-empty name, at least one
+// column, unique column names, and foreign keys referencing real columns.
+func (s *Schema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("sqldata: schema with empty name")
+	}
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("sqldata: schema %q has no columns", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Columns))
+	for _, c := range s.Columns {
+		lc := strings.ToLower(c.Name)
+		if c.Name == "" {
+			return fmt.Errorf("sqldata: schema %q has an unnamed column", s.Name)
+		}
+		if seen[lc] {
+			return fmt.Errorf("sqldata: schema %q: duplicate column %q", s.Name, c.Name)
+		}
+		seen[lc] = true
+	}
+	for _, fk := range s.ForeignKeys {
+		if s.ColumnIndex(fk.Column) < 0 {
+			return fmt.Errorf("sqldata: schema %q: foreign key on unknown column %q", s.Name, fk.Column)
+		}
+	}
+	return nil
+}
+
+// DDL renders the schema as a CREATE TABLE statement (documentation and
+// debugging aid; the engine creates tables programmatically).
+func (s *Schema) DDL() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "CREATE TABLE %s (", s.Name)
+	for i, c := range s.Columns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s %s", c.Name, c.Type)
+		if c.PrimaryKey {
+			sb.WriteString(" PRIMARY KEY")
+		}
+		if c.NotNull && !c.PrimaryKey {
+			sb.WriteString(" NOT NULL")
+		}
+	}
+	for _, fk := range s.ForeignKeys {
+		fmt.Fprintf(&sb, ", FOREIGN KEY (%s) REFERENCES %s(%s)", fk.Column, fk.RefTable, fk.RefColumn)
+	}
+	sb.WriteString(")")
+	return sb.String()
+}

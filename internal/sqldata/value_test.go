@@ -1,0 +1,247 @@
+package sqldata
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if got := NewInt(42).Int(); got != 42 {
+		t.Errorf("Int() = %d, want 42", got)
+	}
+	if got := NewFloat(2.5).Float(); got != 2.5 {
+		t.Errorf("Float() = %v, want 2.5", got)
+	}
+	if got := NewInt(3).Float(); got != 3.0 {
+		t.Errorf("widened Float() = %v, want 3", got)
+	}
+	if got := NewText("hi").Text(); got != "hi" {
+		t.Errorf("Text() = %q, want hi", got)
+	}
+	if !NewBool(true).Bool() {
+		t.Error("Bool() = false, want true")
+	}
+	d := NewDate(2020, time.June, 14)
+	if got := d.Time().Format("2006-01-02"); got != "2020-06-14" {
+		t.Errorf("date = %s, want 2020-06-14", got)
+	}
+	if !NullValue().Null {
+		t.Error("NullValue is not null")
+	}
+}
+
+func TestParseDate(t *testing.T) {
+	v, err := ParseDate("1999-12-31")
+	if err != nil {
+		t.Fatalf("ParseDate: %v", err)
+	}
+	if v.String() != "1999-12-31" {
+		t.Errorf("round trip = %s", v.String())
+	}
+	if _, err := ParseDate("not-a-date"); err == nil {
+		t.Error("ParseDate accepted garbage")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{NullValue(), "NULL"},
+		{NewInt(-7), "-7"},
+		{NewFloat(1.5), "1.5"},
+		{NewText("x y"), "x y"},
+		{NewBool(false), "false"},
+		{NewDate(1970, time.January, 2), "1970-01-02"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSQLLiteralQuoting(t *testing.T) {
+	if got := NewText("O'Brien").SQLLiteral(); got != "'O''Brien'" {
+		t.Errorf("SQLLiteral = %s", got)
+	}
+	if got := NullValue().SQLLiteral(); got != "NULL" {
+		t.Errorf("SQLLiteral(NULL) = %s", got)
+	}
+	if got := NewDate(2020, time.March, 1).SQLLiteral(); got != "'2020-03-01'" {
+		t.Errorf("SQLLiteral(date) = %s", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(1), NewFloat(1.5), -1},
+		{NewFloat(2.5), NewInt(2), 1},
+		{NewText("a"), NewText("b"), -1},
+		{NewBool(false), NewBool(true), -1},
+		{NewDate(2020, 1, 1), NewDate(2021, 1, 1), -1},
+	}
+	for _, c := range cases {
+		got, err := Compare(c.a, c.b)
+		if err != nil {
+			t.Fatalf("Compare(%v,%v): %v", c.a, c.b, err)
+		}
+		if got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	if _, err := Compare(NewInt(1), NewText("x")); err == nil {
+		t.Error("Compare int/text did not error")
+	}
+	if _, err := Compare(NullValue(), NewInt(1)); err == nil {
+		t.Error("Compare with NULL did not error")
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	v, err := Coerce(NewInt(3), TypeFloat)
+	if err != nil || v.Float() != 3.0 {
+		t.Errorf("Coerce int→float = %v, %v", v, err)
+	}
+	v, err = Coerce(NewText("2020-06-14"), TypeDate)
+	if err != nil || v.String() != "2020-06-14" {
+		t.Errorf("Coerce text→date = %v, %v", v, err)
+	}
+	if _, err = Coerce(NewText("x"), TypeInt); err == nil {
+		t.Error("Coerce text→int did not error")
+	}
+	v, err = Coerce(NullValue(), TypeInt)
+	if err != nil || !v.Null {
+		t.Errorf("Coerce NULL = %v, %v", v, err)
+	}
+}
+
+// randomValue generates an arbitrary value for property tests.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(6) {
+	case 0:
+		return NullValue()
+	case 1:
+		return NewInt(r.Int63n(2000) - 1000)
+	case 2:
+		return NewFloat(r.NormFloat64() * 100)
+	case 3:
+		letters := []rune("abcxyz '")
+		n := r.Intn(8)
+		s := make([]rune, n)
+		for i := range s {
+			s[i] = letters[r.Intn(len(letters))]
+		}
+		return NewText(string(s))
+	case 4:
+		return NewBool(r.Intn(2) == 0)
+	default:
+		return NewDateDays(int64(r.Intn(20000)))
+	}
+}
+
+// Property: Key equality coincides with Equal.
+func TestKeyAgreesWithEqual(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := randomValue(rand.New(rand.NewSource(seedA)))
+		b := randomValue(rand.New(rand.NewSource(seedB)))
+		return (a.Key() == b.Key()) == a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is antisymmetric on comparable pairs.
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := randomValue(rand.New(rand.NewSource(seedA)))
+		b := randomValue(rand.New(rand.NewSource(seedB)))
+		c1, err1 := Compare(a, b)
+		c2, err2 := Compare(b, a)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		return c1 == -c2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is transitive over same-type values.
+func TestCompareTransitiveInts(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		va, vb, vc := NewInt(a), NewInt(b), NewInt(c)
+		ab, _ := Compare(va, vb)
+		bc, _ := Compare(vb, vc)
+		ac, _ := Compare(va, vc)
+		if ab <= 0 && bc <= 0 && ac > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowKeyAndClone(t *testing.T) {
+	r := Row{NewInt(1), NewText("a")}
+	s := Row{NewInt(1), NewText("a")}
+	if r.Key() != s.Key() {
+		t.Error("equal rows have different keys")
+	}
+	// Concatenation ambiguity: ("ab","c") must differ from ("a","bc").
+	r1 := Row{NewText("ab"), NewText("c")}
+	r2 := Row{NewText("a"), NewText("bc")}
+	if r1.Key() == r2.Key() {
+		t.Error("row key is ambiguous under concatenation")
+	}
+	cl := r.Clone()
+	cl[0] = NewInt(99)
+	if r[0].Int() != 1 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Int on text", func() { NewText("x").Int() })
+	mustPanic("Text on null", func() { NullValue().Text() })
+	mustPanic("Float on bool", func() { NewBool(true).Float() })
+}
+
+func TestTypeString(t *testing.T) {
+	want := map[Type]string{TypeInt: "INT", TypeFloat: "FLOAT", TypeText: "TEXT", TypeBool: "BOOL", TypeDate: "DATE"}
+	for ty, w := range want {
+		if ty.String() != w {
+			t.Errorf("%v.String() = %s, want %s", int(ty), ty.String(), w)
+		}
+	}
+	if !TypeInt.Numeric() || !TypeFloat.Numeric() || TypeText.Numeric() {
+		t.Error("Numeric() misclassifies")
+	}
+}

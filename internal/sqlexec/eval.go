@@ -1,0 +1,532 @@
+package sqlexec
+
+import (
+	"fmt"
+	"strings"
+
+	"nlidb/internal/sqldata"
+	"nlidb/internal/sqlparse"
+)
+
+// evalPredicate evaluates a boolean expression under SQL three-valued
+// logic and reports whether it is definitely TRUE (NULL counts as false,
+// matching WHERE/HAVING/ON semantics).
+func evalPredicate(ctx *evalCtx, e sqlparse.Expr) (bool, error) {
+	v, err := evalExpr(ctx, e)
+	if err != nil {
+		return false, err
+	}
+	if v.Null {
+		return false, nil
+	}
+	if v.T != sqldata.TypeBool {
+		return false, fmt.Errorf("sqlexec: predicate evaluated to %s, want BOOL", v.T)
+	}
+	return v.Bool(), nil
+}
+
+// evalExpr evaluates an expression in the given context. Boolean results
+// use NULL for SQL UNKNOWN.
+func evalExpr(ctx *evalCtx, e sqlparse.Expr) (sqldata.Value, error) {
+	switch t := e.(type) {
+	case *sqlparse.Literal:
+		return t.Val, nil
+
+	case *sqlparse.ColumnRef:
+		return evalColumn(ctx, t)
+
+	case *sqlparse.BinaryExpr:
+		return evalBinary(ctx, t)
+
+	case *sqlparse.UnaryExpr:
+		x, err := evalExpr(ctx, t.X)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		switch t.Op {
+		case "NOT":
+			if x.Null {
+				return sqldata.NullValue(), nil
+			}
+			if x.T != sqldata.TypeBool {
+				return sqldata.Value{}, fmt.Errorf("sqlexec: NOT on %s", x.T)
+			}
+			return sqldata.NewBool(!x.Bool()), nil
+		case "-":
+			if x.Null {
+				return sqldata.NullValue(), nil
+			}
+			switch x.T {
+			case sqldata.TypeInt:
+				return sqldata.NewInt(-x.Int()), nil
+			case sqldata.TypeFloat:
+				return sqldata.NewFloat(-x.Float()), nil
+			}
+			return sqldata.Value{}, fmt.Errorf("sqlexec: unary minus on %s", x.T)
+		}
+		return sqldata.Value{}, fmt.Errorf("sqlexec: unknown unary op %q", t.Op)
+
+	case *sqlparse.FuncCall:
+		if t.IsAggregate() {
+			return evalAggregate(ctx, t)
+		}
+		return evalScalarFunc(ctx, t)
+
+	case *sqlparse.InExpr:
+		return evalIn(ctx, t)
+
+	case *sqlparse.ExistsExpr:
+		res, err := ctx.engine.run(t.Sub, ctx)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		return sqldata.NewBool((len(res.Rows) > 0) != t.Not), nil
+
+	case *sqlparse.SubqueryExpr:
+		return evalScalarSubquery(ctx, t.Sub)
+
+	case *sqlparse.BetweenExpr:
+		x, err := evalExpr(ctx, t.X)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		lo, err := evalExpr(ctx, t.Lo)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		hi, err := evalExpr(ctx, t.Hi)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		if x.Null || lo.Null || hi.Null {
+			return sqldata.NullValue(), nil
+		}
+		x, lo = coerceDatePair(x, lo)
+		x, hi = coerceDatePair(x, hi)
+		cl, err := sqldata.Compare(x, lo)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		ch, err := sqldata.Compare(x, hi)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		return sqldata.NewBool((cl >= 0 && ch <= 0) != t.Not), nil
+
+	case *sqlparse.LikeExpr:
+		x, err := evalExpr(ctx, t.X)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		if x.Null {
+			return sqldata.NullValue(), nil
+		}
+		if x.T != sqldata.TypeText {
+			return sqldata.Value{}, fmt.Errorf("sqlexec: LIKE on %s", x.T)
+		}
+		return sqldata.NewBool(likeMatch(t.Pattern, x.Text()) != t.Not), nil
+
+	case *sqlparse.IsNullExpr:
+		x, err := evalExpr(ctx, t.X)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		return sqldata.NewBool(x.Null != t.Not), nil
+	}
+	return sqldata.Value{}, fmt.Errorf("sqlexec: unsupported expression %T", e)
+}
+
+// evalColumn resolves a column reference against the current scope, then
+// select-item aliases, then enclosing scopes (correlated sub-queries).
+func evalColumn(ctx *evalCtx, c *sqlparse.ColumnRef) (sqldata.Value, error) {
+	for cur := ctx; cur != nil; cur = cur.parent {
+		if off, err := cur.scope.resolve(c.Table, c.Column); err == nil {
+			return cur.row[off], nil
+		}
+		if c.Table == "" && cur.aliases != nil {
+			if v, ok := cur.aliases[strings.ToLower(c.Column)]; ok {
+				return v, nil
+			}
+		}
+	}
+	return sqldata.Value{}, fmt.Errorf("sqlexec: cannot resolve column %s", c)
+}
+
+func evalBinary(ctx *evalCtx, b *sqlparse.BinaryExpr) (sqldata.Value, error) {
+	// AND/OR get short-circuit three-valued logic.
+	if b.Op == "AND" || b.Op == "OR" {
+		l, err := evalExpr(ctx, b.L)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		r, err := evalExpr(ctx, b.R)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		lb, lNull, err := boolOrNull(l)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		rb, rNull, err := boolOrNull(r)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		if b.Op == "AND" {
+			switch {
+			case !lNull && !lb, !rNull && !rb:
+				return sqldata.NewBool(false), nil
+			case lNull || rNull:
+				return sqldata.NullValue(), nil
+			default:
+				return sqldata.NewBool(true), nil
+			}
+		}
+		switch {
+		case !lNull && lb, !rNull && rb:
+			return sqldata.NewBool(true), nil
+		case lNull || rNull:
+			return sqldata.NullValue(), nil
+		default:
+			return sqldata.NewBool(false), nil
+		}
+	}
+
+	l, err := evalExpr(ctx, b.L)
+	if err != nil {
+		return sqldata.Value{}, err
+	}
+	r, err := evalExpr(ctx, b.R)
+	if err != nil {
+		return sqldata.Value{}, err
+	}
+
+	switch b.Op {
+	case "=", "!=", "<", "<=", ">", ">=":
+		if l.Null || r.Null {
+			return sqldata.NullValue(), nil
+		}
+		l, r = coerceDatePair(l, r)
+		c, err := sqldata.Compare(l, r)
+		if err != nil {
+			return sqldata.Value{}, fmt.Errorf("sqlexec: %s: %w", b, err)
+		}
+		var ok bool
+		switch b.Op {
+		case "=":
+			ok = c == 0
+		case "!=":
+			ok = c != 0
+		case "<":
+			ok = c < 0
+		case "<=":
+			ok = c <= 0
+		case ">":
+			ok = c > 0
+		case ">=":
+			ok = c >= 0
+		}
+		return sqldata.NewBool(ok), nil
+
+	case "+", "-", "*", "/":
+		if l.Null || r.Null {
+			return sqldata.NullValue(), nil
+		}
+		if !l.T.Numeric() || !r.T.Numeric() {
+			return sqldata.Value{}, fmt.Errorf("sqlexec: arithmetic %s on %s and %s", b.Op, l.T, r.T)
+		}
+		if l.T == sqldata.TypeInt && r.T == sqldata.TypeInt && b.Op != "/" {
+			a, bb := l.Int(), r.Int()
+			switch b.Op {
+			case "+":
+				return sqldata.NewInt(a + bb), nil
+			case "-":
+				return sqldata.NewInt(a - bb), nil
+			case "*":
+				return sqldata.NewInt(a * bb), nil
+			}
+		}
+		a, bb := l.Float(), r.Float()
+		switch b.Op {
+		case "+":
+			return sqldata.NewFloat(a + bb), nil
+		case "-":
+			return sqldata.NewFloat(a - bb), nil
+		case "*":
+			return sqldata.NewFloat(a * bb), nil
+		default:
+			if bb == 0 {
+				return sqldata.NullValue(), nil // SQL engines raise; NULL keeps workloads total
+			}
+			return sqldata.NewFloat(a / bb), nil
+		}
+	}
+	return sqldata.Value{}, fmt.Errorf("sqlexec: unknown operator %q", b.Op)
+}
+
+func boolOrNull(v sqldata.Value) (b, isNull bool, err error) {
+	if v.Null {
+		return false, true, nil
+	}
+	if v.T != sqldata.TypeBool {
+		return false, false, fmt.Errorf("sqlexec: expected BOOL, got %s", v.T)
+	}
+	return v.Bool(), false, nil
+}
+
+// evalAggregate computes COUNT/SUM/AVG/MIN/MAX over the current group.
+func evalAggregate(ctx *evalCtx, f *sqlparse.FuncCall) (sqldata.Value, error) {
+	if ctx.groupRows == nil {
+		return sqldata.Value{}, fmt.Errorf("sqlexec: aggregate %s outside grouped context", f.Name)
+	}
+	if f.Star {
+		if f.Name != "COUNT" {
+			return sqldata.Value{}, fmt.Errorf("sqlexec: %s(*) is not valid", f.Name)
+		}
+		return sqldata.NewInt(int64(len(ctx.groupRows))), nil
+	}
+	if len(f.Args) != 1 {
+		return sqldata.Value{}, fmt.Errorf("sqlexec: %s expects one argument", f.Name)
+	}
+
+	var vals []sqldata.Value
+	seen := map[string]bool{}
+	for _, r := range ctx.groupRows {
+		rowCtx := &evalCtx{engine: ctx.engine, scope: ctx.scope, row: r, parent: ctx.parent}
+		v, err := evalExpr(rowCtx, f.Args[0])
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		if v.Null {
+			continue // aggregates skip NULLs
+		}
+		if f.Distinct {
+			k := v.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+
+	switch f.Name {
+	case "COUNT":
+		return sqldata.NewInt(int64(len(vals))), nil
+	case "SUM", "AVG":
+		if len(vals) == 0 {
+			return sqldata.NullValue(), nil
+		}
+		allInt := true
+		sum := 0.0
+		var isum int64
+		for _, v := range vals {
+			if !v.T.Numeric() {
+				return sqldata.Value{}, fmt.Errorf("sqlexec: %s over %s", f.Name, v.T)
+			}
+			if v.T != sqldata.TypeInt {
+				allInt = false
+			} else {
+				isum += v.Int()
+			}
+			sum += v.Float()
+		}
+		if f.Name == "SUM" {
+			if allInt {
+				return sqldata.NewInt(isum), nil
+			}
+			return sqldata.NewFloat(sum), nil
+		}
+		return sqldata.NewFloat(sum / float64(len(vals))), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return sqldata.NullValue(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c, err := sqldata.Compare(v, best)
+			if err != nil {
+				return sqldata.Value{}, err
+			}
+			if (f.Name == "MIN" && c < 0) || (f.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return sqldata.Value{}, fmt.Errorf("sqlexec: unknown aggregate %q", f.Name)
+}
+
+// evalScalarFunc evaluates the small set of supported scalar functions.
+func evalScalarFunc(ctx *evalCtx, f *sqlparse.FuncCall) (sqldata.Value, error) {
+	if len(f.Args) != 1 {
+		return sqldata.Value{}, fmt.Errorf("sqlexec: function %s expects one argument", f.Name)
+	}
+	x, err := evalExpr(ctx, f.Args[0])
+	if err != nil {
+		return sqldata.Value{}, err
+	}
+	if x.Null {
+		return sqldata.NullValue(), nil
+	}
+	switch f.Name {
+	case "LOWER":
+		if x.T != sqldata.TypeText {
+			return sqldata.Value{}, fmt.Errorf("sqlexec: LOWER on %s", x.T)
+		}
+		return sqldata.NewText(strings.ToLower(x.Text())), nil
+	case "UPPER":
+		if x.T != sqldata.TypeText {
+			return sqldata.Value{}, fmt.Errorf("sqlexec: UPPER on %s", x.T)
+		}
+		return sqldata.NewText(strings.ToUpper(x.Text())), nil
+	case "ABS":
+		switch x.T {
+		case sqldata.TypeInt:
+			v := x.Int()
+			if v < 0 {
+				v = -v
+			}
+			return sqldata.NewInt(v), nil
+		case sqldata.TypeFloat:
+			v := x.Float()
+			if v < 0 {
+				v = -v
+			}
+			return sqldata.NewFloat(v), nil
+		}
+		return sqldata.Value{}, fmt.Errorf("sqlexec: ABS on %s", x.T)
+	case "YEAR":
+		if x.T != sqldata.TypeDate {
+			return sqldata.Value{}, fmt.Errorf("sqlexec: YEAR on %s", x.T)
+		}
+		return sqldata.NewInt(int64(x.Time().Year())), nil
+	}
+	return sqldata.Value{}, fmt.Errorf("sqlexec: unknown function %q", f.Name)
+}
+
+// evalIn evaluates list and sub-query IN with SQL NULL semantics: if no
+// element matches but some element (or the probe) is NULL, the result is
+// UNKNOWN rather than FALSE.
+func evalIn(ctx *evalCtx, in *sqlparse.InExpr) (sqldata.Value, error) {
+	x, err := evalExpr(ctx, in.X)
+	if err != nil {
+		return sqldata.Value{}, err
+	}
+
+	var elems []sqldata.Value
+	if in.Sub != nil {
+		res, err := ctx.engine.run(in.Sub, ctx)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		if len(res.Columns) != 1 {
+			return sqldata.Value{}, fmt.Errorf("sqlexec: IN sub-query must return one column, got %d", len(res.Columns))
+		}
+		for _, r := range res.Rows {
+			elems = append(elems, r[0])
+		}
+	} else {
+		for _, e := range in.List {
+			v, err := evalExpr(ctx, e)
+			if err != nil {
+				return sqldata.Value{}, err
+			}
+			elems = append(elems, v)
+		}
+	}
+
+	if x.Null {
+		if len(elems) == 0 {
+			return sqldata.NewBool(in.Not), nil // x IN () is FALSE even for NULL probe
+		}
+		return sqldata.NullValue(), nil
+	}
+	sawNull := false
+	for _, e := range elems {
+		if e.Null {
+			sawNull = true
+			continue
+		}
+		x2, e2 := coerceDatePair(x, e)
+		c, err := sqldata.Compare(x2, e2)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		if c == 0 {
+			return sqldata.NewBool(!in.Not), nil
+		}
+	}
+	if sawNull {
+		return sqldata.NullValue(), nil
+	}
+	return sqldata.NewBool(in.Not), nil
+}
+
+// evalScalarSubquery runs a sub-query expected to produce at most one row
+// of one column; an empty result is NULL.
+func evalScalarSubquery(ctx *evalCtx, sub *sqlparse.SelectStmt) (sqldata.Value, error) {
+	res, err := ctx.engine.run(sub, ctx)
+	if err != nil {
+		return sqldata.Value{}, err
+	}
+	if len(res.Columns) != 1 {
+		return sqldata.Value{}, fmt.Errorf("sqlexec: scalar sub-query must return one column, got %d", len(res.Columns))
+	}
+	switch len(res.Rows) {
+	case 0:
+		return sqldata.NullValue(), nil
+	case 1:
+		return res.Rows[0][0], nil
+	default:
+		return sqldata.Value{}, fmt.Errorf("sqlexec: scalar sub-query returned %d rows", len(res.Rows))
+	}
+}
+
+// coerceDatePair upgrades an ISO-formatted TEXT operand to DATE when the
+// other operand is a DATE, so NL-generated SQL like hired > '2018-01-01'
+// compares chronologically. Non-date-shaped text is left alone (Compare
+// will then report the type error).
+func coerceDatePair(a, b sqldata.Value) (sqldata.Value, sqldata.Value) {
+	if a.T == sqldata.TypeDate && b.T == sqldata.TypeText {
+		if d, err := sqldata.ParseDate(b.Text()); err == nil {
+			return a, d
+		}
+	}
+	if a.T == sqldata.TypeText && b.T == sqldata.TypeDate {
+		if d, err := sqldata.ParseDate(a.Text()); err == nil {
+			return d, b
+		}
+	}
+	return a, b
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single rune),
+// case-insensitively (the common NLIDB-friendly collation). Classic
+// two-pointer wildcard matching, linear in practice.
+func likeMatch(pattern, s string) bool {
+	p := []rune(strings.ToLower(pattern))
+	t := []rune(strings.ToLower(s))
+	pi, ti := 0, 0
+	star, starTi := -1, 0
+	for ti < len(t) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == t[ti]):
+			pi++
+			ti++
+		case pi < len(p) && p[pi] == '%':
+			star = pi
+			starTi = ti
+			pi++
+		case star >= 0:
+			pi = star + 1
+			starTi++
+			ti = starTi
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}

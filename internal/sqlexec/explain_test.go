@@ -1,0 +1,77 @@
+package sqlexec
+
+import (
+	"strings"
+	"testing"
+
+	"nlidb/internal/sqlparse"
+)
+
+func TestExplainSimple(t *testing.T) {
+	db := corpDB(t)
+	eng := New(db)
+	plan, err := eng.Explain(sqlparse.MustParse("SELECT name FROM employee WHERE salary > 100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"Project [name]", "Filter (salary > 100)", "Scan employee (7 rows)"} {
+		if !strings.Contains(plan, frag) {
+			t.Errorf("plan missing %q:\n%s", frag, plan)
+		}
+	}
+}
+
+func TestExplainFullPipeline(t *testing.T) {
+	db := corpDB(t)
+	eng := New(db)
+	plan, err := eng.Explain(sqlparse.MustParse(
+		`SELECT dept_id, COUNT(*) FROM employee WHERE salary > 1
+		 GROUP BY dept_id HAVING COUNT(*) > 1 ORDER BY dept_id ASC LIMIT 3`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []string{"Project", "Limit 3", "Sort", "Having", "HashGroupBy", "Filter", "Scan"}
+	last := -1
+	for _, frag := range order {
+		idx := strings.Index(plan, frag)
+		if idx < 0 {
+			t.Fatalf("plan missing %q:\n%s", frag, plan)
+		}
+		if idx < last {
+			t.Fatalf("operator %q out of order:\n%s", frag, plan)
+		}
+		last = idx
+	}
+}
+
+func TestExplainJoinAndSubquery(t *testing.T) {
+	db := corpDB(t)
+	eng := New(db)
+	plan, err := eng.Explain(sqlparse.MustParse(
+		`SELECT e.name FROM employee AS e JOIN department AS d ON e.dept_id = d.id
+		 WHERE e.salary > (SELECT AVG(salary) FROM employee)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"NestedLoopJoin", "Scan employee", "Scan department", "Subquery 1:", "Aggregate (global)"} {
+		if !strings.Contains(plan, frag) {
+			t.Errorf("plan missing %q:\n%s", frag, plan)
+		}
+	}
+}
+
+func TestExplainLeftJoinAndErrors(t *testing.T) {
+	db := corpDB(t)
+	eng := New(db)
+	plan, err := eng.Explain(sqlparse.MustParse(
+		"SELECT d.name FROM department AS d LEFT JOIN employee AS e ON e.dept_id = d.id"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "NestedLoopLeftJoin") {
+		t.Errorf("left join not shown:\n%s", plan)
+	}
+	if _, err := eng.Explain(nil); err == nil {
+		t.Error("nil statement accepted")
+	}
+}

@@ -1,0 +1,139 @@
+package sqlparse
+
+import (
+	"sort"
+	"strings"
+)
+
+// Canonical returns a normalized deep copy of the statement suitable for
+// exact-match comparison between a predicted and a gold query, in the style
+// of WikiSQL's order-insensitive matching:
+//
+//   - identifiers and aliases are lower-cased,
+//   - AND/OR conjunct chains are flattened and sorted,
+//   - IN lists are sorted,
+//   - comparisons with the literal on the left are flipped (5 < x → x > 5),
+//   - sub-queries are canonicalized recursively.
+//
+// The input is not modified.
+func Canonical(s *SelectStmt) *SelectStmt {
+	if s == nil {
+		return nil
+	}
+	out := NewSelect()
+	out.Distinct = s.Distinct
+	out.Limit = s.Limit
+	for _, it := range s.Items {
+		ci := SelectItem{Star: it.Star, StarTable: strings.ToLower(it.StarTable), Alias: strings.ToLower(it.Alias)}
+		if !it.Star {
+			ci.Expr = canonExpr(it.Expr)
+		}
+		out.Items = append(out.Items, ci)
+	}
+	if s.From != nil {
+		f := &FromClause{First: canonRef(s.From.First)}
+		for _, j := range s.From.Joins {
+			f.Joins = append(f.Joins, Join{Type: j.Type, Table: canonRef(j.Table), On: canonExpr(j.On)})
+		}
+		out.From = f
+	}
+	out.Where = canonExpr(s.Where)
+	for _, g := range s.GroupBy {
+		out.GroupBy = append(out.GroupBy, canonExpr(g))
+	}
+	out.Having = canonExpr(s.Having)
+	for _, o := range s.OrderBy {
+		out.OrderBy = append(out.OrderBy, OrderItem{Expr: canonExpr(o.Expr), Desc: o.Desc})
+	}
+	return out
+}
+
+// EqualCanonical reports whether two statements are identical after
+// canonicalization. This is the framework's "exact match" metric.
+func EqualCanonical(a, b *SelectStmt) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return Canonical(a).String() == Canonical(b).String()
+}
+
+func canonRef(r TableRef) TableRef {
+	return TableRef{Name: strings.ToLower(r.Name), Alias: strings.ToLower(r.Alias)}
+}
+
+// flip maps a comparison operator to its mirror.
+var flip = map[string]string{"=": "=", "!=": "!=", "<": ">", ">": "<", "<=": ">=", ">=": "<="}
+
+func canonExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch t := e.(type) {
+	case *ColumnRef:
+		return &ColumnRef{Table: strings.ToLower(t.Table), Column: strings.ToLower(t.Column)}
+	case *Literal:
+		return &Literal{Val: t.Val}
+	case *BinaryExpr:
+		if t.Op == "AND" || t.Op == "OR" {
+			terms := flatten(t.Op, t)
+			canon := make([]Expr, len(terms))
+			for i, x := range terms {
+				canon[i] = canonExpr(x)
+			}
+			sort.Slice(canon, func(i, j int) bool { return canon[i].String() < canon[j].String() })
+			res := canon[0]
+			for _, x := range canon[1:] {
+				res = &BinaryExpr{Op: t.Op, L: res, R: x}
+			}
+			return res
+		}
+		l, r := canonExpr(t.L), canonExpr(t.R)
+		if m, ok := flip[t.Op]; ok {
+			_, lLit := l.(*Literal)
+			_, rLit := r.(*Literal)
+			if lLit && !rLit {
+				return &BinaryExpr{Op: m, L: r, R: l}
+			}
+		}
+		return &BinaryExpr{Op: t.Op, L: l, R: r}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: t.Op, X: canonExpr(t.X)}
+	case *FuncCall:
+		f := &FuncCall{Name: strings.ToUpper(t.Name), Distinct: t.Distinct, Star: t.Star}
+		for _, a := range t.Args {
+			f.Args = append(f.Args, canonExpr(a))
+		}
+		return f
+	case *InExpr:
+		in := &InExpr{X: canonExpr(t.X), Not: t.Not}
+		if t.Sub != nil {
+			in.Sub = Canonical(t.Sub)
+			return in
+		}
+		for _, x := range t.List {
+			in.List = append(in.List, canonExpr(x))
+		}
+		sort.Slice(in.List, func(i, j int) bool { return in.List[i].String() < in.List[j].String() })
+		return in
+	case *ExistsExpr:
+		return &ExistsExpr{Not: t.Not, Sub: Canonical(t.Sub)}
+	case *SubqueryExpr:
+		return &SubqueryExpr{Sub: Canonical(t.Sub)}
+	case *BetweenExpr:
+		return &BetweenExpr{X: canonExpr(t.X), Lo: canonExpr(t.Lo), Hi: canonExpr(t.Hi), Not: t.Not}
+	case *LikeExpr:
+		return &LikeExpr{X: canonExpr(t.X), Pattern: t.Pattern, Not: t.Not}
+	case *IsNullExpr:
+		return &IsNullExpr{X: canonExpr(t.X), Not: t.Not}
+	default:
+		return e
+	}
+}
+
+// flatten collects the leaves of a left- or right-nested AND/OR chain.
+func flatten(op string, e Expr) []Expr {
+	if b, ok := e.(*BinaryExpr); ok && b.Op == op {
+		return append(flatten(op, b.L), flatten(op, b.R)...)
+	}
+	return []Expr{e}
+}

@@ -1,0 +1,68 @@
+package sqlparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Parse never panics, whatever bytes arrive — it returns an
+// error or a statement that prints and re-parses.
+func TestPropertyParseNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", s, r)
+				ok = false
+			}
+		}()
+		stmt, err := Parse(s)
+		if err != nil {
+			return true
+		}
+		// Valid parses must round-trip.
+		_, err = Parse(stmt.String())
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: token-soup inputs built from SQL vocabulary never panic either
+// (they stress the parser far more than random unicode).
+func TestPropertyTokenSoupNeverPanics(t *testing.T) {
+	vocab := []string{
+		"SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+		"JOIN", "LEFT", "ON", "AND", "OR", "NOT", "IN", "EXISTS", "BETWEEN",
+		"LIKE", "IS", "NULL", "DISTINCT", "COUNT", "AVG", "(", ")", ",", ".",
+		"*", "=", "<", ">", "<=", "!=", "'x'", "42", "3.14", "t", "a", "b", "AS",
+	}
+	f := func(seed int64) (ok bool) {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(24)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = vocab[r.Intn(len(vocab))]
+		}
+		s := strings.Join(parts, " ")
+		defer func() {
+			if rec := recover(); rec != nil {
+				t.Logf("panic on %q: %v", s, rec)
+				ok = false
+			}
+		}()
+		stmt, err := Parse(s)
+		if err == nil {
+			if _, err2 := Parse(stmt.String()); err2 != nil {
+				t.Logf("accepted %q but print does not re-parse: %s", s, stmt)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package sqlparse implements a lexer, recursive-descent parser, AST,
+// pretty-printer, and canonicalizer for the SQL subset the engine executes:
+//
+//	SELECT [DISTINCT] items FROM t [AS a] [(INNER|LEFT) JOIN u ON ...]...
+//	[WHERE expr] [GROUP BY exprs] [HAVING expr]
+//	[ORDER BY expr [ASC|DESC], ...] [LIMIT n]
+//
+// with aggregates (COUNT, SUM, AVG, MIN, MAX), arithmetic, LIKE, BETWEEN,
+// IN (list or sub-query), EXISTS sub-queries, scalar sub-queries, and
+// IS [NOT] NULL. This subset covers all four query-complexity classes of
+// the SIGMOD 2020 tutorial (Section 3), including nested BI queries.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies lexical tokens.
+type TokKind int
+
+const (
+	// TokEOF marks the end of input.
+	TokEOF TokKind = iota
+	// TokIdent is an identifier (table, column, alias, function name).
+	TokIdent
+	// TokKeyword is a reserved word (SELECT, FROM, ...), upper-cased.
+	TokKeyword
+	// TokNumber is an integer or float literal.
+	TokNumber
+	// TokString is a single-quoted string literal (quotes removed,
+	// doubled quotes unescaped).
+	TokString
+	// TokOp is an operator: = != <> < <= > >= + - * / , ( ) . ;
+	TokOp
+)
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "<eof>"
+	case TokString:
+		return "'" + t.Text + "'"
+	default:
+		return t.Text
+	}
+}
+
+// keywords is the reserved-word set. Identifiers matching these
+// (case-insensitively) lex as TokKeyword.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "AND": true,
+	"OR": true, "NOT": true, "IN": true, "EXISTS": true, "BETWEEN": true,
+	"LIKE": true, "IS": true, "NULL": true, "ASC": true, "DESC": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "OUTER": true, "ON": true,
+	"DISTINCT": true, "TRUE": true, "FALSE": true, "ALL": true, "ANY": true,
+	"UNION": true, "CASE": true, "WHEN": true, "THEN": true, "ELSE": true,
+	"END": true,
+}
+
+// Lex splits a SQL string into tokens. It returns an error for unterminated
+// strings or characters outside the supported alphabet.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqlparse: unterminated string at offset %d", start)
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		case c >= '0' && c <= '9':
+			start := i
+			for i < n && (input[i] >= '0' && input[i] <= '9') {
+				i++
+			}
+			if i < n && input[i] == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9' {
+				i++
+				for i < n && input[i] >= '0' && input[i] <= '9' {
+					i++
+				}
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: up, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start})
+			}
+		default:
+			start := i
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch {
+			case two == "!=" || two == "<>" || two == "<=" || two == ">=":
+				op := two
+				if op == "<>" {
+					op = "!="
+				}
+				toks = append(toks, Token{Kind: TokOp, Text: op, Pos: start})
+				i += 2
+			case strings.ContainsRune("=<>+-*/,().;", rune(c)):
+				toks = append(toks, Token{Kind: TokOp, Text: string(c), Pos: start})
+				i++
+			default:
+				return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,594 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nlidb/internal/sqldata"
+)
+
+// Parse parses a single SELECT statement (optionally ';'-terminated) and
+// returns its AST.
+func Parse(sql string) (*SelectStmt, error) {
+	toks, err := Lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokOp, ";")
+	if p.peek().Kind != TokEOF {
+		return nil, p.errorf("trailing input starting at %q", p.peek())
+	}
+	return stmt, nil
+}
+
+// MustParse parses or panics; for tests and statically known queries.
+func MustParse(sql string) *SelectStmt {
+	s, err := Parse(sql)
+	if err != nil {
+		panic(fmt.Sprintf("sqlparse: MustParse(%q): %v", sql, err))
+	}
+	return s
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sqlparse: at offset %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+}
+
+// accept consumes the next token if it matches kind and (case-insensitive)
+// text; it reports whether it did.
+func (p *parser) accept(kind TokKind, text string) bool {
+	t := p.peek()
+	if t.Kind == kind && strings.EqualFold(t.Text, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokKind, text string) error {
+	if !p.accept(kind, text) {
+		return p.errorf("expected %q, found %q", text, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) acceptKeyword(kw string) bool { return p.accept(TokKeyword, kw) }
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expect(TokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := NewSelect()
+	stmt.Distinct = p.acceptKeyword("DISTINCT")
+	if p.acceptKeyword("ALL") {
+		stmt.Distinct = false
+	}
+
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+
+	if p.acceptKeyword("FROM") {
+		from, err := p.parseFrom()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = from
+	}
+
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+
+	if p.acceptKeyword("GROUP") {
+		if err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, g)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+	}
+
+	if p.acceptKeyword("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = h
+	}
+
+	if p.acceptKeyword("ORDER") {
+		if err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+	}
+
+	if p.acceptKeyword("LIMIT") {
+		t := p.peek()
+		if t.Kind != TokNumber {
+			return nil, p.errorf("LIMIT expects a number, found %q", t)
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 0 {
+			return nil, p.errorf("invalid LIMIT %q", t.Text)
+		}
+		p.next()
+		stmt.Limit = n
+	}
+
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(TokOp, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	// "t.*" form: ident '.' '*'
+	if p.peek().Kind == TokIdent && p.pos+2 < len(p.toks) &&
+		p.toks[p.pos+1].Kind == TokOp && p.toks[p.pos+1].Text == "." &&
+		p.toks[p.pos+2].Kind == TokOp && p.toks[p.pos+2].Text == "*" {
+		tbl := p.next().Text
+		p.next()
+		p.next()
+		return SelectItem{Star: true, StarTable: tbl}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		t := p.peek()
+		if t.Kind != TokIdent {
+			return SelectItem{}, p.errorf("expected alias after AS, found %q", t)
+		}
+		item.Alias = p.next().Text
+	} else if p.peek().Kind == TokIdent {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return TableRef{}, p.errorf("expected table name, found %q", t)
+	}
+	ref := TableRef{Name: p.next().Text}
+	if p.acceptKeyword("AS") {
+		a := p.peek()
+		if a.Kind != TokIdent {
+			return TableRef{}, p.errorf("expected alias after AS, found %q", a)
+		}
+		ref.Alias = p.next().Text
+	} else if p.peek().Kind == TokIdent {
+		ref.Alias = p.next().Text
+	}
+	return ref, nil
+}
+
+func (p *parser) parseFrom() (*FromClause, error) {
+	first, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	from := &FromClause{First: first}
+	for {
+		var jt JoinType
+		switch {
+		case p.acceptKeyword("JOIN"):
+			jt = JoinInner
+		case p.acceptKeyword("INNER"):
+			if err := p.expect(TokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+			jt = JoinInner
+		case p.acceptKeyword("LEFT"):
+			p.acceptKeyword("OUTER")
+			if err := p.expect(TokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+			jt = JoinLeft
+		case p.accept(TokOp, ","):
+			// Comma join desugars to INNER JOIN ON TRUE; the WHERE clause
+			// carries the join predicate, as in pre-ANSI SQL.
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			from.Joins = append(from.Joins, Join{
+				Type:  JoinInner,
+				Table: ref,
+				On:    &Literal{Val: sqldata.NewBool(true)},
+			})
+			continue
+		default:
+			return from, nil
+		}
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		from.Joins = append(from.Joins, Join{Type: jt, Table: ref, On: on})
+	}
+}
+
+// Expression grammar, loosest to tightest:
+//
+//	expr    := orExpr
+//	orExpr  := andExpr (OR andExpr)*
+//	andExpr := notExpr (AND notExpr)*
+//	notExpr := NOT notExpr | predicate
+//	predicate := additive ( cmpOp additive
+//	            | [NOT] IN (...) | [NOT] BETWEEN x AND y
+//	            | [NOT] LIKE 'pat' | IS [NOT] NULL )?
+//	additive := multiplicative (('+'|'-') multiplicative)*
+//	multiplicative := unary (('*'|'/') unary)*
+//	unary   := '-' unary | primary
+//	primary := literal | funcCall | columnRef | '(' expr ')' | '(' SELECT ... ')' | EXISTS (...)
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+
+	not := p.acceptKeyword("NOT")
+	switch {
+	case p.acceptKeyword("IN"):
+		return p.parseInTail(l, not)
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{X: l, Lo: lo, Hi: hi, Not: not}, nil
+	case p.acceptKeyword("LIKE"):
+		t := p.peek()
+		if t.Kind != TokString {
+			return nil, p.errorf("LIKE expects a string pattern, found %q", t)
+		}
+		p.next()
+		return &LikeExpr{X: l, Pattern: t.Text, Not: not}, nil
+	case not:
+		return nil, p.errorf("expected IN, BETWEEN or LIKE after NOT")
+	}
+
+	if p.acceptKeyword("IS") {
+		isNot := p.acceptKeyword("NOT")
+		if err := p.expect(TokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{X: l, Not: isNot}, nil
+	}
+
+	t := p.peek()
+	if t.Kind == TokOp {
+		switch t.Text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			p.next()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: t.Text, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseInTail(l Expr, not bool) (Expr, error) {
+	if err := p.expect(TokOp, "("); err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == TokKeyword && p.peek().Text == "SELECT" {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{X: l, Not: not, Sub: sub}, nil
+	}
+	var list []Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, e)
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+	if err := p.expect(TokOp, ")"); err != nil {
+		return nil, err
+	}
+	return &InExpr{X: l, Not: not, List: list}, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokOp && (t.Text == "+" || t.Text == "-") {
+			p.next()
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: t.Text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokOp && (t.Text == "*" || t.Text == "/") {
+			p.next()
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: t.Text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(TokOp, "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation of numeric literals so "-3" is a literal, which
+		// keeps canonical forms stable.
+		if lit, ok := x.(*Literal); ok && !lit.Val.Null {
+			switch lit.Val.T {
+			case sqldata.TypeInt:
+				return &Literal{Val: sqldata.NewInt(-lit.Val.Int())}, nil
+			case sqldata.TypeFloat:
+				return &Literal{Val: sqldata.NewFloat(-lit.Val.Float())}, nil
+			}
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		if strings.Contains(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errorf("bad float literal %q", t.Text)
+			}
+			return &Literal{Val: sqldata.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad int literal %q", t.Text)
+		}
+		return &Literal{Val: sqldata.NewInt(n)}, nil
+
+	case TokString:
+		p.next()
+		return &Literal{Val: sqldata.NewText(t.Text)}, nil
+
+	case TokKeyword:
+		switch t.Text {
+		case "TRUE":
+			p.next()
+			return &Literal{Val: sqldata.NewBool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &Literal{Val: sqldata.NewBool(false)}, nil
+		case "NULL":
+			p.next()
+			return &Literal{Val: sqldata.NullValue()}, nil
+		case "EXISTS":
+			p.next()
+			if err := p.expect(TokOp, "("); err != nil {
+				return nil, err
+			}
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+			return &ExistsExpr{Sub: sub}, nil
+		}
+		return nil, p.errorf("unexpected keyword %q", t.Text)
+
+	case TokIdent:
+		p.next()
+		// Function call?
+		if p.accept(TokOp, "(") {
+			return p.parseFuncTail(strings.ToUpper(t.Text))
+		}
+		// Qualified column?
+		if p.accept(TokOp, ".") {
+			c := p.peek()
+			if c.Kind != TokIdent {
+				return nil, p.errorf("expected column after %q., found %q", t.Text, c)
+			}
+			p.next()
+			return &ColumnRef{Table: t.Text, Column: c.Text}, nil
+		}
+		return &ColumnRef{Column: t.Text}, nil
+
+	case TokOp:
+		if t.Text == "(" {
+			p.next()
+			if p.peek().Kind == TokKeyword && p.peek().Text == "SELECT" {
+				sub, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect(TokOp, ")"); err != nil {
+					return nil, err
+				}
+				return &SubqueryExpr{Sub: sub}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errorf("unexpected token %q", t)
+}
+
+func (p *parser) parseFuncTail(name string) (Expr, error) {
+	f := &FuncCall{Name: name}
+	if p.accept(TokOp, "*") {
+		f.Star = true
+		if err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	if p.accept(TokOp, ")") {
+		return f, nil
+	}
+	f.Distinct = p.acceptKeyword("DISTINCT")
+	for {
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		f.Args = append(f.Args, a)
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+	if err := p.expect(TokOp, ")"); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

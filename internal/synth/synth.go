@@ -1,0 +1,199 @@
+// Package synth provides (1) a paraphrase engine that rewrites questions
+// through composable linguistic operators — the mechanism behind the
+// robustness experiments (the tutorial: entity-based systems are "highly
+// sensitive to variations and paraphrasing", ML-based ones are "robust to
+// NL variations") — and (2) a DBPal-style synthetic training-data
+// generator that mass-produces NL/SQL pairs from schema templates with
+// paraphrase augmentation, avoiding manual labelling.
+package synth
+
+import (
+	"math/rand"
+	"strings"
+
+	"nlidb/internal/benchdata"
+	"nlidb/internal/dataset"
+	"nlidb/internal/lexicon"
+	"nlidb/internal/nlp"
+)
+
+// Op is one paraphrase operator.
+type Op int
+
+const (
+	// OpSynonym substitutes a content word with a lexicon synonym.
+	OpSynonym Op = iota
+	// OpPrefix prepends conversational padding ("could you please…").
+	OpPrefix
+	// OpFiller inserts a filler word mid-sentence.
+	OpFiller
+	// OpTypo transposes two adjacent letters of a long content word.
+	OpTypo
+	// OpCompSwap replaces a comparison phrase with a rarer equivalent
+	// ("over" → "exceeding") that fixed cue lists don't know.
+	OpCompSwap
+	// OpDropDet removes determiners.
+	OpDropDet
+	// OpReorder moves a trailing "with …" clause to the front, breaking
+	// position-sensitive heuristics while leaving bag-of-n-gram features
+	// almost intact.
+	OpReorder
+	numOps
+)
+
+var prefixes = []string{
+	"could you please show me",
+	"i would like to know",
+	"can you tell me",
+	"please find",
+	"i need",
+}
+
+var fillers = []string{"really", "currently", "actually", "overall", "right now"}
+
+// compSwaps maps known comparison phrasings to rarer equivalents.
+var compSwaps = [][2]string{
+	{" over ", " exceeding "},
+	{" greater than ", " beyond "},
+	{" under ", " beneath "},
+	{" below ", " short of "},
+	{" more than ", " upwards of "},
+}
+
+// Paraphrase applies `strength` randomly chosen distinct operators to the
+// question, deterministically under r. Strength 0 returns the input.
+func Paraphrase(q string, strength int, lex *lexicon.Lexicon, r *rand.Rand) string {
+	if strength <= 0 {
+		return q
+	}
+	ops := r.Perm(int(numOps))
+	applied := 0
+	for _, oi := range ops {
+		if applied >= strength {
+			break
+		}
+		out := apply(Op(oi), q, lex, r)
+		if out != q {
+			q = out
+			applied++
+		}
+	}
+	return q
+}
+
+func apply(op Op, q string, lex *lexicon.Lexicon, r *rand.Rand) string {
+	switch op {
+	case OpSynonym:
+		return synonymSwap(q, lex, r)
+	case OpPrefix:
+		return prefixes[r.Intn(len(prefixes))] + " " + q
+	case OpFiller:
+		words := strings.Fields(q)
+		if len(words) < 2 {
+			return q
+		}
+		pos := 1 + r.Intn(len(words)-1)
+		f := fillers[r.Intn(len(fillers))]
+		words = append(words[:pos], append([]string{f}, words[pos:]...)...)
+		return strings.Join(words, " ")
+	case OpTypo:
+		return typo(q, r)
+	case OpCompSwap:
+		padded := " " + q + " "
+		idxs := r.Perm(len(compSwaps))
+		for _, i := range idxs {
+			if strings.Contains(padded, compSwaps[i][0]) {
+				padded = strings.Replace(padded, compSwaps[i][0], compSwaps[i][1], 1)
+				return strings.TrimSpace(padded)
+			}
+		}
+		return q
+	case OpDropDet:
+		words := strings.Fields(q)
+		var out []string
+		dropped := false
+		for _, w := range words {
+			if !dropped && (w == "the" || w == "a" || w == "an") {
+				dropped = true
+				continue
+			}
+			out = append(out, w)
+		}
+		return strings.Join(out, " ")
+	case OpReorder:
+		if i := strings.Index(q, " with "); i > 0 {
+			return q[i+1:] + " " + q[:i]
+		}
+		return q
+	}
+	return q
+}
+
+// synonymSwap replaces one random content word that has a lexicon synonym.
+func synonymSwap(q string, lex *lexicon.Lexicon, r *rand.Rand) string {
+	if lex == nil {
+		return q
+	}
+	words := strings.Fields(q)
+	idxs := r.Perm(len(words))
+	for _, i := range idxs {
+		w := strings.ToLower(words[i])
+		if nlp.Tokenize(w)[0].IsStop() {
+			continue
+		}
+		syns := lex.Synonyms(w)
+		var alts []string
+		for _, s := range syns {
+			if s != nlp.Stem(w) {
+				alts = append(alts, s)
+			}
+		}
+		if len(alts) == 0 {
+			continue
+		}
+		words[i] = alts[r.Intn(len(alts))]
+		return strings.Join(words, " ")
+	}
+	return q
+}
+
+// typo transposes two adjacent letters in one content word of length ≥ 5.
+func typo(q string, r *rand.Rand) string {
+	words := strings.Fields(q)
+	idxs := r.Perm(len(words))
+	for _, i := range idxs {
+		w := words[i]
+		if len(w) < 5 || nlp.Tokenize(strings.ToLower(w))[0].Kind != nlp.KindWord {
+			continue
+		}
+		p := 1 + r.Intn(len(w)-2)
+		b := []byte(w)
+		b[p], b[p+1] = b[p+1], b[p]
+		words[i] = string(b)
+		return strings.Join(words, " ")
+	}
+	return q
+}
+
+// TrainingSet synthesizes n single-table training pairs over the domain's
+// main table, DBPal-style: template-generated questions, each optionally
+// duplicated with `augment` paraphrased variants (the gold SQL is shared).
+func TrainingSet(d *benchdata.Domain, n, augment int, lex *lexicon.Lexicon, seed int64) *dataset.Set {
+	base := benchdata.WikiSQLStyle(d, n, seed)
+	if augment <= 0 {
+		base.Name = "synth-" + d.Name
+		return base
+	}
+	r := rand.New(rand.NewSource(seed + 1000))
+	out := &dataset.Set{Name: "synth-" + d.Name, DB: d.DB}
+	for _, p := range base.Pairs {
+		out.Pairs = append(out.Pairs, p)
+		for a := 0; a < augment; a++ {
+			v := p
+			v.ID = p.ID + "-aug" + string(rune('a'+a))
+			v.Question = Paraphrase(p.Question, 1+r.Intn(2), lex, r)
+			out.Pairs = append(out.Pairs, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package synth
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"nlidb/internal/benchdata"
+	"nlidb/internal/lexicon"
+)
+
+func TestParaphraseStrengthZero(t *testing.T) {
+	if got := Paraphrase("show employees", 0, lexicon.New(), rand.New(rand.NewSource(1))); got != "show employees" {
+		t.Errorf("strength 0 changed input: %q", got)
+	}
+}
+
+func TestParaphraseChangesText(t *testing.T) {
+	lex := lexicon.New()
+	q := "list employees with salary over 50000"
+	changedCount := 0
+	for seed := int64(0); seed < 20; seed++ {
+		out := Paraphrase(q, 2, lex, rand.New(rand.NewSource(seed)))
+		if out != q {
+			changedCount++
+		}
+	}
+	if changedCount < 15 {
+		t.Errorf("paraphrase rarely fires: %d/20", changedCount)
+	}
+}
+
+func TestParaphraseDeterministic(t *testing.T) {
+	lex := lexicon.New()
+	q := "list employees with salary over 50000"
+	a := Paraphrase(q, 3, lex, rand.New(rand.NewSource(7)))
+	b := Paraphrase(q, 3, lex, rand.New(rand.NewSource(7)))
+	if a != b {
+		t.Fatalf("nondeterministic: %q vs %q", a, b)
+	}
+}
+
+func TestParaphraseStrengthMonotone(t *testing.T) {
+	// Higher strength must never apply fewer operators (measured loosely
+	// by edit distance from the original).
+	lex := lexicon.New()
+	q := "show the customers with city Berlin and credit over 10000"
+	d1 := editDist(q, Paraphrase(q, 1, lex, rand.New(rand.NewSource(3))))
+	d4 := editDist(q, Paraphrase(q, 4, lex, rand.New(rand.NewSource(3))))
+	if d4 < d1 {
+		t.Errorf("strength 4 (%d) closer than strength 1 (%d)", d4, d1)
+	}
+}
+
+func editDist(a, b string) int {
+	if a == b {
+		return 0
+	}
+	return len(a) + len(b) // crude: any change counts
+}
+
+func TestOperators(t *testing.T) {
+	lex := lexicon.New()
+	r := rand.New(rand.NewSource(5))
+	if out := apply(OpPrefix, "show employees", lex, r); !strings.Contains(out, "show employees") || out == "show employees" {
+		t.Errorf("prefix: %q", out)
+	}
+	if out := apply(OpCompSwap, "salary over 100", lex, r); !strings.Contains(out, "exceeding") {
+		t.Errorf("compswap: %q", out)
+	}
+	if out := apply(OpDropDet, "show the employees", lex, r); out != "show employees" {
+		t.Errorf("dropdet: %q", out)
+	}
+	if out := apply(OpTypo, "salary figures", lex, r); out == "salary figures" {
+		t.Errorf("typo did not fire")
+	}
+	if out := apply(OpSynonym, "salary of employees", lex, r); out == "salary of employees" {
+		t.Errorf("synonym did not fire")
+	}
+}
+
+func TestTrainingSet(t *testing.T) {
+	d := benchdata.Sales(9)
+	set := TrainingSet(d, 30, 0, lexicon.New(), 17)
+	if len(set.Pairs) < 20 {
+		t.Fatalf("pairs = %d", len(set.Pairs))
+	}
+	aug := TrainingSet(d, 30, 2, lexicon.New(), 17)
+	if len(aug.Pairs) != 3*len(set.Pairs) {
+		t.Fatalf("augmented = %d, base = %d", len(aug.Pairs), len(set.Pairs))
+	}
+	// Augmented variants share gold SQL with their base pair.
+	if aug.Pairs[1].SQL.String() != aug.Pairs[0].SQL.String() {
+		t.Error("augmented pair has different gold")
+	}
+	if aug.Pairs[1].Question == aug.Pairs[0].Question {
+		t.Error("augmented question identical to base")
+	}
+}
