@@ -1,0 +1,31 @@
+# nlidb — build and verification entry points. Pure Go, no external deps.
+
+GO ?= go
+
+.PHONY: build test short race vet fuzz check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Reduced suite: the chaos tests shrink to 30 queries per domain and the
+# slowest experiment-replay tests are skipped.
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Short coverage-guided fuzz sessions over the SQL parser and the NL
+# tokenizer (seed corpora always run as part of plain `make test`).
+FUZZTIME ?= 15s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/sqlparse
+	$(GO) test -run='^$$' -fuzz=FuzzTokenize -fuzztime=$(FUZZTIME) ./internal/nlp
+
+check: build vet test race

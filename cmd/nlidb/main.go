@@ -4,37 +4,46 @@
 // Usage:
 //
 //	nlidb [-domain sales] [-engine athena] [-chat] [-seed N]
+//	      [-timeout 5s] [-fallback parse,pattern,keyword] [-csv a.csv,b.csv]
 //
 // Engines: keyword, pattern, parse, athena (default). With -chat the
 // session runs through the agent-based dialogue manager, so follow-ups
 // like "only those with credit over 20000" and "how many are there" work.
+//
+// One-shot questions are served through the resilient gateway: -timeout
+// bounds each question's wall-clock time (0 disables the deadline), and
+// -fallback lists the engines tried, in order, after the primary -engine
+// fails (empty string disables fallback). Every stage runs under panic
+// isolation and a resource budget, so a pathological question reports an
+// error instead of hanging or crashing the session.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
-	"nlidb/internal/athena"
 	"nlidb/internal/autocomplete"
 	"nlidb/internal/benchdata"
 	"nlidb/internal/dialogue"
-	"nlidb/internal/keywordnl"
 	"nlidb/internal/lexicon"
 	"nlidb/internal/nlq"
 	"nlidb/internal/ontology"
-	"nlidb/internal/parsenl"
-	"nlidb/internal/patternnl"
+	"nlidb/internal/resilient"
 	"nlidb/internal/sqldata"
 	"nlidb/internal/sqlexec"
 )
 
 func main() {
 	domain := flag.String("domain", "sales", "demo domain: sales, movies, hospital, flights, university, medical")
-	engine := flag.String("engine", "athena", "interpreter: keyword, pattern, parse, athena")
+	engine := flag.String("engine", "athena", "primary interpreter: keyword, pattern, parse, athena")
+	fallback := flag.String("fallback", "parse,pattern,keyword", "comma-separated engines tried after the primary fails (empty disables)")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-question wall-clock deadline (0 disables)")
 	chat := flag.Bool("chat", false, "conversational mode (agent-based dialogue manager)")
 	seed := flag.Int64("seed", 1, "data generation seed")
 	csvFiles := flag.String("csv", "", "comma-separated CSV files to query instead of a demo domain (table name = file name)")
@@ -45,22 +54,8 @@ func main() {
 	case *csvFiles != "":
 		db := sqldata.NewDatabase("csv")
 		for _, path := range strings.Split(*csvFiles, ",") {
-			path = strings.TrimSpace(path)
-			f, err := os.Open(path)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "nlidb: %v\n", err)
-				os.Exit(1)
-			}
-			name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-			tbl, err := sqldata.LoadCSV(name, f)
-			f.Close()
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "nlidb: %v\n", err)
-				os.Exit(1)
-			}
-			if err := db.AddTable(tbl); err != nil {
-				fmt.Fprintf(os.Stderr, "nlidb: %v\n", err)
-				os.Exit(1)
+			if err := loadCSVTable(db, strings.TrimSpace(path)); err != nil {
+				fatalf("%v", err)
 			}
 		}
 		d = &benchdata.Domain{Name: "csv", DB: db}
@@ -70,28 +65,30 @@ func main() {
 		d = benchdata.DomainByName(*domain, *seed)
 	}
 	if d == nil {
-		fmt.Fprintf(os.Stderr, "nlidb: unknown domain %q\n", *domain)
-		os.Exit(1)
+		fatalf("unknown domain %q", *domain)
 	}
 
 	lex := lexicon.New()
-	var interp nlq.Interpreter
-	switch strings.ToLower(*engine) {
-	case "keyword":
-		interp = keywordnl.New(d.DB, lex)
-	case "pattern":
-		interp = patternnl.New(d.DB, lex)
-	case "parse":
-		interp = parsenl.New(d.DB, lex)
-	case "athena":
-		interp = athena.New(d.DB, lex)
-	default:
-		fmt.Fprintf(os.Stderr, "nlidb: unknown engine %q\n", *engine)
-		os.Exit(1)
+	names := []string{*engine}
+	if *fallback != "" {
+		names = append(names, strings.Split(*fallback, ",")...)
 	}
+	chain, err := resilient.ChainByNames(d.DB, lex, names)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	primary := chain[0]
+	gw := resilient.New(d.DB, chain, resilient.Config{Timeout: *timeout})
 
-	fmt.Printf("nlidb — domain %q, engine %q%s\n", d.Name, interp.Name(),
+	fmt.Printf("nlidb — domain %q, engine %q%s\n", d.Name, primary.Name(),
 		map[bool]string{true: ", conversational", false: ""}[*chat])
+	if len(chain) > 1 {
+		var rest []string
+		for _, e := range chain[1:] {
+			rest = append(rest, e.Name())
+		}
+		fmt.Printf("fallback: %s (timeout %s)\n", strings.Join(rest, " → "), *timeout)
+	}
 	fmt.Println("tables:")
 	for _, t := range d.DB.Tables() {
 		fmt.Printf("  %s\n", t.Schema.DDL())
@@ -102,7 +99,7 @@ func main() {
 	eng := sqlexec.New(d.DB)
 	var agent *dialogue.Agent
 	if *chat {
-		agent = dialogue.NewAgent(d.DB, interp, lex)
+		agent = dialogue.NewAgent(d.DB, primary, lex)
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -127,7 +124,7 @@ func main() {
 			continue
 		}
 		if q, ok := strings.CutPrefix(line, "explain "); ok {
-			ins, err := interp.Interpret(q)
+			ins, err := primary.Interpret(q)
 			if err != nil {
 				fmt.Printf("  could not interpret: %v\n", err)
 				continue
@@ -160,23 +157,43 @@ func main() {
 			continue
 		}
 
-		ins, err := interp.Interpret(line)
+		ans, err := gw.Ask(context.Background(), line)
 		if err != nil {
-			fmt.Printf("  could not interpret: %v\n", err)
+			fmt.Printf("  could not answer: %v\n", err)
 			continue
 		}
-		best, _ := nlq.Best(ins)
-		fmt.Printf("  SQL: %s  (confidence %.2f)\n", best.SQL, best.Score)
-		if best.Clarification != nil {
-			fmt.Printf("  note: ambiguous — %s %v\n", best.Clarification.Question, best.Clarification.Options)
+		fmt.Printf("  SQL: %s  (confidence %.2f, engine %s", ans.SQL, ans.Score, ans.Engine)
+		if ans.Simplified {
+			fmt.Print(", simplified retry")
 		}
-		res, err := eng.Run(best.SQL)
-		if err != nil {
-			fmt.Printf("  execution failed: %v\n", err)
-			continue
-		}
-		fmt.Println(indent(res.String()))
+		fmt.Println(")")
+		fmt.Println(indent(ans.Result.String()))
 	}
+}
+
+// loadCSVTable loads one CSV file into db as a table named after the file,
+// closing the file on every path. LoadCSV errors already carry the row and
+// column of the offending cell; this wrapper prefixes the file path.
+func loadCSVTable(db *sqldata.Database, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	tbl, err := sqldata.LoadCSV(name, f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := db.AddTable(tbl); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "nlidb: "+format+"\n", args...)
+	os.Exit(1)
 }
 
 func indent(s string) string {

@@ -7,6 +7,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -105,7 +106,7 @@ func Evaluate(interp nlq.Interpreter, set *dataset.Set) (*Report, error) {
 		if sqlparse.EqualCanonical(best.SQL, p.SQL) {
 			c.Exact++
 		}
-		pred, err := eng.Run(best.SQL)
+		pred, err := runGuarded(eng, best.SQL)
 		if err != nil {
 			continue
 		}
@@ -117,6 +118,19 @@ func Evaluate(interp nlq.Interpreter, set *dataset.Set) (*Report, error) {
 		rep.Overall.add(*c)
 	}
 	return rep, nil
+}
+
+// runGuarded executes predicted SQL under a default resource budget and
+// panic isolation: a pathological or malformed prediction counts as
+// unanswered instead of stalling or crashing the harness. Gold queries
+// stay unguarded — a broken gold query is a corpus bug and must surface.
+func runGuarded(eng *sqlexec.Engine, stmt *sqlparse.SelectStmt) (res *sqldata.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("eval: predicted query panicked: %v", r)
+		}
+	}()
+	return eng.RunContext(context.Background(), stmt, sqlexec.DefaultBudget())
 }
 
 func resultsMatch(pred, gold *sqldata.Result, goldStmt *sqlparse.SelectStmt) bool {

@@ -16,16 +16,19 @@ import (
 	"nlidb/internal/nlq"
 	"nlidb/internal/parsenl"
 	"nlidb/internal/patternnl"
+	"nlidb/internal/resilient"
 	"nlidb/internal/synth"
 )
 
-// interpreterSet builds the entity-based family over a domain.
+// interpreterSet builds the entity-based family over a domain. Every
+// interpreter is wrapped in resilient.Safe so a panic in one engine
+// surfaces as a per-query error instead of aborting the whole experiment.
 func interpreterSet(d *benchdata.Domain, lex *lexicon.Lexicon) map[string]nlq.Interpreter {
 	return map[string]nlq.Interpreter{
-		"keyword": keywordnl.New(d.DB, lex),
-		"pattern": patternnl.New(d.DB, lex),
-		"parse":   parsenl.New(d.DB, lex),
-		"athena":  athena.New(d.DB, lex),
+		"keyword": resilient.Safe(keywordnl.New(d.DB, lex)),
+		"pattern": resilient.Safe(patternnl.New(d.DB, lex)),
+		"parse":   resilient.Safe(parsenl.New(d.DB, lex)),
+		"athena":  resilient.Safe(athena.New(d.DB, lex)),
 	}
 }
 
@@ -64,14 +67,14 @@ func T1ComplexityCeiling(seed int64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		interps["mlsql"] = mlsql.NewInterpreter(d.DB, model)
+		interps["mlsql"] = resilient.Safe(mlsql.NewInterpreter(d.DB, model))
 
 		history := d.GeneratePairs(150, seed+int64(di)*7+1, nlq.Simple, nlq.Aggregation, nlq.Join)
 		quest, err := hybridnl.NewQuest(d.DB, lex, history)
 		if err != nil {
 			return nil, err
 		}
-		interps["quest"] = quest
+		interps["quest"] = resilient.Safe(quest)
 
 		for name, in := range interps {
 			rep, err := eval.Evaluate(in, set)

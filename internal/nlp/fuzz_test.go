@@ -1,0 +1,49 @@
+package nlp
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzTokenize asserts the tokenizer's total-function contract: any input
+// — however mangled — tokenizes without panicking, every token carries a
+// consistent lower/stem form, and downstream helpers (Words, Tag) accept
+// the result. The seed corpus covers the question shapes the benchdata
+// generators produce, plus quoting and unicode edge cases.
+// Run with: go test -run=^$ -fuzz=FuzzTokenize ./internal/nlp
+func FuzzTokenize(f *testing.F) {
+	seeds := []string{
+		// benchdata question shapes.
+		"show me all customers in Berlin",
+		"which products cost more than 99.5?",
+		"average order total by city",
+		"how many orders were placed after '2018-01-01'",
+		"customers whose name is \"ann\" or 'bob'",
+		"list the top 5 movies by rating",
+		"patients treated by doctors with specialty cardiology",
+		"flights from berlin to munich on monday",
+		// edge cases.
+		"", "   ", "'", "\"", "'unterminated", "it's five-o'clock",
+		"３.１４ naïve café — ¿qué?", "a\x00b", "1e9 .5 5.",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := Tokenize(s)
+		for i, tok := range toks {
+			if tok.Pos != i {
+				t.Fatalf("token %d of %q has Pos %d", i, s, tok.Pos)
+			}
+			if tok.Kind != KindQuoted && tok.Text == "" {
+				t.Fatalf("token %d of %q is empty", i, s)
+			}
+			if utf8.ValidString(s) && !utf8.ValidString(tok.Text) {
+				t.Fatalf("token %d of valid-UTF8 %q is invalid UTF-8: %q", i, s, tok.Text)
+			}
+		}
+		// Downstream consumers must accept any tokenization.
+		Words(toks)
+		Tag(toks)
+	})
+}

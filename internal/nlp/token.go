@@ -129,6 +129,13 @@ func consumeWord(rs []rune, i int, add func(string, Kind)) int {
 		}
 		break
 	}
+	if j == i {
+		// Not a word at all — e.g. a lone unterminated quote routed here
+		// by Tokenize. Emit the rune as punctuation so the scan always
+		// advances; returning i would loop forever.
+		add(string(rs[i]), KindPunct)
+		return i + 1
+	}
 	add(string(rs[i:j]), KindWord)
 	return j
 }

@@ -1,0 +1,92 @@
+package resilient
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker automaton.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "?"
+	}
+}
+
+// breaker trips an engine out of the fallback chain after a run of
+// consecutive infrastructure failures, and lets a single probe back
+// through after the cooldown (half-open). Semantic misses — "I cannot
+// interpret this question" — never count as failures; see countable.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures that open the breaker
+	cooldown  time.Duration // open → half-open delay
+	now       func() time.Time
+
+	state    breakerState
+	fails    int
+	openedAt time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a call may proceed. An open breaker whose cooldown
+// has elapsed transitions to half-open and admits one probe.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // closed or half-open (probe in flight)
+		return true
+	}
+}
+
+// success closes the breaker and clears the failure run.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.fails = 0
+}
+
+// failure records one countable failure; a failed half-open probe or a
+// full run of consecutive failures (re)opens the breaker.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.state == breakerHalfOpen || b.fails >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.fails = 0
+	}
+}
+
+// snapshot returns the state for introspection (Gateway.BreakerStates).
+func (b *breaker) snapshot() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

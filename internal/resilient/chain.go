@@ -1,0 +1,69 @@
+package resilient
+
+import (
+	"fmt"
+	"strings"
+
+	"nlidb/internal/athena"
+	"nlidb/internal/keywordnl"
+	"nlidb/internal/lexicon"
+	"nlidb/internal/nlq"
+	"nlidb/internal/parsenl"
+	"nlidb/internal/patternnl"
+	"nlidb/internal/sqldata"
+)
+
+// DefaultChainNames is the survey-ordered degradation sequence: the
+// ontology-driven BI interpreter first, then parse+schema, then pattern,
+// then keyword — each step trading precision for coverage and simplicity.
+var DefaultChainNames = []string{"athena", "parse", "pattern", "keyword"}
+
+// EngineByName constructs one entity-based interpreter over db by its
+// family name (athena, parse, pattern, keyword).
+func EngineByName(name string, db *sqldata.Database, lex *lexicon.Lexicon) (nlq.Interpreter, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "keyword":
+		return keywordnl.New(db, lex), nil
+	case "pattern":
+		return patternnl.New(db, lex), nil
+	case "parse":
+		return parsenl.New(db, lex), nil
+	case "athena":
+		return athena.New(db, lex), nil
+	default:
+		return nil, fmt.Errorf("resilient: unknown engine %q", name)
+	}
+}
+
+// ChainByNames constructs a fallback chain from engine names, dropping
+// duplicates while keeping first-occurrence order.
+func ChainByNames(db *sqldata.Database, lex *lexicon.Lexicon, names []string) ([]nlq.Interpreter, error) {
+	var chain []nlq.Interpreter
+	seen := map[string]bool{}
+	for _, n := range names {
+		n = strings.ToLower(strings.TrimSpace(n))
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		eng, err := EngineByName(n, db, lex)
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, eng)
+	}
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("resilient: empty engine chain")
+	}
+	return chain, nil
+}
+
+// DefaultChain builds the default athena → parse → pattern → keyword
+// fallback chain over db.
+func DefaultChain(db *sqldata.Database, lex *lexicon.Lexicon) []nlq.Interpreter {
+	chain, err := ChainByNames(db, lex, DefaultChainNames)
+	if err != nil {
+		panic(err) // unreachable: the default names are all known
+	}
+	return chain
+}

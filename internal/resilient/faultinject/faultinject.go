@@ -1,0 +1,92 @@
+// Package faultinject is a deterministic chaos harness for the resilient
+// Gateway: a seeded injector that forces panics, errors, and artificial
+// slowness at named pipeline sites (interpret, parse, execute) with
+// configurable rates, plus per-kind counters so tests can assert the
+// faults actually fired. The same seed always produces the same fault
+// sequence, so chaos tests are replayable.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"nlidb/internal/resilient"
+)
+
+// Injector decides faults pseudo-randomly from a seed. The zero rates
+// inject nothing; rates are probabilities in [0,1] checked in order
+// panic → error → slow (so PanicRate+ErrorRate+SlowRate should be ≤ 1).
+type Injector struct {
+	// PanicRate is the probability a guarded stage panics.
+	PanicRate float64
+	// ErrorRate is the probability a guarded stage fails with an error.
+	ErrorRate float64
+	// SlowRate is the probability a guarded stage is delayed by SlowBy.
+	SlowRate float64
+	// SlowBy is the injected delay for slow faults (default 5ms).
+	SlowBy time.Duration
+	// Sites, when non-nil, restricts injection to these sites.
+	Sites map[resilient.Site]bool
+	// Engines, when non-nil, restricts injection to these engine names.
+	Engines map[string]bool
+
+	mu     sync.Mutex
+	rnd    *rand.Rand
+	counts map[string]int
+}
+
+// New returns an injector seeded for a replayable fault sequence.
+func New(seed int64) *Injector {
+	return &Injector{
+		SlowBy: 5 * time.Millisecond,
+		rnd:    rand.New(rand.NewSource(seed)),
+		counts: map[string]int{},
+	}
+}
+
+// Hook adapts the injector to the Gateway's fault hook. The returned hook
+// is safe for concurrent use.
+func (in *Injector) Hook() resilient.Hook {
+	return func(site resilient.Site, engine string) resilient.Fault {
+		return in.decide(site, engine)
+	}
+}
+
+func (in *Injector) decide(site resilient.Site, engine string) resilient.Fault {
+	if in.Sites != nil && !in.Sites[site] {
+		return resilient.Fault{}
+	}
+	if in.Engines != nil && !in.Engines[engine] {
+		return resilient.Fault{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r := in.rnd.Float64()
+	switch {
+	case r < in.PanicRate:
+		in.counts["panic"]++
+		return resilient.Fault{Panic: fmt.Sprintf("faultinject: panic at %s/%s", site, engine)}
+	case r < in.PanicRate+in.ErrorRate:
+		in.counts["error"]++
+		return resilient.Fault{Err: fmt.Errorf("faultinject: error at %s/%s", site, engine)}
+	case r < in.PanicRate+in.ErrorRate+in.SlowRate:
+		in.counts["slow"]++
+		return resilient.Fault{Delay: in.SlowBy}
+	default:
+		return resilient.Fault{}
+	}
+}
+
+// Counts returns a copy of the per-kind injection counters ("panic",
+// "error", "slow").
+func (in *Injector) Counts() map[string]int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]int, len(in.counts))
+	for k, v := range in.counts {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"nlidb/internal/resilient"
+)
+
+func drive(in *Injector, n int) []resilient.Fault {
+	hook := in.Hook()
+	sites := []resilient.Site{resilient.SiteInterpret, resilient.SiteParse, resilient.SiteExecute}
+	engines := []string{"athena", "parse", "pattern", "keyword"}
+	out := make([]resilient.Fault, n)
+	for i := 0; i < n; i++ {
+		out[i] = hook(sites[i%len(sites)], engines[i%len(engines)])
+	}
+	return out
+}
+
+func TestInjectorIsDeterministicPerSeed(t *testing.T) {
+	mk := func() *Injector {
+		in := New(42)
+		in.PanicRate, in.ErrorRate, in.SlowRate = 0.2, 0.2, 0.2
+		return in
+	}
+	a, b := mk(), mk()
+	fa, fb := drive(a, 500), drive(b, 500)
+	for i := range fa {
+		if (fa[i].Panic == nil) != (fb[i].Panic == nil) ||
+			(fa[i].Err == nil) != (fb[i].Err == nil) ||
+			fa[i].Delay != fb[i].Delay {
+			t.Fatalf("fault %d diverged between identical seeds: %+v vs %+v", i, fa[i], fb[i])
+		}
+	}
+	if !reflect.DeepEqual(a.Counts(), b.Counts()) {
+		t.Fatalf("counts diverged: %v vs %v", a.Counts(), b.Counts())
+	}
+	for _, kind := range []string{"panic", "error", "slow"} {
+		if a.Counts()[kind] == 0 {
+			t.Fatalf("no %q faults in 500 draws at rate 0.2 (counts %v)", kind, a.Counts())
+		}
+	}
+}
+
+func TestInjectorZeroRatesInjectNothing(t *testing.T) {
+	in := New(1)
+	for _, f := range drive(in, 100) {
+		if f != (resilient.Fault{}) {
+			t.Fatalf("zero-rate injector produced fault %+v", f)
+		}
+	}
+	if len(in.Counts()) != 0 {
+		t.Fatalf("counts should be empty, got %v", in.Counts())
+	}
+}
+
+func TestInjectorFilters(t *testing.T) {
+	in := New(3)
+	in.ErrorRate = 1 // every targeted call errors
+	in.SlowBy = time.Millisecond
+	in.Sites = map[resilient.Site]bool{resilient.SiteExecute: true}
+	in.Engines = map[string]bool{"athena": true}
+	hook := in.Hook()
+	if f := hook(resilient.SiteInterpret, "athena"); f.Err != nil {
+		t.Fatal("site filter ignored")
+	}
+	if f := hook(resilient.SiteExecute, "keyword"); f.Err != nil {
+		t.Fatal("engine filter ignored")
+	}
+	if f := hook(resilient.SiteExecute, "athena"); f.Err == nil {
+		t.Fatal("targeted call should fault")
+	}
+}

@@ -1,0 +1,289 @@
+package resilient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"nlidb/internal/nlq"
+	"nlidb/internal/sqldata"
+	"nlidb/internal/sqlexec"
+	"nlidb/internal/sqlparse"
+)
+
+// ErrBreakerOpen marks an engine skipped because its circuit breaker is
+// open (still cooling down after consecutive failures).
+var ErrBreakerOpen = errors.New("resilient: circuit breaker open")
+
+// ErrExhausted marks an Ask for which every engine in the chain failed or
+// was skipped. The concrete error is a *ChainError listing the attempts.
+var ErrExhausted = errors.New("resilient: all engines failed")
+
+// ChainError reports an exhausted fallback chain with the per-attempt
+// failure trail.
+type ChainError struct {
+	// Question is the original question asked.
+	Question string
+	// Attempts is the failure trail, in the order tried.
+	Attempts []Attempt
+}
+
+func (e *ChainError) Error() string {
+	parts := make([]string, len(e.Attempts))
+	for i, a := range e.Attempts {
+		parts[i] = fmt.Sprintf("%s: %v", a.Engine, a.Err)
+	}
+	return fmt.Sprintf("resilient: all engines failed for %q [%s]", e.Question, strings.Join(parts, "; "))
+}
+
+// Unwrap lets errors.Is(err, ErrExhausted) match.
+func (e *ChainError) Unwrap() error { return ErrExhausted }
+
+// Attempt is one failed try in the fallback chain.
+type Attempt struct {
+	// Engine is the interpreter tried.
+	Engine string
+	// Question is the question form used (original or simplified).
+	Question string
+	// Err is why the attempt failed.
+	Err error
+}
+
+// Answer is a successful Ask.
+type Answer struct {
+	// Engine names the interpreter that produced the answer.
+	Engine string
+	// SQL is the executed statement (round-tripped through the parser).
+	SQL *sqlparse.SelectStmt
+	// Result is the executed result set.
+	Result *sqldata.Result
+	// Score is the interpretation confidence reported by the engine.
+	Score float64
+	// Simplified reports that the answer came from the stopword-stripped
+	// retry form of the question rather than the original.
+	Simplified bool
+	// Attempts is the failure trail of engines tried before this one.
+	Attempts []Attempt
+}
+
+// Config tunes a Gateway. The zero value is serviceable: default budget,
+// no deadline, breaker threshold 3 with a 30-second cooldown, and
+// retry-with-simplification enabled.
+type Config struct {
+	// Timeout is the per-Ask wall-clock deadline (0 = none). It covers the
+	// whole fallback chain, not each engine separately.
+	Timeout time.Duration
+	// Budget bounds each execution; the zero Budget is replaced by
+	// sqlexec.DefaultBudget(). Set a field negative for truly unlimited.
+	Budget sqlexec.Budget
+	// BreakerThreshold is the consecutive-failure count that opens an
+	// engine's circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before admitting a
+	// half-open probe (default 30s).
+	BreakerCooldown time.Duration
+	// NoRetry disables the stopword-stripped retry of a failed engine.
+	NoRetry bool
+	// Hook, when non-nil, is consulted before every guarded stage; tests
+	// use it to inject faults at named sites.
+	Hook Hook
+	// Now is the breaker clock, injectable for tests (default time.Now).
+	Now func() time.Time
+}
+
+// Gateway serves natural-language questions end-to-end with failure
+// handling: an ordered fallback chain of interpreters, each call guarded
+// by recover(), execution bounded by context and budget, and unhealthy
+// engines tripped out by circuit breakers.
+type Gateway struct {
+	engines  []nlq.Interpreter
+	exec     *sqlexec.Engine
+	cfg      Config
+	breakers map[string]*breaker
+}
+
+// New builds a Gateway over db serving the given fallback chain, best
+// engine first. Config zero values are filled with defaults.
+func New(db *sqldata.Database, chain []nlq.Interpreter, cfg Config) *Gateway {
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 30 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Budget == (sqlexec.Budget{}) {
+		cfg.Budget = sqlexec.DefaultBudget()
+	}
+	g := &Gateway{
+		engines:  chain,
+		exec:     sqlexec.New(db),
+		cfg:      cfg,
+		breakers: map[string]*breaker{},
+	}
+	for _, e := range chain {
+		g.breakers[e.Name()] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now)
+	}
+	return g
+}
+
+// BreakerStates reports each engine's current breaker state ("closed",
+// "open", "half-open"), keyed by engine name.
+func (g *Gateway) BreakerStates() map[string]string {
+	out := make(map[string]string, len(g.breakers))
+	for name, b := range g.breakers {
+		out[name] = b.snapshot().String()
+	}
+	return out
+}
+
+// Ask answers one question: it walks the fallback chain, skipping engines
+// with open breakers, trying each healthy engine first with the question
+// as asked and then (unless NoRetry) with its stopword-stripped form, and
+// returns the first interpretation that parses and executes within the
+// deadline and budget. It never panics: stage panics surface inside the
+// failure trail as *PanicError values.
+func (g *Gateway) Ask(ctx context.Context, question string) (*Answer, error) {
+	if g.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, g.cfg.Timeout)
+		defer cancel()
+	}
+
+	var trail []Attempt
+	simplified := ""
+	if !g.cfg.NoRetry {
+		simplified = Simplify(question)
+		if simplified == question {
+			simplified = ""
+		}
+	}
+
+	for _, eng := range g.engines {
+		name := eng.Name()
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("resilient: %w", err)
+		}
+		br := g.breakers[name]
+		if !br.allow() {
+			trail = append(trail, Attempt{Engine: name, Question: question, Err: ErrBreakerOpen})
+			continue
+		}
+
+		tries := []string{question}
+		if simplified != "" {
+			tries = append(tries, simplified)
+		}
+		var lastErr error
+		for ti, q := range tries {
+			ans, err := g.attempt(ctx, eng, q)
+			if err == nil {
+				br.success()
+				ans.Simplified = ti > 0
+				ans.Attempts = trail
+				return ans, nil
+			}
+			lastErr = err
+			trail = append(trail, Attempt{Engine: name, Question: q, Err: err})
+			if ctx.Err() != nil {
+				// The overall deadline is gone; further engines would only
+				// burn it further. The timeout counts against the engine
+				// that consumed it.
+				if countable(err) {
+					br.failure()
+				}
+				return nil, &ChainError{Question: question, Attempts: trail}
+			}
+		}
+		if countable(lastErr) {
+			br.failure()
+		}
+	}
+	return nil, &ChainError{Question: question, Attempts: trail}
+}
+
+// countable reports whether an attempt failure indicates engine ill-health
+// (and should advance its breaker). Clean semantic misses — the engine
+// simply has no reading of the question — are not failures: a keyword
+// engine that cannot interpret nested questions is healthy, just limited.
+func countable(err error) bool {
+	return err != nil && !errors.Is(err, nlq.ErrNoInterpretation)
+}
+
+// attempt runs one engine over one question form through the three guarded
+// stages: interpret, parse (print + re-parse validation), execute.
+func (g *Gateway) attempt(ctx context.Context, eng nlq.Interpreter, q string) (*Answer, error) {
+	name := eng.Name()
+
+	var ins []nlq.Interpretation
+	if err := g.guard(ctx, SiteInterpret, name, func() error {
+		var err error
+		ins, err = eng.Interpret(q)
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("interpret: %w", err)
+	}
+	best, err := nlq.Best(ins)
+	if err != nil {
+		return nil, err
+	}
+	if best.SQL == nil {
+		return nil, fmt.Errorf("resilient: %s produced an interpretation without SQL", name)
+	}
+
+	// Validate the candidate by round-tripping it through the printer and
+	// parser; a malformed AST fails here instead of deep inside execution.
+	var stmt *sqlparse.SelectStmt
+	if err := g.guard(ctx, SiteParse, name, func() error {
+		var err error
+		stmt, err = sqlparse.Parse(best.SQL.String())
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+
+	var res *sqldata.Result
+	if err := g.guard(ctx, SiteExecute, name, func() error {
+		var err error
+		res, err = g.exec.RunContext(ctx, stmt, g.cfg.Budget)
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("execute: %w", err)
+	}
+	return &Answer{Engine: name, SQL: stmt, Result: res, Score: best.Score}, nil
+}
+
+// guard runs one stage under panic isolation, first applying any injected
+// fault from the hook. Injected delays respect the query's context, so a
+// slow fault cannot push an Ask past its deadline by more than one stage.
+func (g *Gateway) guard(ctx context.Context, site Site, engine string, f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Site: site, Engine: engine, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if g.cfg.Hook != nil {
+		fault := g.cfg.Hook(site, engine)
+		if fault.Delay > 0 {
+			t := time.NewTimer(fault.Delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return fmt.Errorf("resilient: %w", ctx.Err())
+			case <-t.C:
+			}
+		}
+		if fault.Panic != nil {
+			panic(fault.Panic)
+		}
+		if fault.Err != nil {
+			return fault.Err
+		}
+	}
+	return f()
+}

@@ -1,6 +1,8 @@
 package sqldata
 
 import (
+	"encoding/csv"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -62,6 +64,33 @@ func TestLoadCSVErrors(t *testing.T) {
 	// Ragged rows are rejected by encoding/csv itself.
 	if _, err := LoadCSV("t", strings.NewReader("a,b\n1\n")); err == nil {
 		t.Error("ragged row accepted")
+	}
+}
+
+// Malformed input must fail with an error that names the offending line,
+// so cmd/nlidb can report actionable diagnostics instead of exiting blind.
+func TestLoadCSVMalformedReportsLine(t *testing.T) {
+	tests := []struct {
+		name, in, wantLine string
+	}{
+		{"ragged row mid-file", "a,b\n1,2\n3\n4,5\n", "line 3"},
+		{"bare quote in cell", "a,b\n1,\"x\n", "line 2"},
+		{"extra field", "a,b\n1,2,3\n", "line 2"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadCSV("t", strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("malformed csv %q accepted", tc.in)
+			}
+			var pe *csv.ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v does not expose *csv.ParseError", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantLine) {
+				t.Fatalf("error %q does not name the offending %s", err, tc.wantLine)
+			}
+		})
 	}
 }
 

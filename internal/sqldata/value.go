@@ -143,6 +143,68 @@ func (v Value) Time() time.Time {
 	return time.Unix(v.i*86400, 0).UTC()
 }
 
+// IntOK returns the integer payload, reporting ok=false (instead of
+// panicking) when the value is NULL or not an INT.
+func (v Value) IntOK() (int64, bool) {
+	if v.Null || v.T != TypeInt {
+		return 0, false
+	}
+	return v.i, true
+}
+
+// FloatOK returns the float payload, widening INT to FLOAT. It reports
+// ok=false for NULL or non-numeric values.
+func (v Value) FloatOK() (float64, bool) {
+	if v.Null {
+		return 0, false
+	}
+	switch v.T {
+	case TypeFloat:
+		return v.f, true
+	case TypeInt:
+		return float64(v.i), true
+	default:
+		return 0, false
+	}
+}
+
+// TextOK returns the string payload, reporting ok=false for NULL or
+// non-TEXT values.
+func (v Value) TextOK() (string, bool) {
+	if v.Null || v.T != TypeText {
+		return "", false
+	}
+	return v.s, true
+}
+
+// BoolOK returns the boolean payload, reporting ok=false for NULL or
+// non-BOOL values.
+func (v Value) BoolOK() (bool, bool) {
+	if v.Null || v.T != TypeBool {
+		return false, false
+	}
+	return v.b, true
+}
+
+// DateDaysOK returns days since the Unix epoch, reporting ok=false for
+// NULL or non-DATE values.
+func (v Value) DateDaysOK() (int64, bool) {
+	if v.Null || v.T != TypeDate {
+		return 0, false
+	}
+	return v.i, true
+}
+
+// TimeOK returns the date as a time.Time at UTC midnight, reporting
+// ok=false for NULL or non-DATE values.
+func (v Value) TimeOK() (time.Time, bool) {
+	days, ok := v.DateDaysOK()
+	if !ok {
+		return time.Time{}, false
+	}
+	return time.Unix(days*86400, 0).UTC(), true
+}
+
 func (v Value) mustBe(t Type) {
 	if v.Null {
 		panic("sqldata: typed accessor on NULL")

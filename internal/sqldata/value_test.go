@@ -32,6 +32,72 @@ func TestValueConstructorsAndAccessors(t *testing.T) {
 	}
 }
 
+// The OK accessors are the non-panicking mirrors of Int/Float/Text/...:
+// wrong type or NULL reports ok=false instead of panicking, which is what
+// the executor's hot paths rely on.
+func TestOKAccessors(t *testing.T) {
+	i := NewInt(7)
+	f := NewFloat(1.5)
+	s := NewText("hi")
+	b := NewBool(true)
+	d := NewDate(2020, time.June, 14)
+	null := NullValue()
+
+	if v, ok := i.IntOK(); !ok || v != 7 {
+		t.Errorf("IntOK(7) = %d, %v", v, ok)
+	}
+	if v, ok := f.FloatOK(); !ok || v != 1.5 {
+		t.Errorf("FloatOK(1.5) = %v, %v", v, ok)
+	}
+	if v, ok := i.FloatOK(); !ok || v != 7.0 {
+		t.Errorf("FloatOK must widen INT: got %v, %v", v, ok)
+	}
+	if v, ok := s.TextOK(); !ok || v != "hi" {
+		t.Errorf("TextOK = %q, %v", v, ok)
+	}
+	if v, ok := b.BoolOK(); !ok || !v {
+		t.Errorf("BoolOK = %v, %v", v, ok)
+	}
+	if v, ok := d.TimeOK(); !ok || v.Format("2006-01-02") != "2020-06-14" {
+		t.Errorf("TimeOK = %v, %v", v, ok)
+	}
+	if _, ok := d.DateDaysOK(); !ok {
+		t.Error("DateDaysOK rejected a date")
+	}
+
+	// Wrong type and NULL must report ok=false on every accessor — the
+	// whole point is that none of these calls can panic.
+	for _, tc := range []struct {
+		name string
+		v    Value
+	}{{"null", null}, {"text", s}} {
+		if _, ok := tc.v.IntOK(); ok && (tc.v.Null || tc.v.T != TypeInt) {
+			t.Errorf("IntOK(%s) claimed ok", tc.name)
+		}
+		if _, ok := tc.v.FloatOK(); ok && (tc.v.Null || (tc.v.T != TypeFloat && tc.v.T != TypeInt)) {
+			t.Errorf("FloatOK(%s) claimed ok", tc.name)
+		}
+		if _, ok := tc.v.BoolOK(); ok {
+			t.Errorf("BoolOK(%s) claimed ok", tc.name)
+		}
+		if _, ok := tc.v.TimeOK(); ok {
+			t.Errorf("TimeOK(%s) claimed ok", tc.name)
+		}
+		if _, ok := tc.v.DateDaysOK(); ok {
+			t.Errorf("DateDaysOK(%s) claimed ok", tc.name)
+		}
+	}
+	if _, ok := null.TextOK(); ok {
+		t.Error("TextOK(null) claimed ok")
+	}
+	if _, ok := i.TextOK(); ok {
+		t.Error("TextOK(int) claimed ok")
+	}
+	if _, ok := i.BoolOK(); ok {
+		t.Error("BoolOK(int) claimed ok")
+	}
+}
+
 func TestParseDate(t *testing.T) {
 	v, err := ParseDate("1999-12-31")
 	if err != nil {

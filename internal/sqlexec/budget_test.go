@@ -1,0 +1,155 @@
+package sqlexec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"nlidb/internal/sqldata"
+	"nlidb/internal/sqlparse"
+)
+
+// budgetDB builds two n-row single-column tables for cross-join stress.
+func budgetDB(t testing.TB, n int) *sqldata.Database {
+	t.Helper()
+	db := sqldata.NewDatabase("budget")
+	for _, name := range []string{"x", "y"} {
+		tbl, err := db.CreateTable(&sqldata.Schema{Name: name, Columns: []sqldata.Column{
+			{Name: "v", Type: sqldata.TypeInt},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			tbl.MustInsert(sqldata.NewInt(int64(i)))
+		}
+	}
+	return db
+}
+
+// pathological is a correlated sub-query over a cross join: 40×40 join
+// rows, each evaluating a sub-query that scans x again — the classic
+// adversarial nested shape the budget exists to stop.
+const pathological = "SELECT COUNT(*) FROM x JOIN y ON x.v >= 0 " +
+	"WHERE (SELECT COUNT(*) FROM x AS x2 WHERE x2.v > x.v) >= 0"
+
+func TestBudgetEnforcement(t *testing.T) {
+	db := budgetDB(t, 40)
+	e := New(db)
+	stmt := sqlparse.MustParse(pathological)
+
+	tests := []struct {
+		name     string
+		budget   Budget
+		resource string // expected BudgetError.Resource; "" means success
+	}{
+		{"unlimited zero budget", Budget{}, ""},
+		{"large budget succeeds", Budget{MaxRows: 1_000_000, MaxJoinRows: 1_000_000, MaxSubqueries: 1_000_000}, ""},
+		{"join rows exhausted", Budget{MaxJoinRows: 100}, "join rows"},
+		{"subqueries exhausted", Budget{MaxSubqueries: 10}, "subqueries"},
+		{"rows exhausted by scans", Budget{MaxRows: 50}, "rows"},
+		{"default budget succeeds", DefaultBudget(), ""},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := e.RunContext(context.Background(), stmt, tc.budget)
+			if tc.resource == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if got, _ := res.Rows[0][0].IntOK(); got != 1600 {
+					t.Fatalf("COUNT(*) = %v, want 1600", res.Rows[0][0])
+				}
+				return
+			}
+			if !errors.Is(err, ErrBudgetExceeded) {
+				t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+			}
+			var be *BudgetError
+			if !errors.As(err, &be) || be.Resource != tc.resource {
+				t.Fatalf("err = %v, want *BudgetError for %q", err, tc.resource)
+			}
+		})
+	}
+}
+
+func TestBudgetCountsSubqueriesGlobally(t *testing.T) {
+	db := budgetDB(t, 8)
+	e := New(db)
+	// The correlated sub-query runs once per outer row (8 rows).
+	stmt := sqlparse.MustParse("SELECT v FROM x WHERE (SELECT COUNT(*) FROM y WHERE y.v = x.v) = 1")
+	if _, err := e.RunContext(context.Background(), stmt, Budget{MaxSubqueries: 8}); err != nil {
+		t.Fatalf("8 sub-queries within a budget of 8: %v", err)
+	}
+	_, err := e.RunContext(context.Background(), stmt, Budget{MaxSubqueries: 7})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded at the 8th sub-query", err)
+	}
+}
+
+func TestCancellationReturnsPromptly(t *testing.T) {
+	db := budgetDB(t, 300) // 90k join rows × correlated sub-query: seconds of work
+	e := New(db)
+	stmt := sqlparse.MustParse(pathological)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.RunContext(ctx, stmt, Budget{})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	start := time.Now()
+	select {
+	case err := <-done:
+		if took := time.Since(start); took > 100*time.Millisecond {
+			t.Fatalf("execution took %v after cancel, want <100ms", took)
+		}
+		if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("execution did not observe cancellation")
+	}
+}
+
+func TestDeadlineExpiryIsTyped(t *testing.T) {
+	db := budgetDB(t, 300)
+	e := New(db)
+	stmt := sqlparse.MustParse(pathological)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := e.RunContext(ctx, stmt, Budget{})
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.DeadlineExceeded", err)
+	}
+}
+
+func TestRunSQLContextParsesAndBounds(t *testing.T) {
+	db := budgetDB(t, 10)
+	e := New(db)
+	res, err := e.RunSQLContext(context.Background(), "SELECT COUNT(*) FROM x", DefaultBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := res.Rows[0][0].IntOK(); got != 10 {
+		t.Fatalf("COUNT(*) = %v, want 10", res.Rows[0][0])
+	}
+	if _, err := e.RunSQLContext(context.Background(), "SELEC nope", DefaultBudget()); err == nil {
+		t.Fatal("parse error must surface")
+	}
+}
+
+func TestBudgetErrorMessageNamesResource(t *testing.T) {
+	err := fmt.Errorf("wrap: %w", &BudgetError{Resource: "join rows", Limit: 5})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatal("wrapped BudgetError must match ErrBudgetExceeded")
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Limit != 5 {
+		t.Fatalf("lost detail: %v", err)
+	}
+}

@@ -6,6 +6,7 @@
 package sqlexec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -24,16 +25,42 @@ func New(db *sqldata.Database) *Engine { return &Engine{db: db} }
 
 // RunSQL parses and executes a SQL string.
 func (e *Engine) RunSQL(sql string) (*sqldata.Result, error) {
+	return e.RunSQLContext(context.Background(), sql, Budget{})
+}
+
+// RunSQLContext parses and executes a SQL string under ctx and b.
+func (e *Engine) RunSQLContext(ctx context.Context, sql string, b Budget) (*sqldata.Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(stmt)
+	return e.RunContext(ctx, stmt, b)
 }
 
-// Run executes a parsed statement.
+// Run executes a parsed statement with no deadline and no budget.
 func (e *Engine) Run(stmt *sqlparse.SelectStmt) (*sqldata.Result, error) {
-	return e.run(stmt, nil)
+	return e.RunContext(context.Background(), stmt, Budget{})
+}
+
+// RunContext executes a parsed statement, honoring ctx cancellation and
+// the resource budget. Cancellation surfaces as ErrCanceled and budget
+// exhaustion as ErrBudgetExceeded (both match with errors.Is); the
+// executor checks both at scan, join, and group boundaries.
+func (e *Engine) RunContext(ctx context.Context, stmt *sqlparse.SelectStmt, b Budget) (*sqldata.Result, error) {
+	st := &execState{ctx: ctx, budget: b}
+	if err := st.checkCtx(); err != nil {
+		return nil, err
+	}
+	return e.run(stmt, nil, st)
+}
+
+// runSub evaluates a sub-query against the enclosing statement's budget,
+// charging one sub-query evaluation.
+func (e *Engine) runSub(sub *sqlparse.SelectStmt, parent *evalCtx) (*sqldata.Result, error) {
+	if err := parent.st.addSubquery(); err != nil {
+		return nil, err
+	}
+	return e.run(sub, parent, parent.st)
 }
 
 // boundTable is one table visible in a query scope.
@@ -94,9 +121,10 @@ type evalCtx struct {
 	groupRows []sqldata.Row
 	aliases   map[string]sqldata.Value
 	parent    *evalCtx
+	st        *execState
 }
 
-func (e *Engine) run(stmt *sqlparse.SelectStmt, parent *evalCtx) (*sqldata.Result, error) {
+func (e *Engine) run(stmt *sqlparse.SelectStmt, parent *evalCtx, st *execState) (*sqldata.Result, error) {
 	if len(stmt.Items) == 0 {
 		return nil, fmt.Errorf("sqlexec: empty select list")
 	}
@@ -105,7 +133,7 @@ func (e *Engine) run(stmt *sqlparse.SelectStmt, parent *evalCtx) (*sqldata.Resul
 	}
 
 	sc := &scope{}
-	rows, err := e.evalFrom(stmt.From, sc, parent)
+	rows, err := e.evalFrom(stmt.From, sc, parent, st)
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +142,10 @@ func (e *Engine) run(stmt *sqlparse.SelectStmt, parent *evalCtx) (*sqldata.Resul
 	if stmt.Where != nil {
 		kept := rows[:0]
 		for _, r := range rows {
-			ctx := &evalCtx{engine: e, scope: sc, row: r, parent: parent}
+			if err := st.tick(); err != nil {
+				return nil, err
+			}
+			ctx := &evalCtx{engine: e, scope: sc, row: r, parent: parent, st: st}
 			ok, err := evalPredicate(ctx, stmt.Where)
 			if err != nil {
 				return nil, err
@@ -175,7 +206,10 @@ func (e *Engine) run(stmt *sqlparse.SelectStmt, parent *evalCtx) (*sqldata.Resul
 	}
 
 	if grouped {
-		groups, order := groupRows(rows, stmt.GroupBy, sc, e, parent)
+		groups, order, err := groupRows(rows, stmt.GroupBy, sc, e, parent, st)
+		if err != nil {
+			return nil, err
+		}
 		for _, key := range order {
 			g := groups[key]
 			var rep sqldata.Row
@@ -184,7 +218,7 @@ func (e *Engine) run(stmt *sqlparse.SelectStmt, parent *evalCtx) (*sqldata.Resul
 			} else {
 				rep = nullRow(sc.width) // all-NULL representative for empty global group
 			}
-			ctx := &evalCtx{engine: e, scope: sc, row: rep, groupRows: g, parent: parent}
+			ctx := &evalCtx{engine: e, scope: sc, row: rep, groupRows: g, parent: parent, st: st}
 			if stmt.Having != nil {
 				ok, err := evalPredicate(ctx, stmt.Having)
 				if err != nil {
@@ -202,6 +236,9 @@ func (e *Engine) run(stmt *sqlparse.SelectStmt, parent *evalCtx) (*sqldata.Resul
 			if err != nil {
 				return nil, err
 			}
+			if err := st.addRows(1); err != nil {
+				return nil, err
+			}
 			out = append(out, outRow{proj: proj, keys: keys})
 		}
 	} else {
@@ -209,13 +246,19 @@ func (e *Engine) run(stmt *sqlparse.SelectStmt, parent *evalCtx) (*sqldata.Resul
 			return nil, fmt.Errorf("sqlexec: HAVING without GROUP BY or aggregates")
 		}
 		for _, r := range rows {
-			ctx := &evalCtx{engine: e, scope: sc, row: r, parent: parent}
+			if err := st.tick(); err != nil {
+				return nil, err
+			}
+			ctx := &evalCtx{engine: e, scope: sc, row: r, parent: parent, st: st}
 			proj, err := project(ctx)
 			if err != nil {
 				return nil, err
 			}
 			keys, err := orderKeys(ctx)
 			if err != nil {
+				return nil, err
+			}
+			if err := st.addRows(1); err != nil {
 				return nil, err
 			}
 			out = append(out, outRow{proj: proj, keys: keys})
@@ -275,8 +318,10 @@ func (e *Engine) run(stmt *sqlparse.SelectStmt, parent *evalCtx) (*sqldata.Resul
 	return result, nil
 }
 
-// evalFrom binds the FROM chain into the scope and produces the joined rows.
-func (e *Engine) evalFrom(from *sqlparse.FromClause, sc *scope, parent *evalCtx) ([]sqldata.Row, error) {
+// evalFrom binds the FROM chain into the scope and produces the joined
+// rows, charging base-table rows against MaxRows and every intermediate
+// join row against MaxJoinRows.
+func (e *Engine) evalFrom(from *sqlparse.FromClause, sc *scope, parent *evalCtx, st *execState) ([]sqldata.Row, error) {
 	baseRows := func(ref sqlparse.TableRef) (*sqldata.Table, error) {
 		t := e.db.Table(ref.Name)
 		if t == nil {
@@ -290,6 +335,9 @@ func (e *Engine) evalFrom(from *sqlparse.FromClause, sc *scope, parent *evalCtx)
 		return nil, err
 	}
 	if err := sc.add(from.First.EffName(), first.Schema); err != nil {
+		return nil, err
+	}
+	if err := st.addRows(len(first.Rows)); err != nil {
 		return nil, err
 	}
 	rows := make([]sqldata.Row, len(first.Rows))
@@ -310,18 +358,27 @@ func (e *Engine) evalFrom(from *sqlparse.FromClause, sc *scope, parent *evalCtx)
 		for _, l := range rows {
 			matched := false
 			for _, r := range right.Rows {
+				if err := st.tick(); err != nil {
+					return nil, err
+				}
 				combined := append(append(sqldata.Row{}, l...), r...)
-				ctx := &evalCtx{engine: e, scope: sc, row: combined, parent: parent}
+				ctx := &evalCtx{engine: e, scope: sc, row: combined, parent: parent, st: st}
 				ok, err := evalPredicate(ctx, j.On)
 				if err != nil {
 					return nil, err
 				}
 				if ok {
 					matched = true
+					if err := st.addJoinRows(1); err != nil {
+						return nil, err
+					}
 					joined = append(joined, combined)
 				}
 			}
 			if !matched && j.Type == sqlparse.JoinLeft {
+				if err := st.addJoinRows(1); err != nil {
+					return nil, err
+				}
 				joined = append(joined, append(append(sqldata.Row{}, l...), nullRow(rwidth)...))
 			}
 		}
@@ -388,15 +445,18 @@ func nullRow(n int) sqldata.Row {
 // returns the groups plus key order of first appearance (deterministic
 // output). With no GROUP BY (global aggregate) it returns one group,
 // which may be empty.
-func groupRows(rows []sqldata.Row, keys []sqlparse.Expr, sc *scope, e *Engine, parent *evalCtx) (map[string][]sqldata.Row, []string) {
+func groupRows(rows []sqldata.Row, keys []sqlparse.Expr, sc *scope, e *Engine, parent *evalCtx, st *execState) (map[string][]sqldata.Row, []string, error) {
 	groups := map[string][]sqldata.Row{}
 	var order []string
 	if len(keys) == 0 {
 		groups[""] = rows
-		return groups, []string{""}
+		return groups, []string{""}, nil
 	}
 	for _, r := range rows {
-		ctx := &evalCtx{engine: e, scope: sc, row: r, parent: parent}
+		if err := st.tick(); err != nil {
+			return nil, nil, err
+		}
+		ctx := &evalCtx{engine: e, scope: sc, row: r, parent: parent, st: st}
 		var sb strings.Builder
 		for _, k := range keys {
 			v, err := evalExpr(ctx, k)
@@ -415,5 +475,5 @@ func groupRows(rows []sqldata.Row, keys []sqlparse.Expr, sc *scope, e *Engine, p
 		}
 		groups[k] = append(groups[k], r)
 	}
-	return groups, order
+	return groups, order, nil
 }

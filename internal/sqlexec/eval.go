@@ -19,10 +19,11 @@ func evalPredicate(ctx *evalCtx, e sqlparse.Expr) (bool, error) {
 	if v.Null {
 		return false, nil
 	}
-	if v.T != sqldata.TypeBool {
+	b, ok := v.BoolOK()
+	if !ok {
 		return false, fmt.Errorf("sqlexec: predicate evaluated to %s, want BOOL", v.T)
 	}
-	return v.Bool(), nil
+	return b, nil
 }
 
 // evalExpr evaluates an expression in the given context. Boolean results
@@ -48,19 +49,20 @@ func evalExpr(ctx *evalCtx, e sqlparse.Expr) (sqldata.Value, error) {
 			if x.Null {
 				return sqldata.NullValue(), nil
 			}
-			if x.T != sqldata.TypeBool {
+			b, ok := x.BoolOK()
+			if !ok {
 				return sqldata.Value{}, fmt.Errorf("sqlexec: NOT on %s", x.T)
 			}
-			return sqldata.NewBool(!x.Bool()), nil
+			return sqldata.NewBool(!b), nil
 		case "-":
 			if x.Null {
 				return sqldata.NullValue(), nil
 			}
-			switch x.T {
-			case sqldata.TypeInt:
-				return sqldata.NewInt(-x.Int()), nil
-			case sqldata.TypeFloat:
-				return sqldata.NewFloat(-x.Float()), nil
+			if n, ok := x.IntOK(); ok {
+				return sqldata.NewInt(-n), nil
+			}
+			if f, ok := x.FloatOK(); ok {
+				return sqldata.NewFloat(-f), nil
 			}
 			return sqldata.Value{}, fmt.Errorf("sqlexec: unary minus on %s", x.T)
 		}
@@ -76,7 +78,7 @@ func evalExpr(ctx *evalCtx, e sqlparse.Expr) (sqldata.Value, error) {
 		return evalIn(ctx, t)
 
 	case *sqlparse.ExistsExpr:
-		res, err := ctx.engine.run(t.Sub, ctx)
+		res, err := ctx.engine.runSub(t.Sub, ctx)
 		if err != nil {
 			return sqldata.Value{}, err
 		}
@@ -121,10 +123,11 @@ func evalExpr(ctx *evalCtx, e sqlparse.Expr) (sqldata.Value, error) {
 		if x.Null {
 			return sqldata.NullValue(), nil
 		}
-		if x.T != sqldata.TypeText {
+		s, ok := x.TextOK()
+		if !ok {
 			return sqldata.Value{}, fmt.Errorf("sqlexec: LIKE on %s", x.T)
 		}
-		return sqldata.NewBool(likeMatch(t.Pattern, x.Text()) != t.Not), nil
+		return sqldata.NewBool(likeMatch(t.Pattern, s) != t.Not), nil
 
 	case *sqlparse.IsNullExpr:
 		x, err := evalExpr(ctx, t.X)
@@ -234,18 +237,25 @@ func evalBinary(ctx *evalCtx, b *sqlparse.BinaryExpr) (sqldata.Value, error) {
 		if !l.T.Numeric() || !r.T.Numeric() {
 			return sqldata.Value{}, fmt.Errorf("sqlexec: arithmetic %s on %s and %s", b.Op, l.T, r.T)
 		}
-		if l.T == sqldata.TypeInt && r.T == sqldata.TypeInt && b.Op != "/" {
-			a, bb := l.Int(), r.Int()
-			switch b.Op {
-			case "+":
-				return sqldata.NewInt(a + bb), nil
-			case "-":
-				return sqldata.NewInt(a - bb), nil
-			case "*":
-				return sqldata.NewInt(a * bb), nil
+		if b.Op != "/" {
+			li, lok := l.IntOK()
+			ri, rok := r.IntOK()
+			if lok && rok {
+				switch b.Op {
+				case "+":
+					return sqldata.NewInt(li + ri), nil
+				case "-":
+					return sqldata.NewInt(li - ri), nil
+				case "*":
+					return sqldata.NewInt(li * ri), nil
+				}
 			}
 		}
-		a, bb := l.Float(), r.Float()
+		a, aok := l.FloatOK()
+		bb, bok := r.FloatOK()
+		if !aok || !bok {
+			return sqldata.Value{}, fmt.Errorf("sqlexec: arithmetic %s on %s and %s", b.Op, l.T, r.T)
+		}
 		switch b.Op {
 		case "+":
 			return sqldata.NewFloat(a + bb), nil
@@ -267,10 +277,11 @@ func boolOrNull(v sqldata.Value) (b, isNull bool, err error) {
 	if v.Null {
 		return false, true, nil
 	}
-	if v.T != sqldata.TypeBool {
+	bv, ok := v.BoolOK()
+	if !ok {
 		return false, false, fmt.Errorf("sqlexec: expected BOOL, got %s", v.T)
 	}
-	return v.Bool(), false, nil
+	return bv, false, nil
 }
 
 // evalAggregate computes COUNT/SUM/AVG/MIN/MAX over the current group.
@@ -291,7 +302,10 @@ func evalAggregate(ctx *evalCtx, f *sqlparse.FuncCall) (sqldata.Value, error) {
 	var vals []sqldata.Value
 	seen := map[string]bool{}
 	for _, r := range ctx.groupRows {
-		rowCtx := &evalCtx{engine: ctx.engine, scope: ctx.scope, row: r, parent: ctx.parent}
+		if err := ctx.st.tick(); err != nil {
+			return sqldata.Value{}, err
+		}
+		rowCtx := &evalCtx{engine: ctx.engine, scope: ctx.scope, row: r, parent: ctx.parent, st: ctx.st}
 		v, err := evalExpr(rowCtx, f.Args[0])
 		if err != nil {
 			return sqldata.Value{}, err
@@ -320,15 +334,16 @@ func evalAggregate(ctx *evalCtx, f *sqlparse.FuncCall) (sqldata.Value, error) {
 		sum := 0.0
 		var isum int64
 		for _, v := range vals {
-			if !v.T.Numeric() {
+			fv, ok := v.FloatOK()
+			if !ok {
 				return sqldata.Value{}, fmt.Errorf("sqlexec: %s over %s", f.Name, v.T)
 			}
-			if v.T != sqldata.TypeInt {
-				allInt = false
+			if iv, isInt := v.IntOK(); isInt {
+				isum += iv
 			} else {
-				isum += v.Int()
+				allInt = false
 			}
-			sum += v.Float()
+			sum += fv
 		}
 		if f.Name == "SUM" {
 			if allInt {
@@ -370,25 +385,25 @@ func evalScalarFunc(ctx *evalCtx, f *sqlparse.FuncCall) (sqldata.Value, error) {
 	}
 	switch f.Name {
 	case "LOWER":
-		if x.T != sqldata.TypeText {
+		s, ok := x.TextOK()
+		if !ok {
 			return sqldata.Value{}, fmt.Errorf("sqlexec: LOWER on %s", x.T)
 		}
-		return sqldata.NewText(strings.ToLower(x.Text())), nil
+		return sqldata.NewText(strings.ToLower(s)), nil
 	case "UPPER":
-		if x.T != sqldata.TypeText {
+		s, ok := x.TextOK()
+		if !ok {
 			return sqldata.Value{}, fmt.Errorf("sqlexec: UPPER on %s", x.T)
 		}
-		return sqldata.NewText(strings.ToUpper(x.Text())), nil
+		return sqldata.NewText(strings.ToUpper(s)), nil
 	case "ABS":
-		switch x.T {
-		case sqldata.TypeInt:
-			v := x.Int()
+		if v, ok := x.IntOK(); ok {
 			if v < 0 {
 				v = -v
 			}
 			return sqldata.NewInt(v), nil
-		case sqldata.TypeFloat:
-			v := x.Float()
+		}
+		if v, ok := x.FloatOK(); ok && x.T == sqldata.TypeFloat {
 			if v < 0 {
 				v = -v
 			}
@@ -396,10 +411,11 @@ func evalScalarFunc(ctx *evalCtx, f *sqlparse.FuncCall) (sqldata.Value, error) {
 		}
 		return sqldata.Value{}, fmt.Errorf("sqlexec: ABS on %s", x.T)
 	case "YEAR":
-		if x.T != sqldata.TypeDate {
+		tm, ok := x.TimeOK()
+		if !ok {
 			return sqldata.Value{}, fmt.Errorf("sqlexec: YEAR on %s", x.T)
 		}
-		return sqldata.NewInt(int64(x.Time().Year())), nil
+		return sqldata.NewInt(int64(tm.Year())), nil
 	}
 	return sqldata.Value{}, fmt.Errorf("sqlexec: unknown function %q", f.Name)
 }
@@ -415,7 +431,7 @@ func evalIn(ctx *evalCtx, in *sqlparse.InExpr) (sqldata.Value, error) {
 
 	var elems []sqldata.Value
 	if in.Sub != nil {
-		res, err := ctx.engine.run(in.Sub, ctx)
+		res, err := ctx.engine.runSub(in.Sub, ctx)
 		if err != nil {
 			return sqldata.Value{}, err
 		}
@@ -465,7 +481,7 @@ func evalIn(ctx *evalCtx, in *sqlparse.InExpr) (sqldata.Value, error) {
 // evalScalarSubquery runs a sub-query expected to produce at most one row
 // of one column; an empty result is NULL.
 func evalScalarSubquery(ctx *evalCtx, sub *sqlparse.SelectStmt) (sqldata.Value, error) {
-	res, err := ctx.engine.run(sub, ctx)
+	res, err := ctx.engine.runSub(sub, ctx)
 	if err != nil {
 		return sqldata.Value{}, err
 	}

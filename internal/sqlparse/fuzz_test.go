@@ -30,6 +30,44 @@ func TestPropertyParseNeverPanics(t *testing.T) {
 	}
 }
 
+// FuzzParse is the native fuzz target behind the property tests above:
+// whatever bytes arrive, Parse returns an error or a statement whose
+// printed form re-parses. The seed corpus covers the gold-SQL shapes the
+// benchdata generators emit for all four complexity classes (selection,
+// aggregation, join, nested), so mutation starts from realistic inputs.
+// Run with: go test -run=^$ -fuzz=FuzzParse ./internal/sqlparse
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// benchdata gold shapes, simple → nested.
+		"SELECT name FROM customer WHERE city = 'Berlin'",
+		"SELECT * FROM orders WHERE total > 100.5 AND status != 'done'",
+		"SELECT city, COUNT(*) FROM customer GROUP BY city ORDER BY COUNT(*) DESC LIMIT 3",
+		"SELECT AVG(total) FROM orders WHERE placed BETWEEN '2018-01-01' AND '2019-12-31'",
+		"SELECT customer.name, SUM(orders.total) FROM customer JOIN orders ON customer.id = orders.customer_id GROUP BY customer.name",
+		"SELECT p.name FROM product AS p LEFT JOIN category AS c ON p.category_id = c.id WHERE c.name IS NOT NULL",
+		"SELECT name FROM customer WHERE id IN (SELECT customer_id FROM orders WHERE total > 500)",
+		"SELECT name FROM customer WHERE NOT EXISTS (SELECT id FROM orders WHERE orders.customer_id = customer.id)",
+		"SELECT city FROM customer GROUP BY city HAVING COUNT(*) > (SELECT COUNT(*) FROM orders) ORDER BY city",
+		"SELECT DISTINCT LOWER(name) FROM customer WHERE name LIKE 'a%' OR credit BETWEEN 1 AND 2;",
+		// degenerate shapes that historically stress parsers.
+		"SELECT", "SELECT ((((1", "SELECT * FROM t WHERE a = 'unterminated",
+		"SELECT -1.e FROM t", "SELECT a FROM t ORDER BY", "",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		stmt, err := Parse(s)
+		if err != nil {
+			return
+		}
+		// Valid parses must print and re-parse.
+		if _, err := Parse(stmt.String()); err != nil {
+			t.Fatalf("accepted %q but print %q does not re-parse: %v", s, stmt.String(), err)
+		}
+	})
+}
+
 // Property: token-soup inputs built from SQL vocabulary never panic either
 // (they stress the parser far more than random unicode).
 func TestPropertyTokenSoupNeverPanics(t *testing.T) {
