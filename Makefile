@@ -2,13 +2,16 @@
 
 GO ?= go
 
-.PHONY: build test short race vet fuzz check
+.PHONY: build test short race vet fuzz check metrics-smoke
 
 build:
 	$(GO) build ./...
 
-test:
+# Default verification: vet, the full test suite, and a -race pass over
+# the concurrency-bearing observability and serving packages.
+test: vet
 	$(GO) test ./...
+	$(GO) test -race ./internal/obs ./internal/resilient
 
 # Reduced suite: the chaos tests shrink to 30 queries per domain and the
 # slowest experiment-replay tests are skipped.
@@ -27,5 +30,10 @@ FUZZTIME ?= 15s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/sqlparse
 	$(GO) test -run='^$$' -fuzz=FuzzTokenize -fuzztime=$(FUZZTIME) ./internal/nlp
+
+# End-to-end scrape check: start cmd/nlidb with -metrics-addr, serve one
+# question, and assert /metrics exposes every required family.
+metrics-smoke: build
+	./scripts/metrics_smoke.sh
 
 check: build vet test race

@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	nlidb-bench [-seed N] [-only T1,T5,A1]
+//	nlidb-bench [-seed N] [-only T1,T5,A1] [-obs BENCH_obs.json]
+//
+// With -obs the experiment tables are skipped; instead the observability
+// benchmark replays a WikiSQL-style workload through each engine twice
+// (baseline vs instrumented) and writes per-engine latency percentiles
+// plus the measured instrumentation overhead to the given JSON file.
 package main
 
 import (
@@ -20,7 +25,16 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "random seed for data generation and training")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	obsPath := flag.String("obs", "", "write the observability benchmark (per-engine latency percentiles, overhead) to this JSON file and exit")
 	flag.Parse()
+
+	if *obsPath != "" {
+		if err := runObsBench(*obsPath, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "nlidb-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	if *only != "" {

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"nlidb/internal/benchdata"
+	"nlidb/internal/lexicon"
+	"nlidb/internal/obs"
+	"nlidb/internal/resilient"
+)
+
+// obsReport is the BENCH_obs.json schema: per-engine latency percentiles
+// from the instrumented run, plus a baseline-vs-instrumented overhead
+// comparison demonstrating the tracing/metrics tax.
+type obsReport struct {
+	Seed      int64             `json:"seed"`
+	Questions int               `json:"questions_per_engine"`
+	Reps      int               `json:"reps"`
+	Engines   []obsEngineReport `json:"engines"`
+	Overhead  obsOverhead       `json:"overhead"`
+}
+
+type obsEngineReport struct {
+	Engine  string  `json:"engine"`
+	OK      int64   `json:"ok"`
+	Errored int64   `json:"errored"`
+	P50ms   float64 `json:"p50_ms"`
+	P95ms   float64 `json:"p95_ms"`
+	P99ms   float64 `json:"p99_ms"`
+}
+
+type obsOverhead struct {
+	BaselineMS     float64 `json:"baseline_total_ms"`
+	InstrumentedMS float64 `json:"instrumented_total_ms"`
+	Pct            float64 `json:"overhead_pct"`
+}
+
+// obsEngines is the fallback-chain order; each runs alone (no fallback)
+// so its percentiles are not polluted by another engine's retries.
+var obsEngines = []string{"athena", "parse", "pattern", "keyword"}
+
+// runObsBench replays the same question workload through four
+// single-engine gateways twice — once with tracing+metrics off (baseline)
+// and once fully instrumented — then writes the JSON report to path.
+func runObsBench(path string, seed int64) error {
+	d := benchdata.Sales(seed)
+	set := benchdata.WikiSQLStyle(d, 80, seed+5)
+	questions := make([]string, 0, len(set.Pairs))
+	for _, p := range set.Pairs {
+		questions = append(questions, p.Question)
+	}
+	if len(questions) == 0 {
+		return fmt.Errorf("obs bench: empty workload")
+	}
+
+	// Warm-up pass so neither timed run pays one-time costs (lexicon
+	// priming, allocator growth).
+	runObsWorkload(d, questions, resilient.Config{NoTrace: true})
+
+	// Best-of-N per mode, alternating modes so slow drift (thermal,
+	// scheduler) hits both equally: the minimum is the least-perturbed
+	// run, which is what the overhead comparison needs.
+	const reps = 5
+	var baseline, instrumented time.Duration
+	reg := obs.NewRegistry()
+	slow := obs.NewSlowLog(time.Second, 64)
+	for i := 0; i < reps; i++ {
+		b := runObsWorkload(d, questions, resilient.Config{NoTrace: true})
+		if i == 0 || b < baseline {
+			baseline = b
+		}
+		ins := runObsWorkload(d, questions, resilient.Config{Metrics: reg, SlowLog: slow})
+		if i == 0 || ins < instrumented {
+			instrumented = ins
+		}
+	}
+
+	rep := obsReport{Seed: seed, Questions: len(questions), Reps: reps}
+	for _, name := range obsEngines {
+		h := reg.Histogram(resilient.MetricQuerySeconds, "engine", name)
+		er := obsEngineReport{
+			Engine: name,
+			P50ms:  h.Quantile(0.50) * 1000,
+			P95ms:  h.Quantile(0.95) * 1000,
+			P99ms:  h.Quantile(0.99) * 1000,
+		}
+		for _, outcome := range []string{"ok", "error", "exhausted", "timeout", "budget"} {
+			n := reg.Counter(resilient.MetricQueries, "engine", name, "outcome", outcome).Value()
+			if outcome == "ok" {
+				er.OK = n
+			} else {
+				er.Errored += n
+			}
+		}
+		rep.Engines = append(rep.Engines, er)
+	}
+	rep.Overhead = obsOverhead{
+		BaselineMS:     float64(baseline) / float64(time.Millisecond),
+		InstrumentedMS: float64(instrumented) / float64(time.Millisecond),
+		Pct:            100 * (float64(instrumented) - float64(baseline)) / float64(baseline),
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("obs bench: %d questions × %d engines, overhead %.2f%% → %s\n",
+		len(questions), len(obsEngines), rep.Overhead.Pct, path)
+	return nil
+}
+
+// runObsWorkload asks every question on a fresh single-engine gateway per
+// engine and returns total wall time across all engines. Per-query errors
+// are expected (not every engine answers every question) and are counted
+// by the gateway's own metrics when enabled.
+func runObsWorkload(d *benchdata.Domain, questions []string, cfg resilient.Config) time.Duration {
+	ctx := context.Background()
+	var total time.Duration
+	for _, name := range obsEngines {
+		chain, err := resilient.ChainByNames(d.DB, lexicon.New(), []string{name})
+		if err != nil {
+			panic(err) // engine names are a package-level constant list
+		}
+		gw := resilient.New(d.DB, chain, cfg)
+		t0 := time.Now()
+		for _, q := range questions {
+			gw.Ask(ctx, q)
+		}
+		total += time.Since(t0)
+	}
+	return total
+}

@@ -5,22 +5,34 @@
 //
 //	nlidb [-domain sales] [-engine athena] [-chat] [-seed N]
 //	      [-timeout 5s] [-fallback parse,pattern,keyword] [-csv a.csv,b.csv]
+//	      [-explain] [-metrics-addr 127.0.0.1:9090] [-slowlog 250ms]
+//	      ["one-shot question"]
 //
 // Engines: keyword, pattern, parse, athena (default). With -chat the
 // session runs through the agent-based dialogue manager, so follow-ups
 // like "only those with credit over 20000" and "how many are there" work.
 //
-// One-shot questions are served through the resilient gateway: -timeout
-// bounds each question's wall-clock time (0 disables the deadline), and
+// Questions are served through the resilient gateway: -timeout bounds
+// each question's wall-clock time (0 disables the deadline), and
 // -fallback lists the engines tried, in order, after the primary -engine
 // fails (empty string disables fallback). Every stage runs under panic
 // isolation and a resource budget, so a pathological question reports an
 // error instead of hanging or crashing the session.
+//
+// Observability: -explain renders each query's span tree (stage
+// durations, the engine attempt trail, rows/budget counters, and the
+// evaluation plan) after the answer; -metrics-addr serves /metrics
+// (Prometheus text), /debug/vars (expvar), /debug/pprof, and /slowlog;
+// -slowlog sets the slow-query threshold (0 disables the log). In the
+// interactive session, "slowlog" dumps the retained slow queries. A
+// positional argument runs one question and exits — the EXPLAIN mode of
+// the acceptance demo: nlidb -explain "customers in Berlin".
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +45,7 @@ import (
 	"nlidb/internal/dialogue"
 	"nlidb/internal/lexicon"
 	"nlidb/internal/nlq"
+	"nlidb/internal/obs"
 	"nlidb/internal/ontology"
 	"nlidb/internal/resilient"
 	"nlidb/internal/sqldata"
@@ -47,6 +60,9 @@ func main() {
 	chat := flag.Bool("chat", false, "conversational mode (agent-based dialogue manager)")
 	seed := flag.Int64("seed", 1, "data generation seed")
 	csvFiles := flag.String("csv", "", "comma-separated CSV files to query instead of a demo domain (table name = file name)")
+	explain := flag.Bool("explain", false, "print each query's trace tree (stages, durations, rows/budget counters, plan)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /slowlog on this address")
+	slowlog := flag.Duration("slowlog", 250*time.Millisecond, "slow-query log threshold (0 disables the log)")
 	flag.Parse()
 
 	var d *benchdata.Domain
@@ -78,7 +94,41 @@ func main() {
 		fatalf("%v", err)
 	}
 	primary := chain[0]
-	gw := resilient.New(d.DB, chain, resilient.Config{Timeout: *timeout})
+
+	reg := obs.Default()
+	var slow *obs.SlowLog
+	if *slowlog > 0 {
+		slow = obs.NewSlowLog(*slowlog, 128)
+	}
+	gw := resilient.New(d.DB, chain, resilient.Config{
+		Timeout: *timeout, Metrics: reg, SlowLog: slow,
+	})
+	if *metricsAddr != "" {
+		_, bound, err := obs.Serve(*metricsAddr, reg, slow)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("metrics: http://%s/metrics (also /debug/vars, /debug/pprof, /slowlog)\n", bound)
+	}
+
+	// One-shot mode: answer the positional question and exit.
+	if flag.NArg() > 0 {
+		question := strings.Join(flag.Args(), " ")
+		ans, err := gw.Ask(context.Background(), question)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nlidb: could not answer: %v\n", err)
+			var ce *resilient.ChainError
+			if *explain && errors.As(err, &ce) && ce.Trace != nil {
+				fmt.Println(ce.Trace)
+			}
+			os.Exit(1)
+		}
+		printAnswer(ans)
+		if *explain {
+			fmt.Println(ans.Trace)
+		}
+		return
+	}
 
 	fmt.Printf("nlidb — domain %q, engine %q%s\n", d.Name, primary.Name(),
 		map[bool]string{true: ", conversational", false: ""}[*chat])
@@ -93,7 +143,7 @@ func main() {
 	for _, t := range d.DB.Tables() {
 		fmt.Printf("  %s\n", t.Schema.DDL())
 	}
-	fmt.Println(`type a question ("exit" to quit; "? <prefix>" for completions):`)
+	fmt.Println(`type a question ("exit" to quit; "? <prefix>" for completions; "slowlog" for slow queries):`)
 
 	completer := autocomplete.New(d.DB, ontology.FromDatabase(d.DB), lex)
 	eng := sqlexec.New(d.DB)
@@ -114,6 +164,14 @@ func main() {
 		}
 		if line == "exit" || line == "quit" {
 			break
+		}
+		if line == "slowlog" {
+			if slow == nil {
+				fmt.Println("  slow-query log disabled (-slowlog 0)")
+			} else {
+				fmt.Printf("  threshold %s, %d recorded\n%s\n", slow.Threshold(), slow.Total(), indent(slow.String()))
+			}
+			continue
 		}
 		if strings.HasPrefix(line, "?") {
 			// TR-Discover-style completion of the typed prefix.
@@ -160,15 +218,27 @@ func main() {
 		ans, err := gw.Ask(context.Background(), line)
 		if err != nil {
 			fmt.Printf("  could not answer: %v\n", err)
+			var ce *resilient.ChainError
+			if *explain && errors.As(err, &ce) && ce.Trace != nil {
+				fmt.Println(indent(ce.Trace.String()))
+			}
 			continue
 		}
-		fmt.Printf("  SQL: %s  (confidence %.2f, engine %s", ans.SQL, ans.Score, ans.Engine)
-		if ans.Simplified {
-			fmt.Print(", simplified retry")
+		printAnswer(ans)
+		if *explain {
+			fmt.Println(indent(ans.Trace.String()))
 		}
-		fmt.Println(")")
-		fmt.Println(indent(ans.Result.String()))
 	}
+}
+
+// printAnswer renders one gateway answer: SQL, provenance, rows.
+func printAnswer(ans *resilient.Answer) {
+	fmt.Printf("  SQL: %s  (confidence %.2f, engine %s", ans.SQL, ans.Score, ans.Engine)
+	if ans.Simplified {
+		fmt.Print(", simplified retry")
+	}
+	fmt.Printf(", %s)\n", ans.Elapsed.Round(time.Microsecond))
+	fmt.Println(indent(ans.Result.String()))
 }
 
 // loadCSVTable loads one CSV file into db as a table named after the file,

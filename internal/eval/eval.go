@@ -9,8 +9,10 @@ package eval
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"nlidb/internal/dataset"
 	"nlidb/internal/dialogue"
@@ -63,12 +65,50 @@ func (c *Counts) add(o Counts) {
 	c.Exact += o.Exact
 }
 
+// QueryRecord is the per-query outcome row: which engine served the
+// question, how long the attempt took wall-clock (interpret + execute),
+// and how it was scored. Records let downstream analysis slice latency
+// and accuracy together instead of seeing only aggregate counts.
+type QueryRecord struct {
+	ID       string
+	Question string
+	Class    nlq.Complexity
+	Engine   string
+	Wall     time.Duration
+	Answered bool
+	Correct  bool
+	Exact    bool
+}
+
 // Report is the evaluation of one interpreter over one corpus.
 type Report struct {
 	Interpreter string
 	Corpus      string
 	Overall     Counts
 	ByClass     map[nlq.Complexity]*Counts
+	// Records holds one row per evaluated pair, in corpus order.
+	Records []QueryRecord
+}
+
+// LatencyQuantile returns the q-th nearest-rank quantile of per-query
+// wall time across all records, or 0 when the report is empty.
+func (r *Report) LatencyQuantile(q float64) time.Duration {
+	if len(r.Records) == 0 {
+		return 0
+	}
+	walls := make([]time.Duration, len(r.Records))
+	for i, rec := range r.Records {
+		walls[i] = rec.Wall
+	}
+	sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
+	idx := int(math.Ceil(q*float64(len(walls)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(walls) {
+		idx = len(walls) - 1
+	}
+	return walls[idx]
 }
 
 // Evaluate runs the interpreter over every pair of the set. Gold queries
@@ -93,31 +133,46 @@ func Evaluate(interp nlq.Interpreter, set *dataset.Set) (*Report, error) {
 			return nil, fmt.Errorf("eval: gold %q fails: %w", p.SQL, err)
 		}
 
-		ins, err := interp.Interpret(p.Question)
-		if err != nil {
-			continue // unanswered
-		}
-		best, err := nlq.Best(ins)
-		if err != nil {
-			continue
-		}
-		c.Answered++
+		rec := QueryRecord{ID: p.ID, Question: p.Question, Class: p.Complexity, Engine: interp.Name()}
+		t0 := time.Now()
+		rec.Answered, rec.Correct, rec.Exact = scorePair(eng, interp, p, gold)
+		rec.Wall = time.Since(t0)
+		rep.Records = append(rep.Records, rec)
 
-		if sqlparse.EqualCanonical(best.SQL, p.SQL) {
-			c.Exact++
+		if rec.Answered {
+			c.Answered++
 		}
-		pred, err := runGuarded(eng, best.SQL)
-		if err != nil {
-			continue
-		}
-		if resultsMatch(pred, gold, p.SQL) {
+		if rec.Correct {
 			c.Correct++
+		}
+		if rec.Exact {
+			c.Exact++
 		}
 	}
 	for _, c := range rep.ByClass {
 		rep.Overall.add(*c)
 	}
 	return rep, nil
+}
+
+// scorePair runs one interpret-and-execute attempt against its gold
+// result. It is the timed region of a QueryRecord: everything the engine
+// does for the question, nothing the harness does around it.
+func scorePair(eng *sqlexec.Engine, interp nlq.Interpreter, p dataset.Pair, gold *sqldata.Result) (answered, correct, exact bool) {
+	ins, err := interp.Interpret(p.Question)
+	if err != nil {
+		return false, false, false
+	}
+	best, err := nlq.Best(ins)
+	if err != nil {
+		return false, false, false
+	}
+	exact = sqlparse.EqualCanonical(best.SQL, p.SQL)
+	pred, err := runGuarded(eng, best.SQL)
+	if err != nil {
+		return true, false, exact
+	}
+	return true, resultsMatch(pred, gold, p.SQL), exact
 }
 
 // runGuarded executes predicted SQL under a default resource budget and

@@ -164,3 +164,64 @@ func TestEvaluateConversations(t *testing.T) {
 		t.Error("conv report string")
 	}
 }
+
+// TestEvaluateRecords checks the per-query record rows: one per pair in
+// corpus order, carrying the engine name, a positive wall time, and
+// outcome flags consistent with the aggregate counts.
+func TestEvaluateRecords(t *testing.T) {
+	set := corpus(t)
+	rep, err := Evaluate(&perfect{set}, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != len(set.Pairs) {
+		t.Fatalf("records = %d, want one per pair (%d)", len(rep.Records), len(set.Pairs))
+	}
+	answered, correct := 0, 0
+	for i, rec := range rep.Records {
+		if rec.Question != set.Pairs[i].Question {
+			t.Fatalf("record %d out of corpus order: %q", i, rec.Question)
+		}
+		if rec.Engine != "perfect" {
+			t.Errorf("record %d engine = %q, want perfect", i, rec.Engine)
+		}
+		if rec.Wall <= 0 {
+			t.Errorf("record %d wall time = %v, want > 0", i, rec.Wall)
+		}
+		if rec.Answered {
+			answered++
+		}
+		if rec.Correct {
+			correct++
+		}
+	}
+	if answered != rep.Overall.Answered || correct != rep.Overall.Correct {
+		t.Errorf("record flags (answered %d, correct %d) disagree with counts (%d, %d)",
+			answered, correct, rep.Overall.Answered, rep.Overall.Correct)
+	}
+	if p50, p99 := rep.LatencyQuantile(0.50), rep.LatencyQuantile(0.99); p50 <= 0 || p99 < p50 {
+		t.Errorf("latency quantiles p50=%v p99=%v should be positive and ordered", p50, p99)
+	}
+}
+
+// TestEvaluateRecordsUnanswered: a broken interpreter still yields one
+// record per pair, all unanswered, and a zero quantile on no records.
+func TestEvaluateRecordsUnanswered(t *testing.T) {
+	set := corpus(t)
+	rep, err := Evaluate(&broken{}, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != len(set.Pairs) {
+		t.Fatalf("records = %d, want %d", len(rep.Records), len(set.Pairs))
+	}
+	for i, rec := range rep.Records {
+		if rec.Answered || rec.Correct || rec.Exact {
+			t.Errorf("record %d should be fully unanswered: %+v", i, rec)
+		}
+	}
+	empty := &Report{}
+	if got := empty.LatencyQuantile(0.95); got != 0 {
+		t.Errorf("empty report quantile = %v, want 0", got)
+	}
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the debug mux for a registry: a Prometheus text dump at
+// /metrics, the expvar JSON dump at /debug/vars (with the registry
+// published as "nlidb"), the pprof profile suite under /debug/pprof/, and
+// — when slow is non-nil — the slow-query log at /slowlog.
+func Handler(reg *Registry, slow *SlowLog) http.Handler {
+	reg.PublishExpvar("nlidb")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if slow != nil {
+		mux.HandleFunc("/slowlog", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "threshold %s, %d recorded\n%s\n", slow.Threshold(), slow.Total(), slow)
+		})
+	}
+	return mux
+}
+
+// Serve starts the debug mux on addr in a background goroutine and
+// returns the server plus the bound address (useful with ":0").
+func Serve(addr string, reg *Registry, slow *SlowLog) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: Handler(reg, slow)}
+	go srv.Serve(ln) //nolint:errcheck // shutdown error is the caller's signal
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentUpdates hammers one counter, one gauge, and one histogram
+// from many goroutines; run under -race this is the data-race proof, and
+// the counter/histogram totals double as a lost-update check.
+func TestConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	const workers, perWorker = 16, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				reg.Counter("q_total", "engine", "athena").Inc()
+				reg.Gauge("breaker", "engine", "athena").Set(int64(i % 3))
+				reg.Histogram("latency", "engine", "athena").Observe(float64(w*perWorker + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := reg.Counter("q_total", "engine", "athena").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := reg.Histogram("latency", "engine", "athena").Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestReservoirExactPercentiles checks quantiles against an independently
+// sorted reference while the sample fits the reservoir (exactness regime).
+func TestReservoirExactPercentiles(t *testing.T) {
+	h := newHistogram()
+	n := defaultReservoir // fill exactly to capacity
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i + 1)
+	}
+	r := rand.New(rand.NewSource(7))
+	r.Shuffle(n, func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	for _, v := range vals {
+		h.Observe(v)
+	}
+
+	ref := append([]float64(nil), vals...)
+	sort.Float64s(ref)
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 1.0} {
+		idx := int(math.Ceil(q*float64(n))) - 1
+		if got, want := h.Quantile(q), ref[idx]; got != want {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if h.Min() != 1 || h.Max() != float64(n) {
+		t.Errorf("min/max = %v/%v, want 1/%d", h.Min(), h.Max(), n)
+	}
+	if got, want := h.Mean(), float64(n+1)/2; got != want {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+}
+
+// TestReservoirSamplingStaysInRange overfills the reservoir and checks
+// the estimate stays a plausible sample of the true distribution.
+func TestReservoirSamplingStaysInRange(t *testing.T) {
+	h := newHistogram()
+	n := defaultReservoir * 8
+	for i := 1; i <= n; i++ {
+		h.Observe(float64(i))
+	}
+	p50 := h.Quantile(0.5)
+	// A uniform sample of 2048 from 1..16384 has its median within a few
+	// percent of the true median with overwhelming probability.
+	if p50 < 0.4*float64(n) || p50 > 0.6*float64(n) {
+		t.Errorf("sampled p50 = %v, want within 10%% of %v", p50, n/2)
+	}
+	if h.Count() != int64(n) {
+		t.Errorf("count = %d, want %d", h.Count(), n)
+	}
+}
+
+func TestPrometheusDump(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("nlidb_queries_total", "engine", "athena", "outcome", "ok").Add(3)
+	reg.Gauge("nlidb_breaker_state", "engine", "parse").Set(1)
+	reg.Histogram("nlidb_stage_seconds", "stage", "execute").Observe(0.25)
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE nlidb_queries_total counter",
+		`nlidb_queries_total{engine="athena",outcome="ok"} 3`,
+		"# TYPE nlidb_breaker_state gauge",
+		`nlidb_breaker_state{engine="parse"} 1`,
+		"# TYPE nlidb_stage_seconds summary",
+		`nlidb_stage_seconds{stage="execute",quantile="0.5"} 0.25`,
+		`nlidb_stage_seconds_count{stage="execute"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelKeyOrderInsensitive(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c", "a", "1", "b", "2").Inc()
+	reg.Counter("c", "b", "2", "a", "1").Inc()
+	if got := reg.Counter("c", "a", "1", "b", "2").Value(); got != 2 {
+		t.Errorf("label order should not split series: got %d, want 2", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("registering one name as two kinds should panic")
+		}
+	}()
+	reg := NewRegistry()
+	reg.Counter("x")
+	reg.Gauge("x")
+}

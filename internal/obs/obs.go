@@ -1,0 +1,34 @@
+// Package obs is the dependency-free observability layer for the query
+// path. The SIGMOD 2020 tutorial names transparency — showing the user
+// *how* a question was interpreted — as a requirement production NLIDBs
+// meet and benchmark systems skip; deployment surveys (Affolter et al.
+// 2019; Quamar et al. 2022) make the same point for operators. This
+// package serves both audiences with three cooperating pieces:
+//
+//   - a process-wide metrics Registry (counters, gauges, histograms with
+//     exact p50/p95/p99 over a bounded reservoir) exposed through expvar
+//     and a Prometheus text dump;
+//   - lightweight span tracing (StartSpan / Span.Child) that the gateway
+//     threads through tokenize → interpret → parse → plan → execute,
+//     producing a per-query QueryTrace renderable as an EXPLAIN tree;
+//   - a ring-buffer slow-query log with a configurable latency threshold.
+//
+// Everything is standard library only, safe for concurrent use, and
+// nil-tolerant: calling Span methods on a nil *Span is a no-op, so
+// instrumented call sites cost one pointer test when tracing is off.
+package obs
+
+import "sync"
+
+// defaultRegistry is the process-wide registry most callers share; use
+// NewRegistry for isolated registries in tests and benchmarks.
+var (
+	defaultOnce     sync.Once
+	defaultRegistry *Registry
+)
+
+// Default returns the shared process-wide Registry.
+func Default() *Registry {
+	defaultOnce.Do(func() { defaultRegistry = NewRegistry() })
+	return defaultRegistry
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SlowEntry is one recorded slow query.
+type SlowEntry struct {
+	// Question is the natural-language input.
+	Question string
+	// Engine names the interpreter that served (or last failed) it.
+	Engine string
+	// Outcome is the query outcome label ("ok", "error", "timeout", …).
+	Outcome string
+	// Duration is the total wall-clock time of the request.
+	Duration time.Duration
+	// When is the completion time.
+	When time.Time
+	// Trace, when tracing was on, is the full span tree of the query.
+	Trace *QueryTrace
+}
+
+// SlowLog is a fixed-capacity ring buffer of the most recent queries
+// slower than a threshold. Safe for concurrent use.
+type SlowLog struct {
+	mu        sync.Mutex
+	threshold time.Duration
+	buf       []SlowEntry
+	next      int  // ring write position
+	full      bool // buf has wrapped at least once
+	total     int64
+}
+
+// NewSlowLog returns a log recording queries at or above threshold,
+// keeping the most recent capacity entries (default 128 when <= 0).
+func NewSlowLog(threshold time.Duration, capacity int) *SlowLog {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &SlowLog{threshold: threshold, buf: make([]SlowEntry, capacity)}
+}
+
+// Threshold returns the configured latency threshold.
+func (l *SlowLog) Threshold() time.Duration { return l.threshold }
+
+// Observe records e if it is slow enough, evicting the oldest entry when
+// the ring is full, and reports whether it was recorded.
+func (l *SlowLog) Observe(e SlowEntry) bool {
+	if l == nil || e.Duration < l.threshold {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf[l.next] = e
+	l.next++
+	if l.next == len(l.buf) {
+		l.next = 0
+		l.full = true
+	}
+	l.total++
+	return true
+}
+
+// Total returns how many slow queries have ever been recorded (including
+// entries since evicted).
+func (l *SlowLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Entries returns the retained entries, oldest first.
+func (l *SlowLog) Entries() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.full {
+		return append([]SlowEntry(nil), l.buf[:l.next]...)
+	}
+	out := make([]SlowEntry, 0, len(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// String renders the log newest-last, one line per entry.
+func (l *SlowLog) String() string {
+	entries := l.Entries()
+	if len(entries) == 0 {
+		return "(slow-query log empty)"
+	}
+	var sb strings.Builder
+	for _, e := range entries {
+		fmt.Fprintf(&sb, "%s  %-8s %-9s %-10s %q\n",
+			e.When.Format("15:04:05.000"), e.Engine, e.Outcome, roundDur(e.Duration), e.Question)
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSlowLogThreshold(t *testing.T) {
+	l := NewSlowLog(100*time.Millisecond, 4)
+	if l.Observe(SlowEntry{Question: "fast", Duration: 99 * time.Millisecond}) {
+		t.Error("sub-threshold query must not be recorded")
+	}
+	if !l.Observe(SlowEntry{Question: "slow", Duration: 100 * time.Millisecond}) {
+		t.Error("at-threshold query must be recorded")
+	}
+	if got := l.Total(); got != 1 {
+		t.Errorf("total = %d, want 1", got)
+	}
+}
+
+// TestSlowLogEvictionOrder overfills the ring and checks that Entries
+// returns exactly the newest entries, oldest first.
+func TestSlowLogEvictionOrder(t *testing.T) {
+	l := NewSlowLog(0, 3)
+	for i := 1; i <= 5; i++ {
+		l.Observe(SlowEntry{Question: fmt.Sprintf("q%d", i), Duration: time.Duration(i)})
+	}
+	got := l.Entries()
+	if len(got) != 3 {
+		t.Fatalf("entries = %d, want 3", len(got))
+	}
+	for i, want := range []string{"q3", "q4", "q5"} {
+		if got[i].Question != want {
+			t.Errorf("entry %d = %q, want %q (oldest-first order)", i, got[i].Question, want)
+		}
+	}
+	if l.Total() != 5 {
+		t.Errorf("total = %d, want 5 (evictions still counted)", l.Total())
+	}
+}
+
+func TestSlowLogPartialFill(t *testing.T) {
+	l := NewSlowLog(0, 8)
+	l.Observe(SlowEntry{Question: "a"})
+	l.Observe(SlowEntry{Question: "b"})
+	got := l.Entries()
+	if len(got) != 2 || got[0].Question != "a" || got[1].Question != "b" {
+		t.Errorf("partial ring entries = %v, want [a b]", got)
+	}
+}
+
+func TestSlowLogConcurrent(t *testing.T) {
+	l := NewSlowLog(0, 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Observe(SlowEntry{Question: "q", Duration: time.Duration(i)})
+				l.Entries()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Total(); got != 1600 {
+		t.Errorf("total = %d, want 1600", got)
+	}
+}
+
+func TestNilSlowLogSafe(t *testing.T) {
+	var l *SlowLog
+	if l.Observe(SlowEntry{Duration: time.Hour}) {
+		t.Error("nil slow log must drop entries")
+	}
+	if l.Total() != 0 || l.Entries() != nil {
+		t.Error("nil slow log accessors should return zero values")
+	}
+}

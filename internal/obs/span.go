@@ -1,0 +1,343 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxSpanChildren bounds one span's child list so a pathological query (a
+// correlated sub-query fanning out thousands of scans, say) cannot turn
+// its trace into a memory leak. Further children are counted, not kept.
+const maxSpanChildren = 128
+
+// spanKey carries the current span through a context.
+type spanKey struct{}
+
+// Span is one timed stage of a query. Spans form a tree (the QueryTrace);
+// each carries ordered attributes (strings) and counters (int64s). All
+// methods are safe on a nil receiver — they no-op — so instrumented call
+// sites stay branch-free when tracing is disabled.
+type Span struct {
+	// Name labels the stage ("interpret", "scan customer", …).
+	Name string
+
+	mu       sync.Mutex
+	start    time.Time
+	dur      time.Duration
+	ended    bool
+	attrs    []Attr
+	counts   []Count
+	children []*Span
+	dropped  int // children beyond maxSpanChildren
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key, Value string
+}
+
+// Count is one named counter on a span.
+type Count struct {
+	Key string
+	N   int64
+}
+
+func newSpan(name string) *Span {
+	return &Span{Name: name, start: time.Now()}
+}
+
+// StartSpan begins a span named name as a child of the span in ctx (or as
+// a root when ctx carries none — an orphan span, still usable on its own)
+// and returns a derived context carrying the new span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	sp := newSpan(name)
+	if parent := FromContext(ctx); parent != nil {
+		parent.attach(sp)
+	}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// FromContext returns the current span in ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// Child starts and attaches a child span without touching any context.
+// Nil-safe: a nil receiver returns nil (which itself absorbs all calls).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(name)
+	s.attach(c)
+	return c
+}
+
+func (s *Span) attach(c *Span) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.children) >= maxSpanChildren {
+		s.dropped++
+		return
+	}
+	s.children = append(s.children, c)
+}
+
+// End freezes the span's duration. Idempotent; later Ends are ignored.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+}
+
+// Ended reports whether End has been called.
+func (s *Span) Ended() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ended
+}
+
+// Duration is the frozen duration of an ended span, or the running
+// duration so far of a live one (0 on nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// SetAttr sets one annotation, replacing an existing value for the key.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// Attr returns the value for key ("" when absent).
+func (s *Span) Attr(key string) string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Add accumulates n onto the named counter.
+func (s *Span) Add(key string, n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.counts {
+		if s.counts[i].Key == key {
+			s.counts[i].N += n
+			return
+		}
+	}
+	s.counts = append(s.counts, Count{Key: key, N: n})
+}
+
+// Count returns the named counter's value (0 when absent).
+func (s *Span) Count(key string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.counts {
+		if c.Key == key {
+			return c.N
+		}
+	}
+	return 0
+}
+
+// Children snapshots the child list.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Dropped reports how many children were discarded past the cap.
+func (s *Span) Dropped() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// QueryTrace is the full observability record of one query: a span tree
+// rooted at the whole request, rendered by String as the EXPLAIN tree the
+// CLI shows after an answer.
+type QueryTrace struct {
+	// Question is the natural-language input as asked.
+	Question string
+	// Root spans the whole request; stage spans hang below it.
+	Root *Span
+}
+
+// NewQueryTrace starts a trace for question, returning a context that
+// carries its root span so StartSpan/FromContext attach below it.
+func NewQueryTrace(ctx context.Context, question string) (context.Context, *QueryTrace) {
+	ctx, root := StartSpan(ctx, "query")
+	return ctx, &QueryTrace{Question: question, Root: root}
+}
+
+// roundDur trims a duration for display: sub-millisecond spans print in
+// microseconds, everything else with three significant decimals.
+func roundDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d < time.Second:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}
+
+// String renders the trace as a tree with per-span durations, counters,
+// and attributes. Multi-line attribute values (the query plan) indent as
+// a block under their span.
+func (t *QueryTrace) String() string {
+	if t == nil || t.Root == nil {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s %q %s%s\n", t.Root.Name, t.Question, roundDur(t.Root.Duration()), spanSuffix(t.Root))
+	renderAttrBlocks(&sb, t.Root, "")
+	children := t.Root.Children()
+	for i, c := range children {
+		renderSpan(&sb, c, "", i == len(children)-1 && t.Root.Dropped() == 0)
+	}
+	if n := t.Root.Dropped(); n > 0 {
+		fmt.Fprintf(&sb, "└─ … %d more span(s) dropped\n", n)
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+func renderSpan(sb *strings.Builder, s *Span, prefix string, last bool) {
+	branch, childPrefix := "├─ ", prefix+"│  "
+	if last {
+		branch, childPrefix = "└─ ", prefix+"   "
+	}
+	fmt.Fprintf(sb, "%s%s%s %s%s", prefix, branch, s.Name, roundDur(s.Duration()), spanSuffix(s))
+	if !s.Ended() {
+		sb.WriteString(" (unfinished)")
+	}
+	sb.WriteByte('\n')
+	renderAttrBlocks(sb, s, childPrefix)
+	children := s.Children()
+	for i, c := range children {
+		renderSpan(sb, c, childPrefix, i == len(children)-1 && s.Dropped() == 0)
+	}
+	if n := s.Dropped(); n > 0 {
+		fmt.Fprintf(sb, "%s└─ … %d more span(s) dropped\n", childPrefix, n)
+	}
+}
+
+// spanSuffix renders a span's counters and single-line attrs inline:
+// " [rows=120 engine=athena]".
+func spanSuffix(s *Span) string {
+	s.mu.Lock()
+	counts := append([]Count(nil), s.counts...)
+	attrs := append([]Attr(nil), s.attrs...)
+	s.mu.Unlock()
+	var parts []string
+	for _, c := range counts {
+		parts = append(parts, fmt.Sprintf("%s=%d", c.Key, c.N))
+	}
+	for _, a := range attrs {
+		if !strings.Contains(a.Value, "\n") {
+			parts = append(parts, fmt.Sprintf("%s=%s", a.Key, a.Value))
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " [" + strings.Join(parts, " ") + "]"
+}
+
+// renderAttrBlocks prints multi-line attribute values as indented blocks.
+func renderAttrBlocks(sb *strings.Builder, s *Span, prefix string) {
+	s.mu.Lock()
+	attrs := append([]Attr(nil), s.attrs...)
+	s.mu.Unlock()
+	sort.SliceStable(attrs, func(i, j int) bool { return attrs[i].Key < attrs[j].Key })
+	for _, a := range attrs {
+		if !strings.Contains(a.Value, "\n") {
+			continue
+		}
+		for _, line := range strings.Split(a.Value, "\n") {
+			fmt.Fprintf(sb, "%s     %s\n", prefix, line)
+		}
+	}
+}
+
+// Find returns the first span named name in depth-first order, or nil —
+// a test and tooling convenience.
+func (t *QueryTrace) Find(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	var walk func(s *Span) *Span
+	walk = func(s *Span) *Span {
+		if s == nil {
+			return nil
+		}
+		if s.Name == name {
+			return s
+		}
+		for _, c := range s.Children() {
+			if got := walk(c); got != nil {
+				return got
+			}
+		}
+		return nil
+	}
+	return walk(t.Root)
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	ctx, trace := NewQueryTrace(context.Background(), "how many customers")
+	tok := trace.Root.Child("tokenize")
+	tok.End()
+	ctx2, interp := StartSpan(ctx, "interpret")
+	_, exec := StartSpan(ctx2, "execute")
+	exec.Add("rows_scanned", 120)
+	exec.Add("rows_scanned", 30)
+	exec.SetAttr("engine", "athena")
+	exec.End()
+	interp.End()
+	trace.Root.End()
+
+	if got := FromContext(ctx2); got != interp {
+		t.Errorf("FromContext = %v, want the interpret span", got)
+	}
+	kids := trace.Root.Children()
+	if len(kids) != 2 || kids[0] != tok || kids[1] != interp {
+		t.Fatalf("root children = %v, want [tokenize interpret]", kids)
+	}
+	if k := interp.Children(); len(k) != 1 || k[0] != exec {
+		t.Fatalf("interpret children = %v, want [execute]", k)
+	}
+	if got := exec.Count("rows_scanned"); got != 150 {
+		t.Errorf("counter accumulation = %d, want 150", got)
+	}
+	if got := exec.Attr("engine"); got != "athena" {
+		t.Errorf("attr = %q, want athena", got)
+	}
+
+	out := trace.String()
+	for _, want := range []string{`query "how many customers"`, "├─", "└─", "interpret", "execute", "rows_scanned=150", "engine=athena"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestOrphanSpan starts a span with no trace in the context: it must work
+// standalone (its own root) without touching anything else.
+func TestOrphanSpan(t *testing.T) {
+	ctx, orphan := StartSpan(context.Background(), "lonely")
+	if orphan == nil {
+		t.Fatal("orphan span should still be created")
+	}
+	if got := FromContext(ctx); got != orphan {
+		t.Errorf("orphan should be current in its context")
+	}
+	orphan.Add("n", 1)
+	orphan.End()
+	if !orphan.Ended() || orphan.Count("n") != 1 {
+		t.Errorf("orphan span should be fully functional")
+	}
+}
+
+// TestNilSpanSafe exercises every method on a nil *Span — the disabled-
+// tracing fast path used throughout sqlexec and the gateway.
+func TestNilSpanSafe(t *testing.T) {
+	var s *Span
+	if c := s.Child("x"); c != nil {
+		t.Errorf("nil.Child = %v, want nil", c)
+	}
+	s.End()
+	s.Add("k", 1)
+	s.SetAttr("k", "v")
+	if s.Count("k") != 0 || s.Attr("k") != "" || s.Duration() != 0 || s.Ended() || s.Children() != nil || s.Dropped() != 0 {
+		t.Error("nil span accessors should all return zero values")
+	}
+}
+
+func TestUnfinishedSpanRenders(t *testing.T) {
+	_, trace := NewQueryTrace(context.Background(), "q")
+	trace.Root.Child("never-ended")
+	trace.Root.End()
+	if out := trace.String(); !strings.Contains(out, "(unfinished)") {
+		t.Errorf("render should flag unfinished spans:\n%s", out)
+	}
+}
+
+func TestSpanChildCap(t *testing.T) {
+	_, trace := NewQueryTrace(context.Background(), "q")
+	for i := 0; i < maxSpanChildren+25; i++ {
+		trace.Root.Child("scan").End()
+	}
+	trace.Root.End()
+	if got := len(trace.Root.Children()); got != maxSpanChildren {
+		t.Errorf("children = %d, want cap %d", got, maxSpanChildren)
+	}
+	if got := trace.Root.Dropped(); got != 25 {
+		t.Errorf("dropped = %d, want 25", got)
+	}
+	if out := trace.String(); !strings.Contains(out, "25 more span(s) dropped") {
+		t.Errorf("render should report dropped spans:\n%s", out)
+	}
+}
+
+func TestMultilineAttrRendersAsBlock(t *testing.T) {
+	_, trace := NewQueryTrace(context.Background(), "q")
+	plan := trace.Root.Child("plan")
+	plan.SetAttr("plan", "Project [count(*)]\n  Scan customer (40 rows)")
+	plan.End()
+	trace.Root.End()
+	out := trace.String()
+	if !strings.Contains(out, "Project [count(*)]") || !strings.Contains(out, "Scan customer (40 rows)") {
+		t.Errorf("multi-line attr should render as block:\n%s", out)
+	}
+	if strings.Contains(out, "plan=Project") {
+		t.Errorf("multi-line attr must not render inline:\n%s", out)
+	}
+}
+
+func TestFindAndDuration(t *testing.T) {
+	_, trace := NewQueryTrace(context.Background(), "q")
+	c := trace.Root.Child("deep")
+	time.Sleep(time.Millisecond)
+	c.End()
+	trace.Root.End()
+	if trace.Find("deep") != c {
+		t.Error("Find should locate nested spans")
+	}
+	if trace.Find("missing") != nil {
+		t.Error("Find of an absent name should be nil")
+	}
+	if c.Duration() <= 0 {
+		t.Error("ended span should have positive duration")
+	}
+	if d1, d2 := c.Duration(), c.Duration(); d1 != d2 {
+		t.Error("ended span duration must be frozen")
+	}
+}

@@ -27,66 +27,126 @@ func (s breakerState) String() string {
 	}
 }
 
-// breaker trips an engine out of the fallback chain after a run of
+// StateValue maps a breaker state name to its metric gauge value
+// (closed=0, open=1, half-open=2); unknown names map to -1.
+func StateValue(state string) int64 {
+	switch state {
+	case "closed":
+		return 0
+	case "open":
+		return 1
+	case "half-open":
+		return 2
+	default:
+		return -1
+	}
+}
+
+// Breaker trips an engine out of the fallback chain after a run of
 // consecutive infrastructure failures, and lets a single probe back
 // through after the cooldown (half-open). Semantic misses — "I cannot
 // interpret this question" — never count as failures; see countable.
-type breaker struct {
+//
+// Every state transition (closed→open, open→half-open, half-open→closed,
+// half-open→open) is observable through the OnTransition hook, and the
+// current state through State().
+type Breaker struct {
 	mu        sync.Mutex
 	threshold int           // consecutive failures that open the breaker
 	cooldown  time.Duration // open → half-open delay
 	now       func() time.Time
+	hook      func(from, to string)
 
 	state    breakerState
 	fails    int
 	openedAt time.Time
 }
 
-func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
-	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+// NewBreaker returns a closed breaker that opens after threshold
+// consecutive failures and cools down for cooldown before admitting a
+// half-open probe. now is the clock (nil = time.Now).
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
 }
 
-// allow reports whether a call may proceed. An open breaker whose cooldown
-// has elapsed transitions to half-open and admits one probe.
-func (b *breaker) allow() bool {
+// OnTransition registers fn to be called (outside the breaker's lock,
+// with the state names "closed", "open", "half-open") after every state
+// change. At most one hook; later calls replace earlier ones.
+func (b *Breaker) OnTransition(fn func(from, to string)) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	switch b.state {
-	case breakerOpen:
+	b.hook = fn
+}
+
+// State reports the current state: "closed", "open", or "half-open".
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}
+
+// transition moves to state to while holding mu and returns the hook
+// invocation to run after unlock (nil when nothing changed).
+func (b *Breaker) transition(to breakerState) func() {
+	from := b.state
+	if from == to {
+		return nil
+	}
+	b.state = to
+	hook := b.hook
+	if hook == nil {
+		return nil
+	}
+	return func() { hook(from.String(), to.String()) }
+}
+
+// Allow reports whether a call may proceed. An open breaker whose
+// cooldown has elapsed transitions to half-open and admits one probe.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	var fire func()
+	ok := true
+	if b.state == breakerOpen {
 		if b.now().Sub(b.openedAt) >= b.cooldown {
-			b.state = breakerHalfOpen
-			return true
+			fire = b.transition(breakerHalfOpen)
+		} else {
+			ok = false
 		}
-		return false
-	default: // closed or half-open (probe in flight)
-		return true
+	}
+	b.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+	return ok
+}
+
+// Success closes the breaker and clears the failure run.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	fire := b.transition(breakerClosed)
+	b.fails = 0
+	b.mu.Unlock()
+	if fire != nil {
+		fire()
 	}
 }
 
-// success closes the breaker and clears the failure run.
-func (b *breaker) success() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.state = breakerClosed
-	b.fails = 0
-}
-
-// failure records one countable failure; a failed half-open probe or a
+// Failure records one countable failure; a failed half-open probe or a
 // full run of consecutive failures (re)opens the breaker.
-func (b *breaker) failure() {
+func (b *Breaker) Failure() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var fire func()
 	b.fails++
 	if b.state == breakerHalfOpen || b.fails >= b.threshold {
-		b.state = breakerOpen
+		fire = b.transition(breakerOpen)
 		b.openedAt = b.now()
 		b.fails = 0
 	}
-}
-
-// snapshot returns the state for introspection (Gateway.BreakerStates).
-func (b *breaker) snapshot() breakerState {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.state
+	b.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
 }

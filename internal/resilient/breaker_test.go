@@ -1,0 +1,111 @@
+package resilient
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestBreakerFullCycleWithHook drives one breaker through the complete
+// closed → open → half-open → closed automaton and checks both the
+// State() accessor and the transition-hook callback at every step.
+func TestBreakerFullCycleWithHook(t *testing.T) {
+	clock := time.Unix(0, 0)
+	b := NewBreaker(2, time.Minute, func() time.Time { return clock })
+	var transitions []string
+	b.OnTransition(func(from, to string) {
+		transitions = append(transitions, from+"→"+to)
+	})
+
+	if got := b.State(); got != "closed" {
+		t.Fatalf("initial state %q, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow calls")
+	}
+
+	// One failure below threshold: still closed, no transition.
+	b.Failure()
+	if got := b.State(); got != "closed" {
+		t.Fatalf("state after 1/2 failures %q, want closed", got)
+	}
+	if len(transitions) != 0 {
+		t.Fatalf("no transition expected yet, got %v", transitions)
+	}
+
+	// Second failure reaches the threshold: closed → open, calls blocked.
+	b.Failure()
+	if got := b.State(); got != "open" {
+		t.Fatalf("state after threshold %q, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must block calls during cooldown")
+	}
+
+	// Cooldown elapses: the next Allow admits one probe, open → half-open.
+	clock = clock.Add(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("breaker past cooldown must admit a half-open probe")
+	}
+	if got := b.State(); got != "half-open" {
+		t.Fatalf("state during probe %q, want half-open", got)
+	}
+
+	// The probe succeeds: half-open → closed, cycle complete.
+	b.Success()
+	if got := b.State(); got != "closed" {
+		t.Fatalf("state after successful probe %q, want closed", got)
+	}
+
+	want := []string{"closed→open", "open→half-open", "half-open→closed"}
+	if fmt.Sprint(transitions) != fmt.Sprint(want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+}
+
+// TestBreakerFailedProbeReopens checks the other half-open edge: a failed
+// probe goes straight back to open and restarts the cooldown.
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	clock := time.Unix(0, 0)
+	b := NewBreaker(1, time.Minute, func() time.Time { return clock })
+	var transitions []string
+	b.OnTransition(func(from, to string) { transitions = append(transitions, from+"→"+to) })
+
+	b.Failure() // threshold 1: closed → open
+	clock = clock.Add(time.Minute)
+	if !b.Allow() { // open → half-open
+		t.Fatal("probe should be admitted after cooldown")
+	}
+	b.Failure() // half-open → open
+	if got := b.State(); got != "open" {
+		t.Fatalf("state after failed probe %q, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("freshly reopened breaker must block until the next cooldown")
+	}
+	want := []string{"closed→open", "open→half-open", "half-open→open"}
+	if fmt.Sprint(transitions) != fmt.Sprint(want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+}
+
+func TestStateValue(t *testing.T) {
+	for state, want := range map[string]int64{"closed": 0, "open": 1, "half-open": 2, "bogus": -1} {
+		if got := StateValue(state); got != want {
+			t.Errorf("StateValue(%q) = %d, want %d", state, got, want)
+		}
+	}
+}
+
+// TestBreakerSuccessWhileClosedIsQuiet guards against hook spam: Success
+// on an already-closed breaker is not a transition.
+func TestBreakerSuccessWhileClosedIsQuiet(t *testing.T) {
+	b := NewBreaker(3, time.Minute, nil)
+	calls := 0
+	b.OnTransition(func(_, _ string) { calls++ })
+	b.Success()
+	b.Success()
+	if calls != 0 {
+		t.Fatalf("no-op successes fired %d transitions, want 0", calls)
+	}
+}

@@ -8,10 +8,36 @@ import (
 	"strings"
 	"time"
 
+	"nlidb/internal/nlp"
 	"nlidb/internal/nlq"
+	"nlidb/internal/obs"
 	"nlidb/internal/sqldata"
 	"nlidb/internal/sqlexec"
 	"nlidb/internal/sqlparse"
+)
+
+// Metric family names the gateway publishes. Documented in the README's
+// Observability section and asserted by `make metrics-smoke`.
+const (
+	// MetricQueries counts finished queries by engine and outcome.
+	MetricQueries = "nlidb_queries_total"
+	// MetricQuerySeconds is the end-to-end latency histogram by engine.
+	MetricQuerySeconds = "nlidb_query_seconds"
+	// MetricStageSeconds is the per-stage latency histogram by stage and
+	// engine (tokenize is attributed to the pseudo-engine "gateway").
+	MetricStageSeconds = "nlidb_stage_seconds"
+	// MetricBreakerState gauges each engine's breaker (0 closed, 1 open,
+	// 2 half-open).
+	MetricBreakerState = "nlidb_breaker_state"
+	// MetricBreakerTransitions counts breaker transitions by target state.
+	MetricBreakerTransitions = "nlidb_breaker_transitions_total"
+	// MetricSlowQueries counts queries recorded by the slow-query log.
+	MetricSlowQueries = "nlidb_slow_queries_total"
+	// MetricRowsScanned / MetricJoinRows / MetricSubqueries total the
+	// executor's budget meters by engine.
+	MetricRowsScanned = "nlidb_rows_scanned_total"
+	MetricJoinRows    = "nlidb_join_rows_total"
+	MetricSubqueries  = "nlidb_subqueries_total"
 )
 
 // ErrBreakerOpen marks an engine skipped because its circuit breaker is
@@ -29,12 +55,21 @@ type ChainError struct {
 	Question string
 	// Attempts is the failure trail, in the order tried.
 	Attempts []Attempt
+	// Trace is the query's span tree (nil when tracing is disabled).
+	Trace *obs.QueryTrace
 }
 
+// Error renders the trail including, per attempt, which form of the
+// question was actually tried — the original or the stopword-simplified
+// retry — so an exhausted chain is diagnosable from the log line alone.
 func (e *ChainError) Error() string {
 	parts := make([]string, len(e.Attempts))
 	for i, a := range e.Attempts {
-		parts[i] = fmt.Sprintf("%s: %v", a.Engine, a.Err)
+		form := "original"
+		if a.Question != e.Question {
+			form = fmt.Sprintf("simplified %q", a.Question)
+		}
+		parts[i] = fmt.Sprintf("%s (%s): %v", a.Engine, form, a.Err)
 	}
 	return fmt.Sprintf("resilient: all engines failed for %q [%s]", e.Question, strings.Join(parts, "; "))
 }
@@ -67,11 +102,18 @@ type Answer struct {
 	Simplified bool
 	// Attempts is the failure trail of engines tried before this one.
 	Attempts []Attempt
+	// Usage is the execution's resource consumption.
+	Usage sqlexec.Usage
+	// Elapsed is the total wall-clock time of the Ask.
+	Elapsed time.Duration
+	// Trace is the query's span tree (nil when tracing is disabled);
+	// render it with Trace.String() for the EXPLAIN view.
+	Trace *obs.QueryTrace
 }
 
 // Config tunes a Gateway. The zero value is serviceable: default budget,
-// no deadline, breaker threshold 3 with a 30-second cooldown, and
-// retry-with-simplification enabled.
+// no deadline, breaker threshold 3 with a 30-second cooldown,
+// retry-with-simplification enabled, tracing on, and no metrics sink.
 type Config struct {
 	// Timeout is the per-Ask wall-clock deadline (0 = none). It covers the
 	// whole fallback chain, not each engine separately.
@@ -92,17 +134,32 @@ type Config struct {
 	Hook Hook
 	// Now is the breaker clock, injectable for tests (default time.Now).
 	Now func() time.Time
+
+	// Metrics, when non-nil, receives gateway telemetry (query totals,
+	// stage latency histograms, breaker states, budget meters). Metric
+	// families are pre-registered at New so scrapes see them before the
+	// first query.
+	Metrics *obs.Registry
+	// SlowLog, when non-nil, records queries at or above its threshold.
+	SlowLog *obs.SlowLog
+	// NoTrace disables span collection (Answer.Trace stays nil). Metrics
+	// and the slow log keep working; they do not depend on spans.
+	NoTrace bool
+	// BreakerHook, when non-nil, observes every breaker transition as
+	// (engine, from, to) state names. Called outside breaker locks.
+	BreakerHook func(engine, from, to string)
 }
 
 // Gateway serves natural-language questions end-to-end with failure
-// handling: an ordered fallback chain of interpreters, each call guarded
-// by recover(), execution bounded by context and budget, and unhealthy
-// engines tripped out by circuit breakers.
+// handling and full observability: an ordered fallback chain of
+// interpreters, each call guarded by recover(), execution bounded by
+// context and budget, unhealthy engines tripped out by circuit breakers —
+// and every stage spanned, timed, and counted.
 type Gateway struct {
 	engines  []nlq.Interpreter
 	exec     *sqlexec.Engine
 	cfg      Config
-	breakers map[string]*breaker
+	breakers map[string]*Breaker
 }
 
 // New builds a Gateway over db serving the given fallback chain, best
@@ -124,12 +181,47 @@ func New(db *sqldata.Database, chain []nlq.Interpreter, cfg Config) *Gateway {
 		engines:  chain,
 		exec:     sqlexec.New(db),
 		cfg:      cfg,
-		breakers: map[string]*breaker{},
+		breakers: map[string]*Breaker{},
 	}
 	for _, e := range chain {
-		g.breakers[e.Name()] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now)
+		name := e.Name()
+		br := NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now)
+		br.OnTransition(func(from, to string) {
+			if g.cfg.Metrics != nil {
+				g.cfg.Metrics.Gauge(MetricBreakerState, "engine", name).Set(StateValue(to))
+				g.cfg.Metrics.Counter(MetricBreakerTransitions, "engine", name, "to", to).Inc()
+			}
+			if g.cfg.BreakerHook != nil {
+				g.cfg.BreakerHook(name, from, to)
+			}
+		})
+		g.breakers[name] = br
 	}
+	g.preregisterMetrics()
 	return g
+}
+
+// preregisterMetrics creates every metric family the gateway can emit, so
+// a /metrics scrape taken before the first query already shows them.
+func (g *Gateway) preregisterMetrics() {
+	m := g.cfg.Metrics
+	if m == nil {
+		return
+	}
+	m.Counter(MetricSlowQueries)
+	m.Histogram(MetricStageSeconds, "stage", "tokenize", "engine", "gateway")
+	for _, e := range g.engines {
+		name := e.Name()
+		m.Gauge(MetricBreakerState, "engine", name).Set(StateValue("closed"))
+		m.Counter(MetricQueries, "engine", name, "outcome", "ok")
+		m.Histogram(MetricQuerySeconds, "engine", name)
+		for _, stage := range []string{"interpret", "parse", "plan", "execute"} {
+			m.Histogram(MetricStageSeconds, "stage", stage, "engine", name)
+		}
+		m.Counter(MetricRowsScanned, "engine", name)
+		m.Counter(MetricJoinRows, "engine", name)
+		m.Counter(MetricSubqueries, "engine", name)
+	}
 }
 
 // BreakerStates reports each engine's current breaker state ("closed",
@@ -137,10 +229,14 @@ func New(db *sqldata.Database, chain []nlq.Interpreter, cfg Config) *Gateway {
 func (g *Gateway) BreakerStates() map[string]string {
 	out := make(map[string]string, len(g.breakers))
 	for name, b := range g.breakers {
-		out[name] = b.snapshot().String()
+		out[name] = b.State()
 	}
 	return out
 }
+
+// Breaker returns the named engine's circuit breaker (nil if the engine
+// is not in the chain), for state inspection and transition hooks.
+func (g *Gateway) Breaker(engine string) *Breaker { return g.breakers[engine] }
 
 // Ask answers one question: it walks the fallback chain, skipping engines
 // with open breakers, trying each healthy engine first with the question
@@ -148,29 +244,63 @@ func (g *Gateway) BreakerStates() map[string]string {
 // returns the first interpretation that parses and executes within the
 // deadline and budget. It never panics: stage panics surface inside the
 // failure trail as *PanicError values.
+//
+// Unless Config.NoTrace is set, the full pipeline is traced — tokenize,
+// then per engine attempt interpret → parse → plan → execute with rows
+// and budget counters — and the trace travels on the Answer (or the
+// *ChainError) for EXPLAIN rendering and the slow-query log.
 func (g *Gateway) Ask(ctx context.Context, question string) (*Answer, error) {
+	start := time.Now()
 	if g.cfg.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, g.cfg.Timeout)
 		defer cancel()
 	}
+	var trace *obs.QueryTrace
+	if !g.cfg.NoTrace {
+		ctx, trace = obs.NewQueryTrace(ctx, question)
+	}
+	ans, err := g.ask(ctx, question, trace)
+	elapsed := time.Since(start)
+	g.finish(question, ans, err, trace, elapsed)
+	if ans != nil {
+		ans.Elapsed = elapsed
+		ans.Trace = trace
+	}
+	return ans, err
+}
 
-	var trail []Attempt
+// ask is the fallback-chain walk, with the surrounding context already
+// deadline-bounded and trace-carrying.
+func (g *Gateway) ask(ctx context.Context, question string, trace *obs.QueryTrace) (*Answer, error) {
+	root := obs.FromContext(ctx)
+
+	tokSpan := root.Child("tokenize")
+	t0 := time.Now()
+	toks := nlp.Tokenize(question)
+	tokSpan.Add("tokens", int64(len(toks)))
+	tokSpan.End()
+	g.observeStage("tokenize", "gateway", time.Since(t0))
+
 	simplified := ""
 	if !g.cfg.NoRetry {
-		simplified = Simplify(question)
+		simplified = SimplifyTokens(toks)
 		if simplified == question {
 			simplified = ""
 		}
 	}
 
+	var trail []Attempt
 	for _, eng := range g.engines {
 		name := eng.Name()
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("resilient: %w", err)
 		}
 		br := g.breakers[name]
-		if !br.allow() {
+		if !br.Allow() {
+			sp := root.Child("attempt " + name)
+			sp.SetAttr("skipped", "breaker-open")
+			sp.End()
 			trail = append(trail, Attempt{Engine: name, Question: question, Err: ErrBreakerOpen})
 			continue
 		}
@@ -181,13 +311,20 @@ func (g *Gateway) Ask(ctx context.Context, question string) (*Answer, error) {
 		}
 		var lastErr error
 		for ti, q := range tries {
-			ans, err := g.attempt(ctx, eng, q)
+			aCtx, aSpan := obs.StartSpan(ctx, "attempt "+name)
+			aSpan.SetAttr("engine", name)
+			if ti > 0 {
+				aSpan.SetAttr("form", "simplified")
+			}
+			ans, err := g.attempt(aCtx, eng, q)
+			aSpan.End()
 			if err == nil {
-				br.success()
+				br.Success()
 				ans.Simplified = ti > 0
 				ans.Attempts = trail
 				return ans, nil
 			}
+			aSpan.SetAttr("error", err.Error())
 			lastErr = err
 			trail = append(trail, Attempt{Engine: name, Question: q, Err: err})
 			if ctx.Err() != nil {
@@ -195,16 +332,16 @@ func (g *Gateway) Ask(ctx context.Context, question string) (*Answer, error) {
 				// burn it further. The timeout counts against the engine
 				// that consumed it.
 				if countable(err) {
-					br.failure()
+					br.Failure()
 				}
-				return nil, &ChainError{Question: question, Attempts: trail}
+				return nil, &ChainError{Question: question, Attempts: trail, Trace: trace}
 			}
 		}
 		if countable(lastErr) {
-			br.failure()
+			br.Failure()
 		}
 	}
-	return nil, &ChainError{Question: question, Attempts: trail}
+	return nil, &ChainError{Question: question, Attempts: trail, Trace: trace}
 }
 
 // countable reports whether an attempt failure indicates engine ill-health
@@ -215,17 +352,24 @@ func countable(err error) bool {
 	return err != nil && !errors.Is(err, nlq.ErrNoInterpretation)
 }
 
-// attempt runs one engine over one question form through the three guarded
-// stages: interpret, parse (print + re-parse validation), execute.
+// attempt runs one engine over one question form through the guarded
+// stages: interpret, parse (print + re-parse validation), plan, execute.
+// Each stage gets a span and a stage-latency observation.
 func (g *Gateway) attempt(ctx context.Context, eng nlq.Interpreter, q string) (*Answer, error) {
 	name := eng.Name()
 
 	var ins []nlq.Interpretation
-	if err := g.guard(ctx, SiteInterpret, name, func() error {
+	iCtx, iSpan := obs.StartSpan(ctx, "interpret")
+	t0 := time.Now()
+	err := g.guard(iCtx, SiteInterpret, name, func() error {
 		var err error
 		ins, err = eng.Interpret(q)
 		return err
-	}); err != nil {
+	})
+	iSpan.Add("candidates", int64(len(ins)))
+	iSpan.End()
+	g.observeStage("interpret", name, time.Since(t0))
+	if err != nil {
 		return nil, fmt.Errorf("interpret: %w", err)
 	}
 	best, err := nlq.Best(ins)
@@ -235,27 +379,118 @@ func (g *Gateway) attempt(ctx context.Context, eng nlq.Interpreter, q string) (*
 	if best.SQL == nil {
 		return nil, fmt.Errorf("resilient: %s produced an interpretation without SQL", name)
 	}
+	iSpan.SetAttr("score", fmt.Sprintf("%.2f", best.Score))
 
 	// Validate the candidate by round-tripping it through the printer and
 	// parser; a malformed AST fails here instead of deep inside execution.
 	var stmt *sqlparse.SelectStmt
-	if err := g.guard(ctx, SiteParse, name, func() error {
+	pCtx, pSpan := obs.StartSpan(ctx, "parse")
+	t0 = time.Now()
+	err = g.guard(pCtx, SiteParse, name, func() error {
 		var err error
 		stmt, err = sqlparse.Parse(best.SQL.String())
 		return err
-	}); err != nil {
+	})
+	pSpan.End()
+	g.observeStage("parse", name, time.Since(t0))
+	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
 	}
+	pSpan.SetAttr("sql", stmt.String())
+
+	// Plan: record the evaluation tree on the trace. Planning cannot fail
+	// for a statement that just round-tripped, so errors only skip the
+	// annotation.
+	_, planSpan := obs.StartSpan(ctx, "plan")
+	t0 = time.Now()
+	if plan, perr := g.exec.Explain(stmt); perr == nil {
+		planSpan.SetAttr("plan", plan)
+	}
+	planSpan.End()
+	g.observeStage("plan", name, time.Since(t0))
 
 	var res *sqldata.Result
-	if err := g.guard(ctx, SiteExecute, name, func() error {
+	var usage sqlexec.Usage
+	eCtx, eSpan := obs.StartSpan(ctx, "execute")
+	t0 = time.Now()
+	err = g.guard(eCtx, SiteExecute, name, func() error {
 		var err error
-		res, err = g.exec.RunContext(ctx, stmt, g.cfg.Budget)
+		res, usage, err = g.exec.RunContextUsage(eCtx, stmt, g.cfg.Budget)
 		return err
-	}); err != nil {
+	})
+	eSpan.End()
+	g.observeStage("execute", name, time.Since(t0))
+	if m := g.cfg.Metrics; m != nil {
+		m.Counter(MetricRowsScanned, "engine", name).Add(int64(usage.Rows))
+		m.Counter(MetricJoinRows, "engine", name).Add(int64(usage.JoinRows))
+		m.Counter(MetricSubqueries, "engine", name).Add(int64(usage.Subqueries))
+	}
+	if err != nil {
 		return nil, fmt.Errorf("execute: %w", err)
 	}
-	return &Answer{Engine: name, SQL: stmt, Result: res, Score: best.Score}, nil
+	return &Answer{Engine: name, SQL: stmt, Result: res, Score: best.Score, Usage: usage}, nil
+}
+
+// observeStage records one stage latency into the metrics registry.
+func (g *Gateway) observeStage(stage, engine string, d time.Duration) {
+	if g.cfg.Metrics == nil {
+		return
+	}
+	g.cfg.Metrics.Histogram(MetricStageSeconds, "stage", stage, "engine", engine).Observe(d.Seconds())
+}
+
+// outcomeOf maps an Ask error to its metric label.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, sqlexec.ErrBudgetExceeded):
+		return "budget"
+	case errors.Is(err, ErrExhausted):
+		return "exhausted"
+	default:
+		return "error"
+	}
+}
+
+// finish closes out one Ask: ends the trace root with summary attributes,
+// records query counters and latency, and feeds the slow-query log.
+func (g *Gateway) finish(question string, ans *Answer, err error, trace *obs.QueryTrace, elapsed time.Duration) {
+	outcome := outcomeOf(err)
+	engine := "none"
+	if ans != nil {
+		engine = ans.Engine
+	}
+	if trace != nil {
+		root := trace.Root
+		root.SetAttr("engine", engine)
+		root.SetAttr("outcome", outcome)
+		if ans != nil && ans.Simplified {
+			root.SetAttr("form", "simplified")
+		}
+		var states []string
+		for _, e := range g.engines {
+			states = append(states, e.Name()+"="+g.breakers[e.Name()].State())
+		}
+		root.SetAttr("breakers", strings.Join(states, ","))
+		root.End()
+	}
+	if m := g.cfg.Metrics; m != nil {
+		m.Counter(MetricQueries, "engine", engine, "outcome", outcome).Inc()
+		m.Histogram(MetricQuerySeconds, "engine", engine).Observe(elapsed.Seconds())
+	}
+	if g.cfg.SlowLog.Observe(obs.SlowEntry{
+		Question: question, Engine: engine, Outcome: outcome,
+		Duration: elapsed, When: time.Now(), Trace: trace,
+	}) {
+		if m := g.cfg.Metrics; m != nil {
+			m.Counter(MetricSlowQueries).Inc()
+		}
+	}
 }
 
 // guard runs one stage under panic isolation, first applying any injected

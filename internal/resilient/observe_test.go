@@ -1,0 +1,232 @@
+package resilient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"nlidb/internal/nlq"
+	"nlidb/internal/obs"
+)
+
+// TestChainErrorNamesQuestionForm is the satellite fix: an exhausted
+// chain must say, per attempt, whether the original or the simplified
+// form of the question was tried.
+func TestChainErrorNamesQuestionForm(t *testing.T) {
+	db := testDB(t)
+	failing := &fakeInterp{name: "f", fn: func(q string) ([]nlq.Interpretation, error) {
+		return nil, fmt.Errorf("nope")
+	}}
+	gw := New(db, []nlq.Interpreter{failing}, Config{})
+	_, err := gw.Ask(context.Background(), "please show me all the customers")
+	var ce *ChainError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *ChainError", err)
+	}
+	msg := ce.Error()
+	if !strings.Contains(msg, "f (original): interpret: nope") {
+		t.Errorf("message should name the original-form attempt: %s", msg)
+	}
+	if !strings.Contains(msg, `f (simplified "customers"): interpret: nope`) {
+		t.Errorf("message should name the simplified-form attempt with its text: %s", msg)
+	}
+}
+
+// TestAskProducesTrace checks the tentpole wiring: one Ask yields a span
+// tree covering tokenize → attempt → interpret/parse/plan/execute with
+// rows and budget counters, plus summary attributes on the root.
+func TestAskProducesTrace(t *testing.T) {
+	db := testDB(t)
+	gw := New(db, []nlq.Interpreter{answering("a", "SELECT name FROM customer WHERE city = 'Berlin'")}, Config{})
+	ans, err := gw.Ask(context.Background(), "customers in Berlin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Trace == nil {
+		t.Fatal("Answer.Trace should be populated by default")
+	}
+	for _, name := range []string{"tokenize", "attempt a", "interpret", "parse", "plan", "execute", "scan customer"} {
+		if ans.Trace.Find(name) == nil {
+			t.Errorf("trace missing span %q in:\n%s", name, ans.Trace)
+		}
+	}
+	exec := ans.Trace.Find("execute")
+	if got := exec.Count("rows_scanned"); got != 5 { // 3 base + 2 projected
+		t.Errorf("rows_scanned = %d, want 5", got)
+	}
+	if got := exec.Count("rows_returned"); got != 2 {
+		t.Errorf("rows_returned = %d, want 2", got)
+	}
+	if exec.Attr("budget") == "" {
+		t.Error("execute span should carry budget consumption")
+	}
+	root := ans.Trace.Root
+	if root.Attr("engine") != "a" || root.Attr("outcome") != "ok" {
+		t.Errorf("root attrs engine=%q outcome=%q, want a/ok", root.Attr("engine"), root.Attr("outcome"))
+	}
+	if !strings.Contains(root.Attr("breakers"), "a=closed") {
+		t.Errorf("root should record breaker states, got %q", root.Attr("breakers"))
+	}
+	if !root.Ended() {
+		t.Error("root span must be ended by finish")
+	}
+	if ans.Elapsed <= 0 {
+		t.Error("Answer.Elapsed should be positive")
+	}
+	if ans.Usage.Rows == 0 {
+		t.Error("Answer.Usage should report consumption")
+	}
+	// The plan is embedded in the rendered tree.
+	if out := ans.Trace.String(); !strings.Contains(out, "Project [name]") {
+		t.Errorf("rendered trace should inline the plan:\n%s", out)
+	}
+}
+
+func TestAskNoTrace(t *testing.T) {
+	db := testDB(t)
+	gw := New(db, []nlq.Interpreter{answering("a", "SELECT name FROM customer")}, Config{NoTrace: true})
+	ans, err := gw.Ask(context.Background(), "customers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Trace != nil {
+		t.Fatal("NoTrace must suppress trace collection")
+	}
+	if ans.Usage.Rows == 0 {
+		t.Error("usage metering must survive NoTrace")
+	}
+}
+
+func TestChainErrorCarriesTrace(t *testing.T) {
+	db := testDB(t)
+	gw := New(db, []nlq.Interpreter{panicking("x")}, Config{NoRetry: true})
+	_, err := gw.Ask(context.Background(), "anything")
+	var ce *ChainError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *ChainError", err)
+	}
+	if ce.Trace == nil {
+		t.Fatal("failed asks should carry their trace for EXPLAIN")
+	}
+	sp := ce.Trace.Find("attempt x")
+	if sp == nil || sp.Attr("error") == "" {
+		t.Errorf("failed attempt span should record the error:\n%s", ce.Trace)
+	}
+	if got := ce.Trace.Root.Attr("outcome"); got != "exhausted" {
+		t.Errorf("outcome = %q, want exhausted", got)
+	}
+}
+
+func TestGatewayMetrics(t *testing.T) {
+	db := testDB(t)
+	reg := obs.NewRegistry()
+	gw := New(db, []nlq.Interpreter{
+		panicking("bad"),
+		answering("good", "SELECT name FROM customer"),
+	}, Config{Metrics: reg, NoRetry: true, BreakerThreshold: 2})
+
+	// Pre-registration: families exist before any query.
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	for _, fam := range []string{MetricQueries, MetricStageSeconds, MetricBreakerState, MetricSlowQueries, MetricQuerySeconds} {
+		if !strings.Contains(sb.String(), fam) {
+			t.Errorf("family %q should be pre-registered:\n%s", fam, sb.String())
+		}
+	}
+
+	for i := 0; i < 3; i++ {
+		if _, err := gw.Ask(context.Background(), "all customers"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter(MetricQueries, "engine", "good", "outcome", "ok").Value(); got != 3 {
+		t.Errorf("queries_total{good,ok} = %d, want 3", got)
+	}
+	if got := reg.Histogram(MetricQuerySeconds, "engine", "good").Count(); got != 3 {
+		t.Errorf("query_seconds{good} count = %d, want 3", got)
+	}
+	if got := reg.Histogram(MetricStageSeconds, "stage", "execute", "engine", "good").Count(); got != 3 {
+		t.Errorf("stage_seconds{execute,good} count = %d, want 3", got)
+	}
+	// "bad" panicked twice → threshold 2 opened its breaker (gauge = 1)
+	// and counted a transition.
+	if got := reg.Gauge(MetricBreakerState, "engine", "bad").Value(); got != 1 {
+		t.Errorf("breaker_state{bad} = %d, want 1 (open)", got)
+	}
+	if got := reg.Counter(MetricBreakerTransitions, "engine", "bad", "to", "open").Value(); got != 1 {
+		t.Errorf("breaker_transitions{bad,open} = %d, want 1", got)
+	}
+	if got := reg.Counter(MetricRowsScanned, "engine", "good").Value(); got == 0 {
+		t.Error("rows_scanned_total{good} should accumulate")
+	}
+}
+
+func TestGatewaySlowLog(t *testing.T) {
+	db := testDB(t)
+	reg := obs.NewRegistry()
+	slow := obs.NewSlowLog(0, 8) // threshold 0: everything is slow
+	gw := New(db, []nlq.Interpreter{answering("a", "SELECT name FROM customer")},
+		Config{Metrics: reg, SlowLog: slow})
+	if _, err := gw.Ask(context.Background(), "all customers"); err != nil {
+		t.Fatal(err)
+	}
+	entries := slow.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("slow entries = %d, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.Question != "all customers" || e.Engine != "a" || e.Outcome != "ok" || e.Trace == nil {
+		t.Errorf("slow entry incomplete: %+v", e)
+	}
+	if got := reg.Counter(MetricSlowQueries).Value(); got != 1 {
+		t.Errorf("slow_queries_total = %d, want 1", got)
+	}
+}
+
+func TestGatewayBreakerHookAndAccessor(t *testing.T) {
+	db := testDB(t)
+	var seen []string
+	gw := New(db, []nlq.Interpreter{panicking("bad")}, Config{
+		BreakerThreshold: 1, NoRetry: true,
+		BreakerHook: func(engine, from, to string) {
+			seen = append(seen, fmt.Sprintf("%s:%s→%s", engine, from, to))
+		},
+	})
+	_, err := gw.Ask(context.Background(), "q")
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	if len(seen) != 1 || seen[0] != "bad:closed→open" {
+		t.Fatalf("breaker hook saw %v, want [bad:closed→open]", seen)
+	}
+	if br := gw.Breaker("bad"); br == nil || br.State() != "open" {
+		t.Fatalf("Breaker accessor should expose the open breaker")
+	}
+	if gw.Breaker("missing") != nil {
+		t.Fatal("unknown engine should return nil breaker")
+	}
+}
+
+// TestGatewayTimeoutOutcome checks the outcome classification used for
+// metrics labels and slow-log entries.
+func TestGatewayTimeoutOutcome(t *testing.T) {
+	db := testDB(t)
+	slow := obs.NewSlowLog(0, 4)
+	hook := func(site Site, engine string) Fault { return Fault{Delay: time.Second} }
+	gw := New(db, []nlq.Interpreter{answering("slow", "SELECT name FROM customer")},
+		Config{Timeout: 30 * time.Millisecond, Hook: hook, SlowLog: slow})
+	_, err := gw.Ask(context.Background(), "q")
+	if err == nil {
+		t.Fatal("expected timeout failure")
+	}
+	entries := slow.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("slow entries = %d, want 1", len(entries))
+	}
+	if got := entries[0].Outcome; got != "timeout" && got != "exhausted" {
+		t.Errorf("outcome = %q, want timeout (or exhausted when the deadline landed between stages)", got)
+	}
+}

@@ -103,8 +103,14 @@ func (s *safeInterpreter) Interpret(question string) (ins []nlq.Interpretation, 
 // "customers in Berlin". It returns "" when nothing content-bearing
 // survives, in which case callers should skip the retry.
 func Simplify(question string) string {
+	return SimplifyTokens(nlp.Tokenize(question))
+}
+
+// SimplifyTokens is Simplify over an already-tokenized question, letting
+// the gateway reuse the tokens its tokenize stage produced.
+func SimplifyTokens(toks []nlp.Token) string {
 	var parts []string
-	for _, t := range nlp.Tokenize(question) {
+	for _, t := range toks {
 		if t.Kind == nlp.KindPunct || t.IsStop() {
 			continue
 		}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+
+	"nlidb/internal/obs"
 )
 
 // Budget bounds the resources one statement execution may consume, so an
@@ -53,12 +55,41 @@ func (e *BudgetError) Error() string {
 // Unwrap lets errors.Is(err, ErrBudgetExceeded) match.
 func (e *BudgetError) Unwrap() error { return ErrBudgetExceeded }
 
+// Usage is the resource consumption of one execution, reported alongside
+// the result so serving layers can meter queries against their budgets.
+type Usage struct {
+	// Rows counts base-table and projected rows (the MaxRows meter).
+	Rows int
+	// JoinRows counts intermediate join rows (the MaxJoinRows meter).
+	JoinRows int
+	// Subqueries counts sub-query evaluations (the MaxSubqueries meter).
+	Subqueries int
+}
+
+// String renders raw consumption.
+func (u Usage) String() string {
+	return fmt.Sprintf("rows %d, join %d, sub %d", u.Rows, u.JoinRows, u.Subqueries)
+}
+
+// Against renders consumption as used/limit triples ("-" = unlimited).
+func (u Usage) Against(b Budget) string {
+	part := func(used, limit int) string {
+		if limit <= 0 {
+			return fmt.Sprintf("%d/-", used)
+		}
+		return fmt.Sprintf("%d/%d", used, limit)
+	}
+	return fmt.Sprintf("rows %s, join %s, sub %s",
+		part(u.Rows, b.MaxRows), part(u.JoinRows, b.MaxJoinRows), part(u.Subqueries, b.MaxSubqueries))
+}
+
 // execState tracks one top-level execution's consumption against its
 // budget and context. Sub-queries share the parent statement's state, so
 // limits are global per RunContext call.
 type execState struct {
 	ctx        context.Context
 	budget     Budget
+	span       *obs.Span // execute-stage span from ctx; nil disables tracing
 	rows       int
 	joinRows   int
 	subqueries int

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"nlidb/internal/obs"
 	"nlidb/internal/sqldata"
 	"nlidb/internal/sqlparse"
 )
@@ -47,11 +48,33 @@ func (e *Engine) Run(stmt *sqlparse.SelectStmt) (*sqldata.Result, error) {
 // exhaustion as ErrBudgetExceeded (both match with errors.Is); the
 // executor checks both at scan, join, and group boundaries.
 func (e *Engine) RunContext(ctx context.Context, stmt *sqlparse.SelectStmt, b Budget) (*sqldata.Result, error) {
-	st := &execState{ctx: ctx, budget: b}
+	res, _, err := e.RunContextUsage(ctx, stmt, b)
+	return res, err
+}
+
+// RunContextUsage is RunContext plus the execution's resource Usage
+// (reported for failed executions too — a budget-killed query still says
+// how far it got). When ctx carries an obs span, the executor annotates
+// it with rows scanned/returned, join rows, sub-query count, and budget
+// consumption, and hangs per-operator scan/join/group child spans off it
+// for the top-level statement.
+func (e *Engine) RunContextUsage(ctx context.Context, stmt *sqlparse.SelectStmt, b Budget) (*sqldata.Result, Usage, error) {
+	st := &execState{ctx: ctx, budget: b, span: obs.FromContext(ctx)}
 	if err := st.checkCtx(); err != nil {
-		return nil, err
+		return nil, Usage{}, err
 	}
-	return e.run(stmt, nil, st)
+	res, err := e.run(stmt, nil, st)
+	u := Usage{Rows: st.rows, JoinRows: st.joinRows, Subqueries: st.subqueries}
+	if st.span != nil {
+		st.span.Add("rows_scanned", int64(u.Rows))
+		st.span.Add("join_rows", int64(u.JoinRows))
+		st.span.Add("subqueries", int64(u.Subqueries))
+		if res != nil {
+			st.span.Add("rows_returned", int64(len(res.Rows)))
+		}
+		st.span.SetAttr("budget", u.Against(b))
+	}
+	return res, u, err
 }
 
 // runSub evaluates a sub-query against the enclosing statement's budget,
@@ -330,6 +353,14 @@ func (e *Engine) evalFrom(from *sqlparse.FromClause, sc *scope, parent *evalCtx,
 		return t, nil
 	}
 
+	// Operator spans are only produced for the top-level statement: a
+	// correlated sub-query re-runs its FROM chain once per outer row, and
+	// a span per evaluation would bloat the trace to no diagnostic gain.
+	var opSpan *obs.Span
+	if parent == nil {
+		opSpan = st.span
+	}
+
 	first, err := baseRows(from.First)
 	if err != nil {
 		return nil, err
@@ -337,13 +368,17 @@ func (e *Engine) evalFrom(from *sqlparse.FromClause, sc *scope, parent *evalCtx,
 	if err := sc.add(from.First.EffName(), first.Schema); err != nil {
 		return nil, err
 	}
+	scanSp := opSpan.Child("scan " + strings.ToLower(from.First.Name))
 	if err := st.addRows(len(first.Rows)); err != nil {
+		scanSp.End()
 		return nil, err
 	}
 	rows := make([]sqldata.Row, len(first.Rows))
 	for i, r := range first.Rows {
 		rows[i] = r.Clone()
 	}
+	scanSp.Add("rows", int64(len(first.Rows)))
+	scanSp.End()
 
 	for _, j := range from.Joins {
 		right, err := baseRows(j.Table)
@@ -353,34 +388,46 @@ func (e *Engine) evalFrom(from *sqlparse.FromClause, sc *scope, parent *evalCtx,
 		if err := sc.add(j.Table.EffName(), right.Schema); err != nil {
 			return nil, err
 		}
+		joinSp := opSpan.Child("join " + strings.ToLower(j.Table.Name))
+		joinSp.Add("left_rows", int64(len(rows)))
+		joinSp.Add("right_rows", int64(len(right.Rows)))
 		rwidth := len(right.Schema.Columns)
-		var joined []sqldata.Row
-		for _, l := range rows {
-			matched := false
-			for _, r := range right.Rows {
-				if err := st.tick(); err != nil {
-					return nil, err
+		joined, err := func() (joined []sqldata.Row, err error) {
+			defer func() {
+				joinSp.Add("out_rows", int64(len(joined)))
+				joinSp.End()
+			}()
+			for _, l := range rows {
+				matched := false
+				for _, r := range right.Rows {
+					if err := st.tick(); err != nil {
+						return nil, err
+					}
+					combined := append(append(sqldata.Row{}, l...), r...)
+					ctx := &evalCtx{engine: e, scope: sc, row: combined, parent: parent, st: st}
+					ok, err := evalPredicate(ctx, j.On)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						matched = true
+						if err := st.addJoinRows(1); err != nil {
+							return nil, err
+						}
+						joined = append(joined, combined)
+					}
 				}
-				combined := append(append(sqldata.Row{}, l...), r...)
-				ctx := &evalCtx{engine: e, scope: sc, row: combined, parent: parent, st: st}
-				ok, err := evalPredicate(ctx, j.On)
-				if err != nil {
-					return nil, err
-				}
-				if ok {
-					matched = true
+				if !matched && j.Type == sqlparse.JoinLeft {
 					if err := st.addJoinRows(1); err != nil {
 						return nil, err
 					}
-					joined = append(joined, combined)
+					joined = append(joined, append(append(sqldata.Row{}, l...), nullRow(rwidth)...))
 				}
 			}
-			if !matched && j.Type == sqlparse.JoinLeft {
-				if err := st.addJoinRows(1); err != nil {
-					return nil, err
-				}
-				joined = append(joined, append(append(sqldata.Row{}, l...), nullRow(rwidth)...))
-			}
+			return joined, nil
+		}()
+		if err != nil {
+			return nil, err
 		}
 		rows = joined
 	}
@@ -452,6 +499,15 @@ func groupRows(rows []sqldata.Row, keys []sqlparse.Expr, sc *scope, e *Engine, p
 		groups[""] = rows
 		return groups, []string{""}, nil
 	}
+	var gsp *obs.Span
+	if parent == nil {
+		gsp = st.span.Child("group")
+	}
+	defer func() {
+		gsp.Add("in_rows", int64(len(rows)))
+		gsp.Add("groups", int64(len(order)))
+		gsp.End()
+	}()
 	for _, r := range rows {
 		if err := st.tick(); err != nil {
 			return nil, nil, err

@@ -1,0 +1,134 @@
+package sqlexec
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"nlidb/internal/obs"
+	"nlidb/internal/sqldata"
+	"nlidb/internal/sqlparse"
+)
+
+// usageDB builds a two-table fixture for usage/trace assertions: 3 depts,
+// 9 emps (3 per dept).
+func usageDB(t *testing.T) *sqldata.Database {
+	t.Helper()
+	db := sqldata.NewDatabase("usage")
+	dept, err := db.CreateTable(&sqldata.Schema{
+		Name: "dept",
+		Columns: []sqldata.Column{
+			{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+			{Name: "name", Type: sqldata.TypeText},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp, err := db.CreateTable(&sqldata.Schema{
+		Name: "emp",
+		Columns: []sqldata.Column{
+			{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+			{Name: "dept_id", Type: sqldata.TypeInt},
+			{Name: "salary", Type: sqldata.TypeInt},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 3; i++ {
+		dept.MustInsert(sqldata.NewInt(i), sqldata.NewText("d"))
+	}
+	for i := int64(1); i <= 9; i++ {
+		emp.MustInsert(sqldata.NewInt(i), sqldata.NewInt(i%3+1), sqldata.NewInt(1000*i))
+	}
+	return db
+}
+
+func usageParse(t *testing.T, sql string) *sqlparse.SelectStmt {
+	t.Helper()
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return stmt
+}
+
+func TestRunContextUsageCounts(t *testing.T) {
+	eng := New(usageDB(t))
+	stmt := usageParse(t,
+		"SELECT dept.name, COUNT(emp.id) FROM dept JOIN emp ON dept.id = emp.dept_id GROUP BY dept.name")
+	res, u, err := eng.RunContextUsage(context.Background(), stmt, DefaultBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 dept base rows charged at scan, plus 1 projected output row
+	// (joined-table rows are metered as join rows, not base rows).
+	if u.Rows != 3+1 {
+		t.Errorf("Usage.Rows = %d, want 4", u.Rows)
+	}
+	if u.JoinRows != 9 {
+		t.Errorf("Usage.JoinRows = %d, want 9", u.JoinRows)
+	}
+	if u.Subqueries != 0 {
+		t.Errorf("Usage.Subqueries = %d, want 0", u.Subqueries)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("result rows = %d, want 1", len(res.Rows))
+	}
+}
+
+func TestExecutorAnnotatesSpan(t *testing.T) {
+	eng := New(usageDB(t))
+	ctx, trace := obs.NewQueryTrace(context.Background(), "trace me")
+	ctx, execSp := obs.StartSpan(ctx, "execute")
+	stmt := usageParse(t, "SELECT dept.name FROM dept JOIN emp ON dept.id = emp.dept_id GROUP BY dept.name")
+	if _, _, err := eng.RunContextUsage(ctx, stmt, DefaultBudget()); err != nil {
+		t.Fatal(err)
+	}
+	execSp.End()
+	trace.Root.End()
+
+	if got := execSp.Count("rows_scanned"); got != 4 {
+		t.Errorf("rows_scanned = %d, want 4", got)
+	}
+	if got := execSp.Count("join_rows"); got != 9 {
+		t.Errorf("join_rows = %d, want 9", got)
+	}
+	if got := execSp.Count("rows_returned"); got != 1 {
+		t.Errorf("rows_returned = %d, want 1", got)
+	}
+	if got := execSp.Attr("budget"); !strings.Contains(got, "rows 4/") {
+		t.Errorf("budget attr = %q, want rows 4/<limit>", got)
+	}
+	for _, name := range []string{"scan dept", "join emp", "group"} {
+		if trace.Find(name) == nil {
+			t.Errorf("trace missing operator span %q in:\n%s", name, trace)
+		}
+	}
+}
+
+// TestSubquerySpansBounded runs a correlated sub-query and checks the
+// trace does not fan out one operator span per outer-row evaluation.
+func TestSubquerySpansBounded(t *testing.T) {
+	eng := New(usageDB(t))
+	ctx, trace := obs.NewQueryTrace(context.Background(), "nested")
+	ctx, execSp := obs.StartSpan(ctx, "execute")
+	stmt := usageParse(t,
+		"SELECT emp.id FROM emp WHERE emp.salary > (SELECT AVG(e2.salary) FROM emp AS e2 WHERE e2.dept_id = emp.dept_id)")
+	if _, u, err := eng.RunContextUsage(ctx, stmt, DefaultBudget()); err != nil {
+		t.Fatal(err)
+	} else if u.Subqueries != 9 {
+		t.Errorf("Usage.Subqueries = %d, want 9 (one per outer row)", u.Subqueries)
+	}
+	execSp.End()
+	trace.Root.End()
+	// One scan span for the outer table only; sub-query re-evaluations
+	// must not append per-iteration children.
+	if got := len(execSp.Children()); got != 1 {
+		t.Errorf("execute children = %d, want 1 (outer scan only):\n%s", got, trace)
+	}
+	if got := execSp.Count("subqueries"); got != 9 {
+		t.Errorf("subqueries count = %d, want 9", got)
+	}
+}

@@ -1,0 +1,71 @@
+#!/bin/sh
+# metrics_smoke.sh — end-to-end scrape check for the observability layer.
+#
+# Starts cmd/nlidb with -metrics-addr on a fixed localhost port, feeds it
+# one question on stdin (so the query-path metrics have data), scrapes
+# /metrics, and asserts every required Prometheus family is present.
+# Exits non-zero, with the scrape dumped, on any missing family.
+set -eu
+
+PORT="${METRICS_PORT:-19190}"
+ADDR="127.0.0.1:${PORT}"
+TMP="$(mktemp -d)"
+trap 'kill "$NLIDB_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
+
+cd "$(dirname "$0")/.."
+go build -o "$TMP/nlidb" ./cmd/nlidb
+
+# Ask one question, then hold stdin open long enough for the scrape.
+( echo "customers in Berlin"; sleep 5 ) | \
+    "$TMP/nlidb" -metrics-addr "$ADDR" -slowlog 1ns >"$TMP/out.log" 2>&1 &
+NLIDB_PID=$!
+
+# Wait for the endpoint to come up (the binary prints the bound address
+# before reading stdin, so a short poll suffices).
+i=0
+until curl -sf "http://$ADDR/metrics" >"$TMP/metrics.txt" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "metrics-smoke: endpoint $ADDR never came up" >&2
+        cat "$TMP/out.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# Re-scrape after the question has certainly been served.
+sleep 1
+curl -sf "http://$ADDR/metrics" >"$TMP/metrics.txt"
+
+status=0
+for family in \
+    nlidb_queries_total \
+    nlidb_query_seconds \
+    nlidb_stage_seconds \
+    nlidb_breaker_state \
+    nlidb_slow_queries_total \
+    nlidb_rows_scanned_total; do
+    if ! grep -q "^$family" "$TMP/metrics.txt"; then
+        echo "metrics-smoke: missing family $family" >&2
+        status=1
+    fi
+done
+
+# The served question must be visible as a counted query.
+if ! grep -q 'nlidb_queries_total{.*outcome="ok".*} [1-9]' "$TMP/metrics.txt"; then
+    echo "metrics-smoke: no successful query counted" >&2
+    status=1
+fi
+
+# expvar must be published alongside.
+if ! curl -sf "http://$ADDR/debug/vars" | grep -q '"nlidb"'; then
+    echo "metrics-smoke: /debug/vars missing the nlidb registry" >&2
+    status=1
+fi
+
+if [ "$status" -ne 0 ]; then
+    echo "--- scrape ---" >&2
+    cat "$TMP/metrics.txt" >&2
+    exit "$status"
+fi
+echo "metrics-smoke: ok (all families present on $ADDR)"
