@@ -2,16 +2,19 @@
 
 GO ?= go
 
-.PHONY: build test short race vet fuzz check metrics-smoke
+.PHONY: build test short race vet fuzz check metrics-smoke cache-smoke bench-cache
 
 build:
 	$(GO) build ./...
 
 # Default verification: vet, the full test suite, and a -race pass over
-# the concurrency-bearing observability and serving packages.
+# every package. The race pass runs -short: the handful of slow replay
+# tests (experiments, mlsql training) gate on testing.Short() and would
+# take >10 minutes under the race detector; everything concurrency-bearing
+# — the gateway, cache, batch pool, chaos suite, executors — runs in full.
 test: vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs ./internal/resilient
+	$(GO) test -race -short ./...
 
 # Reduced suite: the chaos tests shrink to 30 queries per domain and the
 # slowest experiment-replay tests are skipped.
@@ -24,16 +27,28 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Short coverage-guided fuzz sessions over the SQL parser and the NL
-# tokenizer (seed corpora always run as part of plain `make test`).
+# Short coverage-guided fuzz sessions over the SQL parser, the NL
+# tokenizer, and the cache-key normalizer (seed corpora always run as
+# part of plain `make test`).
 FUZZTIME ?= 15s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/sqlparse
 	$(GO) test -run='^$$' -fuzz=FuzzTokenize -fuzztime=$(FUZZTIME) ./internal/nlp
+	$(GO) test -run='^$$' -fuzz=FuzzCacheKey -fuzztime=$(FUZZTIME) ./internal/qcache
 
 # End-to-end scrape check: start cmd/nlidb with -metrics-addr, serve one
 # question, and assert /metrics exposes every required family.
 metrics-smoke: build
 	./scripts/metrics_smoke.sh
+
+# End-to-end cache check: serve the same question twice through cmd/nlidb
+# and assert the repeat is a cache hit served without an execute span.
+cache-smoke: build
+	./scripts/cache_smoke.sh
+
+# Answer-cache benchmark: cold/warm latency percentiles and serial-vs-
+# parallel throughput, written to BENCH_cache.json.
+bench-cache: build
+	$(GO) run ./cmd/nlidb-bench -cache BENCH_cache.json
 
 check: build vet test race

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"nlidb/internal/benchdata"
+	"nlidb/internal/lexicon"
+	"nlidb/internal/qcache"
+	"nlidb/internal/resilient"
+)
+
+// cacheReport is the BENCH_cache.json schema: cold-vs-warm latency
+// percentiles on one cached gateway, and serving throughput across four
+// configurations. The headline comparison — ParallelCachedQPS vs
+// SerialUncachedQPS — is after-vs-before for this change (a serial,
+// uncached gateway was the status quo); SerialCachedQPS and
+// ParallelUncachedQPS isolate how much of the win is the cache vs the
+// worker pool (on a single-core host, nearly all of it is the cache).
+type cacheReport struct {
+	Seed      int64 `json:"seed"`
+	Distinct  int   `json:"distinct_questions"`
+	Repeats   int   `json:"repeats_per_question"`
+	TotalAsks int   `json:"total_asks"`
+	Workers   int   `json:"workers"`
+	Reps      int   `json:"reps"`
+
+	ColdP50ms float64 `json:"cold_p50_ms"`
+	ColdP95ms float64 `json:"cold_p95_ms"`
+	ColdP99ms float64 `json:"cold_p99_ms"`
+	WarmP50ms float64 `json:"warm_p50_ms"`
+	WarmP95ms float64 `json:"warm_p95_ms"`
+	WarmP99ms float64 `json:"warm_p99_ms"`
+	// WarmSpeedupP50 = cold p50 / warm p50 (acceptance: ≥ 5).
+	WarmSpeedupP50 float64 `json:"warm_speedup_p50"`
+
+	SerialUncachedQPS   float64 `json:"serial_uncached_qps"`
+	SerialCachedQPS     float64 `json:"serial_cached_qps"`
+	ParallelUncachedQPS float64 `json:"parallel_uncached_qps"`
+	ParallelCachedQPS   float64 `json:"parallel_cached_qps"`
+	// ParallelSpeedup = parallel cached / serial uncached (acceptance: ≥ 3).
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
+}
+
+const (
+	cacheBenchWorkers = 8
+	cacheBenchRepeats = 8
+	cacheBenchReps    = 3
+)
+
+// runCacheBench measures the answer cache and the ServeBatch worker pool
+// on a WikiSQL-style Sales workload with realistic question repetition
+// (every distinct question asked cacheBenchRepeats times, shuffled), and
+// writes the JSON report to path.
+func runCacheBench(path string, seed int64) error {
+	d := benchdata.Sales(seed)
+	set := benchdata.WikiSQLStyle(d, 80, seed+5)
+
+	// Keep only questions the default chain answers: failed asks are not
+	// cached, so unanswerable questions would measure chain exhaustion,
+	// not cache behavior.
+	probe := resilient.New(d.DB, resilient.DefaultChain(d.DB, lexicon.New()), resilient.Config{NoTrace: true})
+	ctx := context.Background()
+	var questions []string
+	for _, p := range set.Pairs {
+		if _, err := probe.Ask(ctx, p.Question); err == nil {
+			questions = append(questions, p.Question)
+		}
+	}
+	if len(questions) < 10 {
+		return fmt.Errorf("cache bench: only %d answerable questions", len(questions))
+	}
+
+	// The serving trace: every question repeated, order shuffled with a
+	// seeded source so runs are reproducible.
+	rng := rand.New(rand.NewSource(seed * 7919))
+	trace := make([]string, 0, len(questions)*cacheBenchRepeats)
+	for i := 0; i < cacheBenchRepeats; i++ {
+		trace = append(trace, questions...)
+	}
+	rng.Shuffle(len(trace), func(i, j int) { trace[i], trace[j] = trace[j], trace[i] })
+
+	newGW := func(cache *qcache.Cache, workers int) *resilient.Gateway {
+		return resilient.New(d.DB, resilient.DefaultChain(d.DB, lexicon.New()),
+			resilient.Config{NoTrace: true, Cache: cache, Workers: workers})
+	}
+
+	// Cold-vs-warm latency: one cached gateway, each question asked cold
+	// (fill) then warm (hit), latencies measured per Ask.
+	latGW := newGW(qcache.New(qcache.Config{}), 0)
+	var cold, warm []float64
+	for _, q := range questions {
+		t0 := time.Now()
+		latGW.Ask(ctx, q)
+		cold = append(cold, float64(time.Since(t0))/float64(time.Millisecond))
+	}
+	for rep := 0; rep < cacheBenchRepeats-1; rep++ {
+		for _, q := range questions {
+			t0 := time.Now()
+			latGW.Ask(ctx, q)
+			warm = append(warm, float64(time.Since(t0))/float64(time.Millisecond))
+		}
+	}
+
+	// Throughput: best-of-reps per configuration, fresh gateway (and fresh
+	// cache) per run so no state leaks between configurations.
+	serve := func(cached bool, workers int) float64 {
+		var best time.Duration
+		for rep := 0; rep < cacheBenchReps; rep++ {
+			var cache *qcache.Cache
+			if cached {
+				cache = qcache.New(qcache.Config{})
+			}
+			gw := newGW(cache, workers)
+			t0 := time.Now()
+			if workers > 0 {
+				gw.ServeBatch(ctx, trace)
+			} else {
+				for _, q := range trace {
+					gw.Ask(ctx, q)
+				}
+			}
+			if el := time.Since(t0); rep == 0 || el < best {
+				best = el
+			}
+		}
+		return float64(len(trace)) / best.Seconds()
+	}
+	serialUncached := serve(false, 0)
+	serialCached := serve(true, 0)
+	parallelUncached := serve(false, cacheBenchWorkers)
+	parallelCached := serve(true, cacheBenchWorkers)
+
+	// One instrumented pass for the cache counters in the report.
+	stats := func() qcache.Stats {
+		c := qcache.New(qcache.Config{})
+		newGW(c, cacheBenchWorkers).ServeBatch(ctx, trace)
+		return c.Stats()
+	}()
+
+	rep := cacheReport{
+		Seed: seed, Distinct: len(questions), Repeats: cacheBenchRepeats,
+		TotalAsks: len(trace), Workers: cacheBenchWorkers, Reps: cacheBenchReps,
+		ColdP50ms: percentile(cold, 0.50), ColdP95ms: percentile(cold, 0.95), ColdP99ms: percentile(cold, 0.99),
+		WarmP50ms: percentile(warm, 0.50), WarmP95ms: percentile(warm, 0.95), WarmP99ms: percentile(warm, 0.99),
+		SerialUncachedQPS:   serialUncached,
+		SerialCachedQPS:     serialCached,
+		ParallelUncachedQPS: parallelUncached,
+		ParallelCachedQPS:   parallelCached,
+		CacheHits:           stats.Hits,
+		CacheMisses:         stats.Misses,
+		CacheEvictions:      stats.Evictions,
+	}
+	if rep.WarmP50ms > 0 {
+		rep.WarmSpeedupP50 = rep.ColdP50ms / rep.WarmP50ms
+	}
+	if serialUncached > 0 {
+		rep.ParallelSpeedup = parallelCached / serialUncached
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("cache bench: %d distinct × %d asks: warm p50 %.3fms vs cold %.3fms (%.1fx), parallel %.0f qps vs serial %.0f qps (%.1fx) → %s\n",
+		rep.Distinct, rep.TotalAsks, rep.WarmP50ms, rep.ColdP50ms, rep.WarmSpeedupP50,
+		parallelCached, serialUncached, rep.ParallelSpeedup, path)
+	return nil
+}
+
+// percentile returns the q-quantile of xs by nearest-rank on a sorted
+// copy (xs is not modified).
+func percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}

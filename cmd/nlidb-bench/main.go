@@ -5,11 +5,17 @@
 // Usage:
 //
 //	nlidb-bench [-seed N] [-only T1,T5,A1] [-obs BENCH_obs.json]
+//	            [-cache BENCH_cache.json]
 //
 // With -obs the experiment tables are skipped; instead the observability
 // benchmark replays a WikiSQL-style workload through each engine twice
 // (baseline vs instrumented) and writes per-engine latency percentiles
 // plus the measured instrumentation overhead to the given JSON file.
+//
+// With -cache the answer-cache benchmark runs instead: a repetition-heavy
+// WikiSQL-style workload is served serially and through the 8-worker
+// pool, cached and uncached, and cold-vs-warm latency percentiles plus
+// the four throughput figures are written to the given JSON file.
 package main
 
 import (
@@ -26,10 +32,18 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for data generation and training")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	obsPath := flag.String("obs", "", "write the observability benchmark (per-engine latency percentiles, overhead) to this JSON file and exit")
+	cachePath := flag.String("cache", "", "write the answer-cache benchmark (cold/warm percentiles, serial-vs-parallel throughput) to this JSON file and exit")
 	flag.Parse()
 
 	if *obsPath != "" {
 		if err := runObsBench(*obsPath, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "nlidb-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *cachePath != "" {
+		if err := runCacheBench(*cachePath, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "nlidb-bench: %v\n", err)
 			os.Exit(1)
 		}

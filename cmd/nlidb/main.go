@@ -6,7 +6,8 @@
 //	nlidb [-domain sales] [-engine athena] [-chat] [-seed N]
 //	      [-timeout 5s] [-fallback parse,pattern,keyword] [-csv a.csv,b.csv]
 //	      [-explain] [-metrics-addr 127.0.0.1:9090] [-slowlog 250ms]
-//	      ["one-shot question"]
+//	      [-cache 1024] [-cache-ttl 0] [-parallel 8]
+//	      ["one-shot question" | "q1; q2; q3"]
 //
 // Engines: keyword, pattern, parse, athena (default). With -chat the
 // session runs through the agent-based dialogue manager, so follow-ups
@@ -27,6 +28,15 @@
 // interactive session, "slowlog" dumps the retained slow queries. A
 // positional argument runs one question and exits — the EXPLAIN mode of
 // the acceptance demo: nlidb -explain "customers in Berlin".
+//
+// Scaling & caching: every question is served through a sharded answer
+// cache (-cache sets the capacity in entries, 0 disables; -cache-ttl
+// expires entries, 0 keeps them until evicted or the data changes — the
+// cache key includes a database fingerprint, so inserts invalidate
+// implicitly). A one-shot argument may pack several questions separated
+// by ';'; with -parallel N they are served through the gateway's worker
+// pool, sharing the cache, so repeats hit. Cached answers are marked in
+// the provenance line and carry cached=true in the -explain trace.
 package main
 
 import (
@@ -47,6 +57,7 @@ import (
 	"nlidb/internal/nlq"
 	"nlidb/internal/obs"
 	"nlidb/internal/ontology"
+	"nlidb/internal/qcache"
 	"nlidb/internal/resilient"
 	"nlidb/internal/sqldata"
 	"nlidb/internal/sqlexec"
@@ -63,6 +74,9 @@ func main() {
 	explain := flag.Bool("explain", false, "print each query's trace tree (stages, durations, rows/budget counters, plan)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /slowlog on this address")
 	slowlog := flag.Duration("slowlog", 250*time.Millisecond, "slow-query log threshold (0 disables the log)")
+	cacheSize := flag.Int("cache", 1024, "answer-cache capacity in entries (0 disables caching)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "answer-cache entry lifetime (0 = until evicted or data changes)")
+	parallel := flag.Int("parallel", 0, "worker-pool size for ';'-separated one-shot questions (0 = serial)")
 	flag.Parse()
 
 	var d *benchdata.Domain
@@ -100,8 +114,13 @@ func main() {
 	if *slowlog > 0 {
 		slow = obs.NewSlowLog(*slowlog, 128)
 	}
+	var cache *qcache.Cache
+	if *cacheSize > 0 {
+		cache = qcache.New(qcache.Config{MaxEntries: *cacheSize, TTL: *cacheTTL, Metrics: reg})
+	}
 	gw := resilient.New(d.DB, chain, resilient.Config{
 		Timeout: *timeout, Metrics: reg, SlowLog: slow,
+		Cache: cache, Workers: *parallel,
 	})
 	if *metricsAddr != "" {
 		_, bound, err := obs.Serve(*metricsAddr, reg, slow)
@@ -111,22 +130,16 @@ func main() {
 		fmt.Printf("metrics: http://%s/metrics (also /debug/vars, /debug/pprof, /slowlog)\n", bound)
 	}
 
-	// One-shot mode: answer the positional question and exit.
+	// One-shot mode: answer the positional question(s) and exit. Several
+	// questions may be packed into one argument separated by ';'; they
+	// share the gateway — and therefore the answer cache — and run through
+	// the worker pool when -parallel is set.
 	if flag.NArg() > 0 {
-		question := strings.Join(flag.Args(), " ")
-		ans, err := gw.Ask(context.Background(), question)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "nlidb: could not answer: %v\n", err)
-			var ce *resilient.ChainError
-			if *explain && errors.As(err, &ce) && ce.Trace != nil {
-				fmt.Println(ce.Trace)
-			}
-			os.Exit(1)
+		questions := splitQuestions(strings.Join(flag.Args(), " "))
+		if len(questions) == 0 {
+			fatalf("empty question")
 		}
-		printAnswer(ans)
-		if *explain {
-			fmt.Println(ans.Trace)
-		}
+		oneShot(gw, questions, *parallel, *explain)
 		return
 	}
 
@@ -231,11 +244,64 @@ func main() {
 	}
 }
 
+// splitQuestions splits a one-shot argument on ';' into trimmed,
+// non-empty questions.
+func splitQuestions(s string) []string {
+	var out []string
+	for _, q := range strings.Split(s, ";") {
+		if q = strings.TrimSpace(q); q != "" {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// oneShot serves the one-shot questions — through the worker pool when
+// parallel > 0 and there is more than one — and exits non-zero if any
+// question failed.
+func oneShot(gw *resilient.Gateway, questions []string, parallel int, explain bool) {
+	multi := len(questions) > 1
+	var results []resilient.BatchResult
+	if parallel > 0 && multi {
+		results = gw.ServeBatch(context.Background(), questions)
+	} else {
+		for i, q := range questions {
+			ans, err := gw.Ask(context.Background(), q)
+			results = append(results, resilient.BatchResult{Index: i, Question: q, Answer: ans, Err: err})
+		}
+	}
+	failed := false
+	for _, r := range results {
+		if multi {
+			fmt.Printf("» %s\n", r.Question)
+		}
+		if r.Err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "nlidb: could not answer: %v\n", r.Err)
+			var ce *resilient.ChainError
+			if explain && errors.As(r.Err, &ce) && ce.Trace != nil {
+				fmt.Println(ce.Trace)
+			}
+			continue
+		}
+		printAnswer(r.Answer)
+		if explain {
+			fmt.Println(r.Answer.Trace)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
 // printAnswer renders one gateway answer: SQL, provenance, rows.
 func printAnswer(ans *resilient.Answer) {
 	fmt.Printf("  SQL: %s  (confidence %.2f, engine %s", ans.SQL, ans.Score, ans.Engine)
 	if ans.Simplified {
 		fmt.Print(", simplified retry")
+	}
+	if ans.Cached {
+		fmt.Print(", cached")
 	}
 	fmt.Printf(", %s)\n", ans.Elapsed.Round(time.Microsecond))
 	fmt.Println(indent(ans.Result.String()))

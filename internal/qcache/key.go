@@ -1,0 +1,121 @@
+package qcache
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"nlidb/internal/nlp"
+)
+
+// Key normalizes a question into a cache key. Two questions get the same
+// key exactly when the serving pipeline sees them identically:
+//
+//   - words are case-folded ("Top" ≡ "top" — interpreters consume
+//     Token.Lower/Stem, never word case),
+//   - small integral numbers are keyed by value ("5" ≡ "five" ≡ "005");
+//     other numerics (decimals, huge literals) are keyed by their exact
+//     surface form, where float round-tripping would be lossy,
+//   - quoted phrases keep their case (a quoted literal may be matched
+//     against data values, where case can be significant),
+//   - whitespace between tokens is irrelevant.
+//
+// The encoding is prefix-free (kind tag + payload length + payload), so
+// distinct token sequences can never collide — the FuzzCacheKey target
+// asserts the companion property that key-equal questions interpret
+// identically.
+func Key(question string) string {
+	toks := nlp.Tokenize(question)
+	var b strings.Builder
+	b.Grow(len(question) + 8*len(toks))
+	for _, t := range toks {
+		var tag byte
+		var payload string
+		switch t.Kind {
+		case nlp.KindWord:
+			tag, payload = 'w', t.Lower
+		case nlp.KindNumber:
+			tag, payload = 'n', numPayload(t)
+		case nlp.KindQuoted:
+			tag, payload = 'q', t.Text
+		default:
+			tag, payload = 'p', t.Text
+		}
+		b.WriteByte(tag)
+		b.WriteString(strconv.Itoa(len(payload)))
+		b.WriteByte(':')
+		b.WriteString(payload)
+	}
+	return b.String()
+}
+
+// WithFingerprint prefixes a question key with a database fingerprint so
+// entries cached against one database state never serve another: any
+// mutation changes the fingerprint, orphaning (not flushing) old entries.
+func WithFingerprint(fp uint64, key string) string {
+	return fmt.Sprintf("%016x|%s", fp, key)
+}
+
+// Canonical rebuilds a question from its normalized tokens. It is the
+// key's inverse in the sense that Key(Canonical(q)) == Key(q) for every
+// q — the property the fuzz target leans on to generate key-equal
+// variants of arbitrary inputs.
+//
+// For pathological quote interplay — a lone quote character followed by
+// a quoted phrase rendered with that same character can merge into one
+// token on re-tokenization — Canonical returns the question unchanged
+// rather than a rendering with a different key.
+func Canonical(question string) string {
+	toks := nlp.Tokenize(question)
+	parts := make([]string, 0, len(toks))
+	for _, t := range toks {
+		switch t.Kind {
+		case nlp.KindWord:
+			parts = append(parts, canonicalWord(t))
+		case nlp.KindNumber:
+			parts = append(parts, numPayload(t))
+		case nlp.KindQuoted:
+			// The tokenizer guarantees the text never contains its own
+			// delimiter, so one of the two quote styles always works.
+			if strings.ContainsRune(t.Text, '"') {
+				parts = append(parts, "'"+t.Text+"'")
+			} else {
+				parts = append(parts, `"`+t.Text+`"`)
+			}
+		default:
+			parts = append(parts, t.Text)
+		}
+	}
+	c := strings.Join(parts, " ")
+	if Key(c) != Key(question) {
+		return question
+	}
+	return c
+}
+
+// canonicalWord renders a word token in its case-folded form — unless
+// lowercasing is not tokenization-stable (e.g. "İ" lowers to "i" plus a
+// combining mark, which splits the word), in which case the original
+// surface is kept so the rendering re-tokenizes to the same token.
+func canonicalWord(t nlp.Token) string {
+	rt := nlp.Tokenize(t.Lower)
+	if len(rt) == 1 && rt[0].Kind == nlp.KindWord && rt[0].Lower == t.Lower {
+		return t.Lower
+	}
+	return t.Text
+}
+
+// numPayload is the canonical form of a numeric token. Small integral
+// values use the value itself, so "five", "5", and "005" unify; both the
+// tokenizer's digit accumulation and decimal formatting are exact below
+// 1e15, so the form survives a re-tokenize round trip. Everything else
+// (decimals, >15-digit literals) keeps the lowercased surface form —
+// already comma-stripped by the tokenizer and made only of digits and
+// dots, so it too re-tokenizes to itself.
+func numPayload(t nlp.Token) string {
+	if t.Num == math.Trunc(t.Num) && t.Num >= 0 && t.Num < 1e15 {
+		return strconv.FormatInt(int64(t.Num), 10)
+	}
+	return t.Lower
+}

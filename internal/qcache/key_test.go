@@ -1,0 +1,83 @@
+package qcache
+
+import "testing"
+
+func TestKeyEquivalences(t *testing.T) {
+	same := [][2]string{
+		{"show customers in berlin", "Show Customers In BERLIN"},
+		{"top 5 customers", "Top Five Customers"},
+		{"top 5 customers", "top  5   customers"},
+		{"top 5 customers", "top 005 customers"},
+		{"a , b", "a,b"},
+		{`name is "Ann"`, `name is  "Ann"`},
+		{"one million rows", "1 1000000 rows"},
+	}
+	for _, p := range same {
+		if Key(p[0]) != Key(p[1]) {
+			t.Errorf("Key(%q) != Key(%q)\n  %q\n  %q", p[0], p[1], Key(p[0]), Key(p[1]))
+		}
+	}
+}
+
+func TestKeyDistinctions(t *testing.T) {
+	diff := [][2]string{
+		{`name is "Ann"`, `name is "ann"`},      // quoted case is semantic
+		{"berlin", `"berlin"`},                  // word vs quoted literal
+		{"ab c", "a bc"},                        // token boundaries matter
+		{"price above 2.5", "price above 2.50"}, // decimals keep surface form
+		{"top 5", "top 6"},
+		{"", "x"},
+	}
+	for _, p := range diff {
+		if Key(p[0]) == Key(p[1]) {
+			t.Errorf("Key(%q) == Key(%q) = %q, want distinct", p[0], p[1], Key(p[0]))
+		}
+	}
+}
+
+func TestWithFingerprint(t *testing.T) {
+	k := Key("customers")
+	a, b := WithFingerprint(1, k), WithFingerprint(2, k)
+	if a == b {
+		t.Fatal("different fingerprints must give different keys")
+	}
+	if WithFingerprint(1, k) != a {
+		t.Fatal("WithFingerprint must be deterministic")
+	}
+}
+
+func TestCanonicalForms(t *testing.T) {
+	cases := [][2]string{
+		{"Show  me TOP Five customers", "show me top 5 customers"},
+		{`Named "Ann" please`, `named "Ann" please`},
+		{"sales over 1,000", "sales over 1000"},
+		{"a,b", "a , b"},
+	}
+	for _, c := range cases {
+		if got := Canonical(c[0]); got != c[1] {
+			t.Errorf("Canonical(%q) = %q, want %q", c[0], got, c[1])
+		}
+	}
+}
+
+func TestCanonicalIsKeyStable(t *testing.T) {
+	qs := []string{
+		"Show customers in Berlin",
+		"top five MOVIES by rating",
+		`director is "Nolan"`,
+		"price above 2.675 euros",
+		"sales over 1,000,000",
+		"o'brien's year-to-date",
+		"' lone quote then words",
+		`mixed 'single "double' quotes`,
+		"İstanbul customers", // lowercasing splits the word; Canonical must cope
+		"",
+		"007",
+	}
+	for _, q := range qs {
+		c := Canonical(q)
+		if Key(c) != Key(q) {
+			t.Errorf("Key(Canonical(%q)) diverged:\n canon %q\n  key %q\n want %q", q, c, Key(c), Key(q))
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package qcache is the answer cache in front of the query-serving
+// pipeline. The source paper frames NLIDBs as interactive systems — the
+// user expects an answer in seconds — and on a production gateway the
+// same questions arrive again and again; re-running the full
+// interpret→parse→plan→execute pipeline for each repeat wastes the
+// latency budget the paper cares about. The cache is a sharded LRU with
+// TTL, keyed by the normalized question (see Key) combined with a
+// database fingerprint, so schema or data mutations invalidate entries
+// implicitly — no flush call, stale keys simply stop being looked up.
+//
+// All methods are safe for concurrent use; each shard has its own lock,
+// so parallel workers serving disjoint questions rarely contend.
+package qcache
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nlidb/internal/obs"
+)
+
+// Metric family names the cache publishes when Config.Metrics is set.
+const (
+	// MetricHits counts cache hits.
+	MetricHits = "nlidb_cache_hits_total"
+	// MetricMisses counts cache misses (including TTL-expired lookups).
+	MetricMisses = "nlidb_cache_misses_total"
+	// MetricEvictions counts entries evicted by capacity pressure.
+	MetricEvictions = "nlidb_cache_evictions_total"
+	// MetricEntries gauges the current number of live entries.
+	MetricEntries = "nlidb_cache_entries"
+)
+
+// Config tunes a Cache. The zero value is serviceable: 4096 entries,
+// 16 shards, no TTL, no metrics.
+type Config struct {
+	// MaxEntries bounds the total entry count across all shards
+	// (default 4096). Each shard holds MaxEntries/Shards entries, so the
+	// effective capacity is rounded down to a multiple of Shards.
+	MaxEntries int
+	// TTL is how long an entry stays servable (0 = forever). Expired
+	// entries count as misses and are dropped on lookup.
+	TTL time.Duration
+	// Shards is the lock-striping factor (default 16, minimum 1).
+	Shards int
+	// Now is the clock, injectable for TTL tests (default time.Now).
+	Now func() time.Time
+	// Metrics, when non-nil, receives hit/miss/eviction counters and the
+	// live-entry gauge. Families are pre-registered at New so scrapes see
+	// them before the first lookup.
+	Metrics *obs.Registry
+}
+
+// Stats is a point-in-time view of the cache's counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+}
+
+// entry is one cached answer with its expiry.
+type entry struct {
+	key     string
+	val     any
+	expires time.Time // zero = never
+}
+
+// shard is one lock-striped slice of the cache: a map for lookup and an
+// LRU list for eviction order (front = most recently used).
+type shard struct {
+	mu  sync.Mutex
+	ent map[string]*list.Element
+	lru *list.List
+}
+
+// Cache is a sharded LRU answer cache with TTL. Build one per database
+// (the key fingerprint ties entries to one database's state anyway).
+type Cache struct {
+	cfg      Config
+	shards   []*shard
+	perShard int
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	entries   atomic.Int64
+}
+
+// New builds a cache. Config zero values are filled with defaults.
+func New(cfg Config) *Cache {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 4096
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	if cfg.Shards > cfg.MaxEntries {
+		cfg.Shards = cfg.MaxEntries
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	c := &Cache{
+		cfg:      cfg,
+		shards:   make([]*shard, cfg.Shards),
+		perShard: cfg.MaxEntries / cfg.Shards,
+	}
+	if c.perShard < 1 {
+		c.perShard = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{ent: map[string]*list.Element{}, lru: list.New()}
+	}
+	if m := cfg.Metrics; m != nil {
+		m.Counter(MetricHits)
+		m.Counter(MetricMisses)
+		m.Counter(MetricEvictions)
+		m.Gauge(MetricEntries).Set(0)
+	}
+	return c
+}
+
+// shardFor picks the shard for a key by FNV-1a hash.
+func (c *Cache) shardFor(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// Get returns the cached value for key, or (nil, false) on a miss. An
+// entry past its TTL is removed and reported as a miss. A hit moves the
+// entry to the front of its shard's LRU order.
+func (c *Cache) Get(key string) (any, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	el, ok := s.ent[key]
+	if !ok {
+		s.mu.Unlock()
+		c.miss()
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if !e.expires.IsZero() && !c.cfg.Now().Before(e.expires) {
+		s.lru.Remove(el)
+		delete(s.ent, key)
+		s.mu.Unlock()
+		c.entries.Add(-1)
+		c.miss()
+		c.gauge()
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	val := e.val // copy under the lock: Put may replace e.val in place
+	s.mu.Unlock()
+	c.hits.Add(1)
+	if m := c.cfg.Metrics; m != nil {
+		m.Counter(MetricHits).Inc()
+	}
+	return val, true
+}
+
+// Put stores val under key, replacing any existing entry and evicting the
+// shard's least-recently-used entry when the shard is full.
+func (c *Cache) Put(key string, val any) {
+	var expires time.Time
+	if c.cfg.TTL > 0 {
+		expires = c.cfg.Now().Add(c.cfg.TTL)
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if el, ok := s.ent[key]; ok {
+		e := el.Value.(*entry)
+		e.val = val
+		e.expires = expires
+		s.lru.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	evicted := 0
+	for s.lru.Len() >= c.perShard {
+		back := s.lru.Back()
+		s.lru.Remove(back)
+		delete(s.ent, back.Value.(*entry).key)
+		evicted++
+	}
+	s.ent[key] = s.lru.PushFront(&entry{key: key, val: val, expires: expires})
+	s.mu.Unlock()
+	c.entries.Add(int64(1 - evicted))
+	if evicted > 0 {
+		c.evictions.Add(int64(evicted))
+		if m := c.cfg.Metrics; m != nil {
+			m.Counter(MetricEvictions).Add(int64(evicted))
+		}
+	}
+	c.gauge()
+}
+
+// Len returns the live entry count.
+func (c *Cache) Len() int { return int(c.entries.Load()) }
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   int(c.entries.Load()),
+	}
+}
+
+func (c *Cache) miss() {
+	c.misses.Add(1)
+	if m := c.cfg.Metrics; m != nil {
+		m.Counter(MetricMisses).Inc()
+	}
+}
+
+func (c *Cache) gauge() {
+	if m := c.cfg.Metrics; m != nil {
+		m.Gauge(MetricEntries).Set(c.entries.Load())
+	}
+}

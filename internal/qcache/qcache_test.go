@@ -1,0 +1,165 @@
+package qcache
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nlidb/internal/obs"
+)
+
+func TestGetPutHitMiss(t *testing.T) {
+	c := New(Config{MaxEntries: 8, Shards: 2})
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("k", "v")
+	v, ok := c.Get("k")
+	if !ok || v.(string) != "v" {
+		t.Fatalf("Get = %v, %v, want v, true", v, ok)
+	}
+	c.Put("k", "v2")
+	if v, _ := c.Get("k"); v.(string) != "v2" {
+		t.Fatalf("overwrite lost: got %v", v)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 2 hits, 1 miss, 1 entry", st)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// One shard makes the LRU order global and the test deterministic.
+	c := New(Config{MaxEntries: 3, Shards: 1})
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	// Touch "a" so "b" is now least recently used.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.Put("d", 4)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as LRU")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should have survived", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 3 {
+		t.Fatalf("stats = %+v, want 1 eviction, 3 entries", st)
+	}
+}
+
+func TestEvictionUnderPressure(t *testing.T) {
+	c := New(Config{MaxEntries: 16, Shards: 4})
+	for i := 0; i < 1000; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if c.Len() > 16 {
+		t.Fatalf("Len = %d, want ≤ 16", c.Len())
+	}
+	st := c.Stats()
+	if st.Evictions < 1000-16 {
+		t.Fatalf("evictions = %d, want ≥ %d", st.Evictions, 1000-16)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(0, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	c := New(Config{MaxEntries: 8, TTL: time.Minute, Now: clock})
+	c.Put("k", "v")
+	advance(59 * time.Second)
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("entry expired before TTL")
+	}
+	advance(time.Second)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("entry survived past TTL")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("expired entry still counted: Len = %d", c.Len())
+	}
+	// Re-Put restarts the clock.
+	c.Put("k", "v2")
+	advance(30 * time.Second)
+	if v, ok := c.Get("k"); !ok || v.(string) != "v2" {
+		t.Fatal("re-put entry should be fresh")
+	}
+}
+
+func TestMetricsWiring(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Config{MaxEntries: 2, Shards: 1, Metrics: reg})
+
+	// Families exist before any traffic.
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	for _, fam := range []string{MetricHits, MetricMisses, MetricEvictions, MetricEntries} {
+		if !strings.Contains(sb.String(), fam) {
+			t.Fatalf("family %s not pre-registered:\n%s", fam, sb.String())
+		}
+	}
+
+	c.Get("a")    // miss
+	c.Put("a", 1) // fill
+	c.Get("a")    // hit
+	c.Put("b", 2)
+	c.Put("c", 3) // evicts a
+
+	if n := reg.Counter(MetricHits).Value(); n != 1 {
+		t.Fatalf("hits = %d, want 1", n)
+	}
+	if n := reg.Counter(MetricMisses).Value(); n != 1 {
+		t.Fatalf("misses = %d, want 1", n)
+	}
+	if n := reg.Counter(MetricEvictions).Value(); n != 1 {
+		t.Fatalf("evictions = %d, want 1", n)
+	}
+}
+
+func TestConcurrentMixedLoad(t *testing.T) {
+	c := New(Config{MaxEntries: 64, TTL: time.Hour})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (w*31+i)%100)
+				if i%3 == 0 {
+					c.Put(k, i)
+				} else {
+					c.Get(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("Len = %d, want ≤ 64", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("no lookups recorded")
+	}
+}
+
+func TestShardDefaulting(t *testing.T) {
+	// Shards exceeding MaxEntries collapse so per-shard capacity stays ≥ 1.
+	c := New(Config{MaxEntries: 4, Shards: 64})
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if c.Len() > 4 {
+		t.Fatalf("Len = %d, want ≤ 4", c.Len())
+	}
+}

@@ -1,0 +1,71 @@
+package resilient
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// BatchResult pairs one batch question with its outcome; exactly one of
+// Answer and Err is non-nil.
+type BatchResult struct {
+	// Index is the question's position in the input slice.
+	Index int
+	// Question is the question as submitted.
+	Question string
+	// Answer is the successful answer, nil on failure.
+	Answer *Answer
+	// Err is the failure, nil on success.
+	Err error
+}
+
+// ServeBatch answers every question using a bounded worker pool and
+// returns the results in input order. The pool size is Config.Workers,
+// defaulting to runtime.GOMAXPROCS(0) and never exceeding the batch
+// size. Each question gets the same treatment as an individual Ask —
+// its own deadline (Config.Timeout), budget, fallback chain, trace, and
+// cache lookup — so per-query semantics are unchanged; only scheduling
+// differs.
+//
+// Cancelling ctx stops the batch early: questions not yet started fail
+// with the context's error. Questions already in flight run to their own
+// deadline as usual. ServeBatch is safe for concurrent use, including
+// overlapping batches on one Gateway.
+func (g *Gateway) ServeBatch(ctx context.Context, questions []string) []BatchResult {
+	out := make([]BatchResult, len(questions))
+	if len(questions) == 0 {
+		return out
+	}
+	workers := g.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(questions) {
+		workers = len(questions)
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(questions) {
+					return
+				}
+				q := questions[i]
+				if err := ctx.Err(); err != nil {
+					out[i] = BatchResult{Index: i, Question: q, Err: err}
+					continue
+				}
+				ans, err := g.Ask(ctx, q)
+				out[i] = BatchResult{Index: i, Question: q, Answer: ans, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,158 @@
+package resilient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"nlidb/internal/nlq"
+	"nlidb/internal/qcache"
+	"nlidb/internal/sqlparse"
+)
+
+func TestServeBatchOrderAndCompleteness(t *testing.T) {
+	db := testDB(t)
+	gw := New(db, []nlq.Interpreter{answering("a", "SELECT name FROM customer")},
+		Config{Workers: 4})
+	questions := make([]string, 40)
+	for i := range questions {
+		questions[i] = fmt.Sprintf("customers batch %d", i)
+	}
+	res := gw.ServeBatch(context.Background(), questions)
+	if len(res) != len(questions) {
+		t.Fatalf("got %d results, want %d", len(res), len(questions))
+	}
+	for i, r := range res {
+		if r.Index != i || r.Question != questions[i] {
+			t.Fatalf("result %d out of order: %+v", i, r)
+		}
+		if r.Err != nil || r.Answer == nil {
+			t.Fatalf("result %d failed: %v", i, r.Err)
+		}
+	}
+}
+
+func TestServeBatchEmpty(t *testing.T) {
+	db := testDB(t)
+	gw := New(db, []nlq.Interpreter{answering("a", "SELECT name FROM customer")}, Config{})
+	if res := gw.ServeBatch(context.Background(), nil); len(res) != 0 {
+		t.Fatalf("empty batch returned %d results", len(res))
+	}
+}
+
+func TestServeBatchBoundsConcurrency(t *testing.T) {
+	db := testDB(t)
+	var inFlight, peak atomic.Int64
+	eng := &fakeInterp{name: "a", fn: func(q string) ([]nlq.Interpretation, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		defer inFlight.Add(-1)
+		return []nlq.Interpretation{{SQL: sqlparse.MustParse("SELECT name FROM customer"), Score: 0.9}}, nil
+	}}
+	gw := New(db, []nlq.Interpreter{eng}, Config{Workers: 2})
+	questions := make([]string, 20)
+	for i := range questions {
+		questions[i] = fmt.Sprintf("q %d", i)
+	}
+	gw.ServeBatch(context.Background(), questions)
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("peak concurrency %d exceeds Workers=2", p)
+	}
+}
+
+func TestServeBatchCancellation(t *testing.T) {
+	db := testDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	eng := &fakeInterp{name: "a", fn: func(q string) ([]nlq.Interpretation, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-ctx.Done() // park until the batch is cancelled
+		return nil, nlq.ErrNoInterpretation
+	}}
+	gw := New(db, []nlq.Interpreter{eng}, Config{Workers: 1, NoRetry: true})
+	go func() {
+		<-started
+		cancel()
+	}()
+	res := gw.ServeBatch(ctx, make([]string, 10))
+	canceled := 0
+	for _, r := range res {
+		if r.Err == nil {
+			t.Fatalf("result %d unexpectedly succeeded", r.Index)
+		}
+		if errors.Is(r.Err, context.Canceled) {
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Fatal("cancellation should fail not-yet-started questions with context.Canceled")
+	}
+}
+
+func TestServeBatchSharedCacheConcurrent(t *testing.T) {
+	db := testDB(t)
+	eng, calls := counting("a", "SELECT name FROM customer")
+	gw := New(db, []nlq.Interpreter{eng},
+		Config{Workers: 8, Cache: qcache.New(qcache.Config{})})
+
+	// 200 asks of 5 distinct questions across 8 workers: the pipeline runs
+	// at most once per distinct question per worker overlap window — and
+	// at least 195 of the asks must be answered, cached or not.
+	questions := make([]string, 200)
+	for i := range questions {
+		questions[i] = fmt.Sprintf("customers group %d", i%5)
+	}
+	res := gw.ServeBatch(context.Background(), questions)
+	hits := 0
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("batch question %d failed: %v", r.Index, r.Err)
+		}
+		if r.Answer.Cached {
+			hits++
+		}
+	}
+	// Concurrent misses on the same key can race to fill (both run the
+	// pipeline; last Put wins) — that is allowed, but the pipeline must
+	// run far fewer times than there are asks.
+	if c := calls.Load(); c < 5 || c > 40 {
+		t.Fatalf("pipeline ran %d times for 5 distinct questions × 200 asks", c)
+	}
+	if hits < 160 {
+		t.Fatalf("only %d/200 served from cache", hits)
+	}
+}
+
+func TestServeBatchOverlappingBatches(t *testing.T) {
+	db := testDB(t)
+	gw := New(db, []nlq.Interpreter{answering("a", "SELECT name FROM customer")},
+		Config{Workers: 3, Cache: qcache.New(qcache.Config{})})
+	questions := make([]string, 30)
+	for i := range questions {
+		questions[i] = fmt.Sprintf("overlap %d", i%7)
+	}
+	var wg sync.WaitGroup
+	for b := 0; b < 4; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, r := range gw.ServeBatch(context.Background(), questions) {
+				if r.Err != nil {
+					t.Errorf("overlapping batch failed at %d: %v", r.Index, r.Err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -11,6 +11,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -19,6 +21,7 @@ import (
 	"nlidb/internal/keywordnl"
 	"nlidb/internal/lexicon"
 	"nlidb/internal/nlq"
+	"nlidb/internal/qcache"
 	"nlidb/internal/resilient"
 	"nlidb/internal/resilient/faultinject"
 	"nlidb/internal/sqldata"
@@ -203,5 +206,82 @@ func TestChaosRandomFaultsNeverEscape(t *testing.T) {
 			t.Errorf("%s: gateway answered nothing under random chaos", w.domain.Name)
 		}
 		t.Logf("%s: answered %d/%d under faults %v", w.domain.Name, answered, len(w.pairs), counts)
+	}
+}
+
+// TestChaosConcurrentFaultsUnderRace is the concurrent version of the
+// random-fault contract, and the forcing function for the -race sweep:
+// N goroutines hammer one shared gateway — with a shared answer cache —
+// while the seeded injector fires panics, errors, and slowness at every
+// site. The contract holds per query exactly as in the serial test (no
+// escaped panics, typed errors only), breaker and cache state stay
+// internally consistent, and every question is answered or failed, never
+// lost.
+func TestChaosConcurrentFaultsUnderRace(t *testing.T) {
+	const goroutines = 8
+	for _, w := range chaosWorkloads(t) {
+		lex := lexicon.New()
+		inj := faultinject.New(chaosSeed + 99)
+		inj.PanicRate, inj.ErrorRate, inj.SlowRate = 0.10, 0.12, 0.05
+		inj.SlowBy = 2 * time.Millisecond
+		gw := resilient.New(w.domain.DB, resilient.DefaultChain(w.domain.DB, lex),
+			resilient.Config{
+				Timeout:         chaosTimeout,
+				Hook:            inj.Hook(),
+				BreakerCooldown: 50 * time.Millisecond,
+				Workers:         goroutines,
+				Cache:           qcache.New(qcache.Config{MaxEntries: 256}),
+			})
+
+		// Each goroutine walks the whole workload at a different offset so
+		// the same questions are in flight simultaneously — the cache and
+		// breakers see genuine contention.
+		var answered, failed, panicked atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						panicked.Add(1)
+						t.Errorf("panic escaped concurrent Ask: %v", r)
+					}
+				}()
+				for i := range w.pairs {
+					p := w.pairs[(i+g*len(w.pairs)/goroutines)%len(w.pairs)]
+					ans, err := gw.Ask(context.Background(), p.Question)
+					if err != nil {
+						if !errors.Is(err, resilient.ErrExhausted) {
+							t.Errorf("untyped concurrent gateway error for %q: %v", p.Question, err)
+						}
+						failed.Add(1)
+						continue
+					}
+					if ans.Result == nil || ans.SQL == nil || ans.Engine == "" {
+						t.Errorf("incomplete concurrent answer for %q", p.Question)
+					}
+					answered.Add(1)
+				}
+			}(g)
+		}
+		wg.Wait()
+
+		total := int64(goroutines * len(w.pairs))
+		if got := answered.Load() + failed.Load(); got != total {
+			t.Errorf("%s: %d of %d asks unaccounted for", w.domain.Name, total-got, total)
+		}
+		if answered.Load() == 0 {
+			t.Errorf("%s: nothing answered under concurrent chaos", w.domain.Name)
+		}
+		for engine, state := range gw.BreakerStates() {
+			switch state {
+			case "closed", "open", "half-open":
+			default:
+				t.Errorf("%s: breaker %s in impossible state %q", w.domain.Name, engine, state)
+			}
+		}
+		t.Logf("%s: %d goroutines × %d questions: answered=%d failed=%d faults=%v",
+			w.domain.Name, goroutines, len(w.pairs), answered.Load(), failed.Load(), inj.Counts())
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"nlidb/internal/nlp"
 	"nlidb/internal/nlq"
 	"nlidb/internal/obs"
+	"nlidb/internal/qcache"
 	"nlidb/internal/sqldata"
 	"nlidb/internal/sqlexec"
 	"nlidb/internal/sqlparse"
@@ -109,6 +110,11 @@ type Answer struct {
 	// Trace is the query's span tree (nil when tracing is disabled);
 	// render it with Trace.String() for the EXPLAIN view.
 	Trace *obs.QueryTrace
+	// Cached reports that the answer was served from the answer cache
+	// without re-running the pipeline. Cached answers share their SQL and
+	// Result with every other hit on the same entry: treat both as
+	// read-only.
+	Cached bool
 }
 
 // Config tunes a Gateway. The zero value is serviceable: default budget,
@@ -148,6 +154,16 @@ type Config struct {
 	// BreakerHook, when non-nil, observes every breaker transition as
 	// (engine, from, to) state names. Called outside breaker locks.
 	BreakerHook func(engine, from, to string)
+
+	// Cache, when non-nil, is consulted before the fallback chain and
+	// filled after every successful uncached Ask. Keys combine the
+	// normalized question (qcache.Key) with the database fingerprint, so
+	// inserts invalidate implicitly. Hits skip interpret/parse/plan/
+	// execute entirely, return Answer.Cached=true, and carry a
+	// cached=true attribute on the trace root.
+	Cache *qcache.Cache
+	// Workers bounds ServeBatch's worker pool (default: GOMAXPROCS).
+	Workers int
 }
 
 // Gateway serves natural-language questions end-to-end with failure
@@ -155,7 +171,19 @@ type Config struct {
 // interpreters, each call guarded by recover(), execution bounded by
 // context and budget, unhealthy engines tripped out by circuit breakers —
 // and every stage spanned, timed, and counted.
+//
+// Goroutine-safety contract: a Gateway is safe for concurrent use —
+// Ask and ServeBatch may be called from any number of goroutines. The
+// chain's interpreters and the executor are immutable after New; breaker
+// state, metrics, the slow log, and the answer cache are internally
+// synchronized. Two caveats, both on the caller: (1) the underlying
+// database must not be mutated while queries are in flight (see the
+// concurrency note on sqldata.Table — mutate between requests, and the
+// fingerprint-keyed cache invalidates itself); (2) any Config.Hook,
+// Config.Now, or Config.BreakerHook supplied must itself be safe for
+// concurrent calls.
 type Gateway struct {
+	db       *sqldata.Database
 	engines  []nlq.Interpreter
 	exec     *sqlexec.Engine
 	cfg      Config
@@ -178,6 +206,7 @@ func New(db *sqldata.Database, chain []nlq.Interpreter, cfg Config) *Gateway {
 		cfg.Budget = sqlexec.DefaultBudget()
 	}
 	g := &Gateway{
+		db:       db,
 		engines:  chain,
 		exec:     sqlexec.New(db),
 		cfg:      cfg,
@@ -249,6 +278,10 @@ func (g *Gateway) Breaker(engine string) *Breaker { return g.breakers[engine] }
 // then per engine attempt interpret → parse → plan → execute with rows
 // and budget counters — and the trace travels on the Answer (or the
 // *ChainError) for EXPLAIN rendering and the slow-query log.
+//
+// With Config.Cache set, a hit short-circuits all of the above: the
+// cached answer comes back with Cached=true, its trace is just the root
+// span carrying cached=true, and query counters/latency still record.
 func (g *Gateway) Ask(ctx context.Context, question string) (*Answer, error) {
 	start := time.Now()
 	if g.cfg.Timeout > 0 {
@@ -260,10 +293,40 @@ func (g *Gateway) Ask(ctx context.Context, question string) (*Answer, error) {
 	if !g.cfg.NoTrace {
 		ctx, trace = obs.NewQueryTrace(ctx, question)
 	}
+
+	key := ""
+	if g.cfg.Cache != nil {
+		key = qcache.WithFingerprint(g.db.Fingerprint(), qcache.Key(question))
+		if v, ok := g.cfg.Cache.Get(key); ok {
+			hit := *(v.(*Answer)) // shallow copy; SQL/Result shared read-only
+			hit.Cached = true
+			if trace != nil {
+				trace.Root.SetAttr("cached", "true")
+			}
+			elapsed := time.Since(start)
+			g.finish(question, &hit, nil, trace, elapsed)
+			hit.Elapsed = elapsed
+			hit.Trace = trace
+			return &hit, nil
+		}
+	}
+
 	ans, err := g.ask(ctx, question, trace)
 	elapsed := time.Since(start)
 	g.finish(question, ans, err, trace, elapsed)
 	if ans != nil {
+		if key != "" && err == nil {
+			// Store a sanitized copy: no failure trail, timing, or trace —
+			// those belong to the Ask that produced them, not to replays.
+			g.cfg.Cache.Put(key, &Answer{
+				Engine:     ans.Engine,
+				SQL:        ans.SQL,
+				Result:     ans.Result,
+				Score:      ans.Score,
+				Simplified: ans.Simplified,
+				Usage:      ans.Usage,
+			})
+		}
 		ans.Elapsed = elapsed
 		ans.Trace = trace
 	}

@@ -2,15 +2,32 @@ package sqldata
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Table is an in-memory relation: a schema plus its rows.
+//
+// Concurrency: a fully-constructed table is safe for concurrent reads.
+// Mutation (Insert) is not synchronized against concurrent readers — the
+// serving layer treats databases as read-mostly, and callers that mutate
+// while queries are in flight must provide their own exclusion. Every
+// Insert bumps an atomic version counter, which Database.Fingerprint
+// folds into the cache key so answer caches invalidate on mutation
+// without an explicit flush.
 type Table struct {
 	Schema *Schema
 	Rows   []Row
+
+	// version counts mutations; read via Version, bumped by Insert.
+	version atomic.Uint64
 }
+
+// Version returns the table's mutation counter: 0 for a fresh table,
+// incremented by every successful Insert. Safe for concurrent use.
+func (t *Table) Version() uint64 { return t.version.Load() }
 
 // NewTable creates an empty table after validating the schema.
 func NewTable(s *Schema) (*Table, error) {
@@ -46,6 +63,7 @@ func (t *Table) Insert(r Row) error {
 		row[i] = cv
 	}
 	t.Rows = append(t.Rows, row)
+	t.version.Add(1)
 	return nil
 }
 
@@ -150,6 +168,33 @@ func (d *Database) Schemas() []*Schema {
 		out = append(out, d.tables[k].Schema)
 	}
 	return out
+}
+
+// Fingerprint summarizes the database's schema and data state as a hash
+// of the catalog (name, table count, table names and column counts) and
+// every table's mutation version. Any AddTable or Insert changes the
+// fingerprint, so cache keys built over it invalidate implicitly. Safe
+// for concurrent use alongside reads; see Table's concurrency note for
+// mutation.
+func (d *Database) Fingerprint() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(d.Name))
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(len(d.order)))
+	for _, k := range d.order {
+		t := d.tables[k]
+		h.Write([]byte(k))
+		put(uint64(len(t.Schema.Columns)))
+		put(uint64(len(t.Rows)))
+		put(t.Version())
+	}
+	return h.Sum64()
 }
 
 // ValidateForeignKeys checks that every declared foreign key references an

@@ -2,6 +2,7 @@ package sqldata
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -165,4 +166,81 @@ func TestResultString(t *testing.T) {
 	if !strings.Contains(s, "alice") || !strings.Contains(s, "name") {
 		t.Errorf("Result.String missing content:\n%s", s)
 	}
+}
+
+func TestTableVersionBumpsOnInsert(t *testing.T) {
+	tbl, err := NewTable(&Schema{Name: "t", Columns: []Column{{Name: "x", Type: TypeInt}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Version() != 0 {
+		t.Fatalf("fresh table version = %d, want 0", tbl.Version())
+	}
+	tbl.MustInsert(NewInt(1))
+	tbl.MustInsert(NewInt(2))
+	if tbl.Version() != 2 {
+		t.Fatalf("version after 2 inserts = %d, want 2", tbl.Version())
+	}
+	// Failed inserts must not bump the version.
+	if err := tbl.Insert(Row{NewInt(1), NewInt(2)}); err == nil {
+		t.Fatal("arity-mismatched insert should fail")
+	}
+	if tbl.Version() != 2 {
+		t.Fatalf("version after failed insert = %d, want 2", tbl.Version())
+	}
+}
+
+func TestDatabaseFingerprint(t *testing.T) {
+	build := func() (*Database, *Table) {
+		db := NewDatabase("fp")
+		tbl, err := db.CreateTable(&Schema{Name: "t", Columns: []Column{{Name: "x", Type: TypeInt}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl.MustInsert(NewInt(1))
+		return db, tbl
+	}
+	db1, tbl1 := build()
+	db2, _ := build()
+	if db1.Fingerprint() != db2.Fingerprint() {
+		t.Fatal("identically built databases must fingerprint equal")
+	}
+	before := db1.Fingerprint()
+	if db1.Fingerprint() != before {
+		t.Fatal("fingerprint must be stable without mutation")
+	}
+	tbl1.MustInsert(NewInt(2))
+	if db1.Fingerprint() == before {
+		t.Fatal("insert must change the fingerprint")
+	}
+	if _, err := db2.CreateTable(&Schema{Name: "u", Columns: []Column{{Name: "y", Type: TypeText}}}); err != nil {
+		t.Fatal(err)
+	}
+	if db2.Fingerprint() == before {
+		t.Fatal("adding a table must change the fingerprint")
+	}
+}
+
+func TestFingerprintConcurrentReads(t *testing.T) {
+	db := NewDatabase("conc")
+	tbl, err := db.CreateTable(&Schema{Name: "t", Columns: []Column{{Name: "x", Type: TypeInt}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.MustInsert(NewInt(1))
+	want := db.Fingerprint()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				if got := db.Fingerprint(); got != want {
+					t.Errorf("concurrent fingerprint = %x, want %x", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

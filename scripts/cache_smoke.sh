@@ -1,0 +1,94 @@
+#!/bin/sh
+# cache_smoke.sh — end-to-end check of the answer cache's hot path.
+#
+# Serves the same question twice in one cmd/nlidb one-shot invocation
+# (';'-separated questions share the gateway and its cache) with -explain
+# traces on, then asserts on the printed traces that:
+#   1. the first (cold) serve ran the pipeline — its trace has an
+#      execute span and no cached attribute;
+#   2. the repeat was a cache hit — marked cached in the provenance
+#      line, cached=true on the trace root, and served WITHOUT an
+#      execute span (the pipeline never ran);
+#   3. the cache hit/miss counters surfaced on /metrics.
+set -eu
+
+PORT="${CACHE_SMOKE_PORT:-19191}"
+ADDR="127.0.0.1:${PORT}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+cd "$(dirname "$0")/.."
+go build -o "$TMP/nlidb" ./cmd/nlidb
+
+QUESTION="customers in Berlin"
+"$TMP/nlidb" -explain "$QUESTION; $QUESTION" >"$TMP/out.log" 2>&1 || {
+    echo "cache-smoke: nlidb failed" >&2
+    cat "$TMP/out.log" >&2
+    exit 1
+}
+
+# Split the output at the second question header: everything before is
+# the cold serve, everything after is the warm one.
+awk 'BEGIN{n=0} /^» /{n++} n<2' "$TMP/out.log" >"$TMP/cold.log"
+awk 'BEGIN{n=0} /^» /{n++} n>=2' "$TMP/out.log" >"$TMP/warm.log"
+
+status=0
+if ! grep -q 'execute' "$TMP/cold.log"; then
+    echo "cache-smoke: cold serve shows no execute span" >&2
+    status=1
+fi
+if grep -q 'cached=true' "$TMP/cold.log"; then
+    echo "cache-smoke: cold serve claims to be cached" >&2
+    status=1
+fi
+if ! grep -q 'cached=true' "$TMP/warm.log"; then
+    echo "cache-smoke: warm serve lacks cached=true on the trace" >&2
+    status=1
+fi
+if ! grep -q ', cached,' "$TMP/warm.log"; then
+    echo "cache-smoke: warm provenance line not marked cached" >&2
+    status=1
+fi
+if grep -q 'execute' "$TMP/warm.log"; then
+    echo "cache-smoke: warm hit was served WITH an execute span" >&2
+    status=1
+fi
+
+# Counter check over /metrics: one miss (cold) and one hit (warm).
+( echo "$QUESTION"; echo "$QUESTION"; sleep 5 ) | \
+    "$TMP/nlidb" -metrics-addr "$ADDR" >"$TMP/srv.log" 2>&1 &
+SRV_PID=$!
+i=0
+until curl -sf "http://$ADDR/metrics" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "cache-smoke: endpoint $ADDR never came up" >&2
+        cat "$TMP/srv.log" >&2
+        kill "$SRV_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+sleep 1
+curl -sf "http://$ADDR/metrics" >"$TMP/metrics.txt"
+kill "$SRV_PID" 2>/dev/null || true
+
+for family in nlidb_cache_hits_total nlidb_cache_misses_total nlidb_cache_entries; do
+    if ! grep -q "^$family" "$TMP/metrics.txt"; then
+        echo "cache-smoke: missing family $family" >&2
+        status=1
+    fi
+done
+if ! grep -q '^nlidb_cache_hits_total [1-9]' "$TMP/metrics.txt"; then
+    echo "cache-smoke: repeated question produced no cache hit" >&2
+    status=1
+fi
+
+if [ "$status" -ne 0 ]; then
+    echo "--- one-shot output ---" >&2
+    cat "$TMP/out.log" >&2
+    echo "--- scrape ---" >&2
+    cat "$TMP/metrics.txt" >&2 || true
+    exit "$status"
+fi
+echo "cache-smoke: ok (warm hit served without execute, counters present on $ADDR)"
