@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test short race vet fuzz check metrics-smoke cache-smoke bench-cache
+.PHONY: build test short race vet fuzz check metrics-smoke cache-smoke plan-smoke bench-cache bench-plan
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/sqlparse
 	$(GO) test -run='^$$' -fuzz=FuzzTokenize -fuzztime=$(FUZZTIME) ./internal/nlp
 	$(GO) test -run='^$$' -fuzz=FuzzCacheKey -fuzztime=$(FUZZTIME) ./internal/qcache
+	$(GO) test -run='^$$' -fuzz=FuzzPlanExec -fuzztime=$(FUZZTIME) ./internal/plan
 
 # End-to-end scrape check: start cmd/nlidb with -metrics-addr, serve one
 # question, and assert /metrics exposes every required family.
@@ -46,9 +47,21 @@ metrics-smoke: build
 cache-smoke: build
 	./scripts/cache_smoke.sh
 
+# End-to-end planner check: serve a two-table equi-join question through
+# cmd/nlidb and assert the -explain trace shows a HashJoin plan node and
+# a plan-cache hit on the repeat.
+plan-smoke: build
+	./scripts/plan_smoke.sh
+
 # Answer-cache benchmark: cold/warm latency percentiles and serial-vs-
 # parallel throughput, written to BENCH_cache.json.
 bench-cache: build
 	$(GO) run ./cmd/nlidb-bench -cache BENCH_cache.json
+
+# Planner benchmark: nested-loop vs hash-join latency per query class on
+# a 10k-row star schema, written to BENCH_plan.json. The nested-loop
+# baseline sweeps 100M candidate pairs per class — expect a few minutes.
+bench-plan: build
+	$(GO) run ./cmd/nlidb-bench -plan BENCH_plan.json
 
 check: build vet test race

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	nlidb-bench [-seed N] [-only T1,T5,A1] [-obs BENCH_obs.json]
-//	            [-cache BENCH_cache.json]
+//	            [-cache BENCH_cache.json] [-plan BENCH_plan.json]
 //
 // With -obs the experiment tables are skipped; instead the observability
 // benchmark replays a WikiSQL-style workload through each engine twice
@@ -16,6 +16,12 @@
 // WikiSQL-style workload is served serially and through the 8-worker
 // pool, cached and uncached, and cold-vs-warm latency percentiles plus
 // the four throughput figures are written to the given JSON file.
+//
+// With -plan the planner benchmark runs instead: join-heavy query classes
+// over a 10k×10k star schema are executed with the seed strategy
+// (nested-loop join, no predicate pushdown) and with the physical planner
+// (hash join + pushdown), and the per-class latencies, speedups, and plan
+// shapes are written to the given JSON file.
 package main
 
 import (
@@ -33,6 +39,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	obsPath := flag.String("obs", "", "write the observability benchmark (per-engine latency percentiles, overhead) to this JSON file and exit")
 	cachePath := flag.String("cache", "", "write the answer-cache benchmark (cold/warm percentiles, serial-vs-parallel throughput) to this JSON file and exit")
+	planPath := flag.String("plan", "", "write the planner benchmark (nested-loop vs hash-join latency per query class) to this JSON file and exit")
 	flag.Parse()
 
 	if *obsPath != "" {
@@ -44,6 +51,13 @@ func main() {
 	}
 	if *cachePath != "" {
 		if err := runCacheBench(*cachePath, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "nlidb-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *planPath != "" {
+		if err := runPlanBench(*planPath, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "nlidb-bench: %v\n", err)
 			os.Exit(1)
 		}

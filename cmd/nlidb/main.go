@@ -6,7 +6,7 @@
 //	nlidb [-domain sales] [-engine athena] [-chat] [-seed N]
 //	      [-timeout 5s] [-fallback parse,pattern,keyword] [-csv a.csv,b.csv]
 //	      [-explain] [-metrics-addr 127.0.0.1:9090] [-slowlog 250ms]
-//	      [-cache 1024] [-cache-ttl 0] [-parallel 8]
+//	      [-cache 1024] [-cache-ttl 0] [-parallel 8] [-plan-cache 256]
 //	      ["one-shot question" | "q1; q2; q3"]
 //
 // Engines: keyword, pattern, parse, athena (default). With -chat the
@@ -77,6 +77,7 @@ func main() {
 	cacheSize := flag.Int("cache", 1024, "answer-cache capacity in entries (0 disables caching)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "answer-cache entry lifetime (0 = until evicted or data changes)")
 	parallel := flag.Int("parallel", 0, "worker-pool size for ';'-separated one-shot questions (0 = serial)")
+	planCacheSize := flag.Int("plan-cache", 256, "physical-plan cache capacity in entries (0 disables)")
 	flag.Parse()
 
 	var d *benchdata.Domain
@@ -118,9 +119,15 @@ func main() {
 	if *cacheSize > 0 {
 		cache = qcache.New(qcache.Config{MaxEntries: *cacheSize, TTL: *cacheTTL, Metrics: reg})
 	}
+	var planCache *qcache.Cache
+	if *planCacheSize > 0 {
+		// No metrics registry: plan-cache hit rates would share metric
+		// families with the answer cache and double-count.
+		planCache = qcache.New(qcache.Config{MaxEntries: *planCacheSize})
+	}
 	gw := resilient.New(d.DB, chain, resilient.Config{
 		Timeout: *timeout, Metrics: reg, SlowLog: slow,
-		Cache: cache, Workers: *parallel,
+		Cache: cache, PlanCache: planCache, Workers: *parallel,
 	})
 	if *metricsAddr != "" {
 		_, bound, err := obs.Serve(*metricsAddr, reg, slow)

@@ -1,0 +1,119 @@
+package plan
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"nlidb/internal/sqlparse"
+)
+
+// mustRows prepares and runs sql against fuzzDB and returns the result
+// rows rendered as strings.
+func mustRows(t *testing.T, sql string) [][]string {
+	t.Helper()
+	p, err := Prepare(fuzzDB(), sqlparse.MustParse(sql))
+	if err != nil {
+		t.Fatalf("prepare %q: %v", sql, err)
+	}
+	res, _, err := p.Run(context.Background(), DefaultBudget())
+	if err != nil {
+		t.Fatalf("run %q: %v", sql, err)
+	}
+	out := make([][]string, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = make([]string, len(r))
+		for j, v := range r {
+			out[i][j] = v.String()
+		}
+	}
+	return out
+}
+
+// The binder folds table qualifiers with one rule (lower-casing) for both
+// duplicate detection and resolution; these are the regression tests for
+// the old mixed ToLower/EqualFold behavior.
+func TestScopeCaseFolding(t *testing.T) {
+	t.Run("duplicate aliases differing only by case are rejected", func(t *testing.T) {
+		_, err := Prepare(fuzzDB(), sqlparse.MustParse(
+			"SELECT X.id FROM customer AS X JOIN orders AS x ON X.id = x.customer_id"))
+		if err == nil || !strings.Contains(err.Error(), "duplicate table") {
+			t.Fatalf("want duplicate-table error, got %v", err)
+		}
+	})
+	t.Run("alias and schema name differing only by case are rejected", func(t *testing.T) {
+		_, err := Prepare(fuzzDB(), sqlparse.MustParse(
+			"SELECT Orders.id FROM orders JOIN customer AS ORDERS ON orders.customer_id = ORDERS.id"))
+		if err == nil || !strings.Contains(err.Error(), "duplicate table") {
+			t.Fatalf("want duplicate-table error, got %v", err)
+		}
+	})
+	t.Run("qualifier matches alias case-insensitively", func(t *testing.T) {
+		rows := mustRows(t, "SELECT C.name FROM customer AS c WHERE c.id = 1")
+		if len(rows) != 1 || rows[0][0] != "alice" {
+			t.Fatalf("got %v", rows)
+		}
+	})
+	t.Run("qualifier falls back to schema name case-insensitively", func(t *testing.T) {
+		rows := mustRows(t, "SELECT Customer.name FROM customer AS cust WHERE CUSTOMER.id = 2")
+		if len(rows) != 1 || rows[0][0] != "bob" {
+			t.Fatalf("got %v", rows)
+		}
+	})
+	t.Run("effective name wins over another table's schema name", func(t *testing.T) {
+		// "orders" qualifies the alias of customer, not the orders table's
+		// schema name — the orders schema has no "name" column, so only
+		// effective-name-wins resolution makes this query valid.
+		rows := mustRows(t,
+			"SELECT Orders.name FROM customer AS orders JOIN orders AS o ON orders.id = o.customer_id WHERE o.id = 12")
+		if len(rows) != 1 || rows[0][0] != "bob" {
+			t.Fatalf("got %v", rows)
+		}
+	})
+}
+
+// The binder reports schema errors before any rows are touched.
+func TestBindTimeErrors(t *testing.T) {
+	db := fuzzDB()
+	for _, tc := range []struct{ sql, frag string }{
+		{"SELECT name FROM nope", "unknown table"},
+		{"SELECT nope FROM customer", "cannot resolve column"},
+		{"SELECT customer.nope FROM customer", "cannot resolve column"},
+		{"SELECT name FROM customer HAVING COUNT(*) > 1", ""}, // grouped via aggregate is fine
+		{"SELECT name FROM customer JOIN customer ON customer.id = customer.id", "duplicate table"},
+	} {
+		_, err := Prepare(db, sqlparse.MustParse(tc.sql))
+		if tc.frag == "" {
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%q: want error containing %q, got %v", tc.sql, tc.frag, err)
+		}
+	}
+}
+
+// A prepared plan is immutable and reusable: two runs see identical
+// results, and preparation happens once.
+func TestPlanReuse(t *testing.T) {
+	p, err := Prepare(fuzzDB(), sqlparse.MustParse(
+		"SELECT city, COUNT(*) FROM customer GROUP BY city ORDER BY city"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := p.Run(context.Background(), DefaultBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := p.Run(context.Background(), DefaultBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("reuse changed row count: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		if a.Rows[i].Key() != b.Rows[i].Key() {
+			t.Fatalf("reuse changed row %d", i)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"nlidb/internal/obs"
+)
+
+// Budget bounds the resources one statement execution may consume, so an
+// adversarial or badly translated query (a correlated sub-query over a
+// cross join, say) terminates with a typed error instead of running
+// unbounded. A field <= 0 means that resource is unlimited; the zero
+// Budget imposes no limits at all.
+type Budget struct {
+	// MaxRows caps rows materialized by base-table scans and projected
+	// output rows, summed over the statement and its sub-queries.
+	MaxRows int
+	// MaxJoinRows caps intermediate rows produced by join evaluation.
+	MaxJoinRows int
+	// MaxSubqueries caps sub-query evaluations; a correlated sub-query
+	// counts once per outer row it is evaluated for.
+	MaxSubqueries int
+}
+
+// DefaultBudget is a generous bound suitable for interactive serving and
+// the experiment harness: far above anything the demo workloads need, low
+// enough that a pathological nested query stops in tens of milliseconds.
+func DefaultBudget() Budget {
+	return Budget{MaxRows: 1_000_000, MaxJoinRows: 4_000_000, MaxSubqueries: 200_000}
+}
+
+// ErrBudgetExceeded marks executions stopped by a Budget limit. Callers
+// use errors.Is; the concrete error is a *BudgetError naming the resource.
+// The message keeps the historical "sqlexec:" prefix: sqlexec re-exports
+// this sentinel and is the package callers actually see.
+var ErrBudgetExceeded = errors.New("sqlexec: budget exceeded")
+
+// ErrCanceled marks executions stopped by context cancellation or
+// deadline expiry. The returned error also wraps the context's own error,
+// so errors.Is(err, context.DeadlineExceeded) works too.
+var ErrCanceled = errors.New("sqlexec: canceled")
+
+// BudgetError reports which resource limit an execution hit.
+type BudgetError struct {
+	// Resource is "rows", "join rows", or "subqueries".
+	Resource string
+	// Limit is the configured cap that was exceeded.
+	Limit int
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("sqlexec: budget exceeded: %s limit %d", e.Resource, e.Limit)
+}
+
+// Unwrap lets errors.Is(err, ErrBudgetExceeded) match.
+func (e *BudgetError) Unwrap() error { return ErrBudgetExceeded }
+
+// Usage is the resource consumption of one execution, reported alongside
+// the result so serving layers can meter queries against their budgets.
+type Usage struct {
+	// Rows counts base-table and projected rows (the MaxRows meter).
+	Rows int
+	// JoinRows counts intermediate join rows (the MaxJoinRows meter).
+	JoinRows int
+	// Subqueries counts sub-query evaluations (the MaxSubqueries meter).
+	Subqueries int
+}
+
+// String renders raw consumption.
+func (u Usage) String() string {
+	return fmt.Sprintf("rows %d, join %d, sub %d", u.Rows, u.JoinRows, u.Subqueries)
+}
+
+// Against renders consumption as used/limit triples ("-" = unlimited).
+func (u Usage) Against(b Budget) string {
+	part := func(used, limit int) string {
+		if limit <= 0 {
+			return fmt.Sprintf("%d/-", used)
+		}
+		return fmt.Sprintf("%d/%d", used, limit)
+	}
+	return fmt.Sprintf("rows %s, join %s, sub %s",
+		part(u.Rows, b.MaxRows), part(u.JoinRows, b.MaxJoinRows), part(u.Subqueries, b.MaxSubqueries))
+}
+
+// execState tracks one top-level execution's consumption against its
+// budget and context. Sub-plans share the enclosing statement's state, so
+// limits are global per Run call.
+type execState struct {
+	ctx        context.Context
+	budget     Budget
+	span       *obs.Span // execute-stage span from ctx; nil disables tracing
+	rows       int
+	joinRows   int
+	subqueries int
+	ticks      int
+}
+
+// tickInterval amortizes ctx.Err checks over row-granularity call sites.
+const tickInterval = 64
+
+// tick is called once per row processed at operator boundaries; it polls
+// the context every tickInterval calls so cancellation is observed
+// promptly without a per-row atomic load.
+func (st *execState) tick() error {
+	st.ticks++
+	if st.ticks%tickInterval != 0 {
+		return nil
+	}
+	return st.checkCtx()
+}
+
+func (st *execState) checkCtx() error {
+	if st.ctx == nil {
+		return nil
+	}
+	if err := st.ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return nil
+}
+
+func (st *execState) addRows(n int) error {
+	st.rows += n
+	if st.budget.MaxRows > 0 && st.rows > st.budget.MaxRows {
+		return &BudgetError{Resource: "rows", Limit: st.budget.MaxRows}
+	}
+	return nil
+}
+
+func (st *execState) addJoinRows(n int) error {
+	st.joinRows += n
+	if st.budget.MaxJoinRows > 0 && st.joinRows > st.budget.MaxJoinRows {
+		return &BudgetError{Resource: "join rows", Limit: st.budget.MaxJoinRows}
+	}
+	return nil
+}
+
+func (st *execState) addSubquery() error {
+	st.subqueries++
+	if st.budget.MaxSubqueries > 0 && st.subqueries > st.budget.MaxSubqueries {
+		return &BudgetError{Resource: "subqueries", Limit: st.budget.MaxSubqueries}
+	}
+	return nil
+}

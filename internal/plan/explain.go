@@ -1,0 +1,164 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"nlidb/internal/sqlparse"
+)
+
+// EXPLAIN renders the physical operator tree — what will actually run —
+// rather than the statement's syntactic shape: push-down shows up as
+// [filter: ...] annotations on scans, and each join names its algorithm.
+
+// Explain renders the plan as an indented operator tree.
+func (p *Plan) Explain() string {
+	return p.render(nil)
+}
+
+// ExplainStats is Explain with per-operator output row counts from a
+// RunStats execution appended as rows=N.
+func (p *Plan) ExplainStats(s *Stats) string {
+	return p.render(s)
+}
+
+type renderer struct {
+	sb    strings.Builder
+	stats *Stats
+}
+
+func (r *renderer) line(depth int, format string, args ...any) {
+	r.sb.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(&r.sb, format, args...)
+	r.sb.WriteByte('\n')
+}
+
+// statLine is line plus a rows=N suffix when stats are present.
+func (r *renderer) statLine(depth, nid int, format string, args ...any) {
+	if r.stats != nil && nid < len(r.stats.rows) {
+		format += fmt.Sprintf(" rows=%d", r.stats.rows[nid])
+	}
+	r.line(depth, format, args...)
+}
+
+func (p *Plan) render(s *Stats) string {
+	r := &renderer{stats: s}
+	p.renderTo(r, 0)
+	return strings.TrimRight(r.sb.String(), "\n")
+}
+
+func (p *Plan) renderTo(r *renderer, depth int) {
+	if p.limit >= 0 {
+		r.statLine(depth, p.nidResult, "Limit %d", p.limit)
+		depth++
+	}
+	if p.distinct {
+		r.line(depth, "Distinct")
+		depth++
+	}
+	if len(p.orderBy) > 0 {
+		r.line(depth, "Sort [%s]", strings.Join(p.orderDisp, ", "))
+		depth++
+	}
+	r.statLine(depth, p.nidProject, "Project [%s]", strings.Join(p.itemsDisp, ", "))
+	depth++
+	if p.having != nil {
+		r.line(depth, "Having (%s)", p.havingDisp)
+		depth++
+	}
+	if p.grouped {
+		if len(p.groupKeys) > 0 {
+			r.statLine(depth, p.nidGroup, "HashGroupBy [%s]", strings.Join(p.groupDisp, ", "))
+		} else {
+			r.line(depth, "Aggregate (global)")
+		}
+		depth++
+	}
+	renderNode(r, p.src, depth)
+
+	for i, sub := range p.subplans {
+		r.line(0, "Subquery %d:", i+1)
+		sub.renderTo(r, 1)
+	}
+}
+
+func renderNode(r *renderer, n node, depth int) {
+	switch t := n.(type) {
+	case *scanNode:
+		suffix := ""
+		if len(t.filterDisp) > 0 {
+			suffix = fmt.Sprintf(" [filter: %s]", strings.Join(t.filterDisp, " AND "))
+		}
+		r.statLine(depth, t.nid, "Scan %s (%d rows)%s", t.disp, len(t.tab.Rows), suffix)
+
+	case *filterNode:
+		r.statLine(depth, t.nid, "Filter (%s)", strings.Join(t.disp, " AND "))
+		renderNode(r, t.child, depth+1)
+
+	case *joinNode:
+		r.statLine(depth, t.nid, "%s (%s)", joinName(t), t.onDisp)
+		renderNode(r, t.left, depth+1)
+		renderNode(r, t.right, depth+1)
+	}
+}
+
+func joinName(j *joinNode) string {
+	hash := j.algo == "hash"
+	left := j.typ == sqlparse.JoinLeft
+	switch {
+	case hash && left:
+		return "HashLeftJoin"
+	case hash:
+		return "HashJoin"
+	case left:
+		return "NestedLoopLeftJoin"
+	default:
+		return "NestedLoopJoin"
+	}
+}
+
+// Shape is a compact one-line plan fingerprint for trace attributes, e.g.
+// "project(group(hashjoin(scan,scan)))".
+func (p *Plan) Shape() string {
+	s := nodeShape(p.src)
+	if p.grouped {
+		if len(p.groupKeys) > 0 {
+			s = "group(" + s + ")"
+		} else {
+			s = "agg(" + s + ")"
+		}
+	}
+	s = "project(" + s + ")"
+	if len(p.orderBy) > 0 {
+		s = "sort(" + s + ")"
+	}
+	if p.distinct {
+		s = "distinct(" + s + ")"
+	}
+	if p.limit >= 0 {
+		s = "limit(" + s + ")"
+	}
+	return s
+}
+
+func nodeShape(n node) string {
+	switch t := n.(type) {
+	case *scanNode:
+		if len(t.filter) > 0 {
+			return "scan+filter"
+		}
+		return "scan"
+	case *filterNode:
+		return "filter(" + nodeShape(t.child) + ")"
+	case *joinNode:
+		name := "nljoin"
+		if t.algo == "hash" {
+			name = "hashjoin"
+		}
+		if t.typ == sqlparse.JoinLeft {
+			name += "-left"
+		}
+		return name + "(" + nodeShape(t.left) + "," + nodeShape(t.right) + ")"
+	}
+	return "?"
+}

@@ -1,18 +1,127 @@
-package sqlexec
+package plan
 
 import (
 	"fmt"
 	"strings"
 
 	"nlidb/internal/sqldata"
-	"nlidb/internal/sqlparse"
 )
+
+// frame is one statement's runtime evaluation context: the current tuple,
+// the retained rows of the current group (nil outside grouped contexts —
+// aggregates error there, matching the tree-walker's semantics), the
+// partially built projection row (the source for select-alias references),
+// and the enclosing statement's frame for correlated sub-queries.
+type frame struct {
+	row    sqldata.Row
+	group  []sqldata.Row
+	proj   sqldata.Row
+	parent *frame
+}
+
+// at walks up level parent links. Levels are fixed at bind time, so the
+// chain depth always suffices.
+func (f *frame) at(level int) *frame {
+	for ; level > 0; level-- {
+		f = f.parent
+	}
+	return f
+}
+
+// bexpr is a bound expression: column references are tuple offsets, alias
+// references are projection slots, sub-queries are compiled sub-plans.
+// Bound expressions are immutable after binding — a cached Plan may be
+// evaluated concurrently — so all evaluation state lives in frames and the
+// execState.
+type bexpr interface{ bnode() }
+
+type bLit struct{ v sqldata.Value }
+
+// bCol reads column off of the statement frame level levels up. typ is the
+// schema-declared column type, used for static safety analysis (pushdown
+// and hash-key eligibility), never for evaluation.
+type bCol struct {
+	level, off int
+	typ        sqldata.Type
+}
+
+// bAlias reads projection slot slot of the frame level levels up. Alias
+// slots are filled left-to-right during projection, so a bound alias always
+// reads an already-computed value (the binder only resolves aliases
+// registered before the reference site, mirroring the evaluation order).
+type bAlias struct{ level, slot int }
+
+type bBinary struct {
+	op   string
+	l, r bexpr
+}
+
+type bUnary struct {
+	op string
+	x  bexpr
+}
+
+type bFunc struct {
+	name string
+	args []bexpr
+}
+
+type bAgg struct {
+	name     string
+	distinct bool
+	star     bool
+	arg      bexpr // nil for COUNT(*)
+}
+
+type bIn struct {
+	x    bexpr
+	not  bool
+	list []bexpr // nil when sub is set
+	sub  *Plan   // nil when list is set
+}
+
+type bExists struct {
+	not bool
+	sub *Plan
+}
+
+type bScalarSub struct{ sub *Plan }
+
+type bBetween struct {
+	x, lo, hi bexpr
+	not       bool
+}
+
+type bLike struct {
+	x       bexpr
+	pattern string
+	not     bool
+}
+
+type bIsNull struct {
+	x   bexpr
+	not bool
+}
+
+func (*bLit) bnode()       {}
+func (*bCol) bnode()       {}
+func (*bAlias) bnode()     {}
+func (*bBinary) bnode()    {}
+func (*bUnary) bnode()     {}
+func (*bFunc) bnode()      {}
+func (*bAgg) bnode()       {}
+func (*bIn) bnode()        {}
+func (*bExists) bnode()    {}
+func (*bScalarSub) bnode() {}
+func (*bBetween) bnode()   {}
+func (*bLike) bnode()      {}
+func (*bIsNull) bnode()    {}
 
 // evalPredicate evaluates a boolean expression under SQL three-valued
 // logic and reports whether it is definitely TRUE (NULL counts as false,
 // matching WHERE/HAVING/ON semantics).
-func evalPredicate(ctx *evalCtx, e sqlparse.Expr) (bool, error) {
-	v, err := evalExpr(ctx, e)
+func evalPredicate(st *execState, fr *frame, e bexpr) (bool, error) {
+	v, err := evalExpr(st, fr, e)
 	if err != nil {
 		return false, err
 	}
@@ -26,25 +135,28 @@ func evalPredicate(ctx *evalCtx, e sqlparse.Expr) (bool, error) {
 	return b, nil
 }
 
-// evalExpr evaluates an expression in the given context. Boolean results
-// use NULL for SQL UNKNOWN.
-func evalExpr(ctx *evalCtx, e sqlparse.Expr) (sqldata.Value, error) {
+// evalExpr evaluates a bound expression against fr. Boolean results use
+// NULL for SQL UNKNOWN.
+func evalExpr(st *execState, fr *frame, e bexpr) (sqldata.Value, error) {
 	switch t := e.(type) {
-	case *sqlparse.Literal:
-		return t.Val, nil
+	case *bLit:
+		return t.v, nil
 
-	case *sqlparse.ColumnRef:
-		return evalColumn(ctx, t)
+	case *bCol:
+		return fr.at(t.level).row[t.off], nil
 
-	case *sqlparse.BinaryExpr:
-		return evalBinary(ctx, t)
+	case *bAlias:
+		return fr.at(t.level).proj[t.slot], nil
 
-	case *sqlparse.UnaryExpr:
-		x, err := evalExpr(ctx, t.X)
+	case *bBinary:
+		return evalBinary(st, fr, t)
+
+	case *bUnary:
+		x, err := evalExpr(st, fr, t.x)
 		if err != nil {
 			return sqldata.Value{}, err
 		}
-		switch t.Op {
+		switch t.op {
 		case "NOT":
 			if x.Null {
 				return sqldata.NullValue(), nil
@@ -66,37 +178,51 @@ func evalExpr(ctx *evalCtx, e sqlparse.Expr) (sqldata.Value, error) {
 			}
 			return sqldata.Value{}, fmt.Errorf("sqlexec: unary minus on %s", x.T)
 		}
-		return sqldata.Value{}, fmt.Errorf("sqlexec: unknown unary op %q", t.Op)
+		return sqldata.Value{}, fmt.Errorf("sqlexec: unknown unary op %q", t.op)
 
-	case *sqlparse.FuncCall:
-		if t.IsAggregate() {
-			return evalAggregate(ctx, t)
-		}
-		return evalScalarFunc(ctx, t)
+	case *bFunc:
+		return evalScalarFunc(st, fr, t)
 
-	case *sqlparse.InExpr:
-		return evalIn(ctx, t)
+	case *bAgg:
+		return evalAggregate(st, fr, t)
 
-	case *sqlparse.ExistsExpr:
-		res, err := ctx.engine.runSub(t.Sub, ctx)
+	case *bIn:
+		return evalIn(st, fr, t)
+
+	case *bExists:
+		res, err := t.sub.runSub(st, fr)
 		if err != nil {
 			return sqldata.Value{}, err
 		}
-		return sqldata.NewBool((len(res.Rows) > 0) != t.Not), nil
+		return sqldata.NewBool((len(res.Rows) > 0) != t.not), nil
 
-	case *sqlparse.SubqueryExpr:
-		return evalScalarSubquery(ctx, t.Sub)
-
-	case *sqlparse.BetweenExpr:
-		x, err := evalExpr(ctx, t.X)
+	case *bScalarSub:
+		res, err := t.sub.runSub(st, fr)
 		if err != nil {
 			return sqldata.Value{}, err
 		}
-		lo, err := evalExpr(ctx, t.Lo)
+		if len(res.Columns) != 1 {
+			return sqldata.Value{}, fmt.Errorf("sqlexec: scalar sub-query must return one column, got %d", len(res.Columns))
+		}
+		switch len(res.Rows) {
+		case 0:
+			return sqldata.NullValue(), nil
+		case 1:
+			return res.Rows[0][0], nil
+		default:
+			return sqldata.Value{}, fmt.Errorf("sqlexec: scalar sub-query returned %d rows", len(res.Rows))
+		}
+
+	case *bBetween:
+		x, err := evalExpr(st, fr, t.x)
 		if err != nil {
 			return sqldata.Value{}, err
 		}
-		hi, err := evalExpr(ctx, t.Hi)
+		lo, err := evalExpr(st, fr, t.lo)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		hi, err := evalExpr(st, fr, t.hi)
 		if err != nil {
 			return sqldata.Value{}, err
 		}
@@ -113,10 +239,10 @@ func evalExpr(ctx *evalCtx, e sqlparse.Expr) (sqldata.Value, error) {
 		if err != nil {
 			return sqldata.Value{}, err
 		}
-		return sqldata.NewBool((cl >= 0 && ch <= 0) != t.Not), nil
+		return sqldata.NewBool((cl >= 0 && ch <= 0) != t.not), nil
 
-	case *sqlparse.LikeExpr:
-		x, err := evalExpr(ctx, t.X)
+	case *bLike:
+		x, err := evalExpr(st, fr, t.x)
 		if err != nil {
 			return sqldata.Value{}, err
 		}
@@ -127,42 +253,27 @@ func evalExpr(ctx *evalCtx, e sqlparse.Expr) (sqldata.Value, error) {
 		if !ok {
 			return sqldata.Value{}, fmt.Errorf("sqlexec: LIKE on %s", x.T)
 		}
-		return sqldata.NewBool(likeMatch(t.Pattern, s) != t.Not), nil
+		return sqldata.NewBool(likeMatch(t.pattern, s) != t.not), nil
 
-	case *sqlparse.IsNullExpr:
-		x, err := evalExpr(ctx, t.X)
+	case *bIsNull:
+		x, err := evalExpr(st, fr, t.x)
 		if err != nil {
 			return sqldata.Value{}, err
 		}
-		return sqldata.NewBool(x.Null != t.Not), nil
+		return sqldata.NewBool(x.Null != t.not), nil
 	}
-	return sqldata.Value{}, fmt.Errorf("sqlexec: unsupported expression %T", e)
+	return sqldata.Value{}, fmt.Errorf("sqlexec: unsupported bound expression %T", e)
 }
 
-// evalColumn resolves a column reference against the current scope, then
-// select-item aliases, then enclosing scopes (correlated sub-queries).
-func evalColumn(ctx *evalCtx, c *sqlparse.ColumnRef) (sqldata.Value, error) {
-	for cur := ctx; cur != nil; cur = cur.parent {
-		if off, err := cur.scope.resolve(c.Table, c.Column); err == nil {
-			return cur.row[off], nil
-		}
-		if c.Table == "" && cur.aliases != nil {
-			if v, ok := cur.aliases[strings.ToLower(c.Column)]; ok {
-				return v, nil
-			}
-		}
-	}
-	return sqldata.Value{}, fmt.Errorf("sqlexec: cannot resolve column %s", c)
-}
-
-func evalBinary(ctx *evalCtx, b *sqlparse.BinaryExpr) (sqldata.Value, error) {
-	// AND/OR get short-circuit three-valued logic.
-	if b.Op == "AND" || b.Op == "OR" {
-		l, err := evalExpr(ctx, b.L)
+func evalBinary(st *execState, fr *frame, b *bBinary) (sqldata.Value, error) {
+	// AND/OR get three-valued logic; both sides are always evaluated (no
+	// short-circuit), so operand errors surface regardless of the verdict.
+	if b.op == "AND" || b.op == "OR" {
+		l, err := evalExpr(st, fr, b.l)
 		if err != nil {
 			return sqldata.Value{}, err
 		}
-		r, err := evalExpr(ctx, b.R)
+		r, err := evalExpr(st, fr, b.r)
 		if err != nil {
 			return sqldata.Value{}, err
 		}
@@ -174,7 +285,7 @@ func evalBinary(ctx *evalCtx, b *sqlparse.BinaryExpr) (sqldata.Value, error) {
 		if err != nil {
 			return sqldata.Value{}, err
 		}
-		if b.Op == "AND" {
+		if b.op == "AND" {
 			switch {
 			case !lNull && !lb, !rNull && !rb:
 				return sqldata.NewBool(false), nil
@@ -194,16 +305,21 @@ func evalBinary(ctx *evalCtx, b *sqlparse.BinaryExpr) (sqldata.Value, error) {
 		}
 	}
 
-	l, err := evalExpr(ctx, b.L)
+	l, err := evalExpr(st, fr, b.l)
 	if err != nil {
 		return sqldata.Value{}, err
 	}
-	r, err := evalExpr(ctx, b.R)
+	r, err := evalExpr(st, fr, b.r)
 	if err != nil {
 		return sqldata.Value{}, err
 	}
+	return applyBinary(b.op, l, r)
+}
 
-	switch b.Op {
+// applyBinary applies a comparison or arithmetic operator to two evaluated
+// operands.
+func applyBinary(op string, l, r sqldata.Value) (sqldata.Value, error) {
+	switch op {
 	case "=", "!=", "<", "<=", ">", ">=":
 		if l.Null || r.Null {
 			return sqldata.NullValue(), nil
@@ -211,10 +327,10 @@ func evalBinary(ctx *evalCtx, b *sqlparse.BinaryExpr) (sqldata.Value, error) {
 		l, r = coerceDatePair(l, r)
 		c, err := sqldata.Compare(l, r)
 		if err != nil {
-			return sqldata.Value{}, fmt.Errorf("sqlexec: %s: %w", b, err)
+			return sqldata.Value{}, fmt.Errorf("sqlexec: %s %s %s: %w", l.SQLLiteral(), op, r.SQLLiteral(), err)
 		}
 		var ok bool
-		switch b.Op {
+		switch op {
 		case "=":
 			ok = c == 0
 		case "!=":
@@ -235,13 +351,13 @@ func evalBinary(ctx *evalCtx, b *sqlparse.BinaryExpr) (sqldata.Value, error) {
 			return sqldata.NullValue(), nil
 		}
 		if !l.T.Numeric() || !r.T.Numeric() {
-			return sqldata.Value{}, fmt.Errorf("sqlexec: arithmetic %s on %s and %s", b.Op, l.T, r.T)
+			return sqldata.Value{}, fmt.Errorf("sqlexec: arithmetic %s on %s and %s", op, l.T, r.T)
 		}
-		if b.Op != "/" {
+		if op != "/" {
 			li, lok := l.IntOK()
 			ri, rok := r.IntOK()
 			if lok && rok {
-				switch b.Op {
+				switch op {
 				case "+":
 					return sqldata.NewInt(li + ri), nil
 				case "-":
@@ -254,9 +370,9 @@ func evalBinary(ctx *evalCtx, b *sqlparse.BinaryExpr) (sqldata.Value, error) {
 		a, aok := l.FloatOK()
 		bb, bok := r.FloatOK()
 		if !aok || !bok {
-			return sqldata.Value{}, fmt.Errorf("sqlexec: arithmetic %s on %s and %s", b.Op, l.T, r.T)
+			return sqldata.Value{}, fmt.Errorf("sqlexec: arithmetic %s on %s and %s", op, l.T, r.T)
 		}
-		switch b.Op {
+		switch op {
 		case "+":
 			return sqldata.NewFloat(a + bb), nil
 		case "-":
@@ -270,7 +386,7 @@ func evalBinary(ctx *evalCtx, b *sqlparse.BinaryExpr) (sqldata.Value, error) {
 			return sqldata.NewFloat(a / bb), nil
 		}
 	}
-	return sqldata.Value{}, fmt.Errorf("sqlexec: unknown operator %q", b.Op)
+	return sqldata.Value{}, fmt.Errorf("sqlexec: unknown operator %q", op)
 }
 
 func boolOrNull(v sqldata.Value) (b, isNull bool, err error) {
@@ -284,36 +400,43 @@ func boolOrNull(v sqldata.Value) (b, isNull bool, err error) {
 	return bv, false, nil
 }
 
-// evalAggregate computes COUNT/SUM/AVG/MIN/MAX over the current group.
-func evalAggregate(ctx *evalCtx, f *sqlparse.FuncCall) (sqldata.Value, error) {
-	if ctx.groupRows == nil {
-		return sqldata.Value{}, fmt.Errorf("sqlexec: aggregate %s outside grouped context", f.Name)
+// evalAggregate computes COUNT/SUM/AVG/MIN/MAX over the current group. The
+// group check stays a runtime error (not a bind rejection): an aggregate in
+// WHERE only fails on rows that are actually evaluated, so an empty input
+// silently succeeds — exactly like the tree-walker did.
+func evalAggregate(st *execState, fr *frame, f *bAgg) (sqldata.Value, error) {
+	if fr.group == nil {
+		return sqldata.Value{}, fmt.Errorf("sqlexec: aggregate %s outside grouped context", f.name)
 	}
-	if f.Star {
-		if f.Name != "COUNT" {
-			return sqldata.Value{}, fmt.Errorf("sqlexec: %s(*) is not valid", f.Name)
+	if f.star {
+		if f.name != "COUNT" {
+			return sqldata.Value{}, fmt.Errorf("sqlexec: %s(*) is not valid", f.name)
 		}
-		return sqldata.NewInt(int64(len(ctx.groupRows))), nil
+		return sqldata.NewInt(int64(len(fr.group))), nil
 	}
-	if len(f.Args) != 1 {
-		return sqldata.Value{}, fmt.Errorf("sqlexec: %s expects one argument", f.Name)
+	if f.arg == nil {
+		// The binder leaves the argument nil on wrong arity, so the error
+		// stays a runtime one — an empty input never reaches it.
+		return sqldata.Value{}, fmt.Errorf("sqlexec: %s expects one argument", f.name)
 	}
 
 	var vals []sqldata.Value
 	seen := map[string]bool{}
-	for _, r := range ctx.groupRows {
-		if err := ctx.st.tick(); err != nil {
+	for _, r := range fr.group {
+		if err := st.tick(); err != nil {
 			return sqldata.Value{}, err
 		}
-		rowCtx := &evalCtx{engine: ctx.engine, scope: ctx.scope, row: r, parent: ctx.parent, st: ctx.st}
-		v, err := evalExpr(rowCtx, f.Args[0])
+		// The per-row frame drops the group (nested aggregates error) and
+		// the aliases, and chains to the statement's parent.
+		rowFr := &frame{row: r, parent: fr.parent}
+		v, err := evalExpr(st, rowFr, f.arg)
 		if err != nil {
 			return sqldata.Value{}, err
 		}
 		if v.Null {
 			continue // aggregates skip NULLs
 		}
-		if f.Distinct {
+		if f.distinct {
 			k := v.Key()
 			if seen[k] {
 				continue
@@ -323,7 +446,7 @@ func evalAggregate(ctx *evalCtx, f *sqlparse.FuncCall) (sqldata.Value, error) {
 		vals = append(vals, v)
 	}
 
-	switch f.Name {
+	switch f.name {
 	case "COUNT":
 		return sqldata.NewInt(int64(len(vals))), nil
 	case "SUM", "AVG":
@@ -336,7 +459,7 @@ func evalAggregate(ctx *evalCtx, f *sqlparse.FuncCall) (sqldata.Value, error) {
 		for _, v := range vals {
 			fv, ok := v.FloatOK()
 			if !ok {
-				return sqldata.Value{}, fmt.Errorf("sqlexec: %s over %s", f.Name, v.T)
+				return sqldata.Value{}, fmt.Errorf("sqlexec: %s over %s", f.name, v.T)
 			}
 			if iv, isInt := v.IntOK(); isInt {
 				isum += iv
@@ -345,7 +468,7 @@ func evalAggregate(ctx *evalCtx, f *sqlparse.FuncCall) (sqldata.Value, error) {
 			}
 			sum += fv
 		}
-		if f.Name == "SUM" {
+		if f.name == "SUM" {
 			if allInt {
 				return sqldata.NewInt(isum), nil
 			}
@@ -362,28 +485,28 @@ func evalAggregate(ctx *evalCtx, f *sqlparse.FuncCall) (sqldata.Value, error) {
 			if err != nil {
 				return sqldata.Value{}, err
 			}
-			if (f.Name == "MIN" && c < 0) || (f.Name == "MAX" && c > 0) {
+			if (f.name == "MIN" && c < 0) || (f.name == "MAX" && c > 0) {
 				best = v
 			}
 		}
 		return best, nil
 	}
-	return sqldata.Value{}, fmt.Errorf("sqlexec: unknown aggregate %q", f.Name)
+	return sqldata.Value{}, fmt.Errorf("sqlexec: unknown aggregate %q", f.name)
 }
 
 // evalScalarFunc evaluates the small set of supported scalar functions.
-func evalScalarFunc(ctx *evalCtx, f *sqlparse.FuncCall) (sqldata.Value, error) {
-	if len(f.Args) != 1 {
-		return sqldata.Value{}, fmt.Errorf("sqlexec: function %s expects one argument", f.Name)
+func evalScalarFunc(st *execState, fr *frame, f *bFunc) (sqldata.Value, error) {
+	if len(f.args) != 1 {
+		return sqldata.Value{}, fmt.Errorf("sqlexec: function %s expects one argument", f.name)
 	}
-	x, err := evalExpr(ctx, f.Args[0])
+	x, err := evalExpr(st, fr, f.args[0])
 	if err != nil {
 		return sqldata.Value{}, err
 	}
 	if x.Null {
 		return sqldata.NullValue(), nil
 	}
-	switch f.Name {
+	switch f.name {
 	case "LOWER":
 		s, ok := x.TextOK()
 		if !ok {
@@ -417,21 +540,21 @@ func evalScalarFunc(ctx *evalCtx, f *sqlparse.FuncCall) (sqldata.Value, error) {
 		}
 		return sqldata.NewInt(int64(tm.Year())), nil
 	}
-	return sqldata.Value{}, fmt.Errorf("sqlexec: unknown function %q", f.Name)
+	return sqldata.Value{}, fmt.Errorf("sqlexec: unknown function %q", f.name)
 }
 
 // evalIn evaluates list and sub-query IN with SQL NULL semantics: if no
 // element matches but some element (or the probe) is NULL, the result is
 // UNKNOWN rather than FALSE.
-func evalIn(ctx *evalCtx, in *sqlparse.InExpr) (sqldata.Value, error) {
-	x, err := evalExpr(ctx, in.X)
+func evalIn(st *execState, fr *frame, in *bIn) (sqldata.Value, error) {
+	x, err := evalExpr(st, fr, in.x)
 	if err != nil {
 		return sqldata.Value{}, err
 	}
 
 	var elems []sqldata.Value
-	if in.Sub != nil {
-		res, err := ctx.engine.runSub(in.Sub, ctx)
+	if in.sub != nil {
+		res, err := in.sub.runSub(st, fr)
 		if err != nil {
 			return sqldata.Value{}, err
 		}
@@ -442,8 +565,8 @@ func evalIn(ctx *evalCtx, in *sqlparse.InExpr) (sqldata.Value, error) {
 			elems = append(elems, r[0])
 		}
 	} else {
-		for _, e := range in.List {
-			v, err := evalExpr(ctx, e)
+		for _, e := range in.list {
+			v, err := evalExpr(st, fr, e)
 			if err != nil {
 				return sqldata.Value{}, err
 			}
@@ -453,7 +576,7 @@ func evalIn(ctx *evalCtx, in *sqlparse.InExpr) (sqldata.Value, error) {
 
 	if x.Null {
 		if len(elems) == 0 {
-			return sqldata.NewBool(in.Not), nil // x IN () is FALSE even for NULL probe
+			return sqldata.NewBool(in.not), nil // x IN () is FALSE even for NULL probe
 		}
 		return sqldata.NullValue(), nil
 	}
@@ -469,33 +592,13 @@ func evalIn(ctx *evalCtx, in *sqlparse.InExpr) (sqldata.Value, error) {
 			return sqldata.Value{}, err
 		}
 		if c == 0 {
-			return sqldata.NewBool(!in.Not), nil
+			return sqldata.NewBool(!in.not), nil
 		}
 	}
 	if sawNull {
 		return sqldata.NullValue(), nil
 	}
-	return sqldata.NewBool(in.Not), nil
-}
-
-// evalScalarSubquery runs a sub-query expected to produce at most one row
-// of one column; an empty result is NULL.
-func evalScalarSubquery(ctx *evalCtx, sub *sqlparse.SelectStmt) (sqldata.Value, error) {
-	res, err := ctx.engine.runSub(sub, ctx)
-	if err != nil {
-		return sqldata.Value{}, err
-	}
-	if len(res.Columns) != 1 {
-		return sqldata.Value{}, fmt.Errorf("sqlexec: scalar sub-query must return one column, got %d", len(res.Columns))
-	}
-	switch len(res.Rows) {
-	case 0:
-		return sqldata.NullValue(), nil
-	case 1:
-		return res.Rows[0][0], nil
-	default:
-		return sqldata.Value{}, fmt.Errorf("sqlexec: scalar sub-query returned %d rows", len(res.Rows))
-	}
+	return sqldata.NewBool(in.not), nil
 }
 
 // coerceDatePair upgrades an ISO-formatted TEXT operand to DATE when the

@@ -1,0 +1,30 @@
+package plan
+
+import "testing"
+
+func TestLikeMatcher(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"%", "", true},
+		{"%", "anything", true},
+		{"a%", "alice", true},
+		{"a%", "bob", false},
+		{"%ce", "alice", true},
+		{"%li%", "alice", true},
+		{"_ob", "bob", true},
+		{"_ob", "blob", false},
+		{"a_c%", "abcdef", true},
+		{"", "", true},
+		{"", "x", false},
+		{"ALICE", "alice", true}, // case-insensitive
+		{"%x%y%", "axbyc", true},
+		{"%x%y%", "aybxc", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.pat, c.s); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.pat, c.s, got, c.want)
+		}
+	}
+}

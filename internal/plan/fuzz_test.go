@@ -1,0 +1,179 @@
+package plan
+
+import (
+	"context"
+	"testing"
+
+	"nlidb/internal/sqldata"
+	"nlidb/internal/sqlparse"
+)
+
+// fuzzDB builds the small fixed database FuzzPlanExec executes against.
+// Tables and columns mirror the sqlparse fuzz seed vocabulary (customer,
+// orders, product, category; name/city/total/status/placed/credit/...),
+// so mutated seeds keep resolving. "name" appears in three tables to
+// exercise ambiguity handling, and NULLs are sprinkled through nullable
+// columns to exercise three-valued logic and join padding.
+func fuzzDB() *sqldata.Database {
+	db := sqldata.NewDatabase("fuzz")
+	null := sqldata.NullValue()
+	customer, err := db.CreateTable(&sqldata.Schema{
+		Name: "customer",
+		Columns: []sqldata.Column{
+			{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+			{Name: "name", Type: sqldata.TypeText},
+			{Name: "city", Type: sqldata.TypeText},
+			{Name: "credit", Type: sqldata.TypeFloat},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	customer.MustInsert(sqldata.NewInt(1), sqldata.NewText("alice"), sqldata.NewText("Berlin"), sqldata.NewFloat(1200))
+	customer.MustInsert(sqldata.NewInt(2), sqldata.NewText("bob"), sqldata.NewText("Paris"), sqldata.NewFloat(80.5))
+	customer.MustInsert(sqldata.NewInt(3), sqldata.NewText("carol"), null, sqldata.NewFloat(0))
+	customer.MustInsert(sqldata.NewInt(4), sqldata.NewText("dave"), sqldata.NewText("Berlin"), null)
+	customer.MustInsert(sqldata.NewInt(5), null, sqldata.NewText("Oslo"), sqldata.NewFloat(-3))
+
+	orders, err := db.CreateTable(&sqldata.Schema{
+		Name: "orders",
+		Columns: []sqldata.Column{
+			{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+			{Name: "customer_id", Type: sqldata.TypeInt},
+			{Name: "total", Type: sqldata.TypeFloat},
+			{Name: "status", Type: sqldata.TypeText},
+			{Name: "placed", Type: sqldata.TypeDate},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	orders.MustInsert(sqldata.NewInt(10), sqldata.NewInt(1), sqldata.NewFloat(250), sqldata.NewText("done"), sqldata.NewDate(2018, 3, 14))
+	orders.MustInsert(sqldata.NewInt(11), sqldata.NewInt(1), sqldata.NewFloat(99.5), sqldata.NewText("open"), sqldata.NewDate(2019, 7, 2))
+	orders.MustInsert(sqldata.NewInt(12), sqldata.NewInt(2), sqldata.NewFloat(600), sqldata.NewText("done"), sqldata.NewDate(2020, 1, 1))
+	orders.MustInsert(sqldata.NewInt(13), sqldata.NewInt(3), null, sqldata.NewText("open"), null)
+	orders.MustInsert(sqldata.NewInt(14), sqldata.NewInt(99), sqldata.NewFloat(5), null, sqldata.NewDate(2018, 12, 31))
+
+	product, err := db.CreateTable(&sqldata.Schema{
+		Name: "product",
+		Columns: []sqldata.Column{
+			{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+			{Name: "name", Type: sqldata.TypeText},
+			{Name: "category_id", Type: sqldata.TypeInt},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	product.MustInsert(sqldata.NewInt(100), sqldata.NewText("anvil"), sqldata.NewInt(1))
+	product.MustInsert(sqldata.NewInt(101), sqldata.NewText("rocket"), sqldata.NewInt(2))
+	product.MustInsert(sqldata.NewInt(102), sqldata.NewText("spring"), null)
+
+	category, err := db.CreateTable(&sqldata.Schema{
+		Name: "category",
+		Columns: []sqldata.Column{
+			{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+			{Name: "name", Type: sqldata.TypeText},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	category.MustInsert(sqldata.NewInt(1), sqldata.NewText("tools"))
+	category.MustInsert(sqldata.NewInt(2), sqldata.NewText("toys"))
+	return db
+}
+
+// fuzzBudget bounds the planned side so mutated join/sub-query towers
+// terminate quickly; the naive side runs unbounded only after the planned
+// side succeeded within these limits, which caps its cost too (the tables
+// are a handful of rows).
+func fuzzBudget() Budget {
+	return Budget{MaxRows: 50_000, MaxJoinRows: 200_000, MaxSubqueries: 2_000}
+}
+
+// sameResult reports whether two results agree on columns and on rows
+// (ordered — both evaluators produce deterministic first-appearance
+// order, and the planner is required to preserve it).
+func sameResult(a, b *sqldata.Result) bool {
+	if len(a.Columns) != len(b.Columns) || len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Columns {
+		if a.Columns[i] != b.Columns[i] {
+			return false
+		}
+	}
+	for i := range a.Rows {
+		if a.Rows[i].Key() != b.Rows[i].Key() {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzPlanExec differentially fuzzes the bind/plan/execute pipeline
+// against the retained naive tree-walking evaluator (naive_test.go): any
+// statement the parser accepts is run through both, and when both
+// succeed their results must agree exactly. Divergent errors are allowed
+// — the planner reports unknown tables/columns at bind time and fixed
+// the naive zero-output-join aggregate bug — but a success/success
+// mismatch is a planner defect.
+// Run with: go test -run=^$ -fuzz=FuzzPlanExec ./internal/plan
+func FuzzPlanExec(f *testing.F) {
+	seeds := []string{
+		// The sqlparse fuzz seed corpus: benchdata gold shapes over the
+		// same table vocabulary fuzzDB serves.
+		"SELECT name FROM customer WHERE city = 'Berlin'",
+		"SELECT * FROM orders WHERE total > 100.5 AND status != 'done'",
+		"SELECT city, COUNT(*) FROM customer GROUP BY city ORDER BY COUNT(*) DESC LIMIT 3",
+		"SELECT AVG(total) FROM orders WHERE placed BETWEEN '2018-01-01' AND '2019-12-31'",
+		"SELECT customer.name, SUM(orders.total) FROM customer JOIN orders ON customer.id = orders.customer_id GROUP BY customer.name",
+		"SELECT p.name FROM product AS p LEFT JOIN category AS c ON p.category_id = c.id WHERE c.name IS NOT NULL",
+		"SELECT name FROM customer WHERE id IN (SELECT customer_id FROM orders WHERE total > 500)",
+		"SELECT name FROM customer WHERE NOT EXISTS (SELECT id FROM orders WHERE orders.customer_id = customer.id)",
+		"SELECT city FROM customer GROUP BY city HAVING COUNT(*) > (SELECT COUNT(*) FROM orders) ORDER BY city",
+		"SELECT DISTINCT LOWER(name) FROM customer WHERE name LIKE 'a%' OR credit BETWEEN 1 AND 2;",
+		// Plan-shape stressors: non-equi joins, pushdown candidates,
+		// NULL-key joins, aliases, empty-join aggregates.
+		"SELECT c.name, o.total FROM customer AS c JOIN orders AS o ON c.id = o.customer_id WHERE c.city = 'Berlin' AND o.total > 100",
+		"SELECT c.name FROM customer AS c JOIN orders AS o ON c.credit > o.total",
+		"SELECT c.name FROM customer AS c LEFT JOIN orders AS o ON c.id = o.customer_id AND o.status = 'done'",
+		"SELECT MAX(total) FROM orders JOIN customer ON orders.customer_id = customer.id WHERE customer.city = 'Atlantis'",
+		"SELECT status, COUNT(DISTINCT customer_id) FROM orders GROUP BY status ORDER BY status",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	db := fuzzDB()
+	ctx := context.Background()
+	f.Fuzz(func(t *testing.T, sql string) {
+		if len(sql) > 2000 {
+			return // bound bind/recursion depth
+		}
+		stmt, err := sqlparse.Parse(sql)
+		if err != nil {
+			return
+		}
+		p, err := Prepare(db, stmt)
+		if err != nil {
+			return // bind-time rejection; naive may or may not agree
+		}
+		pRes, _, pErr := p.Run(ctx, fuzzBudget())
+		if pErr != nil {
+			return // runtime/budget error; message parity is not required
+		}
+		nRes, nErr := naiveRun(db, stmt, nil)
+		if nErr != nil {
+			// Known one-sided divergence: the planner fixed the naive
+			// zero-output-join aggregate error, so naive may fail where
+			// the plan succeeds. Never the gate for a mismatch report.
+			return
+		}
+		if !sameResult(nRes, pRes) {
+			t.Fatalf("differential mismatch for %q:\nnaive: cols=%v rows=%v\nplan:  cols=%v rows=%v",
+				sql, nRes.Columns, nRes.Rows, pRes.Columns, pRes.Rows)
+		}
+	})
+}

@@ -1,0 +1,856 @@
+package plan
+
+// This file retains, verbatim in structure, the pre-planner tree-walking
+// evaluator that package sqlexec used before the bind/plan/execute split
+// (budget and tracing hooks stripped). It exists only as the reference
+// oracle for FuzzPlanExec: the planned pipeline must agree with this
+// naive evaluator on every statement both can execute. Do not "improve"
+// it — its value is that it stays dumb.
+//
+// One known, deliberate divergence: this copy preserves the old nil-rows
+// behavior where a zero-output join feeds a nil global aggregate group
+// and errors with "aggregate outside grouped context"; the planner fixed
+// that (COUNT over an empty join is 0). The fuzz oracle therefore only
+// compares runs where both sides succeed.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nlidb/internal/sqldata"
+	"nlidb/internal/sqlparse"
+)
+
+// nBoundTable is one table visible in a naive query scope.
+type nBoundTable struct {
+	name   string // effective name (alias or table name), lower-case
+	schema *sqldata.Schema
+	off    int
+}
+
+// nScope is the set of tables a naive statement's expressions reference.
+type nScope struct {
+	tables []nBoundTable
+	width  int
+}
+
+func (s *nScope) add(name string, schema *sqldata.Schema) error {
+	lname := strings.ToLower(name)
+	for _, t := range s.tables {
+		if t.name == lname {
+			return fmt.Errorf("sqlexec: duplicate table name %q in FROM; use aliases", name)
+		}
+	}
+	s.tables = append(s.tables, nBoundTable{name: lname, schema: schema, off: s.width})
+	s.width += len(schema.Columns)
+	return nil
+}
+
+func (s *nScope) resolve(table, col string) (int, error) {
+	ltable, lcol := strings.ToLower(table), strings.ToLower(col)
+	found := -1
+	for _, t := range s.tables {
+		if ltable != "" && t.name != ltable && !strings.EqualFold(t.schema.Name, table) {
+			continue
+		}
+		if i := t.schema.ColumnIndex(lcol); i >= 0 {
+			if found >= 0 {
+				return 0, fmt.Errorf("sqlexec: ambiguous column %q", col)
+			}
+			found = t.off + i
+		}
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("sqlexec: unknown column %s.%s", table, col)
+	}
+	return found, nil
+}
+
+// nCtx carries naive evaluation state: the database (for sub-queries),
+// scope, current tuple, current group, select-item aliases, and the
+// enclosing context for correlated sub-queries.
+type nCtx struct {
+	db        *sqldata.Database
+	scope     *nScope
+	row       sqldata.Row
+	groupRows []sqldata.Row
+	aliases   map[string]sqldata.Value
+	parent    *nCtx
+}
+
+func naiveRun(db *sqldata.Database, stmt *sqlparse.SelectStmt, parent *nCtx) (*sqldata.Result, error) {
+	if len(stmt.Items) == 0 {
+		return nil, fmt.Errorf("sqlexec: empty select list")
+	}
+	if stmt.From == nil {
+		return nil, fmt.Errorf("sqlexec: missing FROM clause")
+	}
+
+	sc := &nScope{}
+	rows, err := naiveFrom(db, stmt.From, sc, parent)
+	if err != nil {
+		return nil, err
+	}
+
+	if stmt.Where != nil {
+		kept := rows[:0]
+		for _, r := range rows {
+			ctx := &nCtx{db: db, scope: sc, row: r, parent: parent}
+			ok, err := naivePredicate(ctx, stmt.Where)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+
+	grouped := len(stmt.GroupBy) > 0 || stmt.HasAggregate()
+
+	type outRow struct {
+		proj sqldata.Row
+		keys []sqldata.Value
+	}
+	var out []outRow
+	headers, err := naiveHeaders(stmt, sc)
+	if err != nil {
+		return nil, err
+	}
+
+	project := func(ctx *nCtx) (sqldata.Row, error) {
+		var proj sqldata.Row
+		ctx.aliases = map[string]sqldata.Value{}
+		for _, it := range stmt.Items {
+			if it.Star {
+				vals, err := naiveExpandStar(ctx, it.StarTable)
+				if err != nil {
+					return nil, err
+				}
+				proj = append(proj, vals...)
+				continue
+			}
+			v, err := naiveExpr(ctx, it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			if it.Alias != "" {
+				ctx.aliases[strings.ToLower(it.Alias)] = v
+			}
+			proj = append(proj, v)
+		}
+		return proj, nil
+	}
+
+	orderKeys := func(ctx *nCtx) ([]sqldata.Value, error) {
+		keys := make([]sqldata.Value, len(stmt.OrderBy))
+		for i, o := range stmt.OrderBy {
+			v, err := naiveExpr(ctx, o.Expr)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		return keys, nil
+	}
+
+	if grouped {
+		groups, order, err := naiveGroupRows(db, rows, stmt.GroupBy, sc, parent)
+		if err != nil {
+			return nil, err
+		}
+		for _, key := range order {
+			g := groups[key]
+			var rep sqldata.Row
+			if len(g) > 0 {
+				rep = g[0]
+			} else {
+				rep = nullRow(sc.width)
+			}
+			ctx := &nCtx{db: db, scope: sc, row: rep, groupRows: g, parent: parent}
+			if stmt.Having != nil {
+				ok, err := naivePredicate(ctx, stmt.Having)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			proj, err := project(ctx)
+			if err != nil {
+				return nil, err
+			}
+			keys, err := orderKeys(ctx)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, outRow{proj: proj, keys: keys})
+		}
+	} else {
+		if stmt.Having != nil {
+			return nil, fmt.Errorf("sqlexec: HAVING without GROUP BY or aggregates")
+		}
+		for _, r := range rows {
+			ctx := &nCtx{db: db, scope: sc, row: r, parent: parent}
+			proj, err := project(ctx)
+			if err != nil {
+				return nil, err
+			}
+			keys, err := orderKeys(ctx)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, outRow{proj: proj, keys: keys})
+		}
+	}
+
+	if len(stmt.OrderBy) > 0 {
+		var sortErr error
+		sort.SliceStable(out, func(i, j int) bool {
+			for k, o := range stmt.OrderBy {
+				a, b := out[i].keys[k], out[j].keys[k]
+				if a.Null || b.Null {
+					if a.Null && b.Null {
+						continue
+					}
+					return a.Null != o.Desc
+				}
+				c, err := sqldata.Compare(a, b)
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				if c != 0 {
+					if o.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+	}
+
+	result := &sqldata.Result{Columns: headers}
+	seen := map[string]bool{}
+	for _, o := range out {
+		if stmt.Distinct {
+			k := o.proj.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		result.Rows = append(result.Rows, o.proj)
+		if stmt.Limit >= 0 && len(result.Rows) >= stmt.Limit {
+			break
+		}
+	}
+	if stmt.Limit == 0 {
+		result.Rows = nil
+	}
+	return result, nil
+}
+
+func naiveFrom(db *sqldata.Database, from *sqlparse.FromClause, sc *nScope, parent *nCtx) ([]sqldata.Row, error) {
+	baseRows := func(ref sqlparse.TableRef) (*sqldata.Table, error) {
+		t := db.Table(ref.Name)
+		if t == nil {
+			return nil, fmt.Errorf("sqlexec: unknown table %q", ref.Name)
+		}
+		return t, nil
+	}
+
+	first, err := baseRows(from.First)
+	if err != nil {
+		return nil, err
+	}
+	if err := sc.add(from.First.EffName(), first.Schema); err != nil {
+		return nil, err
+	}
+	rows := make([]sqldata.Row, len(first.Rows))
+	for i, r := range first.Rows {
+		rows[i] = r.Clone()
+	}
+
+	for _, j := range from.Joins {
+		right, err := baseRows(j.Table)
+		if err != nil {
+			return nil, err
+		}
+		if err := sc.add(j.Table.EffName(), right.Schema); err != nil {
+			return nil, err
+		}
+		rwidth := len(right.Schema.Columns)
+		var joined []sqldata.Row
+		for _, l := range rows {
+			matched := false
+			for _, r := range right.Rows {
+				combined := append(append(sqldata.Row{}, l...), r...)
+				ctx := &nCtx{db: db, scope: sc, row: combined, parent: parent}
+				ok, err := naivePredicate(ctx, j.On)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					matched = true
+					joined = append(joined, combined)
+				}
+			}
+			if !matched && j.Type == sqlparse.JoinLeft {
+				joined = append(joined, append(append(sqldata.Row{}, l...), nullRow(rwidth)...))
+			}
+		}
+		rows = joined
+	}
+	return rows, nil
+}
+
+func naiveHeaders(stmt *sqlparse.SelectStmt, sc *nScope) ([]string, error) {
+	var h []string
+	for _, it := range stmt.Items {
+		if it.Star {
+			for _, t := range sc.tables {
+				if it.StarTable != "" && t.name != strings.ToLower(it.StarTable) {
+					continue
+				}
+				for _, c := range t.schema.Columns {
+					h = append(h, c.Name)
+				}
+			}
+			continue
+		}
+		switch {
+		case it.Alias != "":
+			h = append(h, it.Alias)
+		default:
+			h = append(h, it.Expr.String())
+		}
+	}
+	if len(h) == 0 {
+		return nil, fmt.Errorf("sqlexec: star matched no tables")
+	}
+	return h, nil
+}
+
+func naiveExpandStar(ctx *nCtx, starTable string) ([]sqldata.Value, error) {
+	var vals []sqldata.Value
+	for _, t := range ctx.scope.tables {
+		if starTable != "" && t.name != strings.ToLower(starTable) {
+			continue
+		}
+		for i := range t.schema.Columns {
+			vals = append(vals, ctx.row[t.off+i])
+		}
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("sqlexec: %s.* matched no table", starTable)
+	}
+	return vals, nil
+}
+
+func naiveGroupRows(db *sqldata.Database, rows []sqldata.Row, keys []sqlparse.Expr, sc *nScope, parent *nCtx) (map[string][]sqldata.Row, []string, error) {
+	groups := map[string][]sqldata.Row{}
+	var order []string
+	if len(keys) == 0 {
+		groups[""] = rows
+		return groups, []string{""}, nil
+	}
+	for _, r := range rows {
+		ctx := &nCtx{db: db, scope: sc, row: r, parent: parent}
+		var sb strings.Builder
+		for _, k := range keys {
+			v, err := naiveExpr(ctx, k)
+			if err != nil {
+				sb.WriteString("\x00ERR")
+				continue
+			}
+			sb.WriteString(v.Key())
+			sb.WriteByte(0x1f)
+		}
+		k := sb.String()
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	return groups, order, nil
+}
+
+func naivePredicate(ctx *nCtx, e sqlparse.Expr) (bool, error) {
+	v, err := naiveExpr(ctx, e)
+	if err != nil {
+		return false, err
+	}
+	if v.Null {
+		return false, nil
+	}
+	b, ok := v.BoolOK()
+	if !ok {
+		return false, fmt.Errorf("sqlexec: predicate evaluated to %s, want BOOL", v.T)
+	}
+	return b, nil
+}
+
+func naiveExpr(ctx *nCtx, e sqlparse.Expr) (sqldata.Value, error) {
+	switch t := e.(type) {
+	case *sqlparse.Literal:
+		return t.Val, nil
+
+	case *sqlparse.ColumnRef:
+		return naiveColumn(ctx, t)
+
+	case *sqlparse.BinaryExpr:
+		return naiveBinary(ctx, t)
+
+	case *sqlparse.UnaryExpr:
+		x, err := naiveExpr(ctx, t.X)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		switch t.Op {
+		case "NOT":
+			if x.Null {
+				return sqldata.NullValue(), nil
+			}
+			b, ok := x.BoolOK()
+			if !ok {
+				return sqldata.Value{}, fmt.Errorf("sqlexec: NOT on %s", x.T)
+			}
+			return sqldata.NewBool(!b), nil
+		case "-":
+			if x.Null {
+				return sqldata.NullValue(), nil
+			}
+			if n, ok := x.IntOK(); ok {
+				return sqldata.NewInt(-n), nil
+			}
+			if f, ok := x.FloatOK(); ok {
+				return sqldata.NewFloat(-f), nil
+			}
+			return sqldata.Value{}, fmt.Errorf("sqlexec: unary minus on %s", x.T)
+		}
+		return sqldata.Value{}, fmt.Errorf("sqlexec: unknown unary op %q", t.Op)
+
+	case *sqlparse.FuncCall:
+		if t.IsAggregate() {
+			return naiveAggregate(ctx, t)
+		}
+		return naiveScalarFunc(ctx, t)
+
+	case *sqlparse.InExpr:
+		return naiveIn(ctx, t)
+
+	case *sqlparse.ExistsExpr:
+		res, err := naiveRun(ctx.db, t.Sub, ctx)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		return sqldata.NewBool((len(res.Rows) > 0) != t.Not), nil
+
+	case *sqlparse.SubqueryExpr:
+		return naiveScalarSub(ctx, t.Sub)
+
+	case *sqlparse.BetweenExpr:
+		x, err := naiveExpr(ctx, t.X)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		lo, err := naiveExpr(ctx, t.Lo)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		hi, err := naiveExpr(ctx, t.Hi)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		if x.Null || lo.Null || hi.Null {
+			return sqldata.NullValue(), nil
+		}
+		x, lo = coerceDatePair(x, lo)
+		x, hi = coerceDatePair(x, hi)
+		cl, err := sqldata.Compare(x, lo)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		ch, err := sqldata.Compare(x, hi)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		return sqldata.NewBool((cl >= 0 && ch <= 0) != t.Not), nil
+
+	case *sqlparse.LikeExpr:
+		x, err := naiveExpr(ctx, t.X)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		if x.Null {
+			return sqldata.NullValue(), nil
+		}
+		s, ok := x.TextOK()
+		if !ok {
+			return sqldata.Value{}, fmt.Errorf("sqlexec: LIKE on %s", x.T)
+		}
+		return sqldata.NewBool(likeMatch(t.Pattern, s) != t.Not), nil
+
+	case *sqlparse.IsNullExpr:
+		x, err := naiveExpr(ctx, t.X)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		return sqldata.NewBool(x.Null != t.Not), nil
+	}
+	return sqldata.Value{}, fmt.Errorf("sqlexec: unsupported expression %T", e)
+}
+
+func naiveColumn(ctx *nCtx, c *sqlparse.ColumnRef) (sqldata.Value, error) {
+	for cur := ctx; cur != nil; cur = cur.parent {
+		if off, err := cur.scope.resolve(c.Table, c.Column); err == nil {
+			return cur.row[off], nil
+		}
+		if c.Table == "" && cur.aliases != nil {
+			if v, ok := cur.aliases[strings.ToLower(c.Column)]; ok {
+				return v, nil
+			}
+		}
+	}
+	return sqldata.Value{}, fmt.Errorf("sqlexec: cannot resolve column %s", c)
+}
+
+func naiveBinary(ctx *nCtx, b *sqlparse.BinaryExpr) (sqldata.Value, error) {
+	if b.Op == "AND" || b.Op == "OR" {
+		l, err := naiveExpr(ctx, b.L)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		r, err := naiveExpr(ctx, b.R)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		lb, lNull, err := naiveBoolOrNull(l)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		rb, rNull, err := naiveBoolOrNull(r)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		if b.Op == "AND" {
+			switch {
+			case !lNull && !lb, !rNull && !rb:
+				return sqldata.NewBool(false), nil
+			case lNull || rNull:
+				return sqldata.NullValue(), nil
+			default:
+				return sqldata.NewBool(true), nil
+			}
+		}
+		switch {
+		case !lNull && lb, !rNull && rb:
+			return sqldata.NewBool(true), nil
+		case lNull || rNull:
+			return sqldata.NullValue(), nil
+		default:
+			return sqldata.NewBool(false), nil
+		}
+	}
+
+	l, err := naiveExpr(ctx, b.L)
+	if err != nil {
+		return sqldata.Value{}, err
+	}
+	r, err := naiveExpr(ctx, b.R)
+	if err != nil {
+		return sqldata.Value{}, err
+	}
+
+	switch b.Op {
+	case "=", "!=", "<", "<=", ">", ">=":
+		if l.Null || r.Null {
+			return sqldata.NullValue(), nil
+		}
+		l, r = coerceDatePair(l, r)
+		c, err := sqldata.Compare(l, r)
+		if err != nil {
+			return sqldata.Value{}, fmt.Errorf("sqlexec: %s: %w", b, err)
+		}
+		var ok bool
+		switch b.Op {
+		case "=":
+			ok = c == 0
+		case "!=":
+			ok = c != 0
+		case "<":
+			ok = c < 0
+		case "<=":
+			ok = c <= 0
+		case ">":
+			ok = c > 0
+		case ">=":
+			ok = c >= 0
+		}
+		return sqldata.NewBool(ok), nil
+
+	case "+", "-", "*", "/":
+		if l.Null || r.Null {
+			return sqldata.NullValue(), nil
+		}
+		if !l.T.Numeric() || !r.T.Numeric() {
+			return sqldata.Value{}, fmt.Errorf("sqlexec: arithmetic %s on %s and %s", b.Op, l.T, r.T)
+		}
+		if b.Op != "/" {
+			li, lok := l.IntOK()
+			ri, rok := r.IntOK()
+			if lok && rok {
+				switch b.Op {
+				case "+":
+					return sqldata.NewInt(li + ri), nil
+				case "-":
+					return sqldata.NewInt(li - ri), nil
+				case "*":
+					return sqldata.NewInt(li * ri), nil
+				}
+			}
+		}
+		a, aok := l.FloatOK()
+		bb, bok := r.FloatOK()
+		if !aok || !bok {
+			return sqldata.Value{}, fmt.Errorf("sqlexec: arithmetic %s on %s and %s", b.Op, l.T, r.T)
+		}
+		switch b.Op {
+		case "+":
+			return sqldata.NewFloat(a + bb), nil
+		case "-":
+			return sqldata.NewFloat(a - bb), nil
+		case "*":
+			return sqldata.NewFloat(a * bb), nil
+		default:
+			if bb == 0 {
+				return sqldata.NullValue(), nil
+			}
+			return sqldata.NewFloat(a / bb), nil
+		}
+	}
+	return sqldata.Value{}, fmt.Errorf("sqlexec: unknown operator %q", b.Op)
+}
+
+func naiveBoolOrNull(v sqldata.Value) (b, isNull bool, err error) {
+	if v.Null {
+		return false, true, nil
+	}
+	bv, ok := v.BoolOK()
+	if !ok {
+		return false, false, fmt.Errorf("sqlexec: expected BOOL, got %s", v.T)
+	}
+	return bv, false, nil
+}
+
+func naiveAggregate(ctx *nCtx, f *sqlparse.FuncCall) (sqldata.Value, error) {
+	if ctx.groupRows == nil {
+		return sqldata.Value{}, fmt.Errorf("sqlexec: aggregate %s outside grouped context", f.Name)
+	}
+	if f.Star {
+		if f.Name != "COUNT" {
+			return sqldata.Value{}, fmt.Errorf("sqlexec: %s(*) is not valid", f.Name)
+		}
+		return sqldata.NewInt(int64(len(ctx.groupRows))), nil
+	}
+	if len(f.Args) != 1 {
+		return sqldata.Value{}, fmt.Errorf("sqlexec: %s expects one argument", f.Name)
+	}
+
+	var vals []sqldata.Value
+	seen := map[string]bool{}
+	for _, r := range ctx.groupRows {
+		rowCtx := &nCtx{db: ctx.db, scope: ctx.scope, row: r, parent: ctx.parent}
+		v, err := naiveExpr(rowCtx, f.Args[0])
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		if v.Null {
+			continue
+		}
+		if f.Distinct {
+			k := v.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+
+	switch f.Name {
+	case "COUNT":
+		return sqldata.NewInt(int64(len(vals))), nil
+	case "SUM", "AVG":
+		if len(vals) == 0 {
+			return sqldata.NullValue(), nil
+		}
+		allInt := true
+		sum := 0.0
+		var isum int64
+		for _, v := range vals {
+			fv, ok := v.FloatOK()
+			if !ok {
+				return sqldata.Value{}, fmt.Errorf("sqlexec: %s over %s", f.Name, v.T)
+			}
+			if iv, isInt := v.IntOK(); isInt {
+				isum += iv
+			} else {
+				allInt = false
+			}
+			sum += fv
+		}
+		if f.Name == "SUM" {
+			if allInt {
+				return sqldata.NewInt(isum), nil
+			}
+			return sqldata.NewFloat(sum), nil
+		}
+		return sqldata.NewFloat(sum / float64(len(vals))), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return sqldata.NullValue(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c, err := sqldata.Compare(v, best)
+			if err != nil {
+				return sqldata.Value{}, err
+			}
+			if (f.Name == "MIN" && c < 0) || (f.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return sqldata.Value{}, fmt.Errorf("sqlexec: unknown aggregate %q", f.Name)
+}
+
+func naiveScalarFunc(ctx *nCtx, f *sqlparse.FuncCall) (sqldata.Value, error) {
+	if len(f.Args) != 1 {
+		return sqldata.Value{}, fmt.Errorf("sqlexec: function %s expects one argument", f.Name)
+	}
+	x, err := naiveExpr(ctx, f.Args[0])
+	if err != nil {
+		return sqldata.Value{}, err
+	}
+	if x.Null {
+		return sqldata.NullValue(), nil
+	}
+	switch f.Name {
+	case "LOWER":
+		s, ok := x.TextOK()
+		if !ok {
+			return sqldata.Value{}, fmt.Errorf("sqlexec: LOWER on %s", x.T)
+		}
+		return sqldata.NewText(strings.ToLower(s)), nil
+	case "UPPER":
+		s, ok := x.TextOK()
+		if !ok {
+			return sqldata.Value{}, fmt.Errorf("sqlexec: UPPER on %s", x.T)
+		}
+		return sqldata.NewText(strings.ToUpper(s)), nil
+	case "ABS":
+		if v, ok := x.IntOK(); ok {
+			if v < 0 {
+				v = -v
+			}
+			return sqldata.NewInt(v), nil
+		}
+		if v, ok := x.FloatOK(); ok && x.T == sqldata.TypeFloat {
+			if v < 0 {
+				v = -v
+			}
+			return sqldata.NewFloat(v), nil
+		}
+		return sqldata.Value{}, fmt.Errorf("sqlexec: ABS on %s", x.T)
+	case "YEAR":
+		tm, ok := x.TimeOK()
+		if !ok {
+			return sqldata.Value{}, fmt.Errorf("sqlexec: YEAR on %s", x.T)
+		}
+		return sqldata.NewInt(int64(tm.Year())), nil
+	}
+	return sqldata.Value{}, fmt.Errorf("sqlexec: unknown function %q", f.Name)
+}
+
+func naiveIn(ctx *nCtx, in *sqlparse.InExpr) (sqldata.Value, error) {
+	x, err := naiveExpr(ctx, in.X)
+	if err != nil {
+		return sqldata.Value{}, err
+	}
+
+	var elems []sqldata.Value
+	if in.Sub != nil {
+		res, err := naiveRun(ctx.db, in.Sub, ctx)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		if len(res.Columns) != 1 {
+			return sqldata.Value{}, fmt.Errorf("sqlexec: IN sub-query must return one column, got %d", len(res.Columns))
+		}
+		for _, r := range res.Rows {
+			elems = append(elems, r[0])
+		}
+	} else {
+		for _, e := range in.List {
+			v, err := naiveExpr(ctx, e)
+			if err != nil {
+				return sqldata.Value{}, err
+			}
+			elems = append(elems, v)
+		}
+	}
+
+	if x.Null {
+		if len(elems) == 0 {
+			return sqldata.NewBool(in.Not), nil
+		}
+		return sqldata.NullValue(), nil
+	}
+	sawNull := false
+	for _, e := range elems {
+		if e.Null {
+			sawNull = true
+			continue
+		}
+		x2, e2 := coerceDatePair(x, e)
+		c, err := sqldata.Compare(x2, e2)
+		if err != nil {
+			return sqldata.Value{}, err
+		}
+		if c == 0 {
+			return sqldata.NewBool(!in.Not), nil
+		}
+	}
+	if sawNull {
+		return sqldata.NullValue(), nil
+	}
+	return sqldata.NewBool(in.Not), nil
+}
+
+func naiveScalarSub(ctx *nCtx, sub *sqlparse.SelectStmt) (sqldata.Value, error) {
+	res, err := naiveRun(ctx.db, sub, ctx)
+	if err != nil {
+		return sqldata.Value{}, err
+	}
+	if len(res.Columns) != 1 {
+		return sqldata.Value{}, fmt.Errorf("sqlexec: scalar sub-query must return one column, got %d", len(res.Columns))
+	}
+	switch len(res.Rows) {
+	case 0:
+		return sqldata.NullValue(), nil
+	case 1:
+		return res.Rows[0][0], nil
+	default:
+		return sqldata.Value{}, fmt.Errorf("sqlexec: scalar sub-query returned %d rows", len(res.Rows))
+	}
+}

@@ -162,6 +162,11 @@ type Config struct {
 	// execute entirely, return Answer.Cached=true, and carry a
 	// cached=true attribute on the trace root.
 	Cache *qcache.Cache
+	// PlanCache, when non-nil, caches bound physical plans keyed by the
+	// statement's canonical SQL plus the database fingerprint, so repeated
+	// questions skip bind/plan work even when the answer cache misses.
+	// Plans are immutable and shared safely across concurrent executions.
+	PlanCache *qcache.Cache
 	// Workers bounds ServeBatch's worker pool (default: GOMAXPROCS).
 	Workers int
 }
@@ -208,7 +213,7 @@ func New(db *sqldata.Database, chain []nlq.Interpreter, cfg Config) *Gateway {
 	g := &Gateway{
 		db:       db,
 		engines:  chain,
-		exec:     sqlexec.New(db),
+		exec:     sqlexec.NewWithPlanCache(db, cfg.PlanCache),
 		cfg:      cfg,
 		breakers: map[string]*Breaker{},
 	}
@@ -461,16 +466,32 @@ func (g *Gateway) attempt(ctx context.Context, eng nlq.Interpreter, q string) (*
 	}
 	pSpan.SetAttr("sql", stmt.String())
 
-	// Plan: record the evaluation tree on the trace. Planning cannot fail
-	// for a statement that just round-tripped, so errors only skip the
-	// annotation.
-	_, planSpan := obs.StartSpan(ctx, "plan")
+	// Plan: bind the statement to a physical plan (through the plan cache
+	// when configured) and record the plan tree and its compact shape on
+	// the trace. Binding can fail — e.g. an interpreter inventing a column
+	// the schema lacks — and that is a planning failure, not an execution
+	// one.
+	var prep *sqlexec.Prepared
+	var planHit bool
+	plCtx, planSpan := obs.StartSpan(ctx, "plan")
 	t0 = time.Now()
-	if plan, perr := g.exec.Explain(stmt); perr == nil {
-		planSpan.SetAttr("plan", plan)
+	err = g.guard(plCtx, SitePlan, name, func() error {
+		var err error
+		prep, planHit, err = g.exec.PrepareCached(stmt)
+		return err
+	})
+	if err == nil {
+		planSpan.SetAttr("plan", prep.Explain())
+		planSpan.SetAttr("shape", prep.Shape())
+		if planHit {
+			planSpan.SetAttr("plan_cache", "hit")
+		}
 	}
 	planSpan.End()
 	g.observeStage("plan", name, time.Since(t0))
+	if err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
 
 	var res *sqldata.Result
 	var usage sqlexec.Usage
@@ -478,7 +499,7 @@ func (g *Gateway) attempt(ctx context.Context, eng nlq.Interpreter, q string) (*
 	t0 = time.Now()
 	err = g.guard(eCtx, SiteExecute, name, func() error {
 		var err error
-		res, usage, err = g.exec.RunContextUsage(eCtx, stmt, g.cfg.Budget)
+		res, usage, err = prep.Run(eCtx, g.cfg.Budget)
 		return err
 	})
 	eSpan.End()

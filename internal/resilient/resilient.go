@@ -29,6 +29,8 @@ const (
 	SiteParse
 	// SiteExecute is the SQL execution stage.
 	SiteExecute
+	// SitePlan is the bind/plan stage (statement → physical plan).
+	SitePlan
 )
 
 // String names the site the way traces and injectors print it.
@@ -40,6 +42,8 @@ func (s Site) String() string {
 		return "parse"
 	case SiteExecute:
 		return "execute"
+	case SitePlan:
+		return "plan"
 	default:
 		return fmt.Sprintf("Site(%d)", int(s))
 	}

@@ -1,28 +1,69 @@
 // Package sqlexec executes parsed SELECT statements against in-memory
-// sqldata databases. It is a straightforward tuple-at-a-time evaluator with
-// hash grouping, nested-loop joins, correlated sub-query support, and SQL
-// three-valued logic — enough to execute every query-complexity class from
-// the SIGMOD 2020 tutorial taxonomy, including nested BI queries.
+// sqldata databases. It is the public facade over the bind/plan/execute
+// pipeline in internal/plan: statements are bound (all names resolved to
+// tuple offsets) and lowered to a physical operator tree once, then
+// executed with hash grouping, hash equi-joins with a nested-loop
+// fallback, predicate push-down, correlated sub-query support, and SQL
+// three-valued logic — every query-complexity class from the SIGMOD 2020
+// tutorial taxonomy, including nested BI queries.
 package sqlexec
 
 import (
 	"context"
-	"fmt"
-	"sort"
-	"strings"
 
-	"nlidb/internal/obs"
+	"nlidb/internal/plan"
+	"nlidb/internal/qcache"
 	"nlidb/internal/sqldata"
 	"nlidb/internal/sqlparse"
 )
 
 // Engine evaluates statements against one database.
 type Engine struct {
-	db *sqldata.Database
+	db        *sqldata.Database
+	planCache *qcache.Cache
 }
 
 // New returns an engine over db.
 func New(db *sqldata.Database) *Engine { return &Engine{db: db} }
+
+// NewWithPlanCache returns an engine that caches prepared plans in c,
+// keyed by canonical SQL and the database schema fingerprint, so repeated
+// statements (distinct questions translating to the same SQL, say) skip
+// bind and plan. Plans are immutable after preparation, so cached entries
+// are safe to execute concurrently.
+func NewWithPlanCache(db *sqldata.Database, c *qcache.Cache) *Engine {
+	return &Engine{db: db, planCache: c}
+}
+
+// Prepared is a bound, planned statement ready to execute (see
+// internal/plan for the pipeline).
+type Prepared = plan.Plan
+
+// Prepare binds and plans stmt without executing it.
+func (e *Engine) Prepare(stmt *sqlparse.SelectStmt) (*Prepared, error) {
+	return plan.Prepare(e.db, stmt)
+}
+
+// PrepareCached is Prepare through the engine's plan cache when one is
+// configured; hit reports whether the plan came from the cache.
+func (e *Engine) PrepareCached(stmt *sqlparse.SelectStmt) (p *Prepared, hit bool, err error) {
+	if e.planCache == nil || stmt == nil {
+		p, err = e.Prepare(stmt)
+		return p, false, err
+	}
+	key := qcache.WithFingerprint(e.db.Fingerprint(), "plan:"+sqlparse.Canonical(stmt).String())
+	if v, ok := e.planCache.Get(key); ok {
+		if cached, ok := v.(*Prepared); ok {
+			return cached, true, nil
+		}
+	}
+	p, err = e.Prepare(stmt)
+	if err != nil {
+		return nil, false, err
+	}
+	e.planCache.Put(key, p)
+	return p, false, nil
+}
 
 // RunSQL parses and executes a SQL string.
 func (e *Engine) RunSQL(sql string) (*sqldata.Result, error) {
@@ -46,7 +87,7 @@ func (e *Engine) Run(stmt *sqlparse.SelectStmt) (*sqldata.Result, error) {
 // RunContext executes a parsed statement, honoring ctx cancellation and
 // the resource budget. Cancellation surfaces as ErrCanceled and budget
 // exhaustion as ErrBudgetExceeded (both match with errors.Is); the
-// executor checks both at scan, join, and group boundaries.
+// executor checks both at operator boundaries.
 func (e *Engine) RunContext(ctx context.Context, stmt *sqlparse.SelectStmt, b Budget) (*sqldata.Result, error) {
 	res, _, err := e.RunContextUsage(ctx, stmt, b)
 	return res, err
@@ -59,477 +100,9 @@ func (e *Engine) RunContext(ctx context.Context, stmt *sqlparse.SelectStmt, b Bu
 // consumption, and hangs per-operator scan/join/group child spans off it
 // for the top-level statement.
 func (e *Engine) RunContextUsage(ctx context.Context, stmt *sqlparse.SelectStmt, b Budget) (*sqldata.Result, Usage, error) {
-	st := &execState{ctx: ctx, budget: b, span: obs.FromContext(ctx)}
-	if err := st.checkCtx(); err != nil {
+	p, _, err := e.PrepareCached(stmt)
+	if err != nil {
 		return nil, Usage{}, err
 	}
-	res, err := e.run(stmt, nil, st)
-	u := Usage{Rows: st.rows, JoinRows: st.joinRows, Subqueries: st.subqueries}
-	if st.span != nil {
-		st.span.Add("rows_scanned", int64(u.Rows))
-		st.span.Add("join_rows", int64(u.JoinRows))
-		st.span.Add("subqueries", int64(u.Subqueries))
-		if res != nil {
-			st.span.Add("rows_returned", int64(len(res.Rows)))
-		}
-		st.span.SetAttr("budget", u.Against(b))
-	}
-	return res, u, err
-}
-
-// runSub evaluates a sub-query against the enclosing statement's budget,
-// charging one sub-query evaluation.
-func (e *Engine) runSub(sub *sqlparse.SelectStmt, parent *evalCtx) (*sqldata.Result, error) {
-	if err := parent.st.addSubquery(); err != nil {
-		return nil, err
-	}
-	return e.run(sub, parent, parent.st)
-}
-
-// boundTable is one table visible in a query scope.
-type boundTable struct {
-	name   string // effective name (alias or table name), lower-case
-	schema *sqldata.Schema
-	off    int // offset of the table's first column in the joined tuple
-}
-
-// scope is the set of tables a statement's expressions can reference.
-type scope struct {
-	tables []boundTable
-	width  int
-}
-
-func (s *scope) add(name string, schema *sqldata.Schema) error {
-	lname := strings.ToLower(name)
-	for _, t := range s.tables {
-		if t.name == lname {
-			return fmt.Errorf("sqlexec: duplicate table name %q in FROM; use aliases", name)
-		}
-	}
-	s.tables = append(s.tables, boundTable{name: lname, schema: schema, off: s.width})
-	s.width += len(schema.Columns)
-	return nil
-}
-
-// resolve finds the tuple offset of table.col. An empty table qualifier
-// searches all tables and errors on ambiguity.
-func (s *scope) resolve(table, col string) (int, error) {
-	ltable, lcol := strings.ToLower(table), strings.ToLower(col)
-	found := -1
-	for _, t := range s.tables {
-		if ltable != "" && t.name != ltable && !strings.EqualFold(t.schema.Name, table) {
-			continue
-		}
-		if i := t.schema.ColumnIndex(lcol); i >= 0 {
-			if found >= 0 {
-				return 0, fmt.Errorf("sqlexec: ambiguous column %q", col)
-			}
-			found = t.off + i
-		}
-	}
-	if found < 0 {
-		return 0, fmt.Errorf("sqlexec: unknown column %s.%s", table, col)
-	}
-	return found, nil
-}
-
-// evalCtx carries everything expression evaluation needs: the scope, the
-// current tuple, the rows of the current group (for aggregates), alias
-// bindings (for ORDER BY on select aliases), and the enclosing context for
-// correlated sub-queries.
-type evalCtx struct {
-	engine    *Engine
-	scope     *scope
-	row       sqldata.Row
-	groupRows []sqldata.Row
-	aliases   map[string]sqldata.Value
-	parent    *evalCtx
-	st        *execState
-}
-
-func (e *Engine) run(stmt *sqlparse.SelectStmt, parent *evalCtx, st *execState) (*sqldata.Result, error) {
-	if len(stmt.Items) == 0 {
-		return nil, fmt.Errorf("sqlexec: empty select list")
-	}
-	if stmt.From == nil {
-		return nil, fmt.Errorf("sqlexec: missing FROM clause")
-	}
-
-	sc := &scope{}
-	rows, err := e.evalFrom(stmt.From, sc, parent, st)
-	if err != nil {
-		return nil, err
-	}
-
-	// WHERE
-	if stmt.Where != nil {
-		kept := rows[:0]
-		for _, r := range rows {
-			if err := st.tick(); err != nil {
-				return nil, err
-			}
-			ctx := &evalCtx{engine: e, scope: sc, row: r, parent: parent, st: st}
-			ok, err := evalPredicate(ctx, stmt.Where)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				kept = append(kept, r)
-			}
-		}
-		rows = kept
-	}
-
-	grouped := len(stmt.GroupBy) > 0 || stmt.HasAggregate()
-
-	type outRow struct {
-		proj sqldata.Row
-		keys []sqldata.Value
-	}
-	var out []outRow
-	headers, err := e.headers(stmt, sc)
-	if err != nil {
-		return nil, err
-	}
-
-	project := func(ctx *evalCtx) (sqldata.Row, error) {
-		var proj sqldata.Row
-		ctx.aliases = map[string]sqldata.Value{}
-		for _, it := range stmt.Items {
-			if it.Star {
-				vals, err := expandStar(ctx, it.StarTable)
-				if err != nil {
-					return nil, err
-				}
-				proj = append(proj, vals...)
-				continue
-			}
-			v, err := evalExpr(ctx, it.Expr)
-			if err != nil {
-				return nil, err
-			}
-			if it.Alias != "" {
-				ctx.aliases[strings.ToLower(it.Alias)] = v
-			}
-			proj = append(proj, v)
-		}
-		return proj, nil
-	}
-
-	orderKeys := func(ctx *evalCtx) ([]sqldata.Value, error) {
-		keys := make([]sqldata.Value, len(stmt.OrderBy))
-		for i, o := range stmt.OrderBy {
-			v, err := evalExpr(ctx, o.Expr)
-			if err != nil {
-				return nil, err
-			}
-			keys[i] = v
-		}
-		return keys, nil
-	}
-
-	if grouped {
-		groups, order, err := groupRows(rows, stmt.GroupBy, sc, e, parent, st)
-		if err != nil {
-			return nil, err
-		}
-		for _, key := range order {
-			g := groups[key]
-			var rep sqldata.Row
-			if len(g) > 0 {
-				rep = g[0]
-			} else {
-				rep = nullRow(sc.width) // all-NULL representative for empty global group
-			}
-			ctx := &evalCtx{engine: e, scope: sc, row: rep, groupRows: g, parent: parent, st: st}
-			if stmt.Having != nil {
-				ok, err := evalPredicate(ctx, stmt.Having)
-				if err != nil {
-					return nil, err
-				}
-				if !ok {
-					continue
-				}
-			}
-			proj, err := project(ctx)
-			if err != nil {
-				return nil, err
-			}
-			keys, err := orderKeys(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := st.addRows(1); err != nil {
-				return nil, err
-			}
-			out = append(out, outRow{proj: proj, keys: keys})
-		}
-	} else {
-		if stmt.Having != nil {
-			return nil, fmt.Errorf("sqlexec: HAVING without GROUP BY or aggregates")
-		}
-		for _, r := range rows {
-			if err := st.tick(); err != nil {
-				return nil, err
-			}
-			ctx := &evalCtx{engine: e, scope: sc, row: r, parent: parent, st: st}
-			proj, err := project(ctx)
-			if err != nil {
-				return nil, err
-			}
-			keys, err := orderKeys(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := st.addRows(1); err != nil {
-				return nil, err
-			}
-			out = append(out, outRow{proj: proj, keys: keys})
-		}
-	}
-
-	// ORDER BY (stable, so ties keep input order).
-	if len(stmt.OrderBy) > 0 {
-		var sortErr error
-		sort.SliceStable(out, func(i, j int) bool {
-			for k, o := range stmt.OrderBy {
-				a, b := out[i].keys[k], out[j].keys[k]
-				// NULLs sort first ascending, last descending.
-				if a.Null || b.Null {
-					if a.Null && b.Null {
-						continue
-					}
-					return a.Null != o.Desc
-				}
-				c, err := sqldata.Compare(a, b)
-				if err != nil {
-					sortErr = err
-					return false
-				}
-				if c != 0 {
-					if o.Desc {
-						return c > 0
-					}
-					return c < 0
-				}
-			}
-			return false
-		})
-		if sortErr != nil {
-			return nil, sortErr
-		}
-	}
-
-	result := &sqldata.Result{Columns: headers}
-	seen := map[string]bool{}
-	for _, o := range out {
-		if stmt.Distinct {
-			k := o.proj.Key()
-			if seen[k] {
-				continue
-			}
-			seen[k] = true
-		}
-		result.Rows = append(result.Rows, o.proj)
-		if stmt.Limit >= 0 && len(result.Rows) >= stmt.Limit {
-			break
-		}
-	}
-	if stmt.Limit == 0 {
-		result.Rows = nil
-	}
-	return result, nil
-}
-
-// evalFrom binds the FROM chain into the scope and produces the joined
-// rows, charging base-table rows against MaxRows and every intermediate
-// join row against MaxJoinRows.
-func (e *Engine) evalFrom(from *sqlparse.FromClause, sc *scope, parent *evalCtx, st *execState) ([]sqldata.Row, error) {
-	baseRows := func(ref sqlparse.TableRef) (*sqldata.Table, error) {
-		t := e.db.Table(ref.Name)
-		if t == nil {
-			return nil, fmt.Errorf("sqlexec: unknown table %q", ref.Name)
-		}
-		return t, nil
-	}
-
-	// Operator spans are only produced for the top-level statement: a
-	// correlated sub-query re-runs its FROM chain once per outer row, and
-	// a span per evaluation would bloat the trace to no diagnostic gain.
-	var opSpan *obs.Span
-	if parent == nil {
-		opSpan = st.span
-	}
-
-	first, err := baseRows(from.First)
-	if err != nil {
-		return nil, err
-	}
-	if err := sc.add(from.First.EffName(), first.Schema); err != nil {
-		return nil, err
-	}
-	scanSp := opSpan.Child("scan " + strings.ToLower(from.First.Name))
-	if err := st.addRows(len(first.Rows)); err != nil {
-		scanSp.End()
-		return nil, err
-	}
-	rows := make([]sqldata.Row, len(first.Rows))
-	for i, r := range first.Rows {
-		rows[i] = r.Clone()
-	}
-	scanSp.Add("rows", int64(len(first.Rows)))
-	scanSp.End()
-
-	for _, j := range from.Joins {
-		right, err := baseRows(j.Table)
-		if err != nil {
-			return nil, err
-		}
-		if err := sc.add(j.Table.EffName(), right.Schema); err != nil {
-			return nil, err
-		}
-		joinSp := opSpan.Child("join " + strings.ToLower(j.Table.Name))
-		joinSp.Add("left_rows", int64(len(rows)))
-		joinSp.Add("right_rows", int64(len(right.Rows)))
-		rwidth := len(right.Schema.Columns)
-		joined, err := func() (joined []sqldata.Row, err error) {
-			defer func() {
-				joinSp.Add("out_rows", int64(len(joined)))
-				joinSp.End()
-			}()
-			for _, l := range rows {
-				matched := false
-				for _, r := range right.Rows {
-					if err := st.tick(); err != nil {
-						return nil, err
-					}
-					combined := append(append(sqldata.Row{}, l...), r...)
-					ctx := &evalCtx{engine: e, scope: sc, row: combined, parent: parent, st: st}
-					ok, err := evalPredicate(ctx, j.On)
-					if err != nil {
-						return nil, err
-					}
-					if ok {
-						matched = true
-						if err := st.addJoinRows(1); err != nil {
-							return nil, err
-						}
-						joined = append(joined, combined)
-					}
-				}
-				if !matched && j.Type == sqlparse.JoinLeft {
-					if err := st.addJoinRows(1); err != nil {
-						return nil, err
-					}
-					joined = append(joined, append(append(sqldata.Row{}, l...), nullRow(rwidth)...))
-				}
-			}
-			return joined, nil
-		}()
-		if err != nil {
-			return nil, err
-		}
-		rows = joined
-	}
-	return rows, nil
-}
-
-// headers computes the output column names.
-func (e *Engine) headers(stmt *sqlparse.SelectStmt, sc *scope) ([]string, error) {
-	var h []string
-	for _, it := range stmt.Items {
-		if it.Star {
-			for _, t := range sc.tables {
-				if it.StarTable != "" && t.name != strings.ToLower(it.StarTable) {
-					continue
-				}
-				for _, c := range t.schema.Columns {
-					h = append(h, c.Name)
-				}
-			}
-			continue
-		}
-		switch {
-		case it.Alias != "":
-			h = append(h, it.Alias)
-		default:
-			h = append(h, it.Expr.String())
-		}
-	}
-	if len(h) == 0 {
-		return nil, fmt.Errorf("sqlexec: star matched no tables")
-	}
-	return h, nil
-}
-
-func expandStar(ctx *evalCtx, starTable string) ([]sqldata.Value, error) {
-	var vals []sqldata.Value
-	for _, t := range ctx.scope.tables {
-		if starTable != "" && t.name != strings.ToLower(starTable) {
-			continue
-		}
-		for i := range t.schema.Columns {
-			vals = append(vals, ctx.row[t.off+i])
-		}
-	}
-	if len(vals) == 0 {
-		return nil, fmt.Errorf("sqlexec: %s.* matched no table", starTable)
-	}
-	return vals, nil
-}
-
-// nullRow returns a row of n SQL NULLs (for LEFT JOIN padding and empty
-// global aggregate groups).
-func nullRow(n int) sqldata.Row {
-	r := make(sqldata.Row, n)
-	for i := range r {
-		r[i] = sqldata.NullValue()
-	}
-	return r
-}
-
-// groupRows hash-partitions rows by the GROUP BY key expressions. It
-// returns the groups plus key order of first appearance (deterministic
-// output). With no GROUP BY (global aggregate) it returns one group,
-// which may be empty.
-func groupRows(rows []sqldata.Row, keys []sqlparse.Expr, sc *scope, e *Engine, parent *evalCtx, st *execState) (map[string][]sqldata.Row, []string, error) {
-	groups := map[string][]sqldata.Row{}
-	var order []string
-	if len(keys) == 0 {
-		groups[""] = rows
-		return groups, []string{""}, nil
-	}
-	var gsp *obs.Span
-	if parent == nil {
-		gsp = st.span.Child("group")
-	}
-	defer func() {
-		gsp.Add("in_rows", int64(len(rows)))
-		gsp.Add("groups", int64(len(order)))
-		gsp.End()
-	}()
-	for _, r := range rows {
-		if err := st.tick(); err != nil {
-			return nil, nil, err
-		}
-		ctx := &evalCtx{engine: e, scope: sc, row: r, parent: parent, st: st}
-		var sb strings.Builder
-		for _, k := range keys {
-			v, err := evalExpr(ctx, k)
-			if err != nil {
-				// Group-key evaluation errors surface later during
-				// projection; bucket such rows together.
-				sb.WriteString("\x00ERR")
-				continue
-			}
-			sb.WriteString(v.Key())
-			sb.WriteByte(0x1f)
-		}
-		k := sb.String()
-		if _, seen := groups[k]; !seen {
-			order = append(order, k)
-		}
-		groups[k] = append(groups[k], r)
-	}
-	return groups, order, nil
+	return p.Run(ctx, b)
 }

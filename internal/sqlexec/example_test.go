@@ -40,7 +40,8 @@ func ExampleEngine_RunSQL() {
 	// ann
 }
 
-// ExampleEngine_Explain renders the evaluation plan without running it.
+// ExampleEngine_Explain renders the physical plan without running it; the
+// statically safe WHERE conjunct is pushed into the scan.
 func ExampleEngine_Explain() {
 	db := sqldata.NewDatabase("demo")
 	if _, err := db.CreateTable(&sqldata.Schema{
@@ -59,8 +60,7 @@ func ExampleEngine_Explain() {
 	}
 	fmt.Println(plan)
 	// Output:
-	// Project [b]
-	//   Limit 2
-	//     Filter (a > 3)
-	//       Scan t (0 rows)
+	// Limit 2
+	//   Project [b]
+	//     Scan t (0 rows) [filter: a > 3]
 }

@@ -1,105 +1,45 @@
 package sqlexec
 
 import (
+	"context"
 	"fmt"
-	"strings"
 
+	"nlidb/internal/sqldata"
 	"nlidb/internal/sqlparse"
 )
 
-// Explain renders the evaluation plan the engine would use for the
-// statement, without executing it: a tree of Project / Distinct / Limit /
-// Sort / Having / GroupBy / Filter / Join / Scan operators, with nested
-// sub-query plans inlined. Useful for teaching, the CLI, and debugging
-// interpreter output.
+// Explain renders the physical execution plan for the statement, without
+// executing it: a tree of Limit / Distinct / Sort / Project / Having /
+// GroupBy / Filter / Join / Scan operators, with nested sub-query plans
+// inlined. Because it is the planner's output — not the statement's
+// syntactic shape — it shows which joins run as hash joins and which WHERE
+// conjuncts were pushed into the scans. Useful for teaching, the CLI, and
+// debugging interpreter output.
 func (e *Engine) Explain(stmt *sqlparse.SelectStmt) (string, error) {
 	if stmt == nil || stmt.From == nil {
 		return "", fmt.Errorf("sqlexec: nothing to explain")
 	}
-	var sb strings.Builder
-	e.explain(&sb, stmt, 0)
-	return strings.TrimRight(sb.String(), "\n"), nil
+	p, err := e.Prepare(stmt)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
 }
 
-func (e *Engine) explain(sb *strings.Builder, stmt *sqlparse.SelectStmt, depth int) {
-	line := func(d int, format string, args ...any) {
-		sb.WriteString(strings.Repeat("  ", d))
-		fmt.Fprintf(sb, format, args...)
-		sb.WriteByte('\n')
+// ExplainAnalyze executes the statement under ctx and b, then renders the
+// plan annotated with each operator's observed output row count, alongside
+// the result.
+func (e *Engine) ExplainAnalyze(ctx context.Context, stmt *sqlparse.SelectStmt, b Budget) (string, *sqldata.Result, error) {
+	if stmt == nil || stmt.From == nil {
+		return "", nil, fmt.Errorf("sqlexec: nothing to explain")
 	}
-
-	d := depth
-	items := make([]string, len(stmt.Items))
-	for i, it := range stmt.Items {
-		items[i] = it.String()
+	p, err := e.Prepare(stmt)
+	if err != nil {
+		return "", nil, err
 	}
-	line(d, "Project [%s]", strings.Join(items, ", "))
-	d++
-	if stmt.Distinct {
-		line(d, "Distinct")
-		d++
+	res, _, stats, err := p.RunStats(ctx, b)
+	if err != nil {
+		return "", nil, err
 	}
-	if stmt.Limit >= 0 {
-		line(d, "Limit %d", stmt.Limit)
-		d++
-	}
-	if len(stmt.OrderBy) > 0 {
-		keys := make([]string, len(stmt.OrderBy))
-		for i, o := range stmt.OrderBy {
-			keys[i] = o.String()
-		}
-		line(d, "Sort [%s]", strings.Join(keys, ", "))
-		d++
-	}
-	if stmt.Having != nil {
-		line(d, "Having (%s)", stmt.Having)
-		d++
-	}
-	if len(stmt.GroupBy) > 0 || stmt.HasAggregate() {
-		if len(stmt.GroupBy) > 0 {
-			keys := make([]string, len(stmt.GroupBy))
-			for i, g := range stmt.GroupBy {
-				keys[i] = g.String()
-			}
-			line(d, "HashGroupBy [%s]", strings.Join(keys, ", "))
-		} else {
-			line(d, "Aggregate (global)")
-		}
-		d++
-	}
-	if stmt.Where != nil {
-		line(d, "Filter (%s)", stmt.Where)
-		d++
-	}
-
-	// FROM chain: right-deep textual rendering of the left-deep loop.
-	var renderFrom func(d int, joins []sqlparse.Join)
-	renderFrom = func(d int, joins []sqlparse.Join) {
-		if len(joins) == 0 {
-			line(d, "Scan %s%s", stmt.From.First.Name, e.rowCount(stmt.From.First.Name))
-			return
-		}
-		j := joins[len(joins)-1]
-		kind := "NestedLoopJoin"
-		if j.Type == sqlparse.JoinLeft {
-			kind = "NestedLoopLeftJoin"
-		}
-		line(d, "%s (%s)", kind, j.On)
-		renderFrom(d+1, joins[:len(joins)-1])
-		line(d+1, "Scan %s%s", j.Table.Name, e.rowCount(j.Table.Name))
-	}
-	renderFrom(d, stmt.From.Joins)
-
-	// Nested sub-queries.
-	for i, sub := range stmt.Subqueries() {
-		line(d, "Subquery %d:", i+1)
-		e.explain(sb, sub, d+1)
-	}
-}
-
-func (e *Engine) rowCount(table string) string {
-	if t := e.db.Table(table); t != nil {
-		return fmt.Sprintf(" (%d rows)", t.Len())
-	}
-	return " (unknown table)"
+	return p.ExplainStats(stats), res, nil
 }

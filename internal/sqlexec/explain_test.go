@@ -1,6 +1,7 @@
 package sqlexec
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,7 +15,8 @@ func TestExplainSimple(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, frag := range []string{"Project [name]", "Filter (salary > 100)", "Scan employee (7 rows)"} {
+	// salary > 100 is statically safe, so the planner pushes it into the scan.
+	for _, frag := range []string{"Project [name]", "Scan employee (7 rows) [filter: salary > 100]"} {
 		if !strings.Contains(plan, frag) {
 			t.Errorf("plan missing %q:\n%s", frag, plan)
 		}
@@ -30,7 +32,9 @@ func TestExplainFullPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	order := []string{"Project", "Limit 3", "Sort", "Having", "HashGroupBy", "Filter", "Scan"}
+	// Physical order, outermost first; the WHERE conjunct is pushed into
+	// the scan rather than appearing as a separate Filter.
+	order := []string{"Limit 3", "Sort", "Project", "Having", "HashGroupBy", "Scan", "[filter: salary > 1]"}
 	last := -1
 	for _, frag := range order {
 		idx := strings.Index(plan, frag)
@@ -53,7 +57,10 @@ func TestExplainJoinAndSubquery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, frag := range []string{"NestedLoopJoin", "Scan employee", "Scan department", "Subquery 1:", "Aggregate (global)"} {
+	// dept_id = id is an INT/INT equi-pair, so the join runs as a hash
+	// join; the sub-query conjunct is unsafe to push and stays a Filter.
+	for _, frag := range []string{"HashJoin", "Scan employee", "Scan department",
+		"Filter (e.salary > (SELECT AVG(salary) FROM employee))", "Subquery 1:", "Aggregate (global)"} {
 		if !strings.Contains(plan, frag) {
 			t.Errorf("plan missing %q:\n%s", frag, plan)
 		}
@@ -68,10 +75,52 @@ func TestExplainLeftJoinAndErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(plan, "NestedLoopLeftJoin") {
+	if !strings.Contains(plan, "HashLeftJoin") {
 		t.Errorf("left join not shown:\n%s", plan)
 	}
 	if _, err := eng.Explain(nil); err == nil {
 		t.Error("nil statement accepted")
+	}
+	if _, err := eng.Explain(sqlparse.MustParse("SELECT x FROM nope")); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+func TestExplainNonEquiJoinFallsBack(t *testing.T) {
+	db := corpDB(t)
+	eng := New(db)
+	plan, err := eng.Explain(sqlparse.MustParse(
+		"SELECT e.name FROM employee AS e JOIN department AS d ON e.salary > d.budget"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "NestedLoopJoin (e.salary > d.budget)") {
+		t.Errorf("non-equi join should fall back to nested loop:\n%s", plan)
+	}
+}
+
+func TestExplainAnalyzeRowCounts(t *testing.T) {
+	db := corpDB(t)
+	eng := New(db)
+	stmt := sqlparse.MustParse(
+		"SELECT e.name FROM employee AS e JOIN department AS d ON e.dept_id = d.id WHERE e.salary > 100")
+	plan, res, err := eng.ExplainAnalyze(context.Background(), stmt, DefaultBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || len(res.Rows) == 0 {
+		t.Fatalf("no result rows: %v", res)
+	}
+	for _, frag := range []string{"HashJoin", "rows="} {
+		if !strings.Contains(plan, frag) {
+			t.Errorf("analyze output missing %q:\n%s", frag, plan)
+		}
+	}
+	// The join's observed output must appear as a rows= annotation on the
+	// HashJoin line.
+	for _, line := range strings.Split(plan, "\n") {
+		if strings.Contains(line, "HashJoin") && !strings.Contains(line, "rows=") {
+			t.Errorf("HashJoin line lacks rows=: %q", line)
+		}
 	}
 }
