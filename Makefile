@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test short race vet fuzz check metrics-smoke cache-smoke plan-smoke bench-cache bench-plan
+.PHONY: build test short race vet fuzz check metrics-smoke cache-smoke plan-smoke overload-smoke bench-cache bench-plan bench-overload
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,12 @@ cache-smoke: build
 plan-smoke: build
 	./scripts/plan_smoke.sh
 
+# End-to-end overload check: start cmd/nlidb -serve with a tiny admission
+# ceiling, fire a curl surge, and assert requests were shed with 503 +
+# Retry-After, the shed counter moved on /metrics, and a drain finishes.
+overload-smoke: build
+	./scripts/overload_smoke.sh
+
 # Answer-cache benchmark: cold/warm latency percentiles and serial-vs-
 # parallel throughput, written to BENCH_cache.json.
 bench-cache: build
@@ -63,5 +69,11 @@ bench-cache: build
 # baseline sweeps 100M candidate pairs per class — expect a few minutes.
 bench-plan: build
 	$(GO) run ./cmd/nlidb-bench -plan BENCH_plan.json
+
+# Overload benchmark: goodput and admitted-latency percentiles at 1×–10×
+# offered load, with and without admission control, written to
+# BENCH_overload.json. Expect a few minutes (3 reps per cell).
+bench-overload: build
+	$(GO) run ./cmd/nlidb-bench -overload BENCH_overload.json
 
 check: build vet test race

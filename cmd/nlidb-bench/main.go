@@ -6,6 +6,7 @@
 //
 //	nlidb-bench [-seed N] [-only T1,T5,A1] [-obs BENCH_obs.json]
 //	            [-cache BENCH_cache.json] [-plan BENCH_plan.json]
+//	            [-overload BENCH_overload.json]
 //
 // With -obs the experiment tables are skipped; instead the observability
 // benchmark replays a WikiSQL-style workload through each engine twice
@@ -22,6 +23,14 @@
 // (nested-loop join, no predicate pushdown) and with the physical planner
 // (hash join + pushdown), and the per-class latencies, speedups, and plan
 // shapes are written to the given JSON file.
+//
+// With -overload the serving-layer benchmark runs instead: the HTTP
+// server is driven open-loop at 1×, 2×, 5×, and 10× its measured
+// capacity, behind the admission controller and with admission disabled,
+// and per-run goodput, shed counts, and admitted-latency percentiles are
+// written to the given JSON file. The acceptance claim: goodput and
+// admitted p99 stay flat (within 2×) across the sweep with admission,
+// and collapse without it.
 package main
 
 import (
@@ -40,6 +49,7 @@ func main() {
 	obsPath := flag.String("obs", "", "write the observability benchmark (per-engine latency percentiles, overhead) to this JSON file and exit")
 	cachePath := flag.String("cache", "", "write the answer-cache benchmark (cold/warm percentiles, serial-vs-parallel throughput) to this JSON file and exit")
 	planPath := flag.String("plan", "", "write the planner benchmark (nested-loop vs hash-join latency per query class) to this JSON file and exit")
+	overloadPath := flag.String("overload", "", "write the overload benchmark (goodput and admitted p99 at 1×–10× offered load, with and without admission control) to this JSON file and exit")
 	flag.Parse()
 
 	if *obsPath != "" {
@@ -58,6 +68,13 @@ func main() {
 	}
 	if *planPath != "" {
 		if err := runPlanBench(*planPath, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "nlidb-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *overloadPath != "" {
+		if err := runOverloadBench(*overloadPath, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "nlidb-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -7,6 +7,8 @@
 //	      [-timeout 5s] [-fallback parse,pattern,keyword] [-csv a.csv,b.csv]
 //	      [-explain] [-metrics-addr 127.0.0.1:9090] [-slowlog 250ms]
 //	      [-cache 1024] [-cache-ttl 0] [-parallel 8] [-plan-cache 256]
+//	      [-serve 127.0.0.1:8080] [-drain-timeout 10s] [-max-inflight N]
+//	      [-rate-limit R]
 //	      ["one-shot question" | "q1; q2; q3"]
 //
 // Engines: keyword, pattern, parse, athena (default). With -chat the
@@ -37,6 +39,16 @@
 // by ';'; with -parallel N they are served through the gateway's worker
 // pool, sharing the cache, so repeats hit. Cached answers are marked in
 // the provenance line and carry cached=true in the -explain trace.
+//
+// Serving: -serve exposes the gateway over HTTP (POST /query, POST
+// /batch, plus the /metrics debug suite on the same port) behind the
+// admission controller — adaptive concurrency limiting, deadline-aware
+// queueing, priority classes, and optional per-client rate limiting
+// (-rate-limit, req/s). -max-inflight caps concurrent admitted requests
+// (0 = 2×GOMAXPROCS). On SIGINT/SIGTERM the server drains gracefully:
+// new requests get 503 + Retry-After, in-flight ones get up to
+// -drain-timeout to finish, stragglers are cancelled. See the README's
+// Overload protection section for the protocol.
 package main
 
 import (
@@ -78,6 +90,10 @@ func main() {
 	cacheTTL := flag.Duration("cache-ttl", 0, "answer-cache entry lifetime (0 = until evicted or data changes)")
 	parallel := flag.Int("parallel", 0, "worker-pool size for ';'-separated one-shot questions (0 = serial)")
 	planCacheSize := flag.Int("plan-cache", 256, "physical-plan cache capacity in entries (0 disables)")
+	serveAddr := flag.String("serve", "", "serve POST /query and /batch over HTTP on this address (e.g. 127.0.0.1:8080) instead of the REPL")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain budget for in-flight requests on SIGINT/SIGTERM (serve mode)")
+	maxInflight := flag.Int("max-inflight", 0, "admission concurrency ceiling in serve mode (0 = 2×GOMAXPROCS)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client request rate limit in req/s in serve mode (0 disables)")
 	flag.Parse()
 
 	var d *benchdata.Domain
@@ -128,7 +144,21 @@ func main() {
 	gw := resilient.New(d.DB, chain, resilient.Config{
 		Timeout: *timeout, Metrics: reg, SlowLog: slow,
 		Cache: cache, PlanCache: planCache, Workers: *parallel,
+		// Desynchronize half-open probes: breakers that tripped together
+		// must not all retry the recovering engine at the same instant.
+		BreakerJitter: 30 * time.Second / 8,
 	})
+	if *serveAddr != "" {
+		if err := serve(gw, reg, slow, serveOptions{
+			addr:         *serveAddr,
+			drainTimeout: *drainTimeout,
+			maxInflight:  *maxInflight,
+			rateLimit:    *rateLimit,
+		}); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
 	if *metricsAddr != "" {
 		_, bound, err := obs.Serve(*metricsAddr, reg, slow)
 		if err != nil {

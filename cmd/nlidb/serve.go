@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nlidb/internal/admission"
+	"nlidb/internal/obs"
+	"nlidb/internal/resilient"
+	"nlidb/internal/server"
+)
+
+// serveOptions carries the -serve flag family.
+type serveOptions struct {
+	addr         string
+	drainTimeout time.Duration
+	maxInflight  int
+	rateLimit    float64
+}
+
+// serve runs the HTTP front end until SIGINT/SIGTERM, then drains: the
+// listener stops accepting, queued admission waiters are flushed with
+// 503s, in-flight requests get up to -drain-timeout to finish, and any
+// stragglers are cancelled through their request contexts before exit.
+func serve(gw *resilient.Gateway, reg *obs.Registry, slow *obs.SlowLog, opts serveOptions) error {
+	ctrl := admission.New(admission.Config{MaxInFlight: opts.maxInflight, Metrics: reg})
+	var rl *admission.RateLimiter
+	if opts.rateLimit > 0 {
+		rl = admission.NewRateLimiter(admission.RateConfig{RPS: opts.rateLimit})
+	}
+	api := server.New(server.Config{
+		Gateway:   gw,
+		Admission: ctrl,
+		RateLimit: rl,
+		Metrics:   reg,
+	})
+
+	// One mux serves the query API and the debug suite, so a single port
+	// carries /query, /batch, /metrics, /slowlog, and /debug/pprof.
+	mux := http.NewServeMux()
+	mux.Handle("/query", api)
+	mux.Handle("/batch", api)
+	mux.Handle("/", obs.Handler(reg, slow))
+
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	httpSrv := &http.Server{Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Printf("serving http://%s  (POST /query, POST /batch; metrics at /metrics)\n", ln.Addr())
+	fmt.Printf("admission: max in-flight %d, rate limit %s\n",
+		ctrl.Limit(), map[bool]string{true: fmt.Sprintf("%.1f req/s per client", opts.rateLimit), false: "off"}[opts.rateLimit > 0])
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	case s := <-sig:
+		fmt.Printf("\n%s: draining (up to %s for in-flight requests)\n", s, opts.drainTimeout)
+	}
+
+	ln.Close() // stop accepting connections; established ones finish below
+	clean := api.Drain(opts.drainTimeout)
+	st := ctrl.Stats()
+	fmt.Printf("drained clean=%v admitted=%d shed=%v\n", clean, st.Admitted, st.Shed)
+	httpSrv.Close()
+	if !clean {
+		return fmt.Errorf("serve: drain timeout exceeded; stragglers were cancelled")
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package admission
+
+import (
+	"sync"
+	"time"
+)
+
+// RateConfig tunes a RateLimiter. The zero value of RPS disables nothing
+// by itself — construct a limiter only when a positive rate is wanted.
+type RateConfig struct {
+	// RPS is the sustained request rate each client may hold.
+	RPS float64
+	// Burst is the bucket capacity — how many requests a client may fire
+	// back-to-back after an idle period (default max(2×RPS, 1)).
+	Burst float64
+	// MaxClients bounds the tracked-client map (default 4096). When full,
+	// the stalest client (longest since last request) is evicted — it has
+	// a full bucket anyway, so forgetting it costs nothing.
+	MaxClients int
+	// Now is the clock, injectable for tests (default time.Now).
+	Now func() time.Time
+}
+
+// bucket is one client's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// RateLimiter is a per-client token bucket: each client id (API key,
+// remote address…) accrues RPS tokens per second up to Burst, and each
+// request spends one. It exists in front of the admission queue so one
+// hot client cannot monopolize the whole serving capacity that the
+// Controller fairly queues. Safe for concurrent use.
+type RateLimiter struct {
+	cfg RateConfig
+
+	mu      sync.Mutex
+	clients map[string]*bucket
+}
+
+// NewRateLimiter builds a limiter allowing each client cfg.RPS sustained
+// requests per second. Config zero values are filled with defaults.
+func NewRateLimiter(cfg RateConfig) *RateLimiter {
+	if cfg.Burst <= 0 {
+		cfg.Burst = 2 * cfg.RPS
+		if cfg.Burst < 1 {
+			cfg.Burst = 1
+		}
+	}
+	if cfg.MaxClients <= 0 {
+		cfg.MaxClients = 4096
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &RateLimiter{cfg: cfg, clients: map[string]*bucket{}}
+}
+
+// Allow spends one token from client's bucket. On refusal it also
+// returns how long the client should wait before the next token exists —
+// the Retry-After value.
+func (l *RateLimiter) Allow(client string) (ok bool, retryAfter time.Duration) {
+	now := l.cfg.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.clients[client]
+	if b == nil {
+		l.evictLocked()
+		b = &bucket{tokens: l.cfg.Burst, last: now}
+		l.clients[client] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.cfg.RPS
+		if b.tokens > l.cfg.Burst {
+			b.tokens = l.cfg.Burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if l.cfg.RPS <= 0 {
+		return false, time.Second
+	}
+	return false, time.Duration((1 - b.tokens) / l.cfg.RPS * float64(time.Second))
+}
+
+// Clients reports how many clients are currently tracked.
+func (l *RateLimiter) Clients() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.clients)
+}
+
+// evictLocked makes room for one more client by dropping the stalest
+// tracked one once the map is full.
+func (l *RateLimiter) evictLocked() {
+	if len(l.clients) < l.cfg.MaxClients {
+		return
+	}
+	var oldest string
+	var oldestAt time.Time
+	for id, b := range l.clients {
+		if oldest == "" || b.last.Before(oldestAt) {
+			oldest, oldestAt = id, b.last
+		}
+	}
+	delete(l.clients, oldest)
+}

@@ -1,0 +1,64 @@
+package admission
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRateLimiterBurstThenRefill(t *testing.T) {
+	clock := newFakeClock()
+	l := NewRateLimiter(RateConfig{RPS: 10, Burst: 3, Now: clock.Now})
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("alice"); !ok {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	ok, retry := l.Allow("alice")
+	if ok {
+		t.Fatal("request beyond burst must be refused")
+	}
+	if retry <= 0 || retry > 100*time.Millisecond {
+		t.Fatalf("retry-after %s, want within one token period (100ms)", retry)
+	}
+
+	// One token period later exactly one request fits again.
+	clock.Advance(100 * time.Millisecond)
+	if ok, _ := l.Allow("alice"); !ok {
+		t.Fatal("refilled token refused")
+	}
+	if ok, _ := l.Allow("alice"); ok {
+		t.Fatal("second request on one refilled token allowed")
+	}
+}
+
+func TestRateLimiterClientsAreIndependent(t *testing.T) {
+	clock := newFakeClock()
+	l := NewRateLimiter(RateConfig{RPS: 1, Burst: 1, Now: clock.Now})
+	if ok, _ := l.Allow("alice"); !ok {
+		t.Fatal("alice's first request refused")
+	}
+	if ok, _ := l.Allow("alice"); ok {
+		t.Fatal("alice's second request allowed")
+	}
+	if ok, _ := l.Allow("bob"); !ok {
+		t.Fatal("bob throttled by alice's spending")
+	}
+}
+
+func TestRateLimiterEvictsStalestClient(t *testing.T) {
+	clock := newFakeClock()
+	l := NewRateLimiter(RateConfig{RPS: 1, Burst: 1, MaxClients: 2, Now: clock.Now})
+	l.Allow("old")
+	clock.Advance(time.Minute)
+	l.Allow("mid")
+	clock.Advance(time.Minute)
+	l.Allow("new") // map full: "old" (stalest) is evicted
+	if n := l.Clients(); n != 2 {
+		t.Fatalf("%d clients tracked, want 2", n)
+	}
+	// "old" is forgotten, so it starts with a fresh (full) bucket.
+	if ok, _ := l.Allow("old"); !ok {
+		t.Fatal("evicted client should restart with a full bucket")
+	}
+}

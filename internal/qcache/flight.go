@@ -1,0 +1,86 @@
+package qcache
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// flightCall is one in-progress leader execution plus its shared result.
+type flightCall struct {
+	done      chan struct{}
+	val       any
+	err       error
+	followers int // callers collapsed onto this execution (under Flight.mu)
+}
+
+// Flight collapses concurrent duplicate cache misses: while one caller
+// (the leader) computes the value for a key, every other caller of the
+// same key waits for the leader's result instead of recomputing it. This
+// is the stampede defence the cache alone cannot provide — a cold hot key
+// hit by N concurrent requests would otherwise run the full pipeline N
+// times before the first Put lands.
+//
+// The zero Flight is ready to use. Safe for concurrent use.
+type Flight struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// Do executes fn under key, collapsing concurrent duplicates: exactly one
+// caller per key runs fn at a time; the rest block until it finishes and
+// receive the same value and error with shared=true. The leader's fn runs
+// on the caller's goroutine. A follower whose ctx ends before the leader
+// finishes unblocks with the context's error (the leader is unaffected).
+//
+// Results are not memoized across completions — once the leader returns
+// and its followers are served, the next Do on the key runs fn again.
+// Pair Do with a Cache: the leader fills the cache, so later misses are
+// hits, and Do only ever collapses the misses that race the first fill.
+func (f *Flight) Do(ctx context.Context, key string, fn func() (any, error)) (val any, err error, shared bool) {
+	f.mu.Lock()
+	if f.calls == nil {
+		f.calls = map[string]*flightCall{}
+	}
+	if c, ok := f.calls[key]; ok {
+		c.followers++
+		f.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), false
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	defer func() {
+		// Publish the result and retire the call even when fn panics, so
+		// followers never hang; the panic is converted to an error shared
+		// by leader and followers alike.
+		if r := recover(); r != nil {
+			c.err = fmt.Errorf("qcache: flight leader panicked: %v", r)
+			err = c.err
+		}
+		f.mu.Lock()
+		delete(f.calls, key)
+		f.mu.Unlock()
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	return c.val, c.err, false
+}
+
+// Followers reports how many callers are currently collapsed onto key's
+// in-progress call (0 when no call is in progress) — a test and
+// telemetry convenience.
+func (f *Flight) Followers(key string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.calls[key]; ok {
+		return c.followers
+	}
+	return 0
+}

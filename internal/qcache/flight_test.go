@@ -1,0 +1,194 @@
+package qcache
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightCollapsesConcurrentCallers is the stampede property: N
+// concurrent Do calls on one key run fn exactly once and share its value.
+func TestFlightCollapsesConcurrentCallers(t *testing.T) {
+	var f Flight
+	var execs atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	const followers = 8
+	var wg sync.WaitGroup
+	results := make([]any, followers+1)
+	sharedCount := atomic.Int64{}
+	run := func(i int) {
+		defer wg.Done()
+		v, err, shared := f.Do(context.Background(), "k", func() (any, error) {
+			execs.Add(1)
+			close(started)
+			<-release
+			return "answer", nil
+		})
+		if err != nil {
+			t.Errorf("caller %d: %v", i, err)
+		}
+		if shared {
+			sharedCount.Add(1)
+		}
+		results[i] = v
+	}
+
+	wg.Add(1)
+	go run(0)
+	<-started // the leader is inside fn; everyone else must collapse
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		go run(i)
+	}
+	// Only finish the leader once every follower has provably joined the
+	// flight (a joined follower always receives the broadcast result,
+	// even if it reaches its select after the close).
+	waitForFollowers(t, &f, "k", followers)
+	close(release)
+	wg.Wait()
+
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("fn executed %d times, want exactly 1", n)
+	}
+	if n := sharedCount.Load(); n != followers {
+		t.Fatalf("%d callers saw shared=true, want %d", n, followers)
+	}
+	for i, v := range results {
+		if v != "answer" {
+			t.Fatalf("caller %d got %v, want %q", i, v, "answer")
+		}
+	}
+}
+
+func TestFlightDistinctKeysRunIndependently(t *testing.T) {
+	var f Flight
+	var execs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		key := string(rune('a' + i))
+		go func() {
+			defer wg.Done()
+			f.Do(context.Background(), key, func() (any, error) {
+				execs.Add(1)
+				return key, nil
+			})
+		}()
+	}
+	wg.Wait()
+	if n := execs.Load(); n != 4 {
+		t.Fatalf("fn executed %d times for 4 distinct keys, want 4", n)
+	}
+}
+
+func TestFlightSequentialCallsRunEachTime(t *testing.T) {
+	var f Flight
+	var execs atomic.Int64
+	for i := 0; i < 3; i++ {
+		_, _, shared := f.Do(context.Background(), "k", func() (any, error) {
+			execs.Add(1)
+			return nil, nil
+		})
+		if shared {
+			t.Fatalf("sequential call %d reported shared", i)
+		}
+	}
+	if n := execs.Load(); n != 3 {
+		t.Fatalf("fn executed %d times sequentially, want 3 (no memoization)", n)
+	}
+}
+
+func TestFlightSharesErrors(t *testing.T) {
+	var f Flight
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var followerErr error
+	var followerShared bool
+	go func() {
+		defer wg.Done()
+		<-started // the leader is inside fn, so this Do must collapse
+		_, followerErr, followerShared = f.Do(context.Background(), "k", func() (any, error) {
+			t.Error("follower executed fn")
+			return nil, nil
+		})
+	}()
+
+	go func() {
+		<-started
+		waitForFollowers(t, &f, "k", 1)
+		close(release)
+	}()
+	_, err, _ := f.Do(context.Background(), "k", func() (any, error) {
+		close(started)
+		<-release
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("leader err %v, want boom", err)
+	}
+	wg.Wait()
+	if !followerShared || !errors.Is(followerErr, boom) {
+		t.Fatalf("follower got err=%v shared=%v, want shared boom", followerErr, followerShared)
+	}
+}
+
+func TestFlightFollowerHonorsContext(t *testing.T) {
+	var f Flight
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go f.Do(context.Background(), "k", func() (any, error) {
+		close(started)
+		<-release
+		return nil, nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err, shared := f.Do(ctx, "k", func() (any, error) {
+		t.Error("canceled follower executed fn")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) || shared {
+		t.Fatalf("got err=%v shared=%v, want context.Canceled, false", err, shared)
+	}
+}
+
+// waitForFollowers polls until n callers have joined key's in-progress
+// call (bounded by a real-time cap).
+func waitForFollowers(t *testing.T, f *Flight, key string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Followers(key) < n {
+		if time.Now().After(deadline) {
+			t.Errorf("only %d followers joined %q, want %d", f.Followers(key), key, n)
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestFlightLeaderPanicBecomesError(t *testing.T) {
+	var f Flight
+	_, err, _ := f.Do(context.Background(), "k", func() (any, error) {
+		panic("kaboom")
+	})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err %v, want panic converted to error", err)
+	}
+	// The key must be free again.
+	v, err, _ := f.Do(context.Background(), "k", func() (any, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("post-panic Do = %v, %v; want 7, nil", v, err)
+	}
+}

@@ -2,10 +2,21 @@ package resilient
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrShed marks a batch question that was never started: the batch's
+// context ended (cancellation, deadline, load shedding) before a worker
+// picked it up. The pipeline did zero work on it, so retrying it is
+// always safe and never duplicates effort — callers can resubmit exactly
+// the ErrShed tail of a cut-short batch. Test with
+// errors.Is(r.Err, resilient.ErrShed); the underlying context error
+// (context.Canceled or context.DeadlineExceeded) also matches errors.Is.
+var ErrShed = errors.New("resilient: shed before start")
 
 // BatchResult pairs one batch question with its outcome; exactly one of
 // Answer and Err is non-nil.
@@ -29,7 +40,8 @@ type BatchResult struct {
 // differs.
 //
 // Cancelling ctx stops the batch early: questions not yet started fail
-// with the context's error. Questions already in flight run to their own
+// with ErrShed (wrapping the context's error), so callers can retry
+// exactly the unserved tail. Questions already in flight run to their own
 // deadline as usual. ServeBatch is safe for concurrent use, including
 // overlapping batches on one Gateway.
 func (g *Gateway) ServeBatch(ctx context.Context, questions []string) []BatchResult {
@@ -58,7 +70,7 @@ func (g *Gateway) ServeBatch(ctx context.Context, questions []string) []BatchRes
 				}
 				q := questions[i]
 				if err := ctx.Err(); err != nil {
-					out[i] = BatchResult{Index: i, Question: q, Err: err}
+					out[i] = BatchResult{Index: i, Question: q, Err: fmt.Errorf("%w: %w", ErrShed, err)}
 					continue
 				}
 				ans, err := g.Ask(ctx, q)

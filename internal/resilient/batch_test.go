@@ -156,3 +156,46 @@ func TestServeBatchOverlappingBatches(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestServeBatchShedsUnstartedWithErrShed pins the retry contract: every
+// question the cancelled batch never started carries ErrShed (and the
+// underlying context error), while questions that did start do not — so a
+// caller can resubmit exactly the unserved tail.
+func TestServeBatchShedsUnstartedWithErrShed(t *testing.T) {
+	db := testDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	eng := &fakeInterp{name: "a", fn: func(q string) ([]nlq.Interpretation, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-ctx.Done() // park until the batch is cancelled
+		return nil, nlq.ErrNoInterpretation
+	}}
+	gw := New(db, []nlq.Interpreter{eng}, Config{Workers: 1, NoRetry: true})
+	go func() {
+		<-started
+		cancel()
+	}()
+	res := gw.ServeBatch(ctx, make([]string, 10))
+
+	shed := 0
+	for _, r := range res {
+		if errors.Is(r.Err, ErrShed) {
+			shed++
+			// The concrete context error must still be reachable.
+			if !errors.Is(r.Err, context.Canceled) {
+				t.Fatalf("result %d: ErrShed without context.Canceled underneath: %v", r.Index, r.Err)
+			}
+		}
+	}
+	if shed == 0 {
+		t.Fatal("cancellation left no ErrShed results; unstarted questions must be marked shed")
+	}
+	// With one worker parked on question 0 until cancel, question 0 started:
+	// its failure is a real pipeline error, not a shed.
+	if errors.Is(res[0].Err, ErrShed) {
+		t.Fatalf("question 0 ran but is marked shed: %v", res[0].Err)
+	}
+}

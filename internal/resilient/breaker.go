@@ -1,6 +1,7 @@
 package resilient
 
 import (
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -54,12 +55,15 @@ type Breaker struct {
 	mu        sync.Mutex
 	threshold int           // consecutive failures that open the breaker
 	cooldown  time.Duration // open → half-open delay
+	jitterMax time.Duration // extra randomized delay on top of cooldown
+	rnd       *rand.Rand    // jitter source (nil until SetJitter)
 	now       func() time.Time
 	hook      func(from, to string)
 
 	state    breakerState
 	fails    int
 	openedAt time.Time
+	wait     time.Duration // this opening's effective cooldown (incl. jitter draw)
 }
 
 // NewBreaker returns a closed breaker that opens after threshold
@@ -69,7 +73,25 @@ func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Br
 	if now == nil {
 		now = time.Now
 	}
-	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+	return &Breaker{threshold: threshold, cooldown: cooldown, wait: cooldown, now: now}
+}
+
+// SetJitter adds a randomized delay in [0, max) on top of the cooldown,
+// drawn fresh each time the breaker opens. Without it, every breaker
+// guarding the same engine — across goroutines here, across replicas in
+// a fleet — finishes its cooldown at the same instant and probes the
+// recovering engine in lockstep, re-tripping it with a synchronized
+// thundering herd. seed makes the draw sequence replayable in tests.
+// Call before the breaker is shared; max <= 0 disables jitter.
+func (b *Breaker) SetJitter(max time.Duration, seed int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if max <= 0 {
+		b.jitterMax, b.rnd = 0, nil
+		return
+	}
+	b.jitterMax = max
+	b.rnd = rand.New(rand.NewSource(seed))
 }
 
 // OnTransition registers fn to be called (outside the breaker's lock,
@@ -110,7 +132,7 @@ func (b *Breaker) Allow() bool {
 	var fire func()
 	ok := true
 	if b.state == breakerOpen {
-		if b.now().Sub(b.openedAt) >= b.cooldown {
+		if b.now().Sub(b.openedAt) >= b.wait {
 			fire = b.transition(breakerHalfOpen)
 		} else {
 			ok = false
@@ -143,6 +165,10 @@ func (b *Breaker) Failure() {
 	if b.state == breakerHalfOpen || b.fails >= b.threshold {
 		fire = b.transition(breakerOpen)
 		b.openedAt = b.now()
+		b.wait = b.cooldown
+		if b.rnd != nil && b.jitterMax > 0 {
+			b.wait += time.Duration(b.rnd.Int63n(int64(b.jitterMax)))
+		}
 		b.fails = 0
 	}
 	b.mu.Unlock()

@@ -109,3 +109,84 @@ func TestBreakerSuccessWhileClosedIsQuiet(t *testing.T) {
 		t.Fatalf("no-op successes fired %d transitions, want 0", calls)
 	}
 }
+
+// TestBreakerJitterSpreadsProbeTimes is the half-open desynchronization
+// regression test: with jitter set, an opened breaker refuses its probe at
+// the bare cooldown boundary and admits it only once the jittered wait has
+// elapsed — and two breakers seeded differently draw different waits, so
+// they do not probe in lockstep. Driven entirely by a fake clock.
+func TestBreakerJitterSpreadsProbeTimes(t *testing.T) {
+	const cooldown = time.Minute
+	const jitterMax = 30 * time.Second
+
+	// probeDelay opens a freshly seeded breaker and walks the fake clock
+	// forward second by second until Allow admits the half-open probe.
+	probeDelay := func(seed int64) time.Duration {
+		clock := time.Unix(0, 0)
+		b := NewBreaker(1, cooldown, func() time.Time { return clock })
+		b.SetJitter(jitterMax, seed)
+		b.Failure() // threshold 1: opens immediately, drawing this wait's jitter
+		if b.State() != "open" {
+			t.Fatalf("breaker not open after failure: %s", b.State())
+		}
+		for elapsed := time.Duration(0); elapsed <= cooldown+jitterMax; elapsed += time.Second {
+			clock = time.Unix(0, 0).Add(elapsed)
+			if b.Allow() {
+				return elapsed
+			}
+		}
+		t.Fatalf("seed %d: breaker never admitted a probe within cooldown+jitterMax", seed)
+		return 0
+	}
+
+	// Each draw lands in [cooldown, cooldown+jitterMax); same seed replays
+	// the same wait, so the test is deterministic.
+	seen := map[time.Duration]bool{}
+	for seed := int64(1); seed <= 8; seed++ {
+		d := probeDelay(seed)
+		if d < cooldown || d >= cooldown+jitterMax+time.Second {
+			t.Fatalf("seed %d: probe admitted after %v, want within [%v, %v)", seed, d, cooldown, cooldown+jitterMax)
+		}
+		if d2 := probeDelay(seed); d2 != d {
+			t.Fatalf("seed %d: replay drew %v then %v; jitter must be replayable", seed, d, d2)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("8 distinct seeds all drew the same probe delay %v; jitter is not spreading probes", seen)
+	}
+
+	// A second opening of the same breaker draws fresh jitter rather than
+	// reusing the first wait: consecutive draws from one source differ for
+	// at least one seed (seed 1 here, pinned by the deterministic PRNG).
+	clock := time.Unix(0, 0)
+	b := NewBreaker(1, cooldown, func() time.Time { return clock })
+	b.SetJitter(jitterMax, 1)
+	waits := make([]time.Duration, 2)
+	for i := range waits {
+		b.Failure()
+		opened := clock
+		for !b.Allow() {
+			clock = clock.Add(time.Second)
+		}
+		waits[i] = clock.Sub(opened)
+		b.Failure() // fail the half-open probe: reopens with a fresh draw
+		for !b.Allow() {
+			clock = clock.Add(time.Second)
+		}
+		b.Success()
+	}
+	if waits[0] == waits[1] {
+		t.Fatalf("consecutive openings drew identical waits %v; each opening must redraw", waits[0])
+	}
+
+	// Without jitter the probe comes exactly at the cooldown: the default
+	// path stays deterministic for everyone who never opts in.
+	clock = time.Unix(0, 0)
+	plain := NewBreaker(1, cooldown, func() time.Time { return clock })
+	plain.Failure()
+	clock = clock.Add(cooldown)
+	if !plain.Allow() {
+		t.Fatal("jitterless breaker must admit its probe exactly at the cooldown")
+	}
+}

@@ -1,0 +1,124 @@
+package resilient
+
+// Singleflight miss-collapse at the gateway level: concurrent identical
+// questions on a cold cache must run the pipeline exactly once.
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nlidb/internal/nlq"
+	"nlidb/internal/qcache"
+	"nlidb/internal/sqlparse"
+)
+
+// gatedInterp counts Interpret calls and holds the first one open until
+// released, so the test can stack provably concurrent misses behind it.
+type gatedInterp struct {
+	calls   atomic.Int64
+	started chan struct{} // closed when the first Interpret is inside
+	release chan struct{} // the interpreter waits for this before answering
+	once    sync.Once
+}
+
+func (g *gatedInterp) Name() string { return "gated" }
+
+func (g *gatedInterp) Interpret(q string) ([]nlq.Interpretation, error) {
+	g.calls.Add(1)
+	g.once.Do(func() { close(g.started) })
+	<-g.release
+	return []nlq.Interpretation{{SQL: sqlparse.MustParse("SELECT name FROM customer"), Score: 0.9}}, nil
+}
+
+// TestAskCollapsesConcurrentIdenticalMisses is the satellite's required
+// assertion: N concurrent Asks of one cold question execute the pipeline
+// exactly once and all share the answer.
+func TestAskCollapsesConcurrentIdenticalMisses(t *testing.T) {
+	db := testDB(t)
+	eng := &gatedInterp{started: make(chan struct{}), release: make(chan struct{})}
+	gw := New(db, []nlq.Interpreter{eng},
+		Config{NoRetry: true, Cache: qcache.New(qcache.Config{})})
+
+	const followers = 7
+	var wg sync.WaitGroup
+	answers := make([]*Answer, followers+1)
+	errs := make([]error, followers+1)
+	ask := func(i int) {
+		defer wg.Done()
+		answers[i], errs[i] = gw.Ask(context.Background(), "customers please")
+	}
+	wg.Add(1)
+	go ask(0)
+	<-eng.started // the leader is mid-pipeline; the cache is still cold
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		go ask(i)
+	}
+	// Wait until every follower has joined the in-progress flight before
+	// letting the leader finish — otherwise a late follower would simply
+	// hit the warm cache, proving nothing about collapse.
+	key := qcache.WithFingerprint(db.Fingerprint(), qcache.Key("customers please"))
+	deadline := time.Now().Add(5 * time.Second)
+	for gw.flight.Followers(key) < followers {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d followers joined the flight, want %d", gw.flight.Followers(key), followers)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(eng.release)
+	wg.Wait()
+
+	if c := eng.calls.Load(); c != 1 {
+		t.Fatalf("pipeline interpreted %d times for %d concurrent identical asks, want exactly 1", c, followers+1)
+	}
+	sharedCount := 0
+	for i := range answers {
+		if errs[i] != nil {
+			t.Fatalf("ask %d failed: %v", i, errs[i])
+		}
+		if len(answers[i].Result.Rows) != 3 {
+			t.Fatalf("ask %d got %d rows, want 3", i, len(answers[i].Result.Rows))
+		}
+		if answers[i].Cached {
+			sharedCount++
+			if !strings.Contains(answers[i].Trace.String(), "singleflight=shared") {
+				t.Fatalf("shared answer %d lacks singleflight=shared on its trace:\n%s", i, answers[i].Trace)
+			}
+		}
+	}
+	if sharedCount != followers {
+		t.Fatalf("%d answers marked shared/cached, want %d", sharedCount, followers)
+	}
+	// The leader filled the cache: a later Ask is a plain hit, no flight.
+	ans, err := gw.Ask(context.Background(), "customers please")
+	if err != nil || !ans.Cached {
+		t.Fatalf("post-collapse ask: cached=%v err=%v, want warm hit", ans != nil && ans.Cached, err)
+	}
+}
+
+// TestAskWithoutCacheDoesNotCollapse pins the scope: singleflight only
+// engages alongside the cache (its key IS the cache key), so a cacheless
+// gateway still executes every ask independently.
+func TestAskWithoutCacheDoesNotCollapse(t *testing.T) {
+	db := testDB(t)
+	eng, calls := counting("a", "SELECT name FROM customer")
+	gw := New(db, []nlq.Interpreter{eng}, Config{NoRetry: true})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := gw.Ask(context.Background(), "customers please"); err != nil {
+				t.Errorf("ask failed: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if c := calls.Load(); c != 4 {
+		t.Fatalf("cacheless gateway interpreted %d times, want 4 (no collapse)", c)
+	}
+}

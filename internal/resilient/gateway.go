@@ -133,6 +133,12 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker waits before admitting a
 	// half-open probe (default 30s).
 	BreakerCooldown time.Duration
+	// BreakerJitter, when positive, adds a random delay in [0, BreakerJitter)
+	// on top of every cooldown, drawn fresh each time a breaker opens, so
+	// breakers that tripped together do not probe a recovering engine in
+	// lockstep. Off by default (tests and callers that reason about exact
+	// cooldowns keep deterministic timing).
+	BreakerJitter time.Duration
 	// NoRetry disables the stopword-stripped retry of a failed engine.
 	NoRetry bool
 	// Hook, when non-nil, is consulted before every guarded stage; tests
@@ -193,6 +199,12 @@ type Gateway struct {
 	exec     *sqlexec.Engine
 	cfg      Config
 	breakers map[string]*Breaker
+	// flight collapses concurrent identical cache misses: N requests for
+	// one cold key run the pipeline once and share the answer, so a hot
+	// key arriving in a burst cannot stampede the fallback chain. Only
+	// engaged when a Cache is configured (the flight key is the cache
+	// key, so the two stay consistent).
+	flight qcache.Flight
 }
 
 // New builds a Gateway over db serving the given fallback chain, best
@@ -217,9 +229,15 @@ func New(db *sqldata.Database, chain []nlq.Interpreter, cfg Config) *Gateway {
 		cfg:      cfg,
 		breakers: map[string]*Breaker{},
 	}
-	for _, e := range chain {
+	for i, e := range chain {
 		name := e.Name()
 		br := NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now)
+		if cfg.BreakerJitter > 0 {
+			// Seed from the wall clock (not cfg.Now, which tests freeze) and
+			// the chain position, so each engine's breaker — and each process
+			// in a fleet — draws a distinct probe schedule.
+			br.SetJitter(cfg.BreakerJitter, time.Now().UnixNano()+int64(i))
+		}
 		br.OnTransition(func(from, to string) {
 			if g.cfg.Metrics != nil {
 				g.cfg.Metrics.Gauge(MetricBreakerState, "engine", name).Set(StateValue(to))
@@ -287,6 +305,9 @@ func (g *Gateway) Breaker(engine string) *Breaker { return g.breakers[engine] }
 // With Config.Cache set, a hit short-circuits all of the above: the
 // cached answer comes back with Cached=true, its trace is just the root
 // span carrying cached=true, and query counters/latency still record.
+// Concurrent identical misses are collapsed: one leader runs the
+// pipeline, the rest share its answer (Cached=true, singleflight=shared
+// on the trace root) — a cold hot key cannot stampede the chain.
 func (g *Gateway) Ask(ctx context.Context, question string) (*Answer, error) {
 	start := time.Now()
 	if g.cfg.Timeout > 0 {
@@ -316,22 +337,57 @@ func (g *Gateway) Ask(ctx context.Context, question string) (*Answer, error) {
 		}
 	}
 
-	ans, err := g.ask(ctx, question, trace)
+	var ans *Answer
+	var err error
+	if key == "" {
+		ans, err = g.ask(ctx, question, trace)
+	} else {
+		// Singleflight miss-collapse: the first Ask for a cold key leads,
+		// running the pipeline under its own context and trace; concurrent
+		// identical misses wait and share the leader's (sanitized) answer
+		// instead of stampeding the chain.
+		var mine *Answer
+		v, ferr, shared := g.flight.Do(ctx, key, func() (any, error) {
+			a, e := g.ask(ctx, question, trace)
+			mine = a
+			if e != nil {
+				return nil, e
+			}
+			// Store and share a sanitized copy: no failure trail, timing,
+			// or trace — those belong to the Ask that produced them, not
+			// to replays.
+			sh := &Answer{
+				Engine:     a.Engine,
+				SQL:        a.SQL,
+				Result:     a.Result,
+				Score:      a.Score,
+				Simplified: a.Simplified,
+				Usage:      a.Usage,
+			}
+			g.cfg.Cache.Put(key, sh)
+			return sh, nil
+		})
+		err = ferr
+		switch {
+		case !shared:
+			ans = mine // leader (or a follower canceled while waiting: nil)
+		case err == nil:
+			hit := *(v.(*Answer)) // shallow copy; SQL/Result shared read-only
+			hit.Cached = true
+			ans = &hit
+			if trace != nil {
+				trace.Root.SetAttr("cached", "true")
+				trace.Root.SetAttr("singleflight", "shared")
+			}
+		default:
+			if trace != nil {
+				trace.Root.SetAttr("singleflight", "shared")
+			}
+		}
+	}
 	elapsed := time.Since(start)
 	g.finish(question, ans, err, trace, elapsed)
 	if ans != nil {
-		if key != "" && err == nil {
-			// Store a sanitized copy: no failure trail, timing, or trace —
-			// those belong to the Ask that produced them, not to replays.
-			g.cfg.Cache.Put(key, &Answer{
-				Engine:     ans.Engine,
-				SQL:        ans.SQL,
-				Result:     ans.Result,
-				Score:      ans.Score,
-				Simplified: ans.Simplified,
-				Usage:      ans.Usage,
-			})
-		}
 		ans.Elapsed = elapsed
 		ans.Trace = trace
 	}
