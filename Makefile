@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test short race vet fuzz check metrics-smoke cache-smoke plan-smoke overload-smoke bench-cache bench-plan bench-overload
+.PHONY: build test short race vet staticcheck chaos fuzz check metrics-smoke cache-smoke plan-smoke overload-smoke bench-cache bench-plan bench-overload bench-shard
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ build:
 # tests (experiments, mlsql training) gate on testing.Short() and would
 # take >10 minutes under the race detector; everything concurrency-bearing
 # — the gateway, cache, batch pool, chaos suite, executors — runs in full.
-test: vet
+test: vet staticcheck
 	$(GO) test ./...
 	$(GO) test -race -short ./...
 
@@ -26,6 +26,21 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck when the toolchain has it; a no-op (with a note) otherwise,
+# so `make test` works on bare containers without network access.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
+# The seeded chaos suites under the race detector: engine-level fault
+# injection (panics, errors, slowness at every pipeline site), the
+# serving-layer surge/drain tests, and the shard-kill/restore harness.
+chaos:
+	$(GO) test -race -run 'Chaos|Surge|Drain|Hedge|Flight' ./internal/resilient/ ./internal/server/ ./internal/shard/ ./internal/qcache/ -count=1
 
 # Short coverage-guided fuzz sessions over the SQL parser, the NL
 # tokenizer, and the cache-key normalizer (seed corpora always run as
@@ -75,5 +90,10 @@ bench-plan: build
 # BENCH_overload.json. Expect a few minutes (3 reps per cell).
 bench-overload: build
 	$(GO) run ./cmd/nlidb-bench -overload BENCH_overload.json
+
+# Sharding benchmark: N-shard scaling curve plus kill/restore goodput
+# timelines on a 3×2 cluster, written to BENCH_shard.json.
+bench-shard: build
+	$(GO) run ./cmd/nlidb-bench -shard BENCH_shard.json
 
 check: build vet test race

@@ -6,7 +6,7 @@
 //
 //	nlidb-bench [-seed N] [-only T1,T5,A1] [-obs BENCH_obs.json]
 //	            [-cache BENCH_cache.json] [-plan BENCH_plan.json]
-//	            [-overload BENCH_overload.json]
+//	            [-overload BENCH_overload.json] [-shard BENCH_shard.json]
 //
 // With -obs the experiment tables are skipped; instead the observability
 // benchmark replays a WikiSQL-style workload through each engine twice
@@ -31,6 +31,13 @@
 // written to the given JSON file. The acceptance claim: goodput and
 // admitted p99 stay flat (within 2×) across the sweep with admission,
 // and collapse without it.
+//
+// With -shard the fault-tolerance benchmark runs instead: one workload is
+// served by clusters of 1–8 shards for the scaling curve, then a 3-shard
+// 2-replica cluster runs a seeded kill/restore schedule (one replica,
+// then a whole shard) while goodput is bucketed over time — complete,
+// partial, and failed answers per 100ms — and the recovery point after
+// restore is recorded.
 package main
 
 import (
@@ -50,6 +57,7 @@ func main() {
 	cachePath := flag.String("cache", "", "write the answer-cache benchmark (cold/warm percentiles, serial-vs-parallel throughput) to this JSON file and exit")
 	planPath := flag.String("plan", "", "write the planner benchmark (nested-loop vs hash-join latency per query class) to this JSON file and exit")
 	overloadPath := flag.String("overload", "", "write the overload benchmark (goodput and admitted p99 at 1×–10× offered load, with and without admission control) to this JSON file and exit")
+	shardPath := flag.String("shard", "", "write the sharding benchmark (N-shard scaling curve, kill/restore goodput timelines) to this JSON file and exit")
 	flag.Parse()
 
 	if *obsPath != "" {
@@ -75,6 +83,13 @@ func main() {
 	}
 	if *overloadPath != "" {
 		if err := runOverloadBench(*overloadPath, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "nlidb-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shardPath != "" {
+		if err := runShardBench(*shardPath, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "nlidb-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,304 @@
+package main
+
+// The shard benchmark records the fault-tolerant serving story in two
+// acts. The scaling curve runs one closed-loop workload against clusters
+// of 1, 2, 4, and 8 shards and reports throughput and latency
+// percentiles — the honest in-process numbers, where sharding buys
+// smaller per-shard scans rather than more machines. The chaos timelines
+// then drive a 3×2 cluster through a seeded kill/restore schedule and
+// bucket goodput over time: killing one replica must not dent answers at
+// all, killing a whole shard degrades scatter answers to partial (and
+// that shard's own questions to honest failures), and completeness must
+// return within the breaker probe window after restore.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nlidb/internal/benchdata"
+	"nlidb/internal/lexicon"
+	"nlidb/internal/resilient"
+	"nlidb/internal/shard"
+)
+
+const (
+	// shardScalingRequests per cluster size in the scaling sweep.
+	shardScalingRequests = 400
+	// shardWorkers is the closed-loop concurrency for every run.
+	shardWorkers = 8
+	// shardChaosRunMs / shardKillMs / shardRestoreMs: each chaos timeline
+	// runs 3s, with the fault injected at 1s and healed at 2s.
+	shardChaosRunMs    = 3000
+	shardKillMs        = 1000
+	shardRestoreMs     = 2000
+	shardChaosBucketMs = 100
+)
+
+// ShardScalingRun is one point on the scaling curve.
+type ShardScalingRun struct {
+	Shards       int     `json:"shards"`
+	Replicas     int     `json:"replicas"`
+	Requests     int     `json:"requests"`
+	QPS          float64 `json:"qps"`
+	P50ms        float64 `json:"p50_ms"`
+	P99ms        float64 `json:"p99_ms"`
+	RowsPerShard []int   `json:"rows_per_shard"`
+}
+
+// ShardBucket is one interval of a chaos timeline. OK counts complete
+// answers, Partial answers missing a shard, Failed errors.
+type ShardBucket struct {
+	TMs     int `json:"t_ms"`
+	OK      int `json:"ok"`
+	Partial int `json:"partial"`
+	Failed  int `json:"failed"`
+}
+
+// ShardChaosRun is one kill/restore scenario's timeline.
+type ShardChaosRun struct {
+	Scenario  string `json:"scenario"` // "replica_kill" or "shard_kill"
+	Shards    int    `json:"shards"`
+	Replicas  int    `json:"replicas"`
+	KillMs    int    `json:"kill_ms"`
+	RestoreMs int    `json:"restore_ms"`
+
+	Timeline []ShardBucket `json:"timeline"`
+
+	TotalOK      int `json:"total_ok"`
+	TotalPartial int `json:"total_partial"`
+	TotalFailed  int `json:"total_failed"`
+	// RecoveredMs is the start of the first post-restore bucket with only
+	// complete answers (-1 if completeness never returned).
+	RecoveredMs int `json:"recovered_ms"`
+}
+
+// ShardReport is BENCH_shard.json.
+type ShardReport struct {
+	GeneratedBy string `json:"generated_by"`
+	Seed        int64  `json:"seed"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Questions   int    `json:"questions"`
+
+	Scaling []ShardScalingRun `json:"scaling"`
+	Chaos   []ShardChaosRun   `json:"chaos"`
+}
+
+// shardCluster builds a bench cluster: default chain over the domain,
+// fleet cache off so every ask pays routing and execution.
+func shardCluster(d *benchdata.Domain, n, replicas int, seed int64, wrap func(s, r int, nd shard.Node) shard.Node) (*shard.Cluster, error) {
+	return shard.New(d.DB, n, shard.Config{
+		Replicas:         replicas,
+		Chain:            resilient.DefaultChain(d.DB, lexicon.New()),
+		Gateway:          resilient.Config{NoTrace: true, NoRetry: true},
+		CacheSize:        -1,
+		ReplicaThreshold: 3,
+		ReplicaCooldown:  200 * time.Millisecond,
+		RetryBackoff:     time.Millisecond,
+		Seed:             seed,
+		WrapNode:         wrap,
+	})
+}
+
+// runShardBench measures the scaling curve and the chaos timelines and
+// writes the JSON report to path.
+func runShardBench(path string, seed int64) error {
+	d := benchdata.Sales(seed)
+
+	// Keep questions the sharded pipeline can actually serve: answerable
+	// by the chain and distributable by the coordinator.
+	probe, err := shardCluster(d, 2, 1, seed, nil)
+	if err != nil {
+		return err
+	}
+	set := benchdata.WikiSQLStyle(d, 60, seed+5)
+	var questions []string
+	for _, p := range set.Pairs {
+		if _, err := probe.Ask(context.Background(), p.Question); err == nil {
+			questions = append(questions, p.Question)
+		}
+		if len(questions) == 8 {
+			break
+		}
+	}
+	if len(questions) < 2 {
+		return fmt.Errorf("shard bench: only %d shardable questions", len(questions))
+	}
+
+	report := ShardReport{
+		GeneratedBy: "nlidb-bench -shard",
+		Seed:        seed,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Questions:   len(questions),
+	}
+
+	for _, n := range []int{1, 2, 4, 8} {
+		cl, err := shardCluster(d, n, 1, seed, nil)
+		if err != nil {
+			return err
+		}
+		run, err := shardScalingRun(cl, questions, n)
+		if err != nil {
+			return err
+		}
+		report.Scaling = append(report.Scaling, run)
+		fmt.Printf("  scaling %d shard(s): %7.1f q/s  p50 %6.2fms  p99 %6.2fms  rows/shard %v\n",
+			n, run.QPS, run.P50ms, run.P99ms, run.RowsPerShard)
+	}
+
+	for _, scenario := range []string{"replica_kill", "shard_kill"} {
+		run, err := shardChaosRun(d, seed, questions, scenario)
+		if err != nil {
+			return err
+		}
+		report.Chaos = append(report.Chaos, run)
+		fmt.Printf("  chaos %-12s: ok %5d  partial %4d  failed %4d  recovered at t=%dms (restore at %dms)\n",
+			scenario, run.TotalOK, run.TotalPartial, run.TotalFailed, run.RecoveredMs, run.RestoreMs)
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("shard bench: %d questions, %d scaling points, %d chaos timelines → %s\n",
+		len(questions), len(report.Scaling), len(report.Chaos), path)
+	return nil
+}
+
+// shardScalingRun drives the closed-loop workload through one cluster.
+func shardScalingRun(cl *shard.Cluster, questions []string, n int) (ShardScalingRun, error) {
+	latencies := make([]float64, shardScalingRequests)
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < shardWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= shardScalingRequests {
+					return
+				}
+				t0 := time.Now()
+				if _, err := cl.Ask(context.Background(), questions[i%len(questions)]); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				latencies[i] = float64(time.Since(t0)) / float64(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return ShardScalingRun{}, fmt.Errorf("shard bench: scaling n=%d: %w", n, err)
+	}
+	elapsed := time.Since(start).Seconds()
+	return ShardScalingRun{
+		Shards:       n,
+		Replicas:     1,
+		Requests:     shardScalingRequests,
+		QPS:          float64(shardScalingRequests) / elapsed,
+		P50ms:        percentile(latencies, 0.50),
+		P99ms:        percentile(latencies, 0.99),
+		RowsPerShard: cl.Partitioning().RowsPerShard,
+	}, nil
+}
+
+// shardChaosRun drives a 3×2 cluster through one kill/restore schedule
+// and buckets the answers over time.
+func shardChaosRun(d *benchdata.Domain, seed int64, questions []string, scenario string) (ShardChaosRun, error) {
+	nodes := make([][]*shard.ChaosNode, 3)
+	cl, err := shardCluster(d, 3, 2, seed, func(s, r int, nd shard.Node) shard.Node {
+		cn := &shard.ChaosNode{Inner: nd}
+		nodes[s] = append(nodes[s], cn)
+		return cn
+	})
+	if err != nil {
+		return ShardChaosRun{}, err
+	}
+
+	kill := func() {
+		nodes[0][0].Kill()
+		if scenario == "shard_kill" {
+			nodes[0][1].Kill()
+		}
+	}
+	restore := func() {
+		nodes[0][0].Restore()
+		nodes[0][1].Restore()
+	}
+
+	nBuckets := shardChaosRunMs / shardChaosBucketMs
+	buckets := make([]ShardBucket, nBuckets)
+	for i := range buckets {
+		buckets[i].TMs = i * shardChaosBucketMs
+	}
+	var mu sync.Mutex
+	var next atomic.Int64
+	start := time.Now()
+	time.AfterFunc(shardKillMs*time.Millisecond, kill)
+	time.AfterFunc(shardRestoreMs*time.Millisecond, restore)
+
+	var wg sync.WaitGroup
+	for w := 0; w < shardWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				elapsed := time.Since(start)
+				if elapsed >= shardChaosRunMs*time.Millisecond {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				ans, err := cl.Ask(context.Background(), questions[i%len(questions)])
+				b := int(time.Since(start) / (shardChaosBucketMs * time.Millisecond))
+				if b >= nBuckets {
+					return
+				}
+				mu.Lock()
+				switch {
+				case err != nil:
+					buckets[b].Failed++
+				case ans.Partial:
+					buckets[b].Partial++
+				default:
+					buckets[b].OK++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	run := ShardChaosRun{
+		Scenario:    scenario,
+		Shards:      3,
+		Replicas:    2,
+		KillMs:      shardKillMs,
+		RestoreMs:   shardRestoreMs,
+		Timeline:    buckets,
+		RecoveredMs: -1,
+	}
+	for _, b := range buckets {
+		run.TotalOK += b.OK
+		run.TotalPartial += b.Partial
+		run.TotalFailed += b.Failed
+	}
+	for _, b := range buckets {
+		if b.TMs >= shardRestoreMs && b.OK > 0 && b.Partial == 0 && b.Failed == 0 {
+			run.RecoveredMs = b.TMs
+			break
+		}
+	}
+	return run, nil
+}

@@ -8,7 +8,7 @@
 //	      [-explain] [-metrics-addr 127.0.0.1:9090] [-slowlog 250ms]
 //	      [-cache 1024] [-cache-ttl 0] [-parallel 8] [-plan-cache 256]
 //	      [-serve 127.0.0.1:8080] [-drain-timeout 10s] [-max-inflight N]
-//	      [-rate-limit R]
+//	      [-rate-limit R] [-shards N] [-replicas R] [-breaker-jitter D]
 //	      ["one-shot question" | "q1; q2; q3"]
 //
 // Engines: keyword, pattern, parse, athena (default). With -chat the
@@ -49,6 +49,15 @@
 // new requests get 503 + Retry-After, in-flight ones get up to
 // -drain-timeout to finish, stragglers are cancelled. See the README's
 // Overload protection section for the protocol.
+//
+// Fault tolerance: -shards N partitions the data across N in-process
+// engine shards (foreign-key co-located) with -replicas R gateways each,
+// behind health-checked, load-aware routing with hedged requests;
+// cross-shard questions run scatter-gather and degrade to explicit
+// partial answers when a shard has no healthy replica (see DESIGN.md's
+// failure-modes matrix). Circuit-breaker half-open probes are jittered by
+// default to avoid synchronized retry storms; -breaker-jitter 0 opts out,
+// a positive value overrides the auto default (cooldown/8).
 package main
 
 import (
@@ -71,9 +80,20 @@ import (
 	"nlidb/internal/ontology"
 	"nlidb/internal/qcache"
 	"nlidb/internal/resilient"
+	"nlidb/internal/server"
+	"nlidb/internal/shard"
 	"nlidb/internal/sqldata"
 	"nlidb/internal/sqlexec"
 )
+
+// disabledIfZero maps the CLI cache-size convention (0 = off) onto the
+// cluster's (negative = off, 0 = default capacity).
+func disabledIfZero(n int) int {
+	if n == 0 {
+		return -1
+	}
+	return n
+}
 
 func main() {
 	domain := flag.String("domain", "sales", "demo domain: sales, movies, hospital, flights, university, medical")
@@ -94,6 +114,9 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain budget for in-flight requests on SIGINT/SIGTERM (serve mode)")
 	maxInflight := flag.Int("max-inflight", 0, "admission concurrency ceiling in serve mode (0 = 2×GOMAXPROCS)")
 	rateLimit := flag.Float64("rate-limit", 0, "per-client request rate limit in req/s in serve mode (0 disables)")
+	shards := flag.Int("shards", 0, "partition the data across N replicated engine shards in serve mode (0/1 = unsharded)")
+	replicas := flag.Int("replicas", 2, "replicas per shard when -shards is set")
+	breakerJitter := flag.Duration("breaker-jitter", -1, "max random delay added to circuit-breaker half-open probes (-1 = auto: cooldown/8, 0 disables)")
 	flag.Parse()
 
 	var d *benchdata.Domain
@@ -141,15 +164,43 @@ func main() {
 		// families with the answer cache and double-count.
 		planCache = qcache.New(qcache.Config{MaxEntries: *planCacheSize})
 	}
+	// Half-open probe jitter is on by default: breakers that tripped
+	// together must not all retry the recovering engine at the same
+	// instant. -breaker-jitter 0 opts out; any positive value overrides.
+	jitter := *breakerJitter
+	if jitter < 0 {
+		jitter = resilient.DefaultBreakerJitter(0)
+	}
 	gw := resilient.New(d.DB, chain, resilient.Config{
 		Timeout: *timeout, Metrics: reg, SlowLog: slow,
 		Cache: cache, PlanCache: planCache, Workers: *parallel,
-		// Desynchronize half-open probes: breakers that tripped together
-		// must not all retry the recovering engine at the same instant.
-		BreakerJitter: 30 * time.Second / 8,
+		BreakerJitter: jitter,
 	})
 	if *serveAddr != "" {
-		if err := serve(gw, reg, slow, serveOptions{
+		var backend server.Backend = gw
+		if *shards > 1 {
+			cl, err := shard.New(d.DB, *shards, shard.Config{
+				Replicas: *replicas,
+				Chain:    chain,
+				Gateway:  resilient.Config{SlowLog: slow, BreakerJitter: jitter},
+				Timeout:  *timeout,
+				// The flag convention is 0 = off; the cluster's is negative =
+				// off, 0 = default capacity.
+				CacheSize:     disabledIfZero(*cacheSize),
+				CacheTTL:      *cacheTTL,
+				PlanCacheSize: disabledIfZero(*planCacheSize),
+				Metrics:       reg,
+				Seed:          *seed,
+				Workers:       *parallel,
+			})
+			if err != nil {
+				fatalf("%v", err)
+			}
+			backend = cl
+			fmt.Printf("sharded: %d shards × %d replicas, rows/shard %v\n",
+				cl.ShardCount(), cl.ReplicaCount(), cl.Partitioning().RowsPerShard)
+		}
+		if err := serve(backend, reg, slow, serveOptions{
 			addr:         *serveAddr,
 			drainTimeout: *drainTimeout,
 			maxInflight:  *maxInflight,

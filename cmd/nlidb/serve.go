@@ -11,7 +11,6 @@ import (
 
 	"nlidb/internal/admission"
 	"nlidb/internal/obs"
-	"nlidb/internal/resilient"
 	"nlidb/internal/server"
 )
 
@@ -27,14 +26,14 @@ type serveOptions struct {
 // listener stops accepting, queued admission waiters are flushed with
 // 503s, in-flight requests get up to -drain-timeout to finish, and any
 // stragglers are cancelled through their request contexts before exit.
-func serve(gw *resilient.Gateway, reg *obs.Registry, slow *obs.SlowLog, opts serveOptions) error {
+func serve(backend server.Backend, reg *obs.Registry, slow *obs.SlowLog, opts serveOptions) error {
 	ctrl := admission.New(admission.Config{MaxInFlight: opts.maxInflight, Metrics: reg})
 	var rl *admission.RateLimiter
 	if opts.rateLimit > 0 {
 		rl = admission.NewRateLimiter(admission.RateConfig{RPS: opts.rateLimit})
 	}
 	api := server.New(server.Config{
-		Gateway:   gw,
+		Backend:   backend,
 		Admission: ctrl,
 		RateLimit: rl,
 		Metrics:   reg,
@@ -42,10 +41,7 @@ func serve(gw *resilient.Gateway, reg *obs.Registry, slow *obs.SlowLog, opts ser
 
 	// One mux serves the query API and the debug suite, so a single port
 	// carries /query, /batch, /metrics, /slowlog, and /debug/pprof.
-	mux := http.NewServeMux()
-	mux.Handle("/query", api)
-	mux.Handle("/batch", api)
-	mux.Handle("/", obs.Handler(reg, slow))
+	mux := server.Mux(api, reg, slow)
 
 	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
@@ -67,10 +63,14 @@ func serve(gw *resilient.Gateway, reg *obs.Registry, slow *obs.SlowLog, opts ser
 		fmt.Printf("\n%s: draining (up to %s for in-flight requests)\n", s, opts.drainTimeout)
 	}
 
-	ln.Close() // stop accepting connections; established ones finish below
+	// Drain before touching the listener: while queries finish (or are
+	// shed with 503s), /metrics and the rest of the debug suite keep
+	// answering, so the drain itself can be watched. Only after the drain
+	// completes does the port go away.
 	clean := api.Drain(opts.drainTimeout)
 	st := ctrl.Stats()
 	fmt.Printf("drained clean=%v admitted=%d shed=%v\n", clean, st.Admitted, st.Shed)
+	ln.Close()
 	httpSrv.Close()
 	if !clean {
 		return fmt.Errorf("serve: drain timeout exceeded; stragglers were cancelled")

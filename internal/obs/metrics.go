@@ -87,6 +87,12 @@ func newHistogram() *Histogram {
 	}
 }
 
+// NewHistogram returns a free-standing histogram not attached to any
+// registry, for callers that need a latency reservoir for control
+// decisions (e.g. hedging delays from a rolling percentile) rather than
+// for export.
+func NewHistogram() *Histogram { return newHistogram() }
+
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()

@@ -2,9 +2,14 @@ package qcache
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 )
+
+// ErrLeaderPanic wraps the error shared when a flight leader's fn
+// panicked. Followers never see it: they re-drive the miss instead.
+var ErrLeaderPanic = errors.New("qcache: flight leader panicked")
 
 // flightCall is one in-progress leader execution plus its shared result.
 type flightCall struct {
@@ -33,11 +38,36 @@ type Flight struct {
 // on the caller's goroutine. A follower whose ctx ends before the leader
 // finishes unblocks with the context's error (the leader is unaffected).
 //
+// A leader that dies without producing a verdict on the question — its fn
+// panicked, or it was cancelled out from under its followers — does not
+// doom them: each follower whose own ctx is still alive re-drives the
+// miss, becoming (or following) a new leader, so one impatient or crashed
+// caller cannot wedge everyone who collapsed behind it. Real errors from
+// fn are still shared as-is: they are verdicts, and retrying them for
+// every follower would defeat the collapsing.
+//
 // Results are not memoized across completions — once the leader returns
 // and its followers are served, the next Do on the key runs fn again.
 // Pair Do with a Cache: the leader fills the cache, so later misses are
 // hits, and Do only ever collapses the misses that race the first fill.
 func (f *Flight) Do(ctx context.Context, key string, fn func() (any, error)) (val any, err error, shared bool) {
+	for {
+		val, err, shared, redo := f.do(ctx, key, fn)
+		if !redo {
+			return val, err, shared
+		}
+	}
+}
+
+// leaderAborted reports whether a leader's error is a non-verdict: the
+// leader panicked or was cancelled, saying nothing about the question
+// itself, so a healthy follower should re-drive rather than inherit it.
+func leaderAborted(err error) bool {
+	return errors.Is(err, ErrLeaderPanic) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func (f *Flight) do(ctx context.Context, key string, fn func() (any, error)) (val any, err error, shared, redo bool) {
 	f.mu.Lock()
 	if f.calls == nil {
 		f.calls = map[string]*flightCall{}
@@ -47,9 +77,12 @@ func (f *Flight) Do(ctx context.Context, key string, fn func() (any, error)) (va
 		f.mu.Unlock()
 		select {
 		case <-c.done:
-			return c.val, c.err, true
+			if c.err != nil && leaderAborted(c.err) && ctx.Err() == nil {
+				return nil, nil, false, true
+			}
+			return c.val, c.err, true, false
 		case <-ctx.Done():
-			return nil, ctx.Err(), false
+			return nil, ctx.Err(), false, false
 		}
 	}
 	c := &flightCall{done: make(chan struct{})}
@@ -58,10 +91,10 @@ func (f *Flight) Do(ctx context.Context, key string, fn func() (any, error)) (va
 
 	defer func() {
 		// Publish the result and retire the call even when fn panics, so
-		// followers never hang; the panic is converted to an error shared
-		// by leader and followers alike.
+		// followers never hang; the panic is converted to an error for the
+		// leader while followers re-drive.
 		if r := recover(); r != nil {
-			c.err = fmt.Errorf("qcache: flight leader panicked: %v", r)
+			c.err = fmt.Errorf("%w: %v", ErrLeaderPanic, r)
 			err = c.err
 		}
 		f.mu.Lock()
@@ -70,7 +103,7 @@ func (f *Flight) Do(ctx context.Context, key string, fn func() (any, error)) (va
 		close(c.done)
 	}()
 	c.val, c.err = fn()
-	return c.val, c.err, false
+	return c.val, c.err, false, false
 }
 
 // Followers reports how many callers are currently collapsed onto key's

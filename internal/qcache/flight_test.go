@@ -192,3 +192,111 @@ func TestFlightLeaderPanicBecomesError(t *testing.T) {
 		t.Fatalf("post-panic Do = %v, %v; want 7, nil", v, err)
 	}
 }
+
+// TestFlightFollowerRedrivesAfterLeaderPanic: a crashed leader must not
+// doom its followers — they re-drive the miss and get a real answer.
+func TestFlightFollowerRedrivesAfterLeaderPanic(t *testing.T) {
+	var f Flight
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var followerVal any
+	var followerErr error
+	go func() {
+		defer wg.Done()
+		<-started
+		followerVal, followerErr, _ = f.Do(context.Background(), "k", func() (any, error) {
+			return 42, nil
+		})
+	}()
+	go func() {
+		<-started
+		waitForFollowers(t, &f, "k", 1)
+		close(release)
+	}()
+
+	_, err, _ := f.Do(context.Background(), "k", func() (any, error) {
+		close(started)
+		<-release
+		panic("kaboom")
+	})
+	if !errors.Is(err, ErrLeaderPanic) || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("leader err %v, want wrapped ErrLeaderPanic", err)
+	}
+	wg.Wait()
+	if followerErr != nil || followerVal != 42 {
+		t.Fatalf("follower got %v, %v; want 42 from its own re-driven call", followerVal, followerErr)
+	}
+}
+
+// TestFlightFollowerRedrivesAfterLeaderCancelled: a leader cancelled out
+// from under its followers shares no verdict; followers whose contexts
+// are alive must re-drive instead of inheriting the cancellation.
+func TestFlightFollowerRedrivesAfterLeaderCancelled(t *testing.T) {
+	var f Flight
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var followerVal any
+	var followerErr error
+	go func() {
+		defer wg.Done()
+		<-started
+		followerVal, followerErr, _ = f.Do(context.Background(), "k", func() (any, error) {
+			return 9, nil
+		})
+	}()
+	go func() {
+		<-started
+		waitForFollowers(t, &f, "k", 1)
+		cancelLeader()
+	}()
+
+	_, err, _ := f.Do(leaderCtx, "k", func() (any, error) {
+		close(started)
+		<-leaderCtx.Done()
+		return nil, leaderCtx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err %v, want context.Canceled", err)
+	}
+	wg.Wait()
+	if followerErr != nil || followerVal != 9 {
+		t.Fatalf("follower got %v, %v; want 9 from its own re-driven call", followerVal, followerErr)
+	}
+}
+
+// TestFlightCancelledFollowerDoesNotRedrive: re-driving is only for
+// healthy followers — one whose own ctx died inherits its cancellation.
+func TestFlightCancelledFollowerDoesNotRedrive(t *testing.T) {
+	var f Flight
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	go f.Do(leaderCtx, "k", func() (any, error) {
+		close(started)
+		<-leaderCtx.Done()
+		return nil, leaderCtx.Err()
+	})
+	<-started
+
+	followerCtx, cancelFollower := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var err error
+	go func() {
+		defer close(done)
+		_, err, _ = f.Do(followerCtx, "k", func() (any, error) {
+			t.Error("cancelled follower executed fn")
+			return nil, nil
+		})
+	}()
+	cancelFollower()
+	<-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled follower err %v, want context.Canceled", err)
+	}
+	cancelLeader()
+}

@@ -66,6 +66,18 @@ type Breaker struct {
 	wait     time.Duration // this opening's effective cooldown (incl. jitter draw)
 }
 
+// DefaultBreakerJitter returns the production default for
+// Config.BreakerJitter given a cooldown: one eighth of it, so probes from
+// breakers that tripped together spread across a window wide enough to
+// avoid lockstep but short enough not to delay recovery noticeably.
+// cooldown <= 0 uses the Config default of 30 seconds.
+func DefaultBreakerJitter(cooldown time.Duration) time.Duration {
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	return cooldown / 8
+}
+
 // NewBreaker returns a closed breaker that opens after threshold
 // consecutive failures and cools down for cooldown before admitting a
 // half-open probe. now is the clock (nil = time.Now).

@@ -190,3 +190,44 @@ func TestBreakerJitterSpreadsProbeTimes(t *testing.T) {
 		t.Fatal("jitterless breaker must admit its probe exactly at the cooldown")
 	}
 }
+
+// TestDefaultBreakerJitterBoundsProbeWindow pins the production default
+// now that serving enables probe jitter by default: DefaultBreakerJitter
+// is an eighth of the cooldown (assuming the gateway's 30s cooldown for
+// non-positive inputs), and a breaker jittered with it admits its probe
+// within [cooldown, cooldown+cooldown/8] — late enough to desynchronize
+// a fleet, early enough to keep recovery prompt. Fake clock throughout.
+func TestDefaultBreakerJitterBoundsProbeWindow(t *testing.T) {
+	if got := DefaultBreakerJitter(80 * time.Second); got != 10*time.Second {
+		t.Fatalf("DefaultBreakerJitter(80s) = %v, want 10s", got)
+	}
+	for _, d := range []time.Duration{0, -time.Second} {
+		if got := DefaultBreakerJitter(d); got != 30*time.Second/8 {
+			t.Fatalf("DefaultBreakerJitter(%v) = %v, want %v", d, got, 30*time.Second/8)
+		}
+	}
+
+	const cooldown = 40 * time.Second
+	jitterMax := DefaultBreakerJitter(cooldown) // 5s
+	for seed := int64(1); seed <= 4; seed++ {
+		clock := time.Unix(0, 0)
+		b := NewBreaker(1, cooldown, func() time.Time { return clock })
+		b.SetJitter(jitterMax, seed)
+		b.Failure()
+		clock = time.Unix(0, 0).Add(cooldown - time.Second)
+		if b.Allow() {
+			t.Fatalf("seed %d: probe admitted before the cooldown elapsed", seed)
+		}
+		admitted := time.Duration(-1)
+		for elapsed := time.Duration(0); elapsed <= jitterMax; elapsed += time.Second {
+			clock = time.Unix(0, 0).Add(cooldown + elapsed)
+			if b.Allow() {
+				admitted = elapsed
+				break
+			}
+		}
+		if admitted < 0 {
+			t.Fatalf("seed %d: probe not admitted within cooldown+%v", seed, jitterMax)
+		}
+	}
+}

@@ -115,6 +115,15 @@ type Answer struct {
 	// Result with every other hit on the same entry: treat both as
 	// read-only.
 	Cached bool
+	// Partial reports that the answer was assembled from an incomplete
+	// scatter-gather: at least one shard had no healthy replica and its
+	// rows are missing. Single-process gateways never set it; the shard
+	// coordinator does, so clients can distinguish "complete answer" from
+	// "best effort under degradation" instead of being silently wrong.
+	Partial bool
+	// MissingShards lists the shard indexes absent from a Partial answer,
+	// ascending. Nil when Partial is false.
+	MissingShards []int
 }
 
 // Config tunes a Gateway. The zero value is serviceable: default budget,
@@ -505,20 +514,32 @@ func (g *Gateway) attempt(ctx context.Context, eng nlq.Interpreter, q string) (*
 	}
 	iSpan.SetAttr("score", fmt.Sprintf("%.2f", best.Score))
 
+	stmt, res, usage, err := g.runSQL(ctx, name, best.SQL.String())
+	if err != nil {
+		return nil, err
+	}
+	return &Answer{Engine: name, SQL: stmt, Result: res, Score: best.Score, Usage: usage}, nil
+}
+
+// runSQL is the SQL tail of the pipeline — parse (print + re-parse
+// validation), plan, execute — shared by the NL fallback chain and by
+// direct AskSQL calls. Each stage is guarded, spanned, and timed under
+// the given engine label.
+func (g *Gateway) runSQL(ctx context.Context, name, sql string) (*sqlparse.SelectStmt, *sqldata.Result, sqlexec.Usage, error) {
 	// Validate the candidate by round-tripping it through the printer and
 	// parser; a malformed AST fails here instead of deep inside execution.
 	var stmt *sqlparse.SelectStmt
 	pCtx, pSpan := obs.StartSpan(ctx, "parse")
-	t0 = time.Now()
-	err = g.guard(pCtx, SiteParse, name, func() error {
+	t0 := time.Now()
+	err := g.guard(pCtx, SiteParse, name, func() error {
 		var err error
-		stmt, err = sqlparse.Parse(best.SQL.String())
+		stmt, err = sqlparse.Parse(sql)
 		return err
 	})
 	pSpan.End()
 	g.observeStage("parse", name, time.Since(t0))
 	if err != nil {
-		return nil, fmt.Errorf("parse: %w", err)
+		return nil, nil, sqlexec.Usage{}, fmt.Errorf("parse: %w", err)
 	}
 	pSpan.SetAttr("sql", stmt.String())
 
@@ -546,7 +567,7 @@ func (g *Gateway) attempt(ctx context.Context, eng nlq.Interpreter, q string) (*
 	planSpan.End()
 	g.observeStage("plan", name, time.Since(t0))
 	if err != nil {
-		return nil, fmt.Errorf("plan: %w", err)
+		return nil, nil, sqlexec.Usage{}, fmt.Errorf("plan: %w", err)
 	}
 
 	var res *sqldata.Result
@@ -566,9 +587,44 @@ func (g *Gateway) attempt(ctx context.Context, eng nlq.Interpreter, q string) (*
 		m.Counter(MetricSubqueries, "engine", name).Add(int64(usage.Subqueries))
 	}
 	if err != nil {
-		return nil, fmt.Errorf("execute: %w", err)
+		return nil, nil, sqlexec.Usage{}, fmt.Errorf("execute: %w", err)
 	}
-	return &Answer{Engine: name, SQL: stmt, Result: res, Score: best.Score, Usage: usage}, nil
+	return stmt, res, usage, nil
+}
+
+// SQLEngine is the pseudo-engine label AskSQL answers carry in metrics,
+// traces, and the slow-query log.
+const SQLEngine = "sql"
+
+// AskSQL executes one SQL statement directly through the guarded parse →
+// plan → execute tail, bypassing the NL fallback chain, the answer cache,
+// and the breakers. It is the shard coordinator's entry point for pushing
+// rewritten partial-aggregate statements down to replica gateways, and is
+// generally useful wherever trusted SQL (not a user question) needs the
+// gateway's deadline, budget, fault-injection, and telemetry treatment.
+func (g *Gateway) AskSQL(ctx context.Context, sql string) (*Answer, error) {
+	start := time.Now()
+	if g.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, g.cfg.Timeout)
+		defer cancel()
+	}
+	var trace *obs.QueryTrace
+	if !g.cfg.NoTrace {
+		ctx, trace = obs.NewQueryTrace(ctx, sql)
+	}
+	var ans *Answer
+	stmt, res, usage, err := g.runSQL(ctx, SQLEngine, sql)
+	if err == nil {
+		ans = &Answer{Engine: SQLEngine, SQL: stmt, Result: res, Score: 1, Usage: usage}
+	}
+	elapsed := time.Since(start)
+	g.finish(sql, ans, err, trace, elapsed)
+	if ans != nil {
+		ans.Elapsed = elapsed
+		ans.Trace = trace
+	}
+	return ans, err
 }
 
 // observeStage records one stage latency into the metrics registry.

@@ -34,7 +34,22 @@ import (
 	"nlidb/internal/admission"
 	"nlidb/internal/obs"
 	"nlidb/internal/resilient"
+	"nlidb/internal/shard"
 )
+
+// Mux combines the query API with the observability suite on one
+// http.ServeMux: POST /query and /batch go through the Server (and its
+// drain barrier), everything else — /metrics, /debug/vars, /debug/pprof,
+// /slowlog — through the obs handler. The obs routes deliberately bypass
+// the drain barrier: a draining server must stay observable, so scrapes
+// and debug reads keep answering while query traffic is shed.
+func Mux(api *Server, reg *obs.Registry, slow *obs.SlowLog) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/query", api)
+	mux.Handle("/batch", api)
+	mux.Handle("/", obs.Handler(reg, slow))
+	return mux
+}
 
 // Metric family names the server publishes when Config.Metrics is set.
 const (
@@ -46,10 +61,20 @@ const (
 	MetricHTTPInFlight = "nlidb_http_inflight"
 )
 
-// Config tunes a Server. Gateway is required; everything else has a
-// serviceable default.
+// Backend answers questions: a single resilient.Gateway or a
+// shard.Cluster fronting many of them. Both satisfy it natively.
+type Backend interface {
+	Ask(ctx context.Context, question string) (*resilient.Answer, error)
+	ServeBatch(ctx context.Context, questions []string) []resilient.BatchResult
+}
+
+// Config tunes a Server. One of Backend or Gateway is required;
+// everything else has a serviceable default.
 type Config struct {
-	// Gateway serves the questions. Required.
+	// Backend serves the questions. Takes precedence over Gateway.
+	Backend Backend
+	// Gateway serves the questions when Backend is nil. Kept as a
+	// dedicated field so single-engine callers need no wrapping.
 	Gateway *resilient.Gateway
 	// Admission gates every request (nil = a default Controller wired to
 	// Metrics).
@@ -90,8 +115,11 @@ type Server struct {
 // New builds a Server. Config zero values are filled with defaults; a nil
 // Admission controller gets a default one sharing Config.Metrics.
 func New(cfg Config) *Server {
-	if cfg.Gateway == nil {
-		panic("server: Config.Gateway is required")
+	if cfg.Backend == nil {
+		if cfg.Gateway == nil {
+			panic("server: Config.Backend (or Config.Gateway) is required")
+		}
+		cfg.Backend = cfg.Gateway
 	}
 	if cfg.Admission == nil {
 		cfg.Admission = admission.New(admission.Config{Metrics: cfg.Metrics})
@@ -327,19 +355,26 @@ type queryResponse struct {
 	Score      float64    `json:"score"`
 	Cached     bool       `json:"cached,omitempty"`
 	Simplified bool       `json:"simplified,omitempty"`
-	ElapsedMs  float64    `json:"elapsed_ms"`
+	// Partial marks an answer assembled without every shard: correct for
+	// the reachable data, incomplete overall. MissingShards lists the
+	// shard indexes that did not contribute.
+	Partial       bool    `json:"partial,omitempty"`
+	MissingShards []int   `json:"missing_shards,omitempty"`
+	ElapsedMs     float64 `json:"elapsed_ms"`
 }
 
 func toQueryResponse(ans *resilient.Answer) queryResponse {
 	resp := queryResponse{
-		Engine:     ans.Engine,
-		SQL:        ans.SQL.String(),
-		Columns:    ans.Result.Columns,
-		Rows:       make([][]string, len(ans.Result.Rows)),
-		Score:      ans.Score,
-		Cached:     ans.Cached,
-		Simplified: ans.Simplified,
-		ElapsedMs:  float64(ans.Elapsed) / float64(time.Millisecond),
+		Engine:        ans.Engine,
+		SQL:           ans.SQL.String(),
+		Columns:       ans.Result.Columns,
+		Rows:          make([][]string, len(ans.Result.Rows)),
+		Score:         ans.Score,
+		Cached:        ans.Cached,
+		Simplified:    ans.Simplified,
+		Partial:       ans.Partial,
+		MissingShards: ans.MissingShards,
+		ElapsedMs:     float64(ans.Elapsed) / float64(time.Millisecond),
 	}
 	for i, row := range ans.Result.Rows {
 		cells := make([]string, len(row))
@@ -383,7 +418,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	ans, err := s.cfg.Gateway.Ask(ctx, req.Question)
+	ans, err := s.cfg.Backend.Ask(ctx, req.Question)
 	if err != nil {
 		s.writeAskError(w, ctx, err)
 		return
@@ -446,7 +481,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	results := s.cfg.Gateway.ServeBatch(ctx, req.Questions)
+	results := s.cfg.Backend.ServeBatch(ctx, req.Questions)
 	items := make([]batchItem, len(results))
 	for i, res := range results {
 		item := batchItem{Index: res.Index, Question: res.Question}
@@ -462,12 +497,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"results": items})
 }
 
-// writeAskError maps a gateway failure to an honest status code: the
+// writeAskError maps a backend failure to an honest status code: the
 // deadline died (504), the work was cancelled out from under us (503 —
-// retry elsewhere), no engine could answer (422 — retrying the same
-// question is pointless), anything else is a 500. The request context is
-// consulted too: a chain exhausted *because* the deadline expired
-// mid-attempt is a timeout, not an unanswerable question.
+// retry elsewhere), no engine could answer or the query shape cannot be
+// distributed (422 — retrying the same question is pointless), every
+// replica of the owning shard is down (503 — retry after the probe
+// window), anything else is a 500. The request context is consulted too:
+// a chain exhausted *because* the deadline expired mid-attempt is a
+// timeout, not an unanswerable question.
 func (s *Server) writeAskError(w http.ResponseWriter, ctx context.Context, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded):
@@ -475,7 +512,10 @@ func (s *Server) writeAskError(w http.ResponseWriter, ctx context.Context, err e
 	case errors.Is(err, context.Canceled) || errors.Is(ctx.Err(), context.Canceled):
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.Admission.RetryAfterHint()))
 		writeError(w, http.StatusServiceUnavailable, "canceled: "+err.Error())
-	case errors.Is(err, resilient.ErrExhausted):
+	case errors.Is(err, shard.ErrShardDown):
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.Admission.RetryAfterHint()))
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, resilient.ErrExhausted) || errors.Is(err, shard.ErrNotDistributable):
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 	default:
 		writeError(w, http.StatusInternalServerError, err.Error())

@@ -1,0 +1,342 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"nlidb/internal/obs"
+	"nlidb/internal/resilient"
+	"nlidb/internal/resilient/faultinject"
+	"nlidb/internal/sqldata"
+)
+
+// chaosCluster builds a 3-shard, 2-replica cluster whose every node is
+// wrapped in a ChaosNode, with fast breaker cooldowns so recovery is
+// observable inside a test, plus seeded latency fault injection in the
+// underlying gateways to keep the hedging path busy.
+func chaosCluster(t testing.TB, seed int64) (*Cluster, [][]*ChaosNode, *obs.Registry) {
+	t.Helper()
+	db := fleetDB(t)
+	reg := obs.NewRegistry()
+	inj := faultinject.New(seed)
+	inj.SlowRate = 0.1
+	inj.SlowBy = 2 * time.Millisecond
+
+	nodes := make([][]*ChaosNode, 3)
+	cl := testCluster(t, db, 3, Config{
+		Replicas:         2,
+		Gateway:          resilient.Config{NoRetry: true, NoTrace: true, Hook: inj.Hook()},
+		ShardTimeout:     500 * time.Millisecond,
+		Retries:          2,
+		RetryBackoff:     time.Millisecond,
+		ReplicaThreshold: 3,
+		ReplicaCooldown:  40 * time.Millisecond,
+		CacheSize:        -1, // every ask must exercise routing
+		Seed:             seed,
+		Metrics:          reg,
+		WrapNode: func(s, r int, n Node) Node {
+			cn := &ChaosNode{Inner: n}
+			nodes[s] = append(nodes[s], cn)
+			return cn
+		},
+	})
+	return cl, nodes, reg
+}
+
+// prunedByShard buckets single-shard questions by the shard that owns
+// their answer, using the same Owner routing the cluster uses.
+func prunedByShard(cl *Cluster) map[int][]string {
+	out := map[int][]string{}
+	for id := int64(1); id <= 40; id++ {
+		sh, _ := cl.Partitioning().Owner("customers", sqldata.NewInt(id))
+		out[sh] = append(out[sh], fmt.Sprintf("SELECT name FROM customers WHERE id = %d", id))
+	}
+	return out
+}
+
+type waveStats struct {
+	ok       int
+	failed   int
+	partial  int
+	firstErr error
+}
+
+// runWave fires the given questions concurrently (8 workers) and tallies
+// outcomes. wrong collects answers that are present but incorrect —
+// the "never silently wrong" invariant.
+func runWave(t *testing.T, cl *Cluster, questions []string, check func(q string, a *resilient.Answer) error) waveStats {
+	t.Helper()
+	var (
+		mu    sync.Mutex
+		stats waveStats
+		wg    sync.WaitGroup
+	)
+	sem := make(chan struct{}, 8)
+	for _, q := range questions {
+		wg.Add(1)
+		go func(q string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ans, err := cl.Ask(context.Background(), q)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				stats.failed++
+				if stats.firstErr == nil {
+					stats.firstErr = fmt.Errorf("%s: %w", q, err)
+				}
+				return
+			}
+			stats.ok++
+			if ans.Partial {
+				stats.partial++
+			}
+			if check != nil {
+				if cerr := check(q, ans); cerr != nil {
+					t.Errorf("wrong answer for %q: %v", q, cerr)
+				}
+			}
+		}(q)
+	}
+	wg.Wait()
+	return stats
+}
+
+// TestChaosReplicaKill: with one replica of one shard killed mid-load,
+// every shard still has a healthy replica, so there must be zero failed
+// answers and zero partial answers — the router absorbs the kill.
+func TestChaosReplicaKill(t *testing.T) {
+	cl, nodes, _ := chaosCluster(t, 0xC0FFEE)
+	scatter := "SELECT COUNT(*) FROM customers"
+	var questions []string
+	for _, qs := range prunedByShard(cl) {
+		questions = append(questions, qs...)
+	}
+	for i := 0; i < 20; i++ {
+		questions = append(questions, scatter)
+	}
+
+	// Warm-up wave with everything healthy.
+	if s := runWave(t, cl, questions, nil); s.failed > 0 {
+		t.Fatalf("healthy wave: %d failures, first: %v", s.failed, s.firstErr)
+	}
+
+	nodes[0][1].Kill()
+	check := func(q string, a *resilient.Answer) error {
+		if q == scatter {
+			if got := a.Result.Rows[0][0]; got.Int() != 40 {
+				return fmt.Errorf("COUNT(*) = %s, want 40", got)
+			}
+		}
+		return nil
+	}
+	for wave := 0; wave < 3; wave++ {
+		s := runWave(t, cl, questions, check)
+		if s.failed > 0 {
+			t.Fatalf("wave %d with one replica down: %d failures, first: %v", wave, s.failed, s.firstErr)
+		}
+		if s.partial > 0 {
+			t.Fatalf("wave %d with one replica down: %d partial answers; all shards are still reachable", wave, s.partial)
+		}
+	}
+}
+
+// TestChaosShardKillAndRestore is the acceptance harness: kill every
+// replica of one shard mid-load, then assert (a) questions owned by the
+// other shards keep succeeding, (b) questions owned by the dead shard
+// fail loudly with ErrShardDown, (c) scatter-gather answers degrade to
+// Partial with the dead shard listed and a correct partial value — never
+// a silently wrong total — and (d) after restore, goodput returns to
+// complete answers within the breaker probe window.
+func TestChaosShardKillAndRestore(t *testing.T) {
+	cl, nodes, reg := chaosCluster(t, 0xBEEF)
+	byShard := prunedByShard(cl)
+	scatter := "SELECT COUNT(*) FROM customers"
+
+	// Expected partial count once a shard dies: customers on the two
+	// surviving shards.
+	onShard := map[int]int{}
+	for sh, qs := range byShard {
+		onShard[sh] = len(qs)
+	}
+
+	var all []string
+	for _, qs := range byShard {
+		all = append(all, qs...)
+	}
+	all = append(all, scatter, scatter, scatter, scatter)
+	if s := runWave(t, cl, all, nil); s.failed > 0 {
+		t.Fatalf("healthy wave: %d failures, first: %v", s.failed, s.firstErr)
+	}
+
+	const dead = 1
+	for _, n := range nodes[dead] {
+		n.Kill()
+	}
+
+	// (a)+(b): pruned questions split cleanly by owner.
+	for sh, qs := range byShard {
+		s := runWave(t, cl, qs, nil)
+		if sh == dead {
+			if s.ok > 0 {
+				t.Fatalf("shard %d is dead but %d of its questions succeeded", sh, s.ok)
+			}
+			if !errors.Is(s.firstErr, ErrShardDown) {
+				t.Fatalf("dead-shard question error = %v, want ErrShardDown", s.firstErr)
+			}
+			var sde *ShardDownError
+			if !errors.As(s.firstErr, &sde) || sde.Shard != dead {
+				t.Fatalf("dead-shard error = %v, want ShardDownError{Shard: %d}", s.firstErr, dead)
+			}
+		} else if s.failed > 0 {
+			t.Fatalf("shard %d is healthy but %d of its questions failed, first: %v", sh, s.failed, s.firstErr)
+		}
+	}
+
+	// (c): scatter-gather degrades honestly.
+	wantPartial := int64(40 - onShard[dead])
+	checkPartial := func(q string, a *resilient.Answer) error {
+		if !a.Partial {
+			return errors.New("scatter answer not marked Partial with a shard down")
+		}
+		if len(a.MissingShards) != 1 || a.MissingShards[0] != dead {
+			return fmt.Errorf("MissingShards = %v, want [%d]", a.MissingShards, dead)
+		}
+		if got := a.Result.Rows[0][0]; got.Int() != wantPartial {
+			return fmt.Errorf("partial COUNT(*) = %s, want %d", got, wantPartial)
+		}
+		return nil
+	}
+	var scatters []string
+	for i := 0; i < 12; i++ {
+		scatters = append(scatters, scatter)
+	}
+	s := runWave(t, cl, scatters, checkPartial)
+	if s.failed > 0 {
+		t.Fatalf("scatter wave with shard down: %d failures, first: %v", s.failed, s.firstErr)
+	}
+	if s.partial != s.ok {
+		t.Fatalf("scatter wave with shard down: %d of %d answers marked Partial, want all", s.partial, s.ok)
+	}
+
+	// (d): restore and wait for recovery within the probe window. The
+	// breakers for the dead replicas cool down in 40ms (+ jitter); poll
+	// well past that but fail if completeness never returns.
+	for _, n := range nodes[dead] {
+		n.Restore()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	recovered := false
+	for time.Now().Before(deadline) {
+		ans, err := cl.Ask(context.Background(), scatter)
+		if err == nil && !ans.Partial {
+			if got := ans.Result.Rows[0][0]; got.Int() != 40 {
+				t.Fatalf("recovered COUNT(*) = %s, want 40", got)
+			}
+			recovered = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("cluster did not recover complete answers within 5s of restore")
+	}
+	// Full goodput: a whole wave with zero failures and zero partials.
+	s = runWave(t, cl, all, nil)
+	if s.failed > 0 || s.partial > 0 {
+		t.Fatalf("post-restore wave: %d failures (%v), %d partial", s.failed, s.firstErr, s.partial)
+	}
+
+	// The metric family must have recorded the incident.
+	snap := reg.Snapshot()
+	for _, name := range []string{MetricPartial, MetricShardDown, MetricRetries} {
+		if !metricPresent(snap, name) {
+			t.Errorf("metric %s not recorded during chaos run", name)
+		}
+	}
+}
+
+// metricPresent reports whether any series in the named family has a
+// positive value in a Registry snapshot.
+func metricPresent(snap map[string]any, name string) bool {
+	fam, ok := snap[name].(map[string]any)
+	if !ok {
+		return false
+	}
+	for _, v := range fam {
+		switch n := v.(type) {
+		case int64:
+			if n > 0 {
+				return true
+			}
+		case float64:
+			if n > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestPartialAnswersNeverCached: a Partial answer produced while a shard
+// is down must not be served from the fleet cache after the shard heals.
+func TestPartialAnswersNeverCached(t *testing.T) {
+	db := fleetDB(t)
+	nodes := make([][]*ChaosNode, 2)
+	cl := testCluster(t, db, 2, Config{
+		Replicas:         1,
+		ShardTimeout:     300 * time.Millisecond,
+		Retries:          1,
+		RetryBackoff:     time.Millisecond,
+		ReplicaThreshold: 2,
+		ReplicaCooldown:  30 * time.Millisecond,
+		Seed:             3,
+		WrapNode: func(s, r int, n Node) Node {
+			cn := &ChaosNode{Inner: n}
+			nodes[s] = append(nodes[s], cn)
+			return cn
+		},
+	})
+	const q = "SELECT COUNT(*) FROM customers"
+	nodes[1][0].Kill()
+
+	ans, err := cl.Ask(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Partial {
+		t.Fatal("expected Partial answer with shard 1 down")
+	}
+	nodes[1][0].Restore()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ans, err = cl.Ask(context.Background(), q)
+		if err == nil && !ans.Partial {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never saw a complete answer after restore — was the Partial answer cached?")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if ans.Cached {
+		t.Fatal("first complete answer came from cache; the Partial answer must not have been stored")
+	}
+	if got := ans.Result.Rows[0][0]; got.Int() != 40 {
+		t.Fatalf("recovered COUNT(*) = %s, want 40", got)
+	}
+	// And the complete answer is cached from here on.
+	again, err := cl.Ask(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.Partial {
+		t.Fatalf("follow-up ask: Cached=%v Partial=%v, want cached complete answer", again.Cached, again.Partial)
+	}
+}

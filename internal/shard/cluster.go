@@ -1,0 +1,749 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nlidb/internal/nlq"
+	"nlidb/internal/obs"
+	"nlidb/internal/qcache"
+	"nlidb/internal/resilient"
+	"nlidb/internal/sqldata"
+	"nlidb/internal/sqlexec"
+)
+
+// Config tunes a Cluster. The zero value is serviceable: 1 replica per
+// shard, 2s per-shard timeout, 2 retries with 2ms jittered exponential
+// backoff, hedging at the shard's p95 clamped to [1ms, 50ms], a 4096-entry
+// fleet-wide answer cache, and replica breakers opening after 3
+// consecutive failures with a 1s jittered cooldown.
+type Config struct {
+	// Replicas is the replication factor R: every shard's partition is
+	// served by R identical gateways (default 1).
+	Replicas int
+	// Chain is the interpreter fallback chain shared by every replica.
+	// Build it over the FULL source database, not a partition: value
+	// vocabularies then match fleet-wide, so every replica interprets a
+	// question to the same SQL and routing is deterministic.
+	Chain []nlq.Interpreter
+	// Gateway is the per-replica gateway template. Cache, PlanCache, and
+	// Metrics are overridden per replica (the cluster caches fleet-wide
+	// and owns the metric namespace); everything else is passed through.
+	Gateway resilient.Config
+
+	// Timeout bounds one whole Ask, fan-out included (0 = none).
+	Timeout time.Duration
+	// ShardTimeout bounds each per-shard leg, so one stuck shard cannot
+	// consume the whole deadline (default 2s).
+	ShardTimeout time.Duration
+	// Retries is how many times a failed shard leg is retried against
+	// other replicas (default 2).
+	Retries int
+	// RetryBackoff is the base of the jittered exponential backoff
+	// between leg retries (default 2ms).
+	RetryBackoff time.Duration
+
+	// HedgeQuantile is the shard-latency percentile after which a second
+	// replica is hedged (default 0.95).
+	HedgeQuantile float64
+	// HedgeMin / HedgeMax clamp the hedge delay (defaults 1ms / 50ms).
+	// Until a shard has enough samples the delay is HedgeMax.
+	HedgeMin time.Duration
+	HedgeMax time.Duration
+	// NoHedge disables hedged requests (failover on failure still works).
+	NoHedge bool
+
+	// ReplicaThreshold / ReplicaCooldown tune each replica's circuit
+	// breaker (defaults 3 and 1s; cooldowns carry jitter derived from
+	// Seed so replicas never probe in lockstep).
+	ReplicaThreshold int
+	ReplicaCooldown  time.Duration
+
+	// CacheSize bounds the fleet-wide answer cache (default 4096;
+	// negative disables caching). Partial answers are never cached.
+	CacheSize int
+	// CacheTTL expires cached answers (0 = forever).
+	CacheTTL time.Duration
+	// PlanCacheSize bounds each replica's plan cache (default 256;
+	// negative disables). Plan caches are strictly per-replica: plans
+	// bind to one partition's tables and must never cross shards.
+	PlanCacheSize int
+
+	// Metrics receives the nlidb_shard_* families.
+	Metrics *obs.Registry
+	// Seed makes retry jitter and breaker-probe jitter replayable
+	// (default 1).
+	Seed int64
+	// Workers bounds ServeBatch's worker pool (default GOMAXPROCS).
+	Workers int
+
+	// WrapNode, when non-nil, wraps every replica node at build time —
+	// the chaos harness uses it to interpose ChaosNode kill switches.
+	WrapNode func(shard, replica int, n Node) Node
+
+	// Now is the breaker clock, injectable for tests (default time.Now).
+	Now func() time.Time
+}
+
+// Cluster is the sharded serving fleet: N shards × R replicas behind one
+// Ask/ServeBatch façade with health-checked, load-aware, hedged routing
+// and graceful degradation. Safe for concurrent use.
+type Cluster struct {
+	cfg   Config
+	n     int
+	part  *Partitioning
+	dbs   []*sqldata.Database
+	reps  [][]*replica
+	hists []*obs.Histogram // per-shard latency reservoirs driving hedge delays
+	cache *qcache.Cache
+	fp    uint64
+
+	flight qcache.Flight
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New splits db across n shards and builds the replica fleet. The
+// interpreter chain in cfg.Chain should be built over db itself (see
+// Config.Chain); the shard databases only ever execute SQL.
+func New(db *sqldata.Database, n int, cfg Config) (*Cluster, error) {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.ShardTimeout <= 0 {
+		cfg.ShardTimeout = 2 * time.Second
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	} else if cfg.Retries == 0 {
+		cfg.Retries = 2
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 2 * time.Millisecond
+	}
+	if cfg.HedgeQuantile <= 0 || cfg.HedgeQuantile > 1 {
+		cfg.HedgeQuantile = 0.95
+	}
+	if cfg.HedgeMin <= 0 {
+		cfg.HedgeMin = time.Millisecond
+	}
+	if cfg.HedgeMax < cfg.HedgeMin {
+		cfg.HedgeMax = 50 * time.Millisecond
+		if cfg.HedgeMax < cfg.HedgeMin {
+			cfg.HedgeMax = cfg.HedgeMin
+		}
+	}
+	if cfg.ReplicaThreshold <= 0 {
+		cfg.ReplicaThreshold = 3
+	}
+	if cfg.ReplicaCooldown <= 0 {
+		cfg.ReplicaCooldown = time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+
+	dbs, part, err := Split(db, n)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		n:     n,
+		part:  part,
+		dbs:   dbs,
+		reps:  make([][]*replica, n),
+		hists: make([]*obs.Histogram, n),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	h := fnv.New64a()
+	for _, d := range dbs {
+		var buf [8]byte
+		fp := d.Fingerprint()
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(fp >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	c.fp = h.Sum64()
+
+	if cfg.CacheSize >= 0 {
+		c.cache = qcache.New(qcache.Config{MaxEntries: cfg.CacheSize, TTL: cfg.CacheTTL, Metrics: cfg.Metrics})
+	}
+
+	for s := 0; s < n; s++ {
+		c.hists[s] = obs.NewHistogram()
+		c.reps[s] = make([]*replica, cfg.Replicas)
+		for r := 0; r < cfg.Replicas; r++ {
+			gwCfg := cfg.Gateway
+			gwCfg.Cache = nil // the cluster caches fleet-wide
+			gwCfg.Metrics = nil
+			if cfg.PlanCacheSize >= 0 {
+				size := cfg.PlanCacheSize
+				if size == 0 {
+					size = 256
+				}
+				gwCfg.PlanCache = qcache.New(qcache.Config{MaxEntries: size})
+			} else {
+				gwCfg.PlanCache = nil
+			}
+			var node Node = &LocalNode{GW: resilient.New(dbs[s], cfg.Chain, gwCfg)}
+			if cfg.WrapNode != nil {
+				node = cfg.WrapNode(s, r, node)
+			}
+			br := resilient.NewBreaker(cfg.ReplicaThreshold, cfg.ReplicaCooldown, cfg.Now)
+			br.SetJitter(resilient.DefaultBreakerJitter(cfg.ReplicaCooldown), cfg.Seed+int64(s*cfg.Replicas+r))
+			rep := &replica{shard: s, idx: r, node: node, br: br}
+			if m := cfg.Metrics; m != nil {
+				sl, rl := strconv.Itoa(s), strconv.Itoa(r)
+				g := m.Gauge(MetricReplicaState, "shard", sl, "replica", rl)
+				g.Set(resilient.StateValue("closed"))
+				br.OnTransition(func(from, to string) { g.Set(resilient.StateValue(to)) })
+			}
+			c.reps[s][r] = rep
+		}
+	}
+	c.preregisterMetrics()
+	return c, nil
+}
+
+func (c *Cluster) preregisterMetrics() {
+	m := c.cfg.Metrics
+	if m == nil {
+		return
+	}
+	m.Counter(MetricPartial)
+	for _, route := range []string{"home", "pruned", "scatter"} {
+		m.Counter(MetricRoutes, "route", route)
+	}
+	for s := 0; s < c.n; s++ {
+		sl := strconv.Itoa(s)
+		m.Counter(MetricRequests, "shard", sl, "outcome", "ok")
+		m.Histogram(MetricReplicaSeconds, "shard", sl)
+		m.Counter(MetricHedges, "shard", sl)
+		m.Counter(MetricRetries, "shard", sl)
+		m.Counter(MetricShardDown, "shard", sl)
+	}
+}
+
+// ShardCount returns N.
+func (c *Cluster) ShardCount() int { return c.n }
+
+// ReplicaCount returns R.
+func (c *Cluster) ReplicaCount() int { return c.cfg.Replicas }
+
+// Partitioning exposes the row-placement map for introspection.
+func (c *Cluster) Partitioning() *Partitioning { return c.part }
+
+// ReplicaStates reports every replica breaker's state, indexed
+// [shard][replica].
+func (c *Cluster) ReplicaStates() [][]string {
+	out := make([][]string, c.n)
+	for s := range c.reps {
+		out[s] = make([]string, len(c.reps[s]))
+		for r, rep := range c.reps[s] {
+			out[s][r] = rep.br.State()
+		}
+	}
+	return out
+}
+
+// Ask answers one natural-language question over the sharded fleet: the
+// question routes consistent-hash to a home replica for interpretation
+// (and, when the data allows, the complete answer); the interpreted SQL
+// is then pruned to its owner shard or scatter-gathered across all shards
+// with partial aggregates merged. Degradation is explicit: a dead shard
+// fails pruned questions for that shard with ErrShardDown, while
+// scatter-gather answers come back with Partial set and MissingShards
+// naming what is absent — never silently wrong. Answers route through a
+// fleet-wide cache keyed like the gateway's, with concurrent identical
+// misses collapsed.
+func (c *Cluster) Ask(ctx context.Context, question string) (*resilient.Answer, error) {
+	start := time.Now()
+	if c.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.Timeout)
+		defer cancel()
+	}
+
+	if c.cache == nil {
+		ans, err := c.ask(ctx, question)
+		if ans != nil {
+			ans.Elapsed = time.Since(start)
+		}
+		return ans, err
+	}
+
+	key := qcache.WithFingerprint(c.fp, qcache.Key(question))
+	if v, ok := c.cache.Get(key); ok {
+		hit := *(v.(*resilient.Answer)) // shallow copy; SQL/Result shared read-only
+		hit.Cached = true
+		hit.Elapsed = time.Since(start)
+		return &hit, nil
+	}
+	var mine *resilient.Answer
+	v, err, shared := c.flight.Do(ctx, key, func() (any, error) {
+		a, e := c.ask(ctx, question)
+		mine = a
+		if e != nil {
+			return nil, e
+		}
+		sh := &resilient.Answer{
+			Engine: a.Engine, SQL: a.SQL, Result: a.Result, Score: a.Score,
+			Simplified: a.Simplified, Usage: a.Usage,
+			Partial: a.Partial, MissingShards: a.MissingShards,
+		}
+		if !a.Partial {
+			c.cache.Put(key, sh)
+		}
+		return sh, nil
+	})
+	var ans *resilient.Answer
+	switch {
+	case !shared:
+		ans = mine // leader (or a follower canceled while waiting: nil)
+	case err == nil:
+		hit := *(v.(*resilient.Answer))
+		hit.Cached = true
+		ans = &hit
+	}
+	if ans != nil {
+		ans.Elapsed = time.Since(start)
+	}
+	return ans, err
+}
+
+// ask is Ask minus deadline and cache wrapping.
+func (c *Cluster) ask(ctx context.Context, question string) (*resilient.Answer, error) {
+	// Phase 1: interpret (and execute locally) on the home replica, with
+	// failover to the next rendezvous shard when a whole shard is down —
+	// interpretation only needs the shared chain, so any shard can do it.
+	order := c.rendezvous(question)
+	var ans *resilient.Answer
+	var err error
+	home := -1
+	for _, s := range order {
+		ans, err = c.askShard(ctx, s, question, true)
+		if err == nil {
+			home = s
+			break
+		}
+		if ctx.Err() != nil || !errors.Is(err, ErrShardDown) {
+			// Interpretation failures repeat identically on every shard
+			// (the chain is shared); only shard-down errors fail over.
+			return nil, err
+		}
+	}
+	if err != nil {
+		return nil, err // every shard down
+	}
+	if c.n == 1 {
+		c.countRoute("home")
+		return ans, nil
+	}
+	if ans.SQL == nil {
+		return ans, nil
+	}
+
+	rt, cerr := classify(ans.SQL, c.part)
+	if cerr != nil {
+		return nil, cerr
+	}
+	switch rt.kind {
+	case routeHome:
+		c.countRoute("home")
+		return ans, nil
+	case routePruned:
+		c.countRoute("pruned")
+		if rt.shard == home {
+			return ans, nil // interpreted where the rows live: already complete
+		}
+		sqlAns, serr := c.askShard(ctx, rt.shard, ans.SQL.String(), false)
+		if serr != nil {
+			return nil, serr
+		}
+		out := *ans
+		out.Result = sqlAns.Result
+		out.Usage = sqlAns.Usage
+		return &out, nil
+	default:
+		c.countRoute("scatter")
+		return c.scatter(ctx, ans, rt)
+	}
+}
+
+// scatter fans the partial statement out to every shard, merges what
+// comes back, and annotates what could not.
+func (c *Cluster) scatter(ctx context.Context, phase1 *resilient.Answer, rt *route) (*resilient.Answer, error) {
+	type leg struct {
+		idx int
+		ans *resilient.Answer
+		err error
+	}
+	ch := make(chan leg, c.n)
+	for s := 0; s < c.n; s++ {
+		go func(s int) {
+			a, e := c.askShard(ctx, s, rt.partialSQL, false)
+			ch <- leg{idx: s, ans: a, err: e}
+		}(s)
+	}
+	partials := make([]*sqldata.Result, c.n)
+	var missing []int
+	var firstErr error
+	var usage sqlexec.Usage
+	got := 0
+	for i := 0; i < c.n; i++ {
+		l := <-ch
+		if l.err != nil {
+			if firstErr == nil {
+				firstErr = l.err
+			}
+			missing = append(missing, l.idx)
+			if m := c.cfg.Metrics; m != nil {
+				m.Counter(MetricShardDown, "shard", strconv.Itoa(l.idx)).Inc()
+			}
+			continue
+		}
+		partials[l.idx] = l.ans.Result
+		usage.Rows += l.ans.Usage.Rows
+		usage.JoinRows += l.ans.Usage.JoinRows
+		usage.Subqueries += l.ans.Usage.Subqueries
+		got++
+	}
+	if got == 0 {
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return nil, fmt.Errorf("shard: scatter produced no results")
+	}
+	res, err := rt.merge.merge(partials)
+	if err != nil {
+		return nil, err
+	}
+	sort.Ints(missing)
+	out := *phase1
+	out.Result = res
+	out.Usage = usage
+	out.Partial = len(missing) > 0
+	out.MissingShards = missing
+	if out.Partial {
+		if m := c.cfg.Metrics; m != nil {
+			m.Counter(MetricPartial).Inc()
+		}
+	}
+	return &out, nil
+}
+
+// askShard runs one statement (NL question or SQL) on shard s: pick the
+// least-loaded healthy replica, hedge to a second after the latency-
+// percentile delay, and retry with jittered backoff against replicas not
+// yet tried. Failures that would repeat identically on any replica (the
+// chain has no reading of the question) return as-is; infrastructure
+// failures exhaust into a *ShardDownError.
+func (c *Cluster) askShard(ctx context.Context, s int, q string, nl bool) (*resilient.Answer, error) {
+	tried := map[*replica]bool{}
+	var lastErr error
+	for try := 0; ; try++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, err
+		}
+		lctx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
+		ans, err := c.legOnce(lctx, s, q, nl, tried)
+		cancel()
+		if err == nil {
+			return ans, nil
+		}
+		if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+			return nil, err
+		}
+		if !errors.Is(err, ErrShardDown) && !replicaCountable(err) {
+			return nil, err // semantic failure: identical on every replica
+		}
+		lastErr = err
+		if try >= c.cfg.Retries {
+			break
+		}
+		if m := c.cfg.Metrics; m != nil {
+			m.Counter(MetricRetries, "shard", strconv.Itoa(s)).Inc()
+		}
+		if len(tried) >= len(c.reps[s]) {
+			// Every replica has had a direct attempt this leg; let the
+			// next round reconsider all of them.
+			clear(tried)
+		}
+		if !c.sleep(ctx, c.backoff(try)) {
+			break
+		}
+	}
+	return nil, &ShardDownError{Shard: s, Err: lastErr}
+}
+
+// backoff is the jittered exponential retry delay for attempt number try
+// (0-based): base<<try, plus up to 50% random jitter.
+func (c *Cluster) backoff(try int) time.Duration {
+	d := c.cfg.RetryBackoff << uint(try)
+	if d > 250*time.Millisecond {
+		d = 250 * time.Millisecond
+	}
+	c.mu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	c.mu.Unlock()
+	return d + j
+}
+
+func (c *Cluster) sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// legOnce makes one hedged attempt on shard s: the best untried healthy
+// replica leads; if it fails fast the second-best takes over immediately,
+// and if it is merely slow the second-best is hedged in after the
+// latency-percentile delay, first answer wins.
+func (c *Cluster) legOnce(ctx context.Context, s int, q string, nl bool, tried map[*replica]bool) (*resilient.Answer, error) {
+	prim, alt := c.pick(s, tried)
+	if prim == nil {
+		return nil, &ShardDownError{Shard: s}
+	}
+	tried[prim] = true
+	if alt == nil || c.cfg.NoHedge {
+		ans, err := c.call(ctx, prim, q, nl)
+		if err == nil || alt == nil {
+			return ans, err
+		}
+		tried[alt] = true
+		return c.call(ctx, alt, q, nl)
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type rres struct {
+		ans *resilient.Answer
+		err error
+	}
+	ch := make(chan rres, 2)
+	launch := func(r *replica) {
+		go func() {
+			a, e := c.call(cctx, r, q, nl)
+			ch <- rres{ans: a, err: e}
+		}()
+	}
+	launch(prim)
+	pending := 1
+	hedged := false
+	timer := time.NewTimer(c.hedgeDelay(s))
+	defer timer.Stop()
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			pending--
+			if r.err == nil {
+				return r.ans, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if !hedged {
+				// The primary failed before the hedge delay elapsed:
+				// fail over immediately instead of waiting.
+				timer.Stop()
+				hedged = true
+				tried[alt] = true
+				launch(alt)
+				pending++
+				continue
+			}
+			if pending == 0 {
+				return nil, firstErr
+			}
+		case <-timer.C:
+			hedged = true
+			tried[alt] = true
+			if m := c.cfg.Metrics; m != nil {
+				m.Counter(MetricHedges, "shard", strconv.Itoa(s)).Inc()
+			}
+			launch(alt)
+			pending++
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// pick returns the two best (lowest-load) healthy replicas of shard s not
+// in exclude. healthy() admits half-open probes, so a cooling breaker
+// gets its single probe through here.
+func (c *Cluster) pick(s int, exclude map[*replica]bool) (best, second *replica) {
+	for _, r := range c.reps[s] {
+		if exclude[r] || !r.healthy() {
+			continue
+		}
+		switch {
+		case best == nil || r.load() < best.load():
+			second = best
+			best = r
+		case second == nil || r.load() < second.load():
+			second = r
+		}
+	}
+	return best, second
+}
+
+// hedgeDelay is how long shard s's primary gets before a hedge launches:
+// the shard's HedgeQuantile latency, clamped to [HedgeMin, HedgeMax];
+// HedgeMax until the reservoir has enough samples to trust.
+func (c *Cluster) hedgeDelay(s int) time.Duration {
+	h := c.hists[s]
+	if h.Count() < 16 {
+		return c.cfg.HedgeMax
+	}
+	d := time.Duration(h.Quantile(c.cfg.HedgeQuantile) * float64(time.Second))
+	if d < c.cfg.HedgeMin {
+		return c.cfg.HedgeMin
+	}
+	if d > c.cfg.HedgeMax {
+		return c.cfg.HedgeMax
+	}
+	return d
+}
+
+// call sends one request to one replica and folds the outcome into its
+// health state and the shard's latency reservoir.
+func (c *Cluster) call(ctx context.Context, r *replica, q string, nl bool) (*resilient.Answer, error) {
+	r.inflight.Add(1)
+	t0 := time.Now()
+	var ans *resilient.Answer
+	var err error
+	if nl {
+		ans, err = r.node.Ask(ctx, q)
+	} else {
+		ans, err = r.node.AskSQL(ctx, q)
+	}
+	elapsed := time.Since(t0)
+	r.inflight.Add(-1)
+	r.observe(err, elapsed)
+	c.hists[r.shard].Observe(elapsed.Seconds())
+	if m := c.cfg.Metrics; m != nil {
+		sl := strconv.Itoa(r.shard)
+		m.Counter(MetricRequests, "shard", sl, "outcome", callOutcome(err)).Inc()
+		m.Histogram(MetricReplicaSeconds, "shard", sl).Observe(elapsed.Seconds())
+	}
+	return ans, err
+}
+
+// callOutcome maps a replica-call error to its metric label.
+func callOutcome(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrNodeDown):
+		return "down"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "error"
+	}
+}
+
+func (c *Cluster) countRoute(route string) {
+	if m := c.cfg.Metrics; m != nil {
+		m.Counter(MetricRoutes, "route", route).Inc()
+	}
+}
+
+// rendezvous orders shards by highest-random-weight for the question's
+// normalized cache key: element 0 is the home shard, the rest the
+// failover order. Every process computing this over the same N gets the
+// same order, which is what lets a fleet interpret and cache each
+// question exactly once.
+func (c *Cluster) rendezvous(question string) []int {
+	key := qcache.Key(question)
+	type sw struct {
+		s int
+		w uint64
+	}
+	ws := make([]sw, c.n)
+	for s := 0; s < c.n; s++ {
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		h.Write([]byte{'#', byte(s), byte(s >> 8)})
+		ws[s] = sw{s: s, w: h.Sum64()}
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].w != ws[j].w {
+			return ws[i].w > ws[j].w
+		}
+		return ws[i].s < ws[j].s
+	})
+	out := make([]int, c.n)
+	for i, w := range ws {
+		out[i] = w.s
+	}
+	return out
+}
+
+// ServeBatch answers every question using a bounded worker pool and
+// returns results in input order, mirroring the single-gateway
+// ServeBatch contract: questions not started when ctx ends fail with
+// resilient.ErrShed, so callers can resubmit exactly the unserved tail.
+func (c *Cluster) ServeBatch(ctx context.Context, questions []string) []resilient.BatchResult {
+	out := make([]resilient.BatchResult, len(questions))
+	if len(questions) == 0 {
+		return out
+	}
+	workers := c.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(questions) {
+		workers = len(questions)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(questions) {
+					return
+				}
+				q := questions[i]
+				if err := ctx.Err(); err != nil {
+					out[i] = resilient.BatchResult{Index: i, Question: q, Err: fmt.Errorf("%w: %w", resilient.ErrShed, err)}
+					continue
+				}
+				ans, err := c.Ask(ctx, q)
+				out[i] = resilient.BatchResult{Index: i, Question: q, Answer: ans, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,253 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"nlidb/internal/nlq"
+	"nlidb/internal/resilient"
+	"nlidb/internal/sqldata"
+	"nlidb/internal/sqlparse"
+)
+
+// sqlInterp treats the question text as SQL, which lets tests drive the
+// full cluster routing machinery with precise statements while still
+// exercising the real NL pipeline (interpret → parse → plan → execute).
+type sqlInterp struct{}
+
+func (sqlInterp) Name() string { return "sqlecho" }
+
+func (sqlInterp) Interpret(q string) ([]nlq.Interpretation, error) {
+	stmt, err := sqlparse.Parse(q)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", nlq.ErrNoInterpretation, err)
+	}
+	return []nlq.Interpretation{{SQL: stmt, Score: 1}}, nil
+}
+
+// fleetDB builds the two-table FK dataset the shard tests run on:
+// customers (hash root on id) and orders (co-located on customer_id).
+func fleetDB(t testing.TB) *sqldata.Database {
+	t.Helper()
+	db := sqldata.NewDatabase("fleet")
+	cust, err := db.CreateTable(&sqldata.Schema{Name: "customers", Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "name", Type: sqldata.TypeText},
+		{Name: "city", Type: sqldata.TypeText},
+		{Name: "credit", Type: sqldata.TypeFloat},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cities := []string{"Berlin", "Munich", "Paris", "Oslo"}
+	for i := 0; i < 40; i++ {
+		cust.MustInsert(
+			sqldata.NewInt(int64(i+1)),
+			sqldata.NewText(fmt.Sprintf("cust%02d", i)),
+			sqldata.NewText(cities[i%len(cities)]),
+			sqldata.NewFloat(float64(i%7)*10.5),
+		)
+	}
+	ord, err := db.CreateTable(&sqldata.Schema{
+		Name: "orders",
+		Columns: []sqldata.Column{
+			{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+			{Name: "customer_id", Type: sqldata.TypeInt},
+			{Name: "amount", Type: sqldata.TypeInt},
+		},
+		ForeignKeys: []sqldata.ForeignKey{{Column: "customer_id", RefTable: "customers", RefColumn: "id"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 120; j++ {
+		ord.MustInsert(
+			sqldata.NewInt(int64(j+1)),
+			sqldata.NewInt(int64(j%40)+1),
+			sqldata.NewInt(int64((j*13)%97)),
+		)
+	}
+	return db
+}
+
+func testCluster(t testing.TB, db *sqldata.Database, n int, cfg Config) *Cluster {
+	t.Helper()
+	if cfg.Chain == nil {
+		cfg.Chain = []nlq.Interpreter{sqlInterp{}}
+	}
+	cl, err := New(db, n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// TestShardedAnswersMatchUnsharded is the core correctness contract: for
+// every distributable query shape, an N-shard R-replica cluster must
+// return exactly what the unsharded engine returns.
+func TestShardedAnswersMatchUnsharded(t *testing.T) {
+	db := fleetDB(t)
+	single := resilient.New(db, []nlq.Interpreter{sqlInterp{}}, resilient.Config{NoRetry: true})
+	cl := testCluster(t, db, 3, Config{Replicas: 2, Seed: 11})
+
+	queries := []struct {
+		sql     string
+		ordered bool
+	}{
+		{sql: "SELECT name, city FROM customers"},
+		{sql: "SELECT * FROM customers WHERE id = 7"},
+		{sql: "SELECT * FROM customers WHERE id = 999"},
+		{sql: "SELECT name FROM customers WHERE city = 'Berlin'"},
+		{sql: "SELECT COUNT(*) FROM customers"},
+		{sql: "SELECT COUNT(*) FROM customers WHERE city = 'Berlin'"},
+		{sql: "SELECT AVG(credit) FROM customers"},
+		{sql: "SELECT SUM(amount), MIN(amount), MAX(amount), COUNT(amount) FROM orders"},
+		{sql: "SELECT city, COUNT(*), AVG(credit) FROM customers GROUP BY city"},
+		{sql: "SELECT city, COUNT(*) FROM customers GROUP BY city ORDER BY city", ordered: true},
+		{sql: "SELECT DISTINCT city FROM customers"},
+		{sql: "SELECT name FROM customers ORDER BY name LIMIT 5", ordered: true},
+		{sql: "SELECT name FROM customers ORDER BY name DESC LIMIT 3", ordered: true},
+		{sql: "SELECT customers.name, orders.amount FROM customers JOIN orders ON orders.customer_id = customers.id"},
+		{sql: "SELECT customers.city, SUM(orders.amount) FROM customers JOIN orders ON orders.customer_id = customers.id GROUP BY customers.city"},
+		{sql: "SELECT COUNT(*), SUM(credit) FROM customers WHERE city = 'Nowhere'"},
+		{sql: "SELECT city, MIN(credit), MAX(credit) FROM customers GROUP BY city"},
+	}
+	ctx := context.Background()
+	for _, q := range queries {
+		want, err := single.Ask(ctx, q.sql)
+		if err != nil {
+			t.Fatalf("unsharded %q: %v", q.sql, err)
+		}
+		got, err := cl.Ask(ctx, q.sql)
+		if err != nil {
+			t.Fatalf("sharded %q: %v", q.sql, err)
+		}
+		if got.Partial {
+			t.Errorf("%q: Partial answer with every shard healthy", q.sql)
+		}
+		if len(got.Result.Columns) != len(want.Result.Columns) {
+			t.Fatalf("%q: columns %v, want %v", q.sql, got.Result.Columns, want.Result.Columns)
+		}
+		for i := range want.Result.Columns {
+			if got.Result.Columns[i] != want.Result.Columns[i] {
+				t.Fatalf("%q: columns %v, want %v", q.sql, got.Result.Columns, want.Result.Columns)
+			}
+		}
+		equal := got.Result.EqualUnordered(want.Result)
+		if q.ordered {
+			equal = got.Result.EqualOrdered(want.Result)
+		}
+		if !equal {
+			t.Errorf("%q:\nsharded:\n%s\nunsharded:\n%s", q.sql, got.Result, want.Result)
+		}
+	}
+}
+
+// TestNotDistributableIsHonest: queries the coordinator cannot merge
+// correctly must fail with ErrNotDistributable — not return wrong rows.
+func TestNotDistributableIsHonest(t *testing.T) {
+	db := fleetDB(t)
+	cl := testCluster(t, db, 3, Config{Replicas: 1})
+	ctx := context.Background()
+	for _, sql := range []string{
+		"SELECT name FROM customers WHERE credit > (SELECT AVG(credit) FROM customers)",
+		"SELECT city FROM customers GROUP BY city HAVING COUNT(*) > 1",
+		"SELECT COUNT(DISTINCT city) FROM customers",
+		"SELECT COUNT(*) + 1 FROM customers",
+		"SELECT customers.name FROM customers JOIN orders ON customers.id = orders.id",
+		"SELECT name FROM customers ORDER BY credit",
+	} {
+		_, err := cl.Ask(ctx, sql)
+		if !errors.Is(err, ErrNotDistributable) {
+			t.Errorf("%q: err = %v, want ErrNotDistributable", sql, err)
+		}
+	}
+}
+
+// TestSingleShardClusterAnswersEverything: with N=1 nothing is
+// distributed, so even non-distributable shapes must answer.
+func TestSingleShardClusterAnswersEverything(t *testing.T) {
+	db := fleetDB(t)
+	cl := testCluster(t, db, 1, Config{Replicas: 2})
+	ctx := context.Background()
+	for _, sql := range []string{
+		"SELECT city FROM customers GROUP BY city HAVING COUNT(*) > 1",
+		"SELECT COUNT(DISTINCT city) FROM customers",
+	} {
+		ans, err := cl.Ask(ctx, sql)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		if ans.Partial {
+			t.Errorf("%q: Partial on a single-shard cluster", sql)
+		}
+	}
+}
+
+// TestClusterCachesOnce: the fleet-wide cache serves the second identical
+// question without re-routing, and the flight collapses the first.
+func TestClusterCachesOnce(t *testing.T) {
+	db := fleetDB(t)
+	cl := testCluster(t, db, 3, Config{Replicas: 1})
+	ctx := context.Background()
+	first, err := cl.Ask(ctx, "SELECT COUNT(*) FROM customers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first ask must not be cached")
+	}
+	second, err := cl.Ask(ctx, "SELECT COUNT(*) FROM customers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("second identical ask should hit the fleet-wide cache")
+	}
+	if !second.Result.EqualUnordered(first.Result) {
+		t.Fatal("cached answer differs from original")
+	}
+}
+
+// TestHedgeRescuesSlowReplica: a replica that turns slow must not drag
+// the query with it — the hedge launches the second replica after the
+// clamped percentile delay and its answer wins.
+func TestHedgeRescuesSlowReplica(t *testing.T) {
+	db := fleetDB(t)
+	var nodes [][]*ChaosNode
+	cl := testCluster(t, db, 1, Config{
+		Replicas: 2,
+		HedgeMin: time.Millisecond,
+		HedgeMax: 2 * time.Millisecond,
+		Seed:     5,
+		WrapNode: func(s, r int, n Node) Node {
+			for len(nodes) <= s {
+				nodes = append(nodes, nil)
+			}
+			cn := &ChaosNode{Inner: n}
+			nodes[s] = append(nodes[s], cn)
+			return cn
+		},
+	})
+	nodes[0][0].SetDelay(150 * time.Millisecond)
+	nodes[0][1].SetDelay(0)
+
+	ctx := context.Background()
+	start := time.Now()
+	ans, err := cl.Ask(ctx, "SELECT COUNT(*) FROM customers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Partial {
+		t.Fatal("unexpected partial answer")
+	}
+	// Whichever replica was primary, the answer must arrive well before
+	// the slow replica's 150ms delay: either the fast one was primary, or
+	// the hedge rescued the call at ~2ms.
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("ask took %v; hedging should have rescued the slow replica", elapsed)
+	}
+}

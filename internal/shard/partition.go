@@ -1,0 +1,242 @@
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"nlidb/internal/sqldata"
+)
+
+// TableSpec records how one table is partitioned.
+type TableSpec struct {
+	// Table is the table name as declared.
+	Table string
+	// Column is the partition column: rows with equal values in it land
+	// on the same shard. For a root table this is its primary key (or
+	// first column); for a co-located child it is the foreign-key column
+	// pointing at the parent.
+	Column string
+	// Parent names the co-location parent table ("" for hash roots): the
+	// child row lives wherever the parent row whose ParentColumn equals
+	// the child's Column value lives.
+	Parent string
+	// ParentColumn is the referenced column in Parent ("" for roots).
+	ParentColumn string
+
+	colIdx int
+	// owners maps partition-column value keys to shards for co-located
+	// tables whose placement cannot be recomputed as a hash (parent not a
+	// hash root, or FK referencing a non-partition column); nil when
+	// hashing suffices. Misses fall back to the value hash, matching the
+	// placement fallback for orphan foreign keys.
+	owners map[string]int
+}
+
+// Partitioning describes how a database was split across N shards and
+// answers ownership questions for query routing.
+type Partitioning struct {
+	// N is the shard count.
+	N int
+	// RowsPerShard counts the rows placed on each shard (all tables).
+	RowsPerShard []int
+
+	specs map[string]*TableSpec // lower-case table name
+}
+
+// Spec returns the named table's partition spec, or nil.
+func (p *Partitioning) Spec(table string) *TableSpec {
+	return p.specs[strings.ToLower(table)]
+}
+
+// Owner returns the shard owning rows of table whose partition column
+// equals v. ok is false when the table is unknown.
+func (p *Partitioning) Owner(table string, v sqldata.Value) (shard int, ok bool) {
+	s := p.Spec(table)
+	if s == nil {
+		return 0, false
+	}
+	if s.owners != nil {
+		if sh, hit := s.owners[v.Key()]; hit {
+			return sh, true
+		}
+	}
+	return hashOwner(v, p.N), true
+}
+
+// hashOwner is the root placement rule: FNV-1a of the value's collation
+// key, mod N. Co-location falls back to it for orphan foreign keys, so
+// routing and placement always agree.
+func hashOwner(v sqldata.Value, n int) int {
+	h := fnv.New64a()
+	h.Write([]byte(v.Key()))
+	return int(h.Sum64() % uint64(n))
+}
+
+// Split hash-partitions db's rows across n shard databases. Placement is
+// foreign-key aware: a table with a foreign key to another table in db is
+// co-located — each of its rows is placed on the shard holding the parent
+// row it references — so joins along declared FK edges never cross
+// shards. Tables without (resolvable) foreign keys are roots, hashed on
+// their primary key (or first column). Rows and schemas are shared, not
+// copied: the shard databases are views and must be treated as
+// read-only, like every serving database.
+func Split(db *sqldata.Database, n int) ([]*sqldata.Database, *Partitioning, error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("shard: Split needs n >= 1, got %d", n)
+	}
+	tables := db.Tables()
+	part := &Partitioning{N: n, RowsPerShard: make([]int, n), specs: map[string]*TableSpec{}}
+
+	// Choose each table's co-location edge: the first foreign key whose
+	// target is another table in this database.
+	parentOf := map[string]*sqldata.ForeignKey{}
+	for _, t := range tables {
+		name := strings.ToLower(t.Schema.Name)
+		for i := range t.Schema.ForeignKeys {
+			fk := &t.Schema.ForeignKeys[i]
+			ref := strings.ToLower(fk.RefTable)
+			if ref != name && db.Table(fk.RefTable) != nil {
+				parentOf[name] = fk
+				break
+			}
+		}
+	}
+
+	// Order parents before children so a child's placement can look up
+	// where its parent rows landed. FK cycles (and children of tables
+	// outside the chain) degrade to hash roots.
+	placed := map[string]bool{}
+	var order []*sqldata.Table
+	remaining := append([]*sqldata.Table(nil), tables...)
+	for len(remaining) > 0 {
+		progressed := false
+		rest := remaining[:0]
+		for _, t := range remaining {
+			name := strings.ToLower(t.Schema.Name)
+			fk := parentOf[name]
+			if fk == nil || placed[strings.ToLower(fk.RefTable)] {
+				order = append(order, t)
+				placed[name] = true
+				progressed = true
+				continue
+			}
+			rest = append(rest, t)
+		}
+		remaining = rest
+		if !progressed {
+			// Cycle: break it by hashing every remaining table as a root.
+			for _, t := range remaining {
+				delete(parentOf, strings.ToLower(t.Schema.Name))
+				order = append(order, t)
+			}
+			break
+		}
+	}
+
+	shards := make([]*sqldata.Database, n)
+	for i := range shards {
+		shards[i] = sqldata.NewDatabase(db.Name)
+	}
+
+	// refOwners[table][column][valueKey] = shard, recorded for every
+	// (table, column) some child references, consumed while placing the
+	// children.
+	refOwners := map[string]map[string]map[string]int{}
+	needRef := map[string]map[string]bool{}
+	for _, fk := range parentOf {
+		ref := strings.ToLower(fk.RefTable)
+		if needRef[ref] == nil {
+			needRef[ref] = map[string]bool{}
+		}
+		needRef[ref][strings.ToLower(fk.RefColumn)] = true
+	}
+
+	for _, t := range order {
+		name := strings.ToLower(t.Schema.Name)
+		spec := &TableSpec{Table: t.Schema.Name}
+		fk := parentOf[name]
+		if fk != nil {
+			spec.Column = fk.Column
+			spec.Parent = fk.RefTable
+			spec.ParentColumn = fk.RefColumn
+			spec.colIdx = t.Schema.ColumnIndex(fk.Column)
+		} else {
+			if pk := t.Schema.PrimaryKey(); len(pk) > 0 {
+				spec.Column = pk[0]
+			} else {
+				spec.Column = t.Schema.Columns[0].Name
+			}
+			spec.colIdx = t.Schema.ColumnIndex(spec.Column)
+		}
+		if spec.colIdx < 0 {
+			return nil, nil, fmt.Errorf("shard: table %s: partition column %q not found", t.Schema.Name, spec.Column)
+		}
+
+		// Parent lookup for co-located children, if this table is one.
+		var parentOwn map[string]int
+		if fk != nil {
+			ref := strings.ToLower(fk.RefTable)
+			if cols := refOwners[ref]; cols != nil {
+				parentOwn = cols[strings.ToLower(fk.RefColumn)]
+			}
+		}
+		// Ref maps this table must record for its own children.
+		recordCols := needRef[name]
+		var recordIdx []int
+		var recordInto []map[string]int
+		for col := range recordCols {
+			idx := t.Schema.ColumnIndex(col)
+			if idx < 0 {
+				continue
+			}
+			m := map[string]int{}
+			if refOwners[name] == nil {
+				refOwners[name] = map[string]map[string]int{}
+			}
+			refOwners[name][col] = m
+			recordIdx = append(recordIdx, idx)
+			recordInto = append(recordInto, m)
+		}
+
+		perShard := make([]*sqldata.Table, n)
+		for i := range perShard {
+			perShard[i] = &sqldata.Table{Schema: t.Schema}
+			if err := shards[i].AddTable(perShard[i]); err != nil {
+				return nil, nil, err
+			}
+		}
+		for _, row := range t.Rows {
+			v := row[spec.colIdx]
+			sh := -1
+			if parentOwn != nil {
+				if o, hit := parentOwn[v.Key()]; hit {
+					sh = o
+				}
+			}
+			if sh < 0 {
+				sh = hashOwner(v, n)
+			}
+			perShard[sh].Rows = append(perShard[sh].Rows, row)
+			part.RowsPerShard[sh]++
+			for i, idx := range recordIdx {
+				recordInto[i][row[idx].Key()] = sh
+			}
+		}
+
+		// Routing must agree with placement. When the parent is a hash
+		// root and the FK references its partition column, the child's
+		// owner is recomputable as hashOwner(fk value); otherwise keep the
+		// recorded placement map for Owner lookups.
+		if parentOwn != nil {
+			parentSpec := part.specs[strings.ToLower(fk.RefTable)]
+			aligned := parentSpec != nil && parentSpec.Parent == "" && parentSpec.owners == nil &&
+				strings.EqualFold(parentSpec.Column, fk.RefColumn)
+			if !aligned {
+				spec.owners = parentOwn
+			}
+		}
+		part.specs[name] = spec
+	}
+	return shards, part, nil
+}

@@ -1,0 +1,125 @@
+package shard
+
+import (
+	"testing"
+
+	"nlidb/internal/sqldata"
+)
+
+// TestSplitPlacesEveryRowOnce: the shard databases are a partition of the
+// original — every row lands on exactly one shard, none invented.
+func TestSplitPlacesEveryRowOnce(t *testing.T) {
+	db := fleetDB(t)
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		shards, part, err := Split(db, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(shards) != n || part.N != n {
+			t.Fatalf("n=%d: got %d shards, part.N=%d", n, len(shards), part.N)
+		}
+		total := 0
+		for _, c := range part.RowsPerShard {
+			total += c
+		}
+		if want := 40 + 120; total != want {
+			t.Fatalf("n=%d: RowsPerShard sums to %d, want %d", n, total, want)
+		}
+		for _, tbl := range db.Tables() {
+			seen := map[string]int{}
+			for _, sh := range shards {
+				st := sh.Table(tbl.Schema.Name)
+				if st == nil {
+					t.Fatalf("n=%d: shard missing table %s", n, tbl.Schema.Name)
+				}
+				for _, row := range st.Rows {
+					seen[row.Key()]++
+				}
+			}
+			if len(seen) != len(tbl.Rows) {
+				t.Fatalf("n=%d table %s: %d distinct rows across shards, want %d",
+					n, tbl.Schema.Name, len(seen), len(tbl.Rows))
+			}
+			for k, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d table %s: row %q placed %d times", n, tbl.Schema.Name, k, c)
+				}
+			}
+		}
+	}
+}
+
+// TestSplitCoLocatesForeignKeys: every orders row lives on the same shard
+// as the customer it references, so the FK join never crosses shards.
+func TestSplitCoLocatesForeignKeys(t *testing.T) {
+	db := fleetDB(t)
+	shards, _, err := Split(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	custShard := map[string]int{} // customer id key -> shard
+	for i, sh := range shards {
+		ct := sh.Table("customers")
+		idIdx := ct.Schema.ColumnIndex("id")
+		for _, row := range ct.Rows {
+			custShard[row[idIdx].Key()] = i
+		}
+	}
+	for i, sh := range shards {
+		ot := sh.Table("orders")
+		fkIdx := ot.Schema.ColumnIndex("customer_id")
+		for _, row := range ot.Rows {
+			if home, ok := custShard[row[fkIdx].Key()]; !ok || home != i {
+				t.Fatalf("order with customer_id=%s on shard %d, customer on shard %d (ok=%v)",
+					row[fkIdx], i, home, ok)
+			}
+		}
+	}
+}
+
+// TestOwnerAgreesWithPlacement: routing (Owner) and placement (Split)
+// must never disagree, for roots and co-located children alike.
+func TestOwnerAgreesWithPlacement(t *testing.T) {
+	db := fleetDB(t)
+	shards, part, err := Split(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sh := range shards {
+		for _, tbl := range sh.Tables() {
+			spec := part.Spec(tbl.Schema.Name)
+			if spec == nil {
+				t.Fatalf("no spec for %s", tbl.Schema.Name)
+			}
+			idx := tbl.Schema.ColumnIndex(spec.Column)
+			for _, row := range tbl.Rows {
+				owner, ok := part.Owner(tbl.Schema.Name, row[idx])
+				if !ok || owner != i {
+					t.Fatalf("table %s value %s: Owner=%d ok=%v, placed on %d",
+						tbl.Schema.Name, row[idx], owner, ok, i)
+				}
+			}
+		}
+	}
+	if _, ok := part.Owner("nope", sqldata.NewInt(1)); ok {
+		t.Fatal("Owner claimed to know an unknown table")
+	}
+}
+
+// TestSplitSpecShapes: customers is a hash root on its primary key and
+// orders a co-located child on its foreign key.
+func TestSplitSpecShapes(t *testing.T) {
+	db := fleetDB(t)
+	_, part, err := Split(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cust := part.Spec("customers")
+	if cust == nil || cust.Parent != "" || cust.Column != "id" {
+		t.Fatalf("customers spec = %+v, want root on id", cust)
+	}
+	ord := part.Spec("ORDERS") // lookup is case-insensitive
+	if ord == nil || ord.Parent != "customers" || ord.Column != "customer_id" || ord.ParentColumn != "id" {
+		t.Fatalf("orders spec = %+v, want child of customers on customer_id", ord)
+	}
+}
