@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test short race vet staticcheck chaos fuzz check metrics-smoke cache-smoke plan-smoke overload-smoke bench-cache bench-plan bench-overload bench-shard
+.PHONY: build test short race vet staticcheck chaos fuzz check metrics-smoke cache-smoke plan-smoke overload-smoke trace-smoke bench-cache bench-plan bench-overload bench-shard bench-obs
 
 build:
 	$(GO) build ./...
@@ -74,6 +74,12 @@ plan-smoke: build
 overload-smoke: build
 	./scripts/overload_smoke.sh
 
+# End-to-end fleet-observability check: start cmd/nlidb -serve sharded,
+# serve one scatter question, and assert its retained trace crosses the
+# coordinator/replica boundary and /fleet, /slo, and /metrics agree.
+trace-smoke: build
+	./scripts/trace_smoke.sh
+
 # Answer-cache benchmark: cold/warm latency percentiles and serial-vs-
 # parallel throughput, written to BENCH_cache.json.
 bench-cache: build
@@ -95,5 +101,12 @@ bench-overload: build
 # timelines on a 3×2 cluster, written to BENCH_shard.json.
 bench-shard: build
 	$(GO) run ./cmd/nlidb-bench -shard BENCH_shard.json
+
+# Observability benchmark: per-engine latency percentiles plus the
+# baseline-vs-instrumented overhead comparison, for the single gateway and
+# for a 4-shard cluster with the full fleet stack on, written to
+# BENCH_obs.json.
+bench-obs: build
+	$(GO) run ./cmd/nlidb-bench -obs BENCH_obs.json -shards 4
 
 check: build vet test race

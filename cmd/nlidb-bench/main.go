@@ -11,7 +11,11 @@
 // With -obs the experiment tables are skipped; instead the observability
 // benchmark replays a WikiSQL-style workload through each engine twice
 // (baseline vs instrumented) and writes per-engine latency percentiles
-// plus the measured instrumentation overhead to the given JSON file.
+// plus the measured instrumentation overhead to the given JSON file. It
+// then repeats the comparison on a sharded cluster (-shards wide, 2
+// replicas): untraced serving versus the full fleet-observability stack —
+// coordinator tracing, per-shard rollups, SLO accounting, tail-sampled
+// trace retention — reported as shard_overhead.
 //
 // With -cache the answer-cache benchmark runs instead: a repetition-heavy
 // WikiSQL-style workload is served serially and through the 8-worker
@@ -54,6 +58,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for data generation and training")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	obsPath := flag.String("obs", "", "write the observability benchmark (per-engine latency percentiles, overhead) to this JSON file and exit")
+	obsShards := flag.Int("shards", 4, "cluster width for the -obs sharded-overhead section")
 	cachePath := flag.String("cache", "", "write the answer-cache benchmark (cold/warm percentiles, serial-vs-parallel throughput) to this JSON file and exit")
 	planPath := flag.String("plan", "", "write the planner benchmark (nested-loop vs hash-join latency per query class) to this JSON file and exit")
 	overloadPath := flag.String("overload", "", "write the overload benchmark (goodput and admitted p99 at 1×–10× offered load, with and without admission control) to this JSON file and exit")
@@ -61,7 +66,7 @@ func main() {
 	flag.Parse()
 
 	if *obsPath != "" {
-		if err := runObsBench(*obsPath, *seed); err != nil {
+		if err := runObsBench(*obsPath, *seed, *obsShards); err != nil {
 			fmt.Fprintf(os.Stderr, "nlidb-bench: %v\n", err)
 			os.Exit(1)
 		}

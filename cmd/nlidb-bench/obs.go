@@ -11,17 +11,22 @@ import (
 	"nlidb/internal/lexicon"
 	"nlidb/internal/obs"
 	"nlidb/internal/resilient"
+	"nlidb/internal/shard"
 )
 
 // obsReport is the BENCH_obs.json schema: per-engine latency percentiles
-// from the instrumented run, plus a baseline-vs-instrumented overhead
-// comparison demonstrating the tracing/metrics tax.
+// from the instrumented run, a baseline-vs-instrumented overhead
+// comparison demonstrating the tracing/metrics tax, and the same
+// comparison for sharded serving with the full fleet-observability stack
+// (coordinator tracing, per-shard rollups, SLO tracking, tail-sampled
+// trace retention) switched on.
 type obsReport struct {
-	Seed      int64             `json:"seed"`
-	Questions int               `json:"questions_per_engine"`
-	Reps      int               `json:"reps"`
-	Engines   []obsEngineReport `json:"engines"`
-	Overhead  obsOverhead       `json:"overhead"`
+	Seed          int64             `json:"seed"`
+	Questions     int               `json:"questions_per_engine"`
+	Reps          int               `json:"reps"`
+	Engines       []obsEngineReport `json:"engines"`
+	Overhead      obsOverhead       `json:"overhead"`
+	ShardOverhead obsShardOverhead  `json:"shard_overhead"`
 }
 
 type obsEngineReport struct {
@@ -39,14 +44,27 @@ type obsOverhead struct {
 	Pct            float64 `json:"overhead_pct"`
 }
 
+// obsShardOverhead is the fleet-observability tax: the same closed-loop
+// sharded workload served untraced and then with everything on.
+type obsShardOverhead struct {
+	Shards         int     `json:"shards"`
+	Replicas       int     `json:"replicas"`
+	Requests       int     `json:"requests"`
+	Reps           int     `json:"reps"`
+	UntracedMS     float64 `json:"untraced_total_ms"`
+	InstrumentedMS float64 `json:"instrumented_total_ms"`
+	Pct            float64 `json:"overhead_pct"`
+}
+
 // obsEngines is the fallback-chain order; each runs alone (no fallback)
 // so its percentiles are not polluted by another engine's retries.
 var obsEngines = []string{"athena", "parse", "pattern", "keyword"}
 
 // runObsBench replays the same question workload through four
 // single-engine gateways twice — once with tracing+metrics off (baseline)
-// and once fully instrumented — then writes the JSON report to path.
-func runObsBench(path string, seed int64) error {
+// and once fully instrumented — measures the sharded-serving equivalent
+// on a shards-wide cluster, then writes the JSON report to path.
+func runObsBench(path string, seed int64, shards int) error {
 	d := benchdata.Sales(seed)
 	set := benchdata.WikiSQLStyle(d, 80, seed+5)
 	questions := make([]string, 0, len(set.Pairs))
@@ -104,6 +122,12 @@ func runObsBench(path string, seed int64) error {
 		Pct:            100 * (float64(instrumented) - float64(baseline)) / float64(baseline),
 	}
 
+	so, err := runObsShardOverhead(d, seed, shards)
+	if err != nil {
+		return err
+	}
+	rep.ShardOverhead = so
+
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -112,9 +136,115 @@ func runObsBench(path string, seed int64) error {
 	if err := os.WriteFile(path, out, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("obs bench: %d questions × %d engines, overhead %.2f%% → %s\n",
-		len(questions), len(obsEngines), rep.Overhead.Pct, path)
+	fmt.Printf("obs bench: %d questions × %d engines, overhead %.2f%% (sharded %.2f%%) → %s\n",
+		len(questions), len(obsEngines), rep.Overhead.Pct, rep.ShardOverhead.Pct, path)
 	return nil
+}
+
+// obsShardRequests is the closed-loop request count per sharded run.
+const obsShardRequests = 400
+
+// runObsShardOverhead serves one workload on a shards×2 cluster twice:
+// untraced (coordinator and gateway tracing off, no metrics, no rollup
+// consumers) versus the full serving stack — coordinator trace spanning
+// classify/route/attempt/merge, nested replica-gateway traces, registry
+// metrics, tail-sampled TraceStore retention, slow-log attribution, and
+// per-request SLO accounting. Best-of-reps per mode, modes alternated.
+func runObsShardOverhead(d *benchdata.Domain, seed int64, shards int) (obsShardOverhead, error) {
+	mk := func(instrumented bool) (*shard.Cluster, *obs.SLO, error) {
+		cfg := shard.Config{
+			Replicas:     2,
+			Chain:        resilient.DefaultChain(d.DB, lexicon.New()),
+			Gateway:      resilient.Config{NoTrace: true, NoRetry: true},
+			CacheSize:    -1, // every ask pays routing, so the tax is visible
+			RetryBackoff: time.Millisecond,
+			Seed:         seed,
+			NoTrace:      true,
+		}
+		var slo *obs.SLO
+		if instrumented {
+			cfg.NoTrace = false
+			cfg.Gateway.NoTrace = false
+			cfg.Metrics = obs.NewRegistry()
+			cfg.SlowLog = obs.NewSlowLog(time.Second, 64)
+			cfg.Traces = obs.NewTraceStore(obs.TraceStoreConfig{})
+			slo = obs.NewSLO(obs.SLOConfig{})
+		}
+		cl, err := shard.New(d.DB, shards, cfg)
+		return cl, slo, err
+	}
+
+	// Keep only questions the sharded pipeline serves end to end.
+	probe, _, err := mk(false)
+	if err != nil {
+		return obsShardOverhead{}, err
+	}
+	set := benchdata.WikiSQLStyle(d, 60, seed+5)
+	var questions []string
+	for _, p := range set.Pairs {
+		if _, err := probe.Ask(context.Background(), p.Question); err == nil {
+			questions = append(questions, p.Question)
+		}
+		if len(questions) == 8 {
+			break
+		}
+	}
+	if len(questions) < 2 {
+		return obsShardOverhead{}, fmt.Errorf("obs bench: only %d shardable questions", len(questions))
+	}
+
+	untracedCl, _, err := mk(false)
+	if err != nil {
+		return obsShardOverhead{}, err
+	}
+	tracedCl, slo, err := mk(true)
+	if err != nil {
+		return obsShardOverhead{}, err
+	}
+
+	// Warm-up, then best-of-N with modes alternated (same rationale as the
+	// gateway overhead run above).
+	runObsShardWorkload(untracedCl, questions, nil)
+	runObsShardWorkload(tracedCl, questions, slo)
+	const reps = 5
+	var untraced, instrumented time.Duration
+	for i := 0; i < reps; i++ {
+		u := runObsShardWorkload(untracedCl, questions, nil)
+		if i == 0 || u < untraced {
+			untraced = u
+		}
+		ins := runObsShardWorkload(tracedCl, questions, slo)
+		if i == 0 || ins < instrumented {
+			instrumented = ins
+		}
+	}
+	return obsShardOverhead{
+		Shards:         shards,
+		Replicas:       2,
+		Requests:       obsShardRequests,
+		Reps:           reps,
+		UntracedMS:     float64(untraced) / float64(time.Millisecond),
+		InstrumentedMS: float64(instrumented) / float64(time.Millisecond),
+		Pct:            100 * (float64(instrumented) - float64(untraced)) / float64(untraced),
+	}, nil
+}
+
+// runObsShardWorkload drives the sharded workload serially and returns
+// its wall time. Serial on purpose: the overhead comparison needs the
+// per-request instrumentation tax, and a multi-worker closed loop on a
+// small machine measures scheduler contention instead (the scatter path
+// already fans out one goroutine per shard internally, so the traced
+// concurrent machinery is still fully exercised). A non-nil slo gets one
+// Observe per request, mirroring what the HTTP serving layer does per
+// answer.
+func runObsShardWorkload(cl *shard.Cluster, questions []string, slo *obs.SLO) time.Duration {
+	start := time.Now()
+	for i := 0; i < obsShardRequests; i++ {
+		t0 := time.Now()
+		ans, err := cl.Ask(context.Background(), questions[i%len(questions)])
+		slo.Observe(time.Since(t0), err == nil && (ans == nil || !ans.Partial))
+	}
+	return time.Since(start)
 }
 
 // runObsWorkload asks every question on a fresh single-engine gateway per

@@ -9,6 +9,8 @@
 //	      [-cache 1024] [-cache-ttl 0] [-parallel 8] [-plan-cache 256]
 //	      [-serve 127.0.0.1:8080] [-drain-timeout 10s] [-max-inflight N]
 //	      [-rate-limit R] [-shards N] [-replicas R] [-breaker-jitter D]
+//	      [-trace-sample P] [-trace-retain N] [-slo-latency D]
+//	      [-slo-latency-objective P] [-slo-availability-objective P]
 //	      ["one-shot question" | "q1; q2; q3"]
 //
 // Engines: keyword, pattern, parse, athena (default). With -chat the
@@ -49,6 +51,15 @@
 // new requests get 503 + Retry-After, in-flight ones get up to
 // -drain-timeout to finish, stragglers are cancelled. See the README's
 // Overload protection section for the protocol.
+//
+// Fleet observability (serve mode): every uncached question is traced
+// end-to-end — coordinator classify/route, per-replica attempts with
+// hedge/retry/breaker annotations, merge — and tail-sampled into the
+// /trace exemplar store (slow, failed, and partial queries always
+// retained; healthy ones at -trace-sample under the -trace-retain span
+// budget). /fleet reports per-shard/per-replica health rollups, and /slo
+// serves multi-window (5m/1h/6h/3d) burn rates against the -slo-latency
+// and availability objectives; both also ride the /metrics scrape.
 //
 // Fault tolerance: -shards N partitions the data across N in-process
 // engine shards (foreign-key co-located) with -replicas R gateways each,
@@ -117,6 +128,11 @@ func main() {
 	shards := flag.Int("shards", 0, "partition the data across N replicated engine shards in serve mode (0/1 = unsharded)")
 	replicas := flag.Int("replicas", 2, "replicas per shard when -shards is set")
 	breakerJitter := flag.Duration("breaker-jitter", -1, "max random delay added to circuit-breaker half-open probes (-1 = auto: cooldown/8, 0 disables)")
+	traceSample := flag.Float64("trace-sample", 0.01, "probability of retaining a healthy fast query's trace as an exemplar (slow/failed/partial traces are always retained; 1 keeps everything)")
+	traceRetain := flag.Int("trace-retain", 16384, "retained-trace memory budget in spans for the /trace exemplar store")
+	sloLatency := flag.Duration("slo-latency", 500*time.Millisecond, "latency SLO: per-request objective served on /slo and /metrics")
+	sloLatencyObjective := flag.Float64("slo-latency-objective", 0.99, "target fraction of requests within -slo-latency")
+	sloAvailObjective := flag.Float64("slo-availability-objective", 0.999, "target fraction of fully-available answers (partial answers and shard-down refusals count against this)")
 	flag.Parse()
 
 	var d *benchdata.Domain
@@ -171,18 +187,36 @@ func main() {
 	if jitter < 0 {
 		jitter = resilient.DefaultBreakerJitter(0)
 	}
+	// The exemplar trace store backs GET /trace: slow/failed/partial
+	// queries are always retained, healthy fast ones tail-sampled at
+	// -trace-sample, all under the -trace-retain span budget.
+	traces := obs.NewTraceStore(obs.TraceStoreConfig{
+		SlowThreshold: *slowlog,
+		SampleRate:    *traceSample,
+		MaxSpans:      *traceRetain,
+	})
 	gw := resilient.New(d.DB, chain, resilient.Config{
-		Timeout: *timeout, Metrics: reg, SlowLog: slow,
+		Timeout: *timeout, Metrics: reg, SlowLog: slow, Traces: traces,
 		Cache: cache, PlanCache: planCache, Workers: *parallel,
 		BreakerJitter: jitter,
 	})
 	if *serveAddr != "" {
+		slo := obs.NewSLO(obs.SLOConfig{
+			Latency:               *sloLatency,
+			LatencyObjective:      *sloLatencyObjective,
+			AvailabilityObjective: *sloAvailObjective,
+		})
+		obsOpts := []obs.HandlerOption{
+			obs.WithPage("/slo", slo.Handler()),
+			obs.WithPage("/trace", traces.Handler()),
+			obs.WithProm(slo.WriteProm),
+		}
 		var backend server.Backend = gw
 		if *shards > 1 {
 			cl, err := shard.New(d.DB, *shards, shard.Config{
 				Replicas: *replicas,
 				Chain:    chain,
-				Gateway:  resilient.Config{SlowLog: slow, BreakerJitter: jitter},
+				Gateway:  resilient.Config{BreakerJitter: jitter},
 				Timeout:  *timeout,
 				// The flag convention is 0 = off; the cluster's is negative =
 				// off, 0 = default capacity.
@@ -190,6 +224,8 @@ func main() {
 				CacheTTL:      *cacheTTL,
 				PlanCacheSize: disabledIfZero(*planCacheSize),
 				Metrics:       reg,
+				SlowLog:       slow,
+				Traces:        traces,
 				Seed:          *seed,
 				Workers:       *parallel,
 			})
@@ -197,25 +233,28 @@ func main() {
 				fatalf("%v", err)
 			}
 			backend = cl
+			obsOpts = append(obsOpts,
+				obs.WithPage("/fleet", cl.FleetHandler()),
+				obs.WithProm(cl.WriteProm))
 			fmt.Printf("sharded: %d shards × %d replicas, rows/shard %v\n",
 				cl.ShardCount(), cl.ReplicaCount(), cl.Partitioning().RowsPerShard)
 		}
-		if err := serve(backend, reg, slow, serveOptions{
+		if err := serve(backend, reg, slow, slo, serveOptions{
 			addr:         *serveAddr,
 			drainTimeout: *drainTimeout,
 			maxInflight:  *maxInflight,
 			rateLimit:    *rateLimit,
-		}); err != nil {
+		}, obsOpts...); err != nil {
 			fatalf("%v", err)
 		}
 		return
 	}
 	if *metricsAddr != "" {
-		_, bound, err := obs.Serve(*metricsAddr, reg, slow)
+		_, bound, err := obs.Serve(*metricsAddr, reg, slow, obs.WithPage("/trace", traces.Handler()))
 		if err != nil {
 			fatalf("%v", err)
 		}
-		fmt.Printf("metrics: http://%s/metrics (also /debug/vars, /debug/pprof, /slowlog)\n", bound)
+		fmt.Printf("metrics: http://%s/metrics (also /debug/vars, /debug/pprof, /slowlog, /trace)\n", bound)
 	}
 
 	// One-shot mode: answer the positional question(s) and exit. Several

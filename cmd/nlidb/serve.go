@@ -26,7 +26,7 @@ type serveOptions struct {
 // listener stops accepting, queued admission waiters are flushed with
 // 503s, in-flight requests get up to -drain-timeout to finish, and any
 // stragglers are cancelled through their request contexts before exit.
-func serve(backend server.Backend, reg *obs.Registry, slow *obs.SlowLog, opts serveOptions) error {
+func serve(backend server.Backend, reg *obs.Registry, slow *obs.SlowLog, slo *obs.SLO, opts serveOptions, obsOpts ...obs.HandlerOption) error {
 	ctrl := admission.New(admission.Config{MaxInFlight: opts.maxInflight, Metrics: reg})
 	var rl *admission.RateLimiter
 	if opts.rateLimit > 0 {
@@ -37,11 +37,13 @@ func serve(backend server.Backend, reg *obs.Registry, slow *obs.SlowLog, opts se
 		Admission: ctrl,
 		RateLimit: rl,
 		Metrics:   reg,
+		SLO:       slo,
 	})
 
 	// One mux serves the query API and the debug suite, so a single port
-	// carries /query, /batch, /metrics, /slowlog, and /debug/pprof.
-	mux := server.Mux(api, reg, slow)
+	// carries /query, /batch, /metrics, /slowlog, /slo, /trace (and
+	// /fleet when sharded) alongside /debug/pprof.
+	mux := server.Mux(api, reg, slow, obsOpts...)
 
 	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {

@@ -3,21 +3,62 @@ package obs
 import (
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 )
 
+// HandlerOption extends the debug mux Handler builds — extra pages (the
+// fleet/SLO/trace surfaces) and extra Prometheus families on /metrics —
+// without the obs package importing the layers that produce them.
+type HandlerOption func(*handlerOpts)
+
+type handlerOpts struct {
+	pages map[string]http.Handler
+	proms []func(io.Writer)
+}
+
+// WithPage mounts h at pattern on the debug mux (e.g. "/fleet", "/slo",
+// "/trace"). Later registrations for the same pattern win.
+func WithPage(pattern string, h http.Handler) HandlerOption {
+	return func(o *handlerOpts) {
+		if o.pages == nil {
+			o.pages = map[string]http.Handler{}
+		}
+		o.pages[pattern] = h
+	}
+}
+
+// WithProm appends extra Prometheus text-format families to every /metrics
+// scrape — computed-at-scrape series (SLO burn rates, fleet rollups) that
+// do not fit the registry's counter/gauge/histogram kinds.
+func WithProm(write func(io.Writer)) HandlerOption {
+	return func(o *handlerOpts) {
+		if write != nil {
+			o.proms = append(o.proms, write)
+		}
+	}
+}
+
 // Handler returns the debug mux for a registry: a Prometheus text dump at
 // /metrics, the expvar JSON dump at /debug/vars (with the registry
 // published as "nlidb"), the pprof profile suite under /debug/pprof/, and
-// — when slow is non-nil — the slow-query log at /slowlog.
-func Handler(reg *Registry, slow *SlowLog) http.Handler {
+// — when slow is non-nil — the slow-query log at /slowlog. Options mount
+// further pages and /metrics families.
+func Handler(reg *Registry, slow *SlowLog, opts ...HandlerOption) http.Handler {
+	var o handlerOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
 	reg.PublishExpvar("nlidb")
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
+		for _, write := range o.proms {
+			write(w)
+		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -31,17 +72,20 @@ func Handler(reg *Registry, slow *SlowLog) http.Handler {
 			fmt.Fprintf(w, "threshold %s, %d recorded\n%s\n", slow.Threshold(), slow.Total(), slow)
 		})
 	}
+	for pattern, h := range o.pages {
+		mux.Handle(pattern, h)
+	}
 	return mux
 }
 
 // Serve starts the debug mux on addr in a background goroutine and
 // returns the server plus the bound address (useful with ":0").
-func Serve(addr string, reg *Registry, slow *SlowLog) (*http.Server, string, error) {
+func Serve(addr string, reg *Registry, slow *SlowLog, opts ...HandlerOption) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("obs: metrics listener: %w", err)
 	}
-	srv := &http.Server{Handler: Handler(reg, slow)}
+	srv := &http.Server{Handler: Handler(reg, slow, opts...)}
 	go srv.Serve(ln) //nolint:errcheck // shutdown error is the caller's signal
 	return srv, ln.Addr().String(), nil
 }

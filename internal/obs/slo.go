@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// SLO tracks two service-level objectives over sliding multi-window
+// horizons — the Google-SRE burn-rate shape:
+//
+//   - availability: the fraction of requests that produced a full, correct
+//     answer. Partial scatter answers and shard-down refusals count AGAINST
+//     availability (the honest-degradation stance: a degraded answer is an
+//     SLO miss even though the user got something).
+//   - latency: the fraction of requests answered within Config.Latency.
+//
+// Events land in a ring of one-minute buckets covering the slowest window
+// (3 days), so recording is O(1) and lock-cheap; window sums and burn rates
+// are computed on demand at scrape time. Burn rate is
+// badRatio / (1 - objective): 1.0 means exactly consuming the error budget
+// at the sustainable pace, 14.4 over 5m+1h is the classic page-now signal.
+type SLO struct {
+	cfg SLOConfig
+
+	mu    sync.Mutex
+	base  time.Time // minute-aligned epoch of bucket 0's first lap
+	buckt []sloBucket
+}
+
+// sloBucket is one minute of events. lap guards against ring wrap: a bucket
+// whose lap is older than the current pass holds stale data and reads as
+// empty until rewritten.
+type sloBucket struct {
+	lap     int64
+	total   int64
+	unavail int64 // availability misses
+	slow    int64 // latency misses
+}
+
+// sloWindows are the burn-rate windows, fast to slow. 5m/1h is the fast
+// pair (page), 6h/3d the slow pair (ticket).
+var sloWindows = []struct {
+	Name string
+	Dur  time.Duration
+}{
+	{"5m", 5 * time.Minute},
+	{"1h", time.Hour},
+	{"6h", 6 * time.Hour},
+	{"3d", 72 * time.Hour},
+}
+
+// sloRingMinutes covers the slowest window exactly.
+const sloRingMinutes = int(72 * time.Hour / time.Minute) // 4320
+
+// SLOConfig sets the objectives. Zero values get serving defaults.
+type SLOConfig struct {
+	// Latency is the per-request latency objective (default 500ms).
+	Latency time.Duration
+	// LatencyObjective is the target fraction of requests within Latency
+	// (default 0.99).
+	LatencyObjective float64
+	// AvailabilityObjective is the target fraction of fully-available
+	// answers (default 0.999).
+	AvailabilityObjective float64
+	// Now is the clock, injectable for tests (default time.Now).
+	Now func() time.Time
+}
+
+// NewSLO builds an SLO tracker; zero-value config fields get defaults.
+func NewSLO(cfg SLOConfig) *SLO {
+	if cfg.Latency <= 0 {
+		cfg.Latency = 500 * time.Millisecond
+	}
+	if cfg.LatencyObjective <= 0 || cfg.LatencyObjective >= 1 {
+		cfg.LatencyObjective = 0.99
+	}
+	if cfg.AvailabilityObjective <= 0 || cfg.AvailabilityObjective >= 1 {
+		cfg.AvailabilityObjective = 0.999
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	s := &SLO{cfg: cfg, buckt: make([]sloBucket, sloRingMinutes)}
+	s.base = cfg.Now().Truncate(time.Minute)
+	return s
+}
+
+// Observe records one finished request: its wall time and whether it
+// produced a fully-available answer (available=false for errors, timeouts,
+// shard-down refusals, AND partial scatter answers). Nil-safe.
+func (s *SLO) Observe(elapsed time.Duration, available bool) {
+	if s == nil {
+		return
+	}
+	now := s.cfg.Now()
+	s.mu.Lock()
+	b := s.bucketLocked(now)
+	b.total++
+	if !available {
+		b.unavail++
+	}
+	if elapsed > s.cfg.Latency {
+		b.slow++
+	}
+	s.mu.Unlock()
+}
+
+// bucketLocked returns the live bucket for t, resetting it if the ring has
+// lapped since it was last written.
+func (s *SLO) bucketLocked(t time.Time) *sloBucket {
+	min := int64(t.Sub(s.base) / time.Minute)
+	if min < 0 {
+		min = 0
+	}
+	idx := int(min) % sloRingMinutes
+	lap := min / int64(sloRingMinutes)
+	b := &s.buckt[idx]
+	if b.lap != lap {
+		*b = sloBucket{lap: lap}
+	}
+	return b
+}
+
+// SLOWindow is one window's position against both objectives.
+type SLOWindow struct {
+	Window string `json:"window"`
+	Total  int64  `json:"total"`
+	// Availability
+	Unavailable      int64   `json:"unavailable"`
+	Availability     float64 `json:"availability"`
+	AvailabilityBurn float64 `json:"availability_burn_rate"`
+	// Latency
+	Slow        int64   `json:"slow"`
+	LatencyHit  float64 `json:"latency_hit_ratio"`
+	LatencyBurn float64 `json:"latency_burn_rate"`
+}
+
+// SLOReport is the full scrape-time view: objectives plus every window.
+type SLOReport struct {
+	LatencyTargetMS       int64       `json:"latency_target_ms"`
+	LatencyObjective      float64     `json:"latency_objective"`
+	AvailabilityObjective float64     `json:"availability_objective"`
+	Windows               []SLOWindow `json:"windows"`
+	// FastBurnAlert fires when both fast windows (5m and 1h) burn the
+	// availability budget at >14.4× — the classic page condition.
+	FastBurnAlert bool `json:"fast_burn_alert"`
+}
+
+// Report computes the multi-window burn rates as of now.
+func (s *SLO) Report() SLOReport {
+	if s == nil {
+		return SLOReport{}
+	}
+	now := s.cfg.Now()
+	rep := SLOReport{
+		LatencyTargetMS:       s.cfg.Latency.Milliseconds(),
+		LatencyObjective:      s.cfg.LatencyObjective,
+		AvailabilityObjective: s.cfg.AvailabilityObjective,
+	}
+	availBudget := 1 - s.cfg.AvailabilityObjective
+	latBudget := 1 - s.cfg.LatencyObjective
+
+	s.mu.Lock()
+	nowMin := int64(now.Sub(s.base) / time.Minute)
+	burns := map[string]float64{}
+	for _, w := range sloWindows {
+		minutes := int64(w.Dur / time.Minute)
+		var total, unavail, slow int64
+		for m := nowMin - minutes + 1; m <= nowMin; m++ {
+			if m < 0 {
+				continue
+			}
+			b := &s.buckt[int(m)%sloRingMinutes]
+			if b.lap != m/int64(sloRingMinutes) {
+				continue // stale (lapped) or never-written bucket
+			}
+			total += b.total
+			unavail += b.unavail
+			slow += b.slow
+		}
+		win := SLOWindow{Window: w.Name, Total: total, Unavailable: unavail, Slow: slow}
+		if total > 0 {
+			win.Availability = 1 - float64(unavail)/float64(total)
+			win.LatencyHit = 1 - float64(slow)/float64(total)
+			win.AvailabilityBurn = (float64(unavail) / float64(total)) / availBudget
+			win.LatencyBurn = (float64(slow) / float64(total)) / latBudget
+		} else {
+			win.Availability, win.LatencyHit = 1, 1
+		}
+		burns[w.Name] = win.AvailabilityBurn
+		rep.Windows = append(rep.Windows, win)
+	}
+	s.mu.Unlock()
+
+	rep.FastBurnAlert = burns["5m"] > 14.4 && burns["1h"] > 14.4
+	return rep
+}
+
+// Handler serves the SLO report as JSON on GET.
+func (s *SLO) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Report())
+	})
+}
+
+// WriteProm appends the SLO families in Prometheus text format — wired into
+// /metrics via Handler's WithProm option so burn rates ride the same scrape
+// as the counters they summarize.
+func (s *SLO) WriteProm(w io.Writer) {
+	if s == nil {
+		return
+	}
+	rep := s.Report()
+	fmt.Fprintf(w, "# TYPE nlidb_slo_latency_target_ms gauge\nnlidb_slo_latency_target_ms %d\n", rep.LatencyTargetMS)
+	fmt.Fprintf(w, "# TYPE nlidb_slo_objective gauge\n")
+	fmt.Fprintf(w, "nlidb_slo_objective{sli=\"availability\"} %g\n", rep.AvailabilityObjective)
+	fmt.Fprintf(w, "nlidb_slo_objective{sli=\"latency\"} %g\n", rep.LatencyObjective)
+	fmt.Fprintf(w, "# TYPE nlidb_slo_window_total gauge\n# TYPE nlidb_slo_window_bad gauge\n# TYPE nlidb_slo_burn_rate gauge\n")
+	for _, win := range rep.Windows {
+		fmt.Fprintf(w, "nlidb_slo_window_total{window=%q} %d\n", win.Window, win.Total)
+		fmt.Fprintf(w, "nlidb_slo_window_bad{sli=\"availability\",window=%q} %d\n", win.Window, win.Unavailable)
+		fmt.Fprintf(w, "nlidb_slo_window_bad{sli=\"latency\",window=%q} %d\n", win.Window, win.Slow)
+		fmt.Fprintf(w, "nlidb_slo_burn_rate{sli=\"availability\",window=%q} %g\n", win.Window, win.AvailabilityBurn)
+		fmt.Fprintf(w, "nlidb_slo_burn_rate{sli=\"latency\",window=%q} %g\n", win.Window, win.LatencyBurn)
+	}
+	alert := 0
+	if rep.FastBurnAlert {
+		alert = 1
+	}
+	fmt.Fprintf(w, "# TYPE nlidb_slo_fast_burn_alert gauge\nnlidb_slo_fast_burn_alert %d\n", alert)
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sloClock is a settable fake clock for driving the minute ring.
+type sloClock struct{ t time.Time }
+
+func (c *sloClock) now() time.Time          { return c.t }
+func (c *sloClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newSLOClock() *sloClock                { return &sloClock{t: time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)} }
+func window(r SLOReport, name string) *SLOWindow {
+	for i := range r.Windows {
+		if r.Windows[i].Window == name {
+			return &r.Windows[i]
+		}
+	}
+	return nil
+}
+
+func TestSLOBurnMath(t *testing.T) {
+	clk := newSLOClock()
+	s := NewSLO(SLOConfig{
+		Latency:               100 * time.Millisecond,
+		LatencyObjective:      0.9,  // budget 0.1
+		AvailabilityObjective: 0.99, // budget 0.01
+		Now:                   clk.now,
+	})
+	// 100 events: 2 unavailable, 10 slow.
+	for i := 0; i < 100; i++ {
+		elapsed := 10 * time.Millisecond
+		if i < 10 {
+			elapsed = 200 * time.Millisecond
+		}
+		s.Observe(elapsed, i >= 2)
+	}
+	rep := s.Report()
+	w := window(rep, "5m")
+	if w == nil {
+		t.Fatal("no 5m window in report")
+	}
+	if w.Total != 100 || w.Unavailable != 2 || w.Slow != 10 {
+		t.Fatalf("5m window = total %d unavail %d slow %d, want 100/2/10", w.Total, w.Unavailable, w.Slow)
+	}
+	if got, want := w.Availability, 0.98; got != want {
+		t.Fatalf("availability = %g, want %g", got, want)
+	}
+	// burn = badRatio / budget: 0.02/0.01 = 2 for availability, 0.1/0.1 = 1
+	// for latency (exactly consuming the budget).
+	if got := w.AvailabilityBurn; got < 1.999 || got > 2.001 {
+		t.Fatalf("availability burn = %g, want 2", got)
+	}
+	if got := w.LatencyBurn; got < 0.999 || got > 1.001 {
+		t.Fatalf("latency burn = %g, want 1", got)
+	}
+	// All events are in the same minute, so every window sees them.
+	for _, name := range []string{"1h", "6h", "3d"} {
+		if w := window(rep, name); w == nil || w.Total != 100 {
+			t.Fatalf("window %s total = %v, want 100", name, w)
+		}
+	}
+	if rep.FastBurnAlert {
+		t.Fatal("FastBurnAlert at 2x burn; threshold is 14.4x")
+	}
+}
+
+func TestSLOFastBurnAlert(t *testing.T) {
+	clk := newSLOClock()
+	s := NewSLO(SLOConfig{AvailabilityObjective: 0.999, Now: clk.now})
+	// 100% failure burns at 1/0.001 = 1000x in both fast windows.
+	for i := 0; i < 10; i++ {
+		s.Observe(time.Millisecond, false)
+	}
+	rep := s.Report()
+	if !rep.FastBurnAlert {
+		t.Fatalf("FastBurnAlert not set at total outage; 5m burn = %g", window(rep, "5m").AvailabilityBurn)
+	}
+	// An old incident alone must not page: move it out of the 5m window.
+	clk.advance(10 * time.Minute)
+	rep = s.Report()
+	if rep.FastBurnAlert {
+		t.Fatal("FastBurnAlert still set with the incident outside the 5m window")
+	}
+	if w := window(rep, "1h"); w.Total != 10 || w.Unavailable != 10 {
+		t.Fatalf("1h window = %+v, want the incident still visible", w)
+	}
+}
+
+func TestSLOWindowsAgeOut(t *testing.T) {
+	checks := []struct {
+		advance time.Duration
+		gone    string // smallest window the event has left
+	}{
+		{6 * time.Minute, "5m"},
+		{time.Hour, "1h"},
+		{6 * time.Hour, "6h"},
+		{72 * time.Hour, "3d"},
+	}
+	for _, c := range checks {
+		clk := newSLOClock()
+		s := NewSLO(SLOConfig{Now: clk.now})
+		s.Observe(time.Millisecond, false)
+		clk.advance(c.advance)
+		w := window(s.Report(), c.gone)
+		if w.Total != 0 {
+			t.Errorf("after %v, %s window total = %d, want 0", c.advance, c.gone, w.Total)
+		}
+		// An empty window reads as perfectly healthy, not as burning.
+		if w.Availability != 1 || w.AvailabilityBurn != 0 {
+			t.Errorf("empty %s window: availability %g burn %g, want 1 and 0", c.gone, w.Availability, w.AvailabilityBurn)
+		}
+	}
+}
+
+// TestSLORingWrap: an event 3 days + a bit old lands on a lapped bucket
+// index; the lap guard must keep it from bleeding into the new pass.
+func TestSLORingWrap(t *testing.T) {
+	clk := newSLOClock()
+	s := NewSLO(SLOConfig{Now: clk.now})
+	s.Observe(time.Millisecond, false) // lap 0, bucket 0
+	clk.advance(72 * time.Hour)        // lap 1, same bucket index
+	if w := window(s.Report(), "3d"); w.Total != 0 {
+		t.Fatalf("lapped bucket leaked: 3d total = %d, want 0", w.Total)
+	}
+	s.Observe(time.Millisecond, true) // must reset the stale bucket
+	w := window(s.Report(), "3d")
+	if w.Total != 1 || w.Unavailable != 0 {
+		t.Fatalf("post-wrap bucket = total %d unavail %d, want 1/0 (stale counts cleared)", w.Total, w.Unavailable)
+	}
+}
+
+func TestSLOHandlerAndProm(t *testing.T) {
+	clk := newSLOClock()
+	s := NewSLO(SLOConfig{Latency: 50 * time.Millisecond, Now: clk.now})
+	s.Observe(10*time.Millisecond, true)
+	s.Observe(100*time.Millisecond, true) // slow but available: no burn alert
+
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/slo", nil))
+	body := rr.Body.String()
+	for _, want := range []string{`"latency_target_ms": 50`, `"window": "5m"`, `"availability_burn_rate"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/slo body missing %q:\n%s", want, body)
+		}
+	}
+
+	var sb strings.Builder
+	s.WriteProm(&sb)
+	prom := sb.String()
+	for _, want := range []string{
+		"nlidb_slo_latency_target_ms 50",
+		`nlidb_slo_objective{sli="availability"} 0.999`,
+		`nlidb_slo_window_total{window="5m"} 2`,
+		`nlidb_slo_window_bad{sli="availability",window="5m"} 0`,
+		`nlidb_slo_window_bad{sli="latency",window="5m"} 1`,
+		`nlidb_slo_burn_rate{sli="latency",window="5m"}`,
+		"nlidb_slo_fast_burn_alert 0",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("prom dump missing %q:\n%s", want, prom)
+		}
+	}
+}
+
+func TestSLONilSafe(t *testing.T) {
+	var s *SLO
+	s.Observe(time.Second, false) // must not panic
+	if rep := s.Report(); len(rep.Windows) != 0 {
+		t.Fatal("nil SLO report should be empty")
+	}
+	var sb strings.Builder
+	s.WriteProm(&sb)
+	if sb.Len() != 0 {
+		t.Fatal("nil SLO wrote prom output")
+	}
+}

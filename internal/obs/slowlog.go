@@ -21,6 +21,25 @@ type SlowEntry struct {
 	When time.Time
 	// Trace, when tracing was on, is the full span tree of the query.
 	Trace *QueryTrace
+
+	// TraceID links the entry to its retained full trace in a TraceStore
+	// ("" when tracing was off). The /slowlog page prints it so an operator
+	// can jump from a slow line to /trace?id=… without grepping.
+	TraceID TraceID
+	// Route is the coordinator's statement classification ("home",
+	// "pruned", "scatter"; "" for unsharded serving).
+	Route string
+	// Shards is how many shards the query touched (0 for unsharded).
+	Shards int
+	// Partial marks a degraded scatter answer (some shards missing).
+	Partial bool
+	// Hedged counts hedge legs fired while serving the query.
+	Hedged int
+	// Retries counts replica attempts beyond the first, summed over shards.
+	Retries int
+	// DroppedSpans is the trace's DroppedTotal — spans lost to the child
+	// cap, so a truncated tree is never mistaken for a complete one.
+	DroppedSpans int
 }
 
 // SlowLog is a fixed-capacity ring buffer of the most recent queries
@@ -99,8 +118,39 @@ func (l *SlowLog) String() string {
 	}
 	var sb strings.Builder
 	for _, e := range entries {
-		fmt.Fprintf(&sb, "%s  %-8s %-9s %-10s %q\n",
-			e.When.Format("15:04:05.000"), e.Engine, e.Outcome, roundDur(e.Duration), e.Question)
+		fmt.Fprintf(&sb, "%s  %-8s %-9s %-10s %q%s\n",
+			e.When.Format("15:04:05.000"), e.Engine, e.Outcome, roundDur(e.Duration), e.Question, fleetSuffix(e))
 	}
 	return strings.TrimRight(sb.String(), "\n")
+}
+
+// fleetSuffix renders the sharded-serving fields of an entry, omitting
+// whatever is zero so unsharded lines look exactly as before.
+func fleetSuffix(e SlowEntry) string {
+	var parts []string
+	if e.Route != "" {
+		parts = append(parts, "route="+e.Route)
+	}
+	if e.Shards > 0 {
+		parts = append(parts, fmt.Sprintf("shards=%d", e.Shards))
+	}
+	if e.Partial {
+		parts = append(parts, "partial=true")
+	}
+	if e.Hedged > 0 {
+		parts = append(parts, fmt.Sprintf("hedged=%d", e.Hedged))
+	}
+	if e.Retries > 0 {
+		parts = append(parts, fmt.Sprintf("retries=%d", e.Retries))
+	}
+	if e.DroppedSpans > 0 {
+		parts = append(parts, fmt.Sprintf("dropped_spans=%d", e.DroppedSpans))
+	}
+	if e.TraceID != "" {
+		parts = append(parts, "trace="+string(e.TraceID))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " [" + strings.Join(parts, " ") + "]"
 }

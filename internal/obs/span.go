@@ -25,6 +25,7 @@ type Span struct {
 	// Name labels the stage ("interpret", "scan customer", …).
 	Name string
 
+	id       uint64 // process-unique, for cross-node parent references
 	mu       sync.Mutex
 	start    time.Time
 	dur      time.Duration
@@ -47,7 +48,17 @@ type Count struct {
 }
 
 func newSpan(name string) *Span {
-	return &Span{Name: name, start: time.Now()}
+	return &Span{Name: name, id: nextSpanID(), start: time.Now()}
+}
+
+// SpanID is the span's process-unique identifier, hex-encoded. Together
+// with the trace ID it forms the serializable TraceContext a coordinator
+// hands to a remote node ("" on nil).
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return fmt.Sprintf("%08x", s.id)
 }
 
 // StartSpan begins a span named name as a child of the span in ctx (or as
@@ -218,13 +229,59 @@ type QueryTrace struct {
 	Question string
 	// Root spans the whole request; stage spans hang below it.
 	Root *Span
+	// ID identifies the trace fleet-wide. Child traces started under a
+	// coordinator's context (in-process or via a propagated TraceContext)
+	// share the coordinator's ID, so one distributed request is one ID.
+	ID TraceID
 }
 
 // NewQueryTrace starts a trace for question, returning a context that
 // carries its root span so StartSpan/FromContext attach below it.
+//
+// Trace identity propagates across serving tiers: if ctx already carries a
+// trace ID (the in-process fast path — a replica gateway running under a
+// shard coordinator) the new trace adopts it and its root attaches as a
+// child of the coordinator's current span, forming one tree. If ctx
+// carries a remote TraceContext (deserialized from a transport header via
+// WithRemoteContext) the ID is adopted and the root records its remote
+// parent span, ready to be re-grafted coordinator-side from the exported
+// span tree. Otherwise a fresh ID is generated.
 func NewQueryTrace(ctx context.Context, question string) (context.Context, *QueryTrace) {
+	id := ContextTraceID(ctx)
+	var remoteParent string
+	if id == "" {
+		if tc, ok := RemoteContext(ctx); ok {
+			id = tc.TraceID
+			remoteParent = tc.SpanID
+		}
+	}
+	local := FromContext(ctx) != nil
 	ctx, root := StartSpan(ctx, "query")
-	return ctx, &QueryTrace{Question: question, Root: root}
+	if id == "" {
+		id = NewTraceID()
+	} else if remoteParent != "" && !local {
+		root.SetAttr("remote_parent", remoteParent)
+	}
+	ctx = context.WithValue(ctx, traceIDKey{}, id)
+	return ctx, &QueryTrace{Question: question, Root: root, ID: id}
+}
+
+// DroppedTotal sums Span.Dropped over the whole tree: how many spans this
+// trace silently lost to the per-span child cap. Renderers and the slow
+// log surface it so a truncated tree is never mistaken for a complete one.
+func (t *QueryTrace) DroppedTotal() int {
+	if t == nil {
+		return 0
+	}
+	var walk func(s *Span) int
+	walk = func(s *Span) int {
+		n := s.Dropped()
+		for _, c := range s.Children() {
+			n += walk(c)
+		}
+		return n
+	}
+	return walk(t.Root)
 }
 
 // roundDur trims a duration for display: sub-millisecond spans print in

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one distributed request across every node that works
+// on it. IDs are 16 hex characters: an 8-hex process prefix (random at
+// startup, so concurrent processes in a fleet do not collide) plus an
+// 8-hex per-process counter.
+type TraceID string
+
+var (
+	// tracePrefix is drawn once per process; Go 1.20+ seeds the global
+	// source randomly, so two fleet processes get distinct prefixes.
+	tracePrefix = uint32(rand.Int63())
+	traceSeq    atomic.Uint32
+	spanSeq     atomic.Uint64
+)
+
+// NewTraceID returns a fresh fleet-unique trace ID.
+func NewTraceID() TraceID {
+	return TraceID(fmt.Sprintf("%08x%08x", tracePrefix, traceSeq.Add(1)))
+}
+
+// nextSpanID hands out process-unique span IDs.
+func nextSpanID() uint64 { return spanSeq.Add(1) }
+
+// traceIDKey carries the current trace's ID through a context, alongside
+// (but independent of) the current span.
+type traceIDKey struct{}
+
+// remoteCtxKey carries a deserialized TraceContext from a transport edge
+// to the next NewQueryTrace.
+type remoteCtxKey struct{}
+
+// ContextTraceID returns the trace ID in ctx, or "" when ctx carries none.
+func ContextTraceID(ctx context.Context) TraceID {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceIDKey{}).(TraceID)
+	return id
+}
+
+// TraceContext is the serializable trace coordinate a coordinator sends
+// with a cross-node request: which distributed trace the work belongs to
+// and which span is its parent. Its wire form (String/ParseTraceContext,
+// or plain JSON) is transport-agnostic — an HTTP header, a field in a
+// framed RPC, an environment variable for a child process.
+type TraceContext struct {
+	// TraceID names the distributed trace.
+	TraceID TraceID `json:"trace_id"`
+	// SpanID names the parent span on the sending node.
+	SpanID string `json:"span_id"`
+}
+
+// String serializes the context as "traceID-spanID", the header form.
+func (tc TraceContext) String() string {
+	return string(tc.TraceID) + "-" + tc.SpanID
+}
+
+// ParseTraceContext parses the String form. Errors on malformed input so
+// a transport edge can reject a corrupt header instead of mislinking.
+func ParseTraceContext(s string) (TraceContext, error) {
+	i := strings.LastIndexByte(s, '-')
+	if i <= 0 || i == len(s)-1 {
+		return TraceContext{}, fmt.Errorf("obs: malformed trace context %q", s)
+	}
+	return TraceContext{TraceID: TraceID(s[:i]), SpanID: s[i+1:]}, nil
+}
+
+// CurrentTraceContext extracts the sendable trace coordinate from ctx:
+// the trace ID plus the current span's ID. ok is false when ctx carries
+// no trace (nothing to propagate).
+func CurrentTraceContext(ctx context.Context) (TraceContext, bool) {
+	id := ContextTraceID(ctx)
+	if id == "" {
+		return TraceContext{}, false
+	}
+	return TraceContext{TraceID: id, SpanID: FromContext(ctx).SpanID()}, true
+}
+
+// WithRemoteContext returns a ctx carrying tc as the remote parent for the
+// next NewQueryTrace — the receiving side of a transport edge. It does NOT
+// set a local parent span: the remote tree stays detached until the
+// coordinator grafts the exported spans back under the parent span.
+func WithRemoteContext(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, remoteCtxKey{}, tc)
+}
+
+// RemoteContext returns the remote TraceContext installed by
+// WithRemoteContext, if any.
+func RemoteContext(ctx context.Context) (TraceContext, bool) {
+	if ctx == nil {
+		return TraceContext{}, false
+	}
+	tc, ok := ctx.Value(remoteCtxKey{}).(TraceContext)
+	return tc, ok
+}
+
+// SpanData is the wire form of a span subtree: everything a coordinator
+// needs to re-graft a remote node's work into the distributed trace.
+// Durations travel as nanoseconds; wall-clock start times do not travel
+// (clocks across nodes are not comparable; tree position carries order).
+type SpanData struct {
+	Name     string      `json:"name"`
+	SpanID   string      `json:"span_id,omitempty"`
+	DurNS    int64       `json:"dur_ns"`
+	Ended    bool        `json:"ended"`
+	Attrs    []Attr      `json:"attrs,omitempty"`
+	Counts   []Count     `json:"counts,omitempty"`
+	Children []*SpanData `json:"children,omitempty"`
+	Dropped  int         `json:"dropped,omitempty"`
+}
+
+// Export snapshots the span subtree as transportable SpanData (nil on a
+// nil span). Live (un-ended) spans export their running duration.
+func (s *Span) Export() *SpanData {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	d := &SpanData{
+		Name:    s.Name,
+		SpanID:  fmt.Sprintf("%08x", s.id),
+		Ended:   s.ended,
+		Attrs:   append([]Attr(nil), s.attrs...),
+		Counts:  append([]Count(nil), s.counts...),
+		Dropped: s.dropped,
+	}
+	if s.ended {
+		d.DurNS = int64(s.dur)
+	} else {
+		d.DurNS = int64(time.Since(s.start))
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		d.Children = append(d.Children, c.Export())
+	}
+	return d
+}
+
+// MarshalTrace serializes a whole trace (ID + span tree) to JSON for the
+// wire. The inverse is UnmarshalTrace.
+func MarshalTrace(t *QueryTrace) ([]byte, error) {
+	if t == nil {
+		return nil, fmt.Errorf("obs: nil trace")
+	}
+	return json.Marshal(struct {
+		ID       TraceID   `json:"trace_id"`
+		Question string    `json:"question"`
+		Root     *SpanData `json:"root"`
+	}{t.ID, t.Question, t.Root.Export()})
+}
+
+// UnmarshalTrace rebuilds a trace from MarshalTrace output. The rebuilt
+// spans are frozen (ended with their exported durations) and ready to be
+// grafted under a coordinator span with Span.Graft.
+func UnmarshalTrace(data []byte) (*QueryTrace, error) {
+	var w struct {
+		ID       TraceID   `json:"trace_id"`
+		Question string    `json:"question"`
+		Root     *SpanData `json:"root"`
+	}
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("obs: unmarshal trace: %w", err)
+	}
+	return &QueryTrace{ID: w.ID, Question: w.Question, Root: w.Root.Rebuild()}, nil
+}
+
+// Rebuild turns exported SpanData back into a frozen *Span tree (nil on
+// nil). Rebuilt spans keep their originating node's span IDs, so a
+// remote_parent attribute on a nested trace still resolves.
+func (d *SpanData) Rebuild() *Span {
+	if d == nil {
+		return nil
+	}
+	s := &Span{
+		Name:    d.Name,
+		dur:     time.Duration(d.DurNS),
+		ended:   d.Ended,
+		attrs:   append([]Attr(nil), d.Attrs...),
+		counts:  append([]Count(nil), d.Counts...),
+		dropped: d.Dropped,
+	}
+	if !d.Ended {
+		// A live remote span cannot keep running here; anchor its start so
+		// Duration() reports roughly the exported running duration while the
+		// unfinished marker stays visible to renderers.
+		s.start = time.Now().Add(-time.Duration(d.DurNS))
+	}
+	if _, err := fmt.Sscanf(d.SpanID, "%x", &s.id); err != nil {
+		s.id = nextSpanID()
+	}
+	for _, c := range d.Children {
+		s.children = append(s.children, c.Rebuild())
+	}
+	return s
+}
+
+// Graft attaches a rebuilt remote subtree as a child of s — the
+// coordinator-side completion of a transport round trip. Nil-safe on both
+// ends; subject to the same child cap as locally started spans.
+func (s *Span) Graft(child *Span) {
+	if s == nil || child == nil {
+		return
+	}
+	s.attach(child)
+}

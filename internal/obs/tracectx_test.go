@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewTraceIDShape(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if a == b {
+		t.Fatal("consecutive trace IDs collide")
+	}
+	for _, id := range []TraceID{a, b} {
+		if len(id) != 16 {
+			t.Fatalf("trace ID %q: len %d, want 16 hex chars", id, len(id))
+		}
+		for _, c := range id {
+			if !strings.ContainsRune("0123456789abcdef", c) {
+				t.Fatalf("trace ID %q contains non-hex %q", id, c)
+			}
+		}
+	}
+	if a[:8] != b[:8] {
+		t.Fatalf("same-process IDs %q/%q differ in the process prefix", a, b)
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: "00c0ffee00000001", SpanID: "0000002a"}
+	got, err := ParseTraceContext(tc.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tc {
+		t.Fatalf("round trip = %+v, want %+v", got, tc)
+	}
+	for _, bad := range []string{"", "noseparator", "-leading", "trailing-"} {
+		if _, err := ParseTraceContext(bad); err == nil {
+			t.Errorf("ParseTraceContext(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestCurrentTraceContext(t *testing.T) {
+	if _, ok := CurrentTraceContext(context.Background()); ok {
+		t.Fatal("bare context claimed a trace")
+	}
+	ctx, tr := NewQueryTrace(context.Background(), "q")
+	ctx, sp := StartSpan(ctx, "route")
+	tc, ok := CurrentTraceContext(ctx)
+	if !ok {
+		t.Fatal("traced context reported no trace")
+	}
+	if tc.TraceID != tr.ID || tc.SpanID != sp.SpanID() {
+		t.Fatalf("context = %+v, want trace %s span %s", tc, tr.ID, sp.SpanID())
+	}
+}
+
+// TestTraceIDAdoption covers the three NewQueryTrace identity paths: fresh,
+// in-process child (shard coordinator → replica gateway), and remote via a
+// propagated TraceContext.
+func TestTraceIDAdoption(t *testing.T) {
+	// Fresh: no context, new ID, no remote parent.
+	_, root := NewQueryTrace(context.Background(), "root")
+	if root.ID == "" || root.Root.Attr("remote_parent") != "" {
+		t.Fatalf("fresh trace: ID=%q remote_parent=%q", root.ID, root.Root.Attr("remote_parent"))
+	}
+
+	// In-process child: a gateway trace started under a coordinator span
+	// adopts the ID and attaches as a child span — one tree, one ID.
+	ctx, coord := NewQueryTrace(context.Background(), "coordinator")
+	ctx, attempt := StartSpan(ctx, "attempt")
+	_, child := NewQueryTrace(ctx, "replica")
+	if child.ID != coord.ID {
+		t.Fatalf("in-process child ID %s != coordinator %s", child.ID, coord.ID)
+	}
+	kids := attempt.Children()
+	if len(kids) != 1 || kids[0] != child.Root {
+		t.Fatal("child trace root not attached under the coordinator's attempt span")
+	}
+	if child.Root.Attr("remote_parent") != "" {
+		t.Fatal("in-process child marked remote")
+	}
+
+	// Remote: a deserialized TraceContext adopts the ID and records the
+	// remote parent span; the tree stays detached until grafted.
+	tc := TraceContext{TraceID: coord.ID, SpanID: attempt.SpanID()}
+	rctx := WithRemoteContext(context.Background(), tc)
+	_, remote := NewQueryTrace(rctx, "remote")
+	if remote.ID != coord.ID {
+		t.Fatalf("remote trace ID %s != propagated %s", remote.ID, coord.ID)
+	}
+	if got := remote.Root.Attr("remote_parent"); got != attempt.SpanID() {
+		t.Fatalf("remote_parent = %q, want %q", got, attempt.SpanID())
+	}
+}
+
+// TestMarshalTraceRoundTrip drives the full transport cycle a real network
+// boundary would: remote side builds and serializes its trace; coordinator
+// deserializes and grafts it under the span that issued the call.
+func TestMarshalTraceRoundTrip(t *testing.T) {
+	// Coordinator side: trace + the span that "sends" the request.
+	ctx, coord := NewQueryTrace(context.Background(), "count customers")
+	ctx, attempt := StartSpan(ctx, "attempt")
+	tc, ok := CurrentTraceContext(ctx)
+	if !ok || tc.SpanID != attempt.SpanID() {
+		t.Fatalf("trace context = %+v ok=%v, want the attempt span", tc, ok)
+	}
+
+	// Remote side: rebuild the context from the wire form, do traced work.
+	parsed, err := ParseTraceContext(tc.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rctx, remote := NewQueryTrace(WithRemoteContext(context.Background(), parsed), "count customers")
+	_, exec := StartSpan(rctx, "execute")
+	exec.SetAttr("table", "customers")
+	exec.Add("rows", 40)
+	exec.End()
+	remote.Root.End()
+
+	wire, err := MarshalTrace(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Back on the coordinator: rebuild and graft.
+	back, err := UnmarshalTrace(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != coord.ID || back.Question != "count customers" {
+		t.Fatalf("rebuilt trace = ID %s question %q", back.ID, back.Question)
+	}
+	if got := back.Root.Attr("remote_parent"); got != attempt.SpanID() {
+		t.Fatalf("rebuilt remote_parent = %q, want %q", got, attempt.SpanID())
+	}
+	re := back.Find("execute")
+	if re == nil {
+		t.Fatal("rebuilt tree lost the execute span")
+	}
+	if re.Attr("table") != "customers" || re.Count("rows") != 40 {
+		t.Fatalf("rebuilt span lost data: table=%q rows=%d", re.Attr("table"), re.Count("rows"))
+	}
+	if re.SpanID() != exec.SpanID() {
+		t.Fatalf("rebuilt span ID %s != original %s (remote references would break)", re.SpanID(), exec.SpanID())
+	}
+	if re.Duration() != exec.Duration() {
+		t.Fatalf("rebuilt duration %v != original %v", re.Duration(), exec.Duration())
+	}
+	attempt.Graft(back.Root)
+	attempt.End()
+	coord.Root.End()
+
+	// The coordinator's rendered tree now shows the remote work inline.
+	rendered := coord.String()
+	for _, want := range []string{"attempt", "remote_parent=", "execute", "rows=40"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("grafted render missing %q:\n%s", want, rendered)
+		}
+	}
+	if got := coord.Find("execute"); got == nil {
+		t.Fatal("grafted execute span not reachable from the coordinator root")
+	}
+}
+
+// TestExportLiveSpan: a still-running span exports its running duration and
+// rebuilds as visibly unfinished.
+func TestExportLiveSpan(t *testing.T) {
+	_, tr := NewQueryTrace(context.Background(), "q")
+	time.Sleep(2 * time.Millisecond) // give the live root measurable age
+	d := tr.Root.Export()
+	if d.Ended || d.DurNS <= 0 {
+		t.Fatalf("live export = ended %v dur %d", d.Ended, d.DurNS)
+	}
+	s := d.Rebuild()
+	if s.Ended() {
+		t.Fatal("rebuilt live span claims to be ended")
+	}
+	if s.Duration() < time.Duration(d.DurNS) {
+		t.Fatalf("rebuilt duration %v went backwards from export %v", s.Duration(), time.Duration(d.DurNS))
+	}
+}
+
+// TestExportPreservesDropped: the child-cap drop count survives the wire.
+func TestExportPreservesDropped(t *testing.T) {
+	_, tr := NewQueryTrace(context.Background(), "q")
+	for i := 0; i < maxSpanChildren+5; i++ {
+		tr.Root.Child("scan").End()
+	}
+	tr.Root.End()
+	wire, err := MarshalTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalTrace(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.DroppedTotal(); got != 5 {
+		t.Fatalf("rebuilt DroppedTotal = %d, want 5", got)
+	}
+	if !strings.Contains(back.String(), "5 more span(s) dropped") {
+		t.Fatalf("rebuilt render hides the dropped spans:\n%s", back.String())
+	}
+}
+
+func TestGraftNilSafe(t *testing.T) {
+	var s *Span
+	s.Graft(newSpan("x")) // must not panic
+	root := newSpan("root")
+	root.Graft(nil)
+	if len(root.Children()) != 0 {
+		t.Fatal("nil graft attached something")
+	}
+}

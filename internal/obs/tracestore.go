@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// TraceStore retains full query traces for after-the-fact inspection — the
+// exemplar side of the observability story. Retention is tail-sampled:
+// traces that explain an incident (slow, failed, or partial answers) are
+// always kept; healthy fast traces are kept with a small probability so
+// the store also holds a baseline to compare against. Memory is bounded by
+// a span budget, with baseline samples evicted before incident traces.
+// Safe for concurrent use.
+type TraceStore struct {
+	cfg TraceStoreConfig
+
+	mu       sync.Mutex
+	rnd      *rand.Rand
+	byID     map[TraceID]*StoredTrace
+	order    []TraceID // insertion order, oldest first
+	spans    int       // retained span count (the memory-budget proxy)
+	offered  int64
+	retained int64
+	evicted  int64
+}
+
+// TraceStoreConfig tunes a TraceStore. The zero value is serviceable:
+// keep traces at or over 250ms, sample 1% of the rest, budget 16384
+// retained spans.
+type TraceStoreConfig struct {
+	// SlowThreshold marks a trace always-retained by latency (default
+	// 250ms; negative disables the slow rule).
+	SlowThreshold time.Duration
+	// SampleRate is the retention probability for healthy fast traces
+	// (default 0.01; 0 uses the default, negative disables sampling so only
+	// incident traces are kept, 1 keeps everything).
+	SampleRate float64
+	// MaxSpans is the retained-span budget across all stored traces — the
+	// memory bound (default 16384). A single trace larger than the whole
+	// budget is refused.
+	MaxSpans int
+	// Seed makes the sampling decisions replayable (default 1).
+	Seed int64
+	// Now is the clock, injectable for tests (default time.Now).
+	Now func() time.Time
+}
+
+// StoredTrace is one retained trace plus the outcome facts that made the
+// retention decision.
+type StoredTrace struct {
+	// Trace is the full span tree.
+	Trace *QueryTrace
+	// Outcome is the query outcome label ("ok", "error", "timeout", …).
+	Outcome string
+	// Elapsed is the query's total wall time.
+	Elapsed time.Duration
+	// Partial marks a degraded scatter-gather answer.
+	Partial bool
+	// Reason says why the trace was kept: "slow", "failed", "partial", or
+	// "sampled".
+	Reason string
+	// Spans is the trace's span count (what it costs against the budget).
+	Spans int
+	// When is the retention time.
+	When time.Time
+}
+
+// NewTraceStore builds a store; zero-value config fields get defaults.
+func NewTraceStore(cfg TraceStoreConfig) *TraceStore {
+	if cfg.SlowThreshold == 0 {
+		cfg.SlowThreshold = 250 * time.Millisecond
+	}
+	if cfg.SampleRate == 0 {
+		cfg.SampleRate = 0.01
+	}
+	if cfg.MaxSpans <= 0 {
+		cfg.MaxSpans = 16384
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &TraceStore{
+		cfg:  cfg,
+		rnd:  rand.New(rand.NewSource(cfg.Seed)),
+		byID: map[TraceID]*StoredTrace{},
+	}
+}
+
+// spanCount sizes a trace against the budget.
+func spanCount(s *Span) int {
+	if s == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range s.Children() {
+		n += spanCount(c)
+	}
+	return n
+}
+
+// Offer submits a finished trace for retention and reports whether it was
+// kept. outcome is the query's outcome label; failed means any outcome
+// other than "ok". Nil-safe: a nil store (tracing without retention)
+// drops everything.
+func (ts *TraceStore) Offer(t *QueryTrace, outcome string, elapsed time.Duration, partial bool) bool {
+	if ts == nil || t == nil || t.Root == nil {
+		return false
+	}
+	reason := ""
+	switch {
+	case outcome != "ok":
+		reason = "failed"
+	case partial:
+		reason = "partial"
+	case ts.cfg.SlowThreshold >= 0 && elapsed >= ts.cfg.SlowThreshold:
+		reason = "slow"
+	}
+	n := spanCount(t.Root)
+
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.offered++
+	if reason == "" {
+		if ts.cfg.SampleRate <= 0 || ts.rnd.Float64() >= ts.cfg.SampleRate {
+			return false
+		}
+		reason = "sampled"
+	}
+	if n > ts.cfg.MaxSpans {
+		return false // one pathological trace must not evict everything else
+	}
+	// Make room: baseline samples go first (oldest first), then the oldest
+	// incident traces — recency wins within a class, incidents win across.
+	for ts.spans+n > ts.cfg.MaxSpans {
+		if !ts.evictLocked(reason == "sampled") {
+			return false
+		}
+	}
+	st := &StoredTrace{
+		Trace: t, Outcome: outcome, Elapsed: elapsed, Partial: partial,
+		Reason: reason, Spans: n, When: ts.cfg.Now(),
+	}
+	if old, ok := ts.byID[t.ID]; ok {
+		// Same ID offered twice (clock replay in tests): replace in place.
+		ts.spans -= old.Spans
+		ts.byID[t.ID] = st
+		ts.spans += n
+		return true
+	}
+	ts.byID[t.ID] = st
+	ts.order = append(ts.order, t.ID)
+	ts.spans += n
+	ts.retained++
+	return true
+}
+
+// evictLocked removes one trace: the oldest "sampled" entry when any
+// exists, else — unless the incoming trace is itself only a sample —
+// the oldest entry outright. Reports whether anything was evicted.
+func (ts *TraceStore) evictLocked(incomingSampled bool) bool {
+	idx := -1
+	for i, id := range ts.order {
+		if ts.byID[id].Reason == "sampled" {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		if incomingSampled || len(ts.order) == 0 {
+			return false // a baseline sample never evicts an incident trace
+		}
+		idx = 0
+	}
+	id := ts.order[idx]
+	ts.spans -= ts.byID[id].Spans
+	delete(ts.byID, id)
+	ts.order = append(ts.order[:idx], ts.order[idx+1:]...)
+	ts.evicted++
+	return true
+}
+
+// Get returns the retained trace for id.
+func (ts *TraceStore) Get(id TraceID) (*StoredTrace, bool) {
+	if ts == nil {
+		return nil, false
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	st, ok := ts.byID[id]
+	return st, ok
+}
+
+// List snapshots the retained traces, newest first.
+func (ts *TraceStore) List() []*StoredTrace {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	out := make([]*StoredTrace, 0, len(ts.order))
+	for i := len(ts.order) - 1; i >= 0; i-- {
+		out = append(out, ts.byID[ts.order[i]])
+	}
+	ts.mu.Unlock()
+	return out
+}
+
+// TraceStoreStats is the store's bookkeeping snapshot.
+type TraceStoreStats struct {
+	Retained    int   `json:"retained"`
+	Spans       int   `json:"spans"`
+	SpanBudget  int   `json:"span_budget"`
+	Offered     int64 `json:"offered"`
+	EverKept    int64 `json:"ever_kept"`
+	EverEvicted int64 `json:"ever_evicted"`
+}
+
+// Stats reports retention counters and the budget position.
+func (ts *TraceStore) Stats() TraceStoreStats {
+	if ts == nil {
+		return TraceStoreStats{}
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return TraceStoreStats{
+		Retained: len(ts.order), Spans: ts.spans, SpanBudget: ts.cfg.MaxSpans,
+		Offered: ts.offered, EverKept: ts.retained, EverEvicted: ts.evicted,
+	}
+}
+
+// Handler serves the exemplar lookup: GET /trace?id=<traceID> renders the
+// retained trace as the same tree -explain prints; GET /trace lists the
+// retained IDs with their retention reason, newest first.
+func (ts *TraceStore) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		id := TraceID(r.URL.Query().Get("id"))
+		if id == "" {
+			st := ts.Stats()
+			fmt.Fprintf(w, "%d trace(s) retained (%d/%d spans; %d offered, %d kept, %d evicted)\n",
+				st.Retained, st.Spans, st.SpanBudget, st.Offered, st.EverKept, st.EverEvicted)
+			for _, t := range ts.List() {
+				fmt.Fprintf(w, "%s  %-8s %-9s %-10s spans=%-4d %q\n",
+					t.Trace.ID, t.Reason, t.Outcome, roundDur(t.Elapsed), t.Spans, t.Trace.Question)
+			}
+			return
+		}
+		st, ok := ts.Get(id)
+		if !ok {
+			http.Error(w, fmt.Sprintf("trace %s not retained (sampled out or evicted)", id), http.StatusNotFound)
+			return
+		}
+		fmt.Fprintf(w, "trace %s  reason=%s outcome=%s elapsed=%s partial=%v\n",
+			st.Trace.ID, st.Reason, st.Outcome, roundDur(st.Elapsed), st.Partial)
+		if n := st.Trace.DroppedTotal(); n > 0 {
+			fmt.Fprintf(w, "WARNING: %d span(s) dropped past the per-span child cap; the tree below is incomplete\n", n)
+		}
+		fmt.Fprintln(w, st.Trace.String())
+	})
+}

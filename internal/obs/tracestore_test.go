@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// storeTrace builds an ended trace with extra child spans (total spans =
+// extra + 1 for the root).
+func storeTrace(question string, extra int) *QueryTrace {
+	_, tr := NewQueryTrace(context.Background(), question)
+	for i := 0; i < extra; i++ {
+		tr.Root.Child("stage").End()
+	}
+	tr.Root.End()
+	return tr
+}
+
+func TestTraceStoreRetentionReasons(t *testing.T) {
+	ts := NewTraceStore(TraceStoreConfig{SlowThreshold: 100 * time.Millisecond, SampleRate: -1})
+	cases := []struct {
+		outcome string
+		elapsed time.Duration
+		partial bool
+		kept    bool
+		reason  string
+	}{
+		{"error", time.Millisecond, false, true, "failed"},
+		{"ok", time.Millisecond, true, true, "partial"},
+		{"ok", 150 * time.Millisecond, false, true, "slow"},
+		{"ok", time.Millisecond, false, false, ""}, // healthy+fast, sampling off
+	}
+	for _, c := range cases {
+		tr := storeTrace("q", 2)
+		if got := ts.Offer(tr, c.outcome, c.elapsed, c.partial); got != c.kept {
+			t.Fatalf("Offer(outcome=%s elapsed=%v partial=%v) kept=%v, want %v", c.outcome, c.elapsed, c.partial, got, c.kept)
+		}
+		if !c.kept {
+			continue
+		}
+		st, ok := ts.Get(tr.ID)
+		if !ok || st.Reason != c.reason {
+			t.Fatalf("retained reason = %v (found %v), want %s", st, ok, c.reason)
+		}
+		if st.Spans != 3 {
+			t.Fatalf("stored span count = %d, want 3", st.Spans)
+		}
+	}
+}
+
+func TestTraceStoreSampling(t *testing.T) {
+	// SampleRate 1 keeps every healthy trace as a baseline sample.
+	all := NewTraceStore(TraceStoreConfig{SampleRate: 1})
+	tr := storeTrace("q", 0)
+	if !all.Offer(tr, "ok", time.Millisecond, false) {
+		t.Fatal("SampleRate 1 dropped a healthy trace")
+	}
+	if st, _ := all.Get(tr.ID); st.Reason != "sampled" {
+		t.Fatalf("reason = %s, want sampled", st.Reason)
+	}
+
+	// The default 1% rate with a fixed seed is deterministic: two stores
+	// with the same seed make identical decisions.
+	a := NewTraceStore(TraceStoreConfig{Seed: 7})
+	b := NewTraceStore(TraceStoreConfig{Seed: 7})
+	var mismatch bool
+	for i := 0; i < 500; i++ {
+		ka := a.Offer(storeTrace("q", 0), "ok", time.Millisecond, false)
+		kb := b.Offer(storeTrace("q", 0), "ok", time.Millisecond, false)
+		if ka != kb {
+			mismatch = true
+		}
+	}
+	if mismatch {
+		t.Fatal("same-seed stores made different sampling decisions")
+	}
+	if a.Stats().EverKept == 0 {
+		t.Fatal("500 offers at 1% kept nothing; sampler looks broken")
+	}
+	if a.Stats().EverKept > 100 {
+		t.Fatalf("500 offers at 1%% kept %d; sampler ignores the rate", a.Stats().EverKept)
+	}
+}
+
+func TestTraceStoreEvictionOrder(t *testing.T) {
+	// Budget of 6 spans; every trace costs 2 (root + 1 child).
+	ts := NewTraceStore(TraceStoreConfig{MaxSpans: 6, SampleRate: 1, SlowThreshold: -1})
+	sample1 := storeTrace("s1", 1)
+	sample2 := storeTrace("s2", 1)
+	incident := storeTrace("i1", 1)
+	for _, tr := range []*QueryTrace{sample1, sample2} {
+		if !ts.Offer(tr, "ok", time.Millisecond, false) {
+			t.Fatal("setup offer dropped")
+		}
+	}
+	if !ts.Offer(incident, "error", time.Millisecond, false) {
+		t.Fatal("incident offer dropped")
+	}
+	// Store is full (3 traces x 2 spans). A new incident must evict the
+	// OLDEST SAMPLE, not the retained incident or the newer sample... and
+	// actually the oldest sample specifically.
+	incident2 := storeTrace("i2", 1)
+	if !ts.Offer(incident2, "error", time.Millisecond, true) {
+		t.Fatal("second incident refused despite evictable samples")
+	}
+	if _, ok := ts.Get(sample1.ID); ok {
+		t.Fatal("oldest sample survived eviction")
+	}
+	for _, tr := range []*QueryTrace{sample2, incident, incident2} {
+		if _, ok := ts.Get(tr.ID); !ok {
+			t.Fatalf("trace %s missing after eviction; wrong victim chosen", tr.ID)
+		}
+	}
+
+	// Fill the store with incidents only; a new baseline sample must be
+	// refused rather than evict incident evidence.
+	incident3 := storeTrace("i3", 1)
+	if !ts.Offer(incident3, "timeout", time.Millisecond, false) {
+		t.Fatal("third incident refused")
+	}
+	// Now: sample2, incident, incident2 were retained; incident3 evicted
+	// sample2 (the only remaining sample). Store = 3 incidents.
+	if _, ok := ts.Get(sample2.ID); ok {
+		t.Fatal("sample2 should have been evicted for incident3")
+	}
+	lateSample := storeTrace("s3", 1)
+	if ts.Offer(lateSample, "ok", time.Millisecond, false) {
+		t.Fatal("a baseline sample evicted an incident trace")
+	}
+	st := ts.Stats()
+	if st.Retained != 3 || st.Spans != 6 {
+		t.Fatalf("stats = %+v, want 3 traces / 6 spans", st)
+	}
+}
+
+func TestTraceStoreOversizedRefused(t *testing.T) {
+	ts := NewTraceStore(TraceStoreConfig{MaxSpans: 4, SampleRate: 1})
+	small := storeTrace("small", 1)
+	if !ts.Offer(small, "error", time.Millisecond, false) {
+		t.Fatal("small trace refused")
+	}
+	big := storeTrace("big", 10) // 11 spans > whole budget
+	if ts.Offer(big, "error", time.Millisecond, false) {
+		t.Fatal("oversized trace accepted")
+	}
+	if _, ok := ts.Get(small.ID); !ok {
+		t.Fatal("oversized offer evicted the retained trace before being refused")
+	}
+}
+
+func TestTraceStoreHandler(t *testing.T) {
+	ts := NewTraceStore(TraceStoreConfig{SampleRate: -1})
+	tr := storeTrace("how many customers", 1)
+	ts.Offer(tr, "error", 42*time.Millisecond, false)
+
+	get := func(target string) *httptest.ResponseRecorder {
+		rr := httptest.NewRecorder()
+		ts.Handler().ServeHTTP(rr, httptest.NewRequest("GET", target, nil))
+		return rr
+	}
+	list := get("/trace")
+	if !strings.Contains(list.Body.String(), string(tr.ID)) || !strings.Contains(list.Body.String(), "failed") {
+		t.Fatalf("trace list missing entry:\n%s", list.Body.String())
+	}
+	one := get("/trace?id=" + string(tr.ID))
+	body := one.Body.String()
+	for _, want := range []string{"reason=failed", `query "how many customers"`, "stage"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("trace render missing %q:\n%s", want, body)
+		}
+	}
+	if miss := get("/trace?id=ffffffff00000000"); miss.Code != 404 {
+		t.Fatalf("unknown trace id returned %d, want 404", miss.Code)
+	}
+}
+
+func TestTraceStoreNilSafe(t *testing.T) {
+	var ts *TraceStore
+	if ts.Offer(storeTrace("q", 0), "error", time.Second, false) {
+		t.Fatal("nil store kept a trace")
+	}
+	if _, ok := ts.Get("x"); ok {
+		t.Fatal("nil store found a trace")
+	}
+	if ts.List() != nil || ts.Stats() != (TraceStoreStats{}) {
+		t.Fatal("nil store not empty")
+	}
+}

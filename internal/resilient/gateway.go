@@ -163,6 +163,10 @@ type Config struct {
 	Metrics *obs.Registry
 	// SlowLog, when non-nil, records queries at or above its threshold.
 	SlowLog *obs.SlowLog
+	// Traces, when non-nil, receives every finished trace for tail-sampled
+	// exemplar retention: slow and failed queries are always kept, the rest
+	// probabilistically, linkable from the slow log by trace ID.
+	Traces *obs.TraceStore
 	// NoTrace disables span collection (Answer.Trace stays nil). Metrics
 	// and the slow log keep working; they do not depend on spans.
 	NoTrace bool
@@ -674,14 +678,20 @@ func (g *Gateway) finish(question string, ans *Answer, err error, trace *obs.Que
 		}
 		root.SetAttr("breakers", strings.Join(states, ","))
 		root.End()
+		g.cfg.Traces.Offer(trace, outcome, elapsed, false)
 	}
 	if m := g.cfg.Metrics; m != nil {
 		m.Counter(MetricQueries, "engine", engine, "outcome", outcome).Inc()
 		m.Histogram(MetricQuerySeconds, "engine", engine).Observe(elapsed.Seconds())
 	}
+	var tid obs.TraceID
+	if trace != nil {
+		tid = trace.ID
+	}
 	if g.cfg.SlowLog.Observe(obs.SlowEntry{
 		Question: question, Engine: engine, Outcome: outcome,
 		Duration: elapsed, When: time.Now(), Trace: trace,
+		TraceID: tid, DroppedSpans: trace.DroppedTotal(),
 	}) {
 		if m := g.cfg.Metrics; m != nil {
 			m.Counter(MetricSlowQueries).Inc()

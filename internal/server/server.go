@@ -40,14 +40,15 @@ import (
 // Mux combines the query API with the observability suite on one
 // http.ServeMux: POST /query and /batch go through the Server (and its
 // drain barrier), everything else — /metrics, /debug/vars, /debug/pprof,
-// /slowlog — through the obs handler. The obs routes deliberately bypass
-// the drain barrier: a draining server must stay observable, so scrapes
-// and debug reads keep answering while query traffic is shed.
-func Mux(api *Server, reg *obs.Registry, slow *obs.SlowLog) *http.ServeMux {
+// /slowlog, plus whatever the options mount (/fleet, /slo, /trace) —
+// through the obs handler. The obs routes deliberately bypass the drain
+// barrier: a draining server must stay observable, so scrapes and debug
+// reads keep answering while query traffic is shed.
+func Mux(api *Server, reg *obs.Registry, slow *obs.SlowLog, opts ...obs.HandlerOption) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/query", api)
 	mux.Handle("/batch", api)
-	mux.Handle("/", obs.Handler(reg, slow))
+	mux.Handle("/", obs.Handler(reg, slow, opts...))
 	return mux
 }
 
@@ -84,6 +85,12 @@ type Config struct {
 	// Metrics, when non-nil, receives the server's request counters,
 	// latency histograms, and in-flight gauge.
 	Metrics *obs.Registry
+	// SLO, when non-nil, receives every finished question's latency and
+	// availability verdict. This is the one place both signals meet:
+	// Partial scatter answers and shard-down refusals count against
+	// availability here even though the client saw a 200 or got honest
+	// retry advice.
+	SLO *obs.SLO
 	// DefaultTimeout is the per-request deadline applied when the client
 	// sends no X-Deadline-Ms header (default 10s).
 	DefaultTimeout time.Duration
@@ -361,6 +368,9 @@ type queryResponse struct {
 	Partial       bool    `json:"partial,omitempty"`
 	MissingShards []int   `json:"missing_shards,omitempty"`
 	ElapsedMs     float64 `json:"elapsed_ms"`
+	// TraceID names the request's distributed trace; when the trace was
+	// retained as an exemplar, GET /trace?id=<TraceID> renders it.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func toQueryResponse(ans *resilient.Answer) queryResponse {
@@ -375,6 +385,9 @@ func toQueryResponse(ans *resilient.Answer) queryResponse {
 		Partial:       ans.Partial,
 		MissingShards: ans.MissingShards,
 		ElapsedMs:     float64(ans.Elapsed) / float64(time.Millisecond),
+	}
+	if ans.Trace != nil {
+		resp.TraceID = string(ans.Trace.ID)
 	}
 	for i, row := range ans.Result.Rows {
 		cells := make([]string, len(row))
@@ -418,12 +431,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	start := time.Now()
 	ans, err := s.cfg.Backend.Ask(ctx, req.Question)
+	s.observeSLO(time.Since(start), ans, err)
 	if err != nil {
 		s.writeAskError(w, ctx, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toQueryResponse(ans))
+}
+
+// observeSLO folds one finished question into the SLO engine. The
+// availability verdict is stricter than the HTTP status: a Partial
+// scatter answer is a 200 to the client but an availability miss here,
+// and so are shard-down refusals, timeouts, cancellations, and internal
+// errors. Semantic refusals — the chain honestly declined the question
+// (ErrExhausted) or its shape cannot be distributed — are full answers
+// about the question, not service failures, and stay available.
+func (s *Server) observeSLO(elapsed time.Duration, ans *resilient.Answer, err error) {
+	if s.cfg.SLO == nil {
+		return
+	}
+	available := err == nil && (ans == nil || !ans.Partial)
+	if err != nil &&
+		(errors.Is(err, resilient.ErrExhausted) || errors.Is(err, shard.ErrNotDistributable)) &&
+		!errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+		available = true
+	}
+	s.cfg.SLO.Observe(elapsed, available)
 }
 
 // batchRequest is the POST /batch body. Batch priority is the default:
@@ -485,6 +520,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	items := make([]batchItem, len(results))
 	for i, res := range results {
 		item := batchItem{Index: res.Index, Question: res.Question}
+		var itemElapsed time.Duration
+		if res.Answer != nil {
+			itemElapsed = res.Answer.Elapsed
+		}
+		s.observeSLO(itemElapsed, res.Answer, res.Err)
 		if res.Err != nil {
 			item.Error = res.Err.Error()
 			item.Shed = errors.Is(res.Err, resilient.ErrShed)

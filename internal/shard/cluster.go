@@ -80,6 +80,24 @@ type Config struct {
 
 	// Metrics receives the nlidb_shard_* families.
 	Metrics *obs.Registry
+	// NoTrace disables coordinator span collection. When tracing is on
+	// (the default) every Ask that misses the cache builds one QueryTrace
+	// spanning classify → route → per-replica attempts → merge, with the
+	// replica gateways' own traces nested beneath the attempt spans.
+	NoTrace bool
+	// SlowLog, when non-nil, records fleet-level slow queries with
+	// route/shard/partial/hedge attribution. The cluster owns slow
+	// logging: any SlowLog on the Gateway template is nil'd per replica so
+	// one slow query logs once, at the coordinator.
+	SlowLog *obs.SlowLog
+	// Traces, when non-nil, retains exemplar traces tail-sampled at the
+	// coordinator (slow/failed/partial always, the rest probabilistically).
+	// Like SlowLog, it is cluster-owned and nil'd on replica gateways.
+	Traces *obs.TraceStore
+	// BreakerHook, when non-nil, observes every replica breaker transition
+	// as (shard, replica, from, to). Called outside breaker locks; must be
+	// safe for concurrent calls.
+	BreakerHook func(shard, replica int, from, to string)
 	// Seed makes retry jitter and breaker-probe jitter replayable
 	// (default 1).
 	Seed int64
@@ -109,8 +127,37 @@ type Cluster struct {
 
 	flight qcache.Flight
 
+	// stats are the always-on fleet rollup counters (independent of
+	// cfg.Metrics): per-shard in stats, cluster-wide below. They cost one
+	// atomic add each on the paths they count, and feed /fleet and the
+	// scrape-time WriteProm families.
+	stats        []shardStats
+	routeHome    atomic.Int64
+	routePruned  atomic.Int64
+	routeScatter atomic.Int64
+	partials     atomic.Int64
+
 	mu  sync.Mutex
 	rng *rand.Rand
+}
+
+// shardStats is one shard's always-on rollup counters.
+type shardStats struct {
+	requests  atomic.Int64
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
+	retries   atomic.Int64
+	downLegs  atomic.Int64
+}
+
+// reqStats accumulates one Ask's fleet-level facts for the slow log and
+// the trace root. Fields written during fan-out are atomic; route is set
+// once in the single-goroutine classify phase.
+type reqStats struct {
+	route   string
+	shards  atomic.Int64
+	hedged  atomic.Int64
+	retries atomic.Int64
 }
 
 // New splits db across n shards and builds the replica fleet. The
@@ -167,6 +214,7 @@ func New(db *sqldata.Database, n int, cfg Config) (*Cluster, error) {
 		dbs:   dbs,
 		reps:  make([][]*replica, n),
 		hists: make([]*obs.Histogram, n),
+		stats: make([]shardStats, n),
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
 	h := fnv.New64a()
@@ -191,6 +239,8 @@ func New(db *sqldata.Database, n int, cfg Config) (*Cluster, error) {
 			gwCfg := cfg.Gateway
 			gwCfg.Cache = nil // the cluster caches fleet-wide
 			gwCfg.Metrics = nil
+			gwCfg.SlowLog = nil // the coordinator slow-logs once, with routing context
+			gwCfg.Traces = nil  // likewise: exemplars retained at the coordinator
 			if cfg.PlanCacheSize >= 0 {
 				size := cfg.PlanCacheSize
 				if size == 0 {
@@ -207,11 +257,21 @@ func New(db *sqldata.Database, n int, cfg Config) (*Cluster, error) {
 			br := resilient.NewBreaker(cfg.ReplicaThreshold, cfg.ReplicaCooldown, cfg.Now)
 			br.SetJitter(resilient.DefaultBreakerJitter(cfg.ReplicaCooldown), cfg.Seed+int64(s*cfg.Replicas+r))
 			rep := &replica{shard: s, idx: r, node: node, br: br}
+			var g *obs.Gauge
 			if m := cfg.Metrics; m != nil {
-				sl, rl := strconv.Itoa(s), strconv.Itoa(r)
-				g := m.Gauge(MetricReplicaState, "shard", sl, "replica", rl)
+				g = m.Gauge(MetricReplicaState, "shard", strconv.Itoa(s), "replica", strconv.Itoa(r))
 				g.Set(resilient.StateValue("closed"))
-				br.OnTransition(func(from, to string) { g.Set(resilient.StateValue(to)) })
+			}
+			if g != nil || cfg.BreakerHook != nil {
+				shardIdx, replIdx := s, r
+				br.OnTransition(func(from, to string) {
+					if g != nil {
+						g.Set(resilient.StateValue(to))
+					}
+					if cfg.BreakerHook != nil {
+						cfg.BreakerHook(shardIdx, replIdx, from, to)
+					}
+				})
 			}
 			c.reps[s][r] = rep
 		}
@@ -280,7 +340,7 @@ func (c *Cluster) Ask(ctx context.Context, question string) (*resilient.Answer, 
 	}
 
 	if c.cache == nil {
-		ans, err := c.ask(ctx, question)
+		ans, err := c.askRoot(ctx, question)
 		if ans != nil {
 			ans.Elapsed = time.Since(start)
 		}
@@ -296,7 +356,7 @@ func (c *Cluster) Ask(ctx context.Context, question string) (*resilient.Answer, 
 	}
 	var mine *resilient.Answer
 	v, err, shared := c.flight.Do(ctx, key, func() (any, error) {
-		a, e := c.ask(ctx, question)
+		a, e := c.askRoot(ctx, question)
 		mine = a
 		if e != nil {
 			return nil, e
@@ -326,17 +386,103 @@ func (c *Cluster) Ask(ctx context.Context, question string) (*resilient.Answer, 
 	return ans, err
 }
 
-// ask is Ask minus deadline and cache wrapping.
-func (c *Cluster) ask(ctx context.Context, question string) (*resilient.Answer, error) {
+// askRoot wraps one uncached ask with the coordinator's observability:
+// the fleet-level QueryTrace (unless NoTrace), tail-sampled exemplar
+// retention, and the route/shard/hedge-annotated slow-log entry. Cache
+// hits never reach here — a hit has no fan-out worth tracing.
+func (c *Cluster) askRoot(ctx context.Context, question string) (*resilient.Answer, error) {
+	start := time.Now()
+	var trace *obs.QueryTrace
+	if !c.cfg.NoTrace {
+		ctx, trace = obs.NewQueryTrace(ctx, question)
+	}
+	st := &reqStats{}
+	ans, err := c.ask(ctx, question, st)
+	elapsed := time.Since(start)
+	outcome := askOutcome(err)
+	partial := ans != nil && ans.Partial
+	engine := "none"
+	if ans != nil && ans.Engine != "" {
+		engine = ans.Engine
+	}
+	var tid obs.TraceID
+	if trace != nil {
+		tid = trace.ID
+		root := trace.Root
+		if st.route != "" {
+			root.SetAttr("route", st.route)
+		}
+		root.SetAttr("outcome", outcome)
+		if partial {
+			root.SetAttr("partial", "true")
+		}
+		root.End()
+		if ans != nil {
+			ans.Trace = trace
+		}
+		c.cfg.Traces.Offer(trace, outcome, elapsed, partial)
+	}
+	c.cfg.SlowLog.Observe(obs.SlowEntry{
+		Question: question, Engine: engine, Outcome: outcome,
+		Duration: elapsed, When: time.Now(), Trace: trace,
+		TraceID: tid, Route: st.route, Shards: int(st.shards.Load()),
+		Partial: partial, Hedged: int(st.hedged.Load()),
+		Retries: int(st.retries.Load()), DroppedSpans: trace.DroppedTotal(),
+	})
+	return ans, err
+}
+
+// askOutcome maps an Ask error to its outcome label.
+func askOutcome(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrShardDown):
+		return "shard_down"
+	case errors.Is(err, ErrNotDistributable):
+		return "not_distributable"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, resilient.ErrExhausted):
+		return "exhausted"
+	default:
+		return "error"
+	}
+}
+
+// childSpan starts a span under the coordinator trace, or no-ops (nil
+// span, unchanged ctx) when tracing is off for this request — keeping the
+// NoTrace hot path allocation-free.
+func childSpan(ctx context.Context, name string) (context.Context, *obs.Span) {
+	if obs.FromContext(ctx) == nil {
+		return ctx, nil
+	}
+	return obs.StartSpan(ctx, name)
+}
+
+// childSpanf is childSpan with a formatted name, formatted only when a
+// trace is live.
+func childSpanf(ctx context.Context, format string, args ...any) (context.Context, *obs.Span) {
+	if obs.FromContext(ctx) == nil {
+		return ctx, nil
+	}
+	return obs.StartSpan(ctx, fmt.Sprintf(format, args...))
+}
+
+// ask is Ask minus deadline, cache, and trace-root wrapping.
+func (c *Cluster) ask(ctx context.Context, question string, st *reqStats) (*resilient.Answer, error) {
 	// Phase 1: interpret (and execute locally) on the home replica, with
 	// failover to the next rendezvous shard when a whole shard is down —
 	// interpretation only needs the shared chain, so any shard can do it.
 	order := c.rendezvous(question)
+	ictx, isp := childSpan(ctx, "interpret")
 	var ans *resilient.Answer
 	var err error
 	home := -1
 	for _, s := range order {
-		ans, err = c.askShard(ctx, s, question, true)
+		ans, err = c.askShard(ictx, s, question, true, st)
 		if err == nil {
 			home = s
 			break
@@ -344,34 +490,53 @@ func (c *Cluster) ask(ctx context.Context, question string) (*resilient.Answer, 
 		if ctx.Err() != nil || !errors.Is(err, ErrShardDown) {
 			// Interpretation failures repeat identically on every shard
 			// (the chain is shared); only shard-down errors fail over.
+			isp.End()
 			return nil, err
 		}
 	}
 	if err != nil {
+		isp.End()
 		return nil, err // every shard down
 	}
+	isp.SetAttr("home", strconv.Itoa(home))
+	isp.End()
 	if c.n == 1 {
-		c.countRoute("home")
+		c.countRoute("home", st)
 		return ans, nil
 	}
 	if ans.SQL == nil {
+		st.route = "home" // no SQL to distribute; the home answer stands
 		return ans, nil
 	}
 
+	_, csp := childSpan(ctx, "classify")
 	rt, cerr := classify(ans.SQL, c.part)
 	if cerr != nil {
+		csp.SetAttr("error", cerr.Error())
+		csp.End()
 		return nil, cerr
 	}
 	switch rt.kind {
 	case routeHome:
-		c.countRoute("home")
+		csp.SetAttr("route", "home")
+	case routePruned:
+		csp.SetAttr("route", "pruned")
+		csp.SetAttr("shard", strconv.Itoa(rt.shard))
+	default:
+		csp.SetAttr("route", "scatter")
+	}
+	csp.End()
+
+	switch rt.kind {
+	case routeHome:
+		c.countRoute("home", st)
 		return ans, nil
 	case routePruned:
-		c.countRoute("pruned")
+		c.countRoute("pruned", st)
 		if rt.shard == home {
 			return ans, nil // interpreted where the rows live: already complete
 		}
-		sqlAns, serr := c.askShard(ctx, rt.shard, ans.SQL.String(), false)
+		sqlAns, serr := c.askShard(ctx, rt.shard, ans.SQL.String(), false, st)
 		if serr != nil {
 			return nil, serr
 		}
@@ -380,14 +545,17 @@ func (c *Cluster) ask(ctx context.Context, question string) (*resilient.Answer, 
 		out.Usage = sqlAns.Usage
 		return &out, nil
 	default:
-		c.countRoute("scatter")
-		return c.scatter(ctx, ans, rt)
+		c.countRoute("scatter", st)
+		return c.scatter(ctx, ans, rt, st)
 	}
 }
 
 // scatter fans the partial statement out to every shard, merges what
 // comes back, and annotates what could not.
-func (c *Cluster) scatter(ctx context.Context, phase1 *resilient.Answer, rt *route) (*resilient.Answer, error) {
+func (c *Cluster) scatter(ctx context.Context, phase1 *resilient.Answer, rt *route, st *reqStats) (*resilient.Answer, error) {
+	ctx, ssp := childSpan(ctx, "scatter")
+	defer ssp.End()
+	ssp.Add("shards", int64(c.n))
 	type leg struct {
 		idx int
 		ans *resilient.Answer
@@ -396,7 +564,7 @@ func (c *Cluster) scatter(ctx context.Context, phase1 *resilient.Answer, rt *rou
 	ch := make(chan leg, c.n)
 	for s := 0; s < c.n; s++ {
 		go func(s int) {
-			a, e := c.askShard(ctx, s, rt.partialSQL, false)
+			a, e := c.askShard(ctx, s, rt.partialSQL, false, st)
 			ch <- leg{idx: s, ans: a, err: e}
 		}(s)
 	}
@@ -429,9 +597,16 @@ func (c *Cluster) scatter(ctx context.Context, phase1 *resilient.Answer, rt *rou
 		}
 		return nil, fmt.Errorf("shard: scatter produced no results")
 	}
+	_, msp := childSpan(ctx, "merge")
+	msp.Add("merged", int64(got))
 	res, err := rt.merge.merge(partials)
 	if err != nil {
+		msp.SetAttr("error", err.Error())
+		msp.End()
 		return nil, err
+	}
+	if res != nil {
+		msp.Add("rows", int64(len(res.Rows)))
 	}
 	sort.Ints(missing)
 	out := *phase1
@@ -440,10 +615,13 @@ func (c *Cluster) scatter(ctx context.Context, phase1 *resilient.Answer, rt *rou
 	out.Partial = len(missing) > 0
 	out.MissingShards = missing
 	if out.Partial {
+		msp.SetAttr("missing", fmt.Sprint(missing))
+		c.partials.Add(1)
 		if m := c.cfg.Metrics; m != nil {
 			m.Counter(MetricPartial).Inc()
 		}
 	}
+	msp.End()
 	return &out, nil
 }
 
@@ -453,7 +631,15 @@ func (c *Cluster) scatter(ctx context.Context, phase1 *resilient.Answer, rt *rou
 // yet tried. Failures that would repeat identically on any replica (the
 // chain has no reading of the question) return as-is; infrastructure
 // failures exhaust into a *ShardDownError.
-func (c *Cluster) askShard(ctx context.Context, s int, q string, nl bool) (*resilient.Answer, error) {
+func (c *Cluster) askShard(ctx context.Context, s int, q string, nl bool, st *reqStats) (*resilient.Answer, error) {
+	ctx, sp := childSpanf(ctx, "shard %d", s)
+	defer sp.End()
+	if nl {
+		sp.SetAttr("stmt", "nl")
+	} else {
+		sp.SetAttr("stmt", "sql")
+	}
+	st.shards.Add(1)
 	tried := map[*replica]bool{}
 	var lastErr error
 	for try := 0; ; try++ {
@@ -464,7 +650,7 @@ func (c *Cluster) askShard(ctx context.Context, s int, q string, nl bool) (*resi
 			return nil, err
 		}
 		lctx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
-		ans, err := c.legOnce(lctx, s, q, nl, tried)
+		ans, err := c.legOnce(lctx, s, q, nl, tried, st)
 		cancel()
 		if err == nil {
 			return ans, nil
@@ -479,6 +665,9 @@ func (c *Cluster) askShard(ctx context.Context, s int, q string, nl bool) (*resi
 		if try >= c.cfg.Retries {
 			break
 		}
+		sp.Add("retries", 1)
+		st.retries.Add(1)
+		c.stats[s].retries.Add(1)
 		if m := c.cfg.Metrics; m != nil {
 			m.Counter(MetricRetries, "shard", strconv.Itoa(s)).Inc()
 		}
@@ -491,6 +680,8 @@ func (c *Cluster) askShard(ctx context.Context, s int, q string, nl bool) (*resi
 			break
 		}
 	}
+	sp.SetAttr("outcome", "shard_down")
+	c.stats[s].downLegs.Add(1)
 	return nil, &ShardDownError{Shard: s, Err: lastErr}
 }
 
@@ -522,37 +713,39 @@ func (c *Cluster) sleep(ctx context.Context, d time.Duration) bool {
 // replica leads; if it fails fast the second-best takes over immediately,
 // and if it is merely slow the second-best is hedged in after the
 // latency-percentile delay, first answer wins.
-func (c *Cluster) legOnce(ctx context.Context, s int, q string, nl bool, tried map[*replica]bool) (*resilient.Answer, error) {
+func (c *Cluster) legOnce(ctx context.Context, s int, q string, nl bool, tried map[*replica]bool, st *reqStats) (*resilient.Answer, error) {
 	prim, alt := c.pick(s, tried)
 	if prim == nil {
 		return nil, &ShardDownError{Shard: s}
 	}
 	tried[prim] = true
 	if alt == nil || c.cfg.NoHedge {
-		ans, err := c.call(ctx, prim, q, nl)
+		ans, err := c.call(ctx, prim, q, nl, "primary")
 		if err == nil || alt == nil {
 			return ans, err
 		}
 		tried[alt] = true
-		return c.call(ctx, alt, q, nl)
+		return c.call(ctx, alt, q, nl, "failover")
 	}
 
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type rres struct {
-		ans *resilient.Answer
-		err error
+		from *replica
+		ans  *resilient.Answer
+		err  error
 	}
 	ch := make(chan rres, 2)
-	launch := func(r *replica) {
+	launch := func(r *replica, kind string) {
 		go func() {
-			a, e := c.call(cctx, r, q, nl)
-			ch <- rres{ans: a, err: e}
+			a, e := c.call(cctx, r, q, nl, kind)
+			ch <- rres{from: r, ans: a, err: e}
 		}()
 	}
-	launch(prim)
+	launch(prim, "primary")
 	pending := 1
-	hedged := false
+	hedged := false     // alt has been launched, for any reason
+	hedgeFired := false // alt was launched by the hedge timer specifically
 	timer := time.NewTimer(c.hedgeDelay(s))
 	defer timer.Stop()
 	var firstErr error
@@ -561,6 +754,12 @@ func (c *Cluster) legOnce(ctx context.Context, s int, q string, nl bool, tried m
 		case r := <-ch:
 			pending--
 			if r.err == nil {
+				if hedgeFired && r.from == alt {
+					// The hedge beat (or outlived) the primary: the fleet's
+					// tail-latency insurance paid out.
+					c.stats[s].hedgeWins.Add(1)
+					obs.FromContext(ctx).SetAttr("hedge_win", "r"+strconv.Itoa(alt.idx))
+				}
 				return r.ans, nil
 			}
 			if firstErr == nil {
@@ -572,7 +771,7 @@ func (c *Cluster) legOnce(ctx context.Context, s int, q string, nl bool, tried m
 				timer.Stop()
 				hedged = true
 				tried[alt] = true
-				launch(alt)
+				launch(alt, "failover")
 				pending++
 				continue
 			}
@@ -581,11 +780,14 @@ func (c *Cluster) legOnce(ctx context.Context, s int, q string, nl bool, tried m
 			}
 		case <-timer.C:
 			hedged = true
+			hedgeFired = true
 			tried[alt] = true
+			st.hedged.Add(1)
+			c.stats[s].hedges.Add(1)
 			if m := c.cfg.Metrics; m != nil {
 				m.Counter(MetricHedges, "shard", strconv.Itoa(s)).Inc()
 			}
-			launch(alt)
+			launch(alt, "hedge")
 			pending++
 		case <-ctx.Done():
 			return nil, ctx.Err()
@@ -631,9 +833,17 @@ func (c *Cluster) hedgeDelay(s int) time.Duration {
 }
 
 // call sends one request to one replica and folds the outcome into its
-// health state and the shard's latency reservoir.
-func (c *Cluster) call(ctx context.Context, r *replica, q string, nl bool) (*resilient.Answer, error) {
+// health state and the shard's latency reservoir. kind labels why this
+// attempt exists ("primary", "failover", "hedge") on its trace span; the
+// replica's own gateway trace nests beneath the span, so one coordinator
+// tree shows the whole cross-node story.
+func (c *Cluster) call(ctx context.Context, r *replica, q string, nl bool, kind string) (*resilient.Answer, error) {
+	ctx, sp := childSpan(ctx, "attempt")
+	sp.SetAttr("replica", strconv.Itoa(r.idx))
+	sp.SetAttr("kind", kind)
+	sp.SetAttr("breaker", r.br.State())
 	r.inflight.Add(1)
+	c.stats[r.shard].requests.Add(1)
 	t0 := time.Now()
 	var ans *resilient.Answer
 	var err error
@@ -646,9 +856,12 @@ func (c *Cluster) call(ctx context.Context, r *replica, q string, nl bool) (*res
 	r.inflight.Add(-1)
 	r.observe(err, elapsed)
 	c.hists[r.shard].Observe(elapsed.Seconds())
+	outcome := callOutcome(err)
+	sp.SetAttr("outcome", outcome)
+	sp.End()
 	if m := c.cfg.Metrics; m != nil {
 		sl := strconv.Itoa(r.shard)
-		m.Counter(MetricRequests, "shard", sl, "outcome", callOutcome(err)).Inc()
+		m.Counter(MetricRequests, "shard", sl, "outcome", outcome).Inc()
 		m.Histogram(MetricReplicaSeconds, "shard", sl).Observe(elapsed.Seconds())
 	}
 	return ans, err
@@ -670,7 +883,16 @@ func callOutcome(err error) string {
 	}
 }
 
-func (c *Cluster) countRoute(route string) {
+func (c *Cluster) countRoute(route string, st *reqStats) {
+	st.route = route
+	switch route {
+	case "home":
+		c.routeHome.Add(1)
+	case "pruned":
+		c.routePruned.Add(1)
+	case "scatter":
+		c.routeScatter.Add(1)
+	}
 	if m := c.cfg.Metrics; m != nil {
 		m.Counter(MetricRoutes, "route", route).Inc()
 	}
