@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test short race vet staticcheck chaos fuzz check metrics-smoke cache-smoke plan-smoke overload-smoke trace-smoke bench-cache bench-plan bench-overload bench-shard bench-obs
+.PHONY: build test short race vet staticcheck chaos fuzz check metrics-smoke cache-smoke plan-smoke overload-smoke trace-smoke bench-cache bench-plan bench-columnar bench-overload bench-shard bench-obs
 
 build:
 	$(GO) build ./...
@@ -90,6 +90,13 @@ bench-cache: build
 # baseline sweeps 100M candidate pairs per class — expect a few minutes.
 bench-plan: build
 	$(GO) run ./cmd/nlidb-bench -plan BENCH_plan.json
+
+# Columnar-execution benchmark: the row-at-a-time executor vs the
+# vectorized columnar executor per query class on a 200k-row metrics
+# table, results cross-checked row-for-row, written to
+# BENCH_columnar.json.
+bench-columnar: build
+	$(GO) run ./cmd/nlidb-bench -columnar BENCH_columnar.json
 
 # Overload benchmark: goodput and admitted-latency percentiles at 1×–10×
 # offered load, with and without admission control, written to

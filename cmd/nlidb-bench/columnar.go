@@ -1,0 +1,224 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"nlidb/internal/plan"
+	"nlidb/internal/sqldata"
+	"nlidb/internal/sqlparse"
+)
+
+// columnarReport is the BENCH_columnar.json schema: per query class, the
+// row-at-a-time executor (Options{NoVector: true}) against the
+// vectorized columnar executor on the same 200k-row metrics table, with
+// both results cross-checked row-for-row so the speedup is attributable
+// to the execution model and not to a semantic shortcut.
+type columnarReport struct {
+	Seed     int64 `json:"seed"`
+	FactRows int   `json:"fact_rows"`
+	DimRows  int   `json:"dim_rows"`
+	Reps     int   `json:"reps"`
+
+	Classes []columnarClass `json:"classes"`
+	// MinCoreSpeedup is the smallest speedup across the scan, filter,
+	// and aggregate classes (acceptance: ≥ 5). Join classes are
+	// reported but not part of the floor.
+	MinCoreSpeedup float64 `json:"min_core_speedup"`
+}
+
+// columnarClass is one benchmarked query class.
+type columnarClass struct {
+	Name string `json:"name"`
+	SQL  string `json:"sql"`
+	// RowMs / VecMs are best-of-reps execution latencies.
+	RowMs   float64 `json:"row_ms"`
+	VecMs   float64 `json:"vec_ms"`
+	Speedup float64 `json:"speedup"`
+	Rows    int     `json:"rows"`
+	// Core marks the class as part of the acceptance floor.
+	Core bool `json:"core"`
+}
+
+const (
+	columnarBenchFactRows = 200_000
+	columnarBenchDimRows  = 1_000
+	columnarBenchReps     = 5
+)
+
+// columnarBenchDB builds the metrics schema the columnar benchmark scans:
+// metric(id, host_id, ts, cpu, rss, status) at 200k rows plus a small
+// host(id, name, zone) dimension, mirroring the wide-fact/narrow-dim
+// shape the vectorized engine is built for.
+func columnarBenchDB(seed int64) (*sqldata.Database, error) {
+	rng := rand.New(rand.NewSource(seed))
+	db := sqldata.NewDatabase("columnarbench")
+	host, err := db.CreateTable(&sqldata.Schema{
+		Name: "host",
+		Columns: []sqldata.Column{
+			{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+			{Name: "name", Type: sqldata.TypeText},
+			{Name: "zone", Type: sqldata.TypeInt},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	metric, err := db.CreateTable(&sqldata.Schema{
+		Name: "metric",
+		Columns: []sqldata.Column{
+			{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+			{Name: "host_id", Type: sqldata.TypeInt},
+			{Name: "ts", Type: sqldata.TypeInt},
+			{Name: "cpu", Type: sqldata.TypeFloat},
+			{Name: "rss", Type: sqldata.TypeInt},
+			{Name: "status", Type: sqldata.TypeText},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	statuses := []string{"ok", "ok", "ok", "warn", "crit"}
+	for i := 0; i < columnarBenchDimRows; i++ {
+		host.MustInsert(sqldata.NewInt(int64(i)),
+			sqldata.NewText(fmt.Sprintf("host-%04d", i)),
+			sqldata.NewInt(int64(i%17)))
+	}
+	for i := 0; i < columnarBenchFactRows; i++ {
+		metric.MustInsert(sqldata.NewInt(int64(i)),
+			sqldata.NewInt(int64(rng.Intn(columnarBenchDimRows))),
+			sqldata.NewInt(int64(i)),
+			sqldata.NewFloat(rng.Float64()*100),
+			sqldata.NewInt(int64(rng.Intn(1<<30))),
+			sqldata.NewText(statuses[rng.Intn(len(statuses))]))
+	}
+	return db, nil
+}
+
+// columnarBenchBudget lifts the row meters: both executors materialize
+// the same rows, and the point here is throughput, not admission.
+func columnarBenchBudget() plan.Budget {
+	b := plan.DefaultBudget()
+	b.MaxRows = -1
+	b.MaxJoinRows = -1
+	return b
+}
+
+// runColumnarBench measures the row executor against the vectorized
+// executor per query class and writes the JSON report to path.
+func runColumnarBench(path string, seed int64) error {
+	db, err := columnarBenchDB(seed)
+	if err != nil {
+		return err
+	}
+	classes := []struct {
+		name, sql string
+		core      bool
+	}{
+		{"filter_scan",
+			"SELECT id, cpu FROM metric WHERE cpu > 95", true},
+		{"filter_conj",
+			"SELECT id FROM metric WHERE cpu BETWEEN 40 AND 60 AND status != 'ok' AND rss > 500000000", true},
+		{"agg_global",
+			"SELECT COUNT(*), AVG(cpu), MIN(rss), MAX(rss), SUM(rss) FROM metric", true},
+		{"agg_filtered",
+			"SELECT COUNT(*), AVG(cpu) FROM metric WHERE status = 'crit'", true},
+		{"agg_group",
+			"SELECT status, COUNT(*), AVG(cpu) FROM metric GROUP BY status ORDER BY status", true},
+		{"agg_group_int",
+			"SELECT host_id, MAX(cpu) FROM metric GROUP BY host_id", true},
+		{"join_agg",
+			"SELECT host.zone, COUNT(*), AVG(metric.cpu) FROM metric JOIN host ON metric.host_id = host.id GROUP BY host.zone", false},
+	}
+
+	ctx := context.Background()
+	budget := columnarBenchBudget()
+	rep := columnarReport{Seed: seed, FactRows: columnarBenchFactRows,
+		DimRows: columnarBenchDimRows, Reps: columnarBenchReps}
+	for _, c := range classes {
+		stmt, err := sqlparse.Parse(c.sql)
+		if err != nil {
+			return fmt.Errorf("columnar bench %s: %w", c.name, err)
+		}
+		rowPlan, err := plan.PrepareOpts(db, stmt, plan.Options{NoVector: true})
+		if err != nil {
+			return fmt.Errorf("columnar bench %s (row): %w", c.name, err)
+		}
+		vecPlan, err := plan.Prepare(db, stmt)
+		if err != nil {
+			return fmt.Errorf("columnar bench %s (vec): %w", c.name, err)
+		}
+		if !vecPlan.Vectorized() {
+			return fmt.Errorf("columnar bench %s: plan did not vectorize", c.name)
+		}
+
+		time1 := func(p *plan.Plan) (time.Duration, *sqldata.Result, error) {
+			var best time.Duration
+			var res *sqldata.Result
+			for i := 0; i < columnarBenchReps; i++ {
+				t0 := time.Now()
+				r, _, err := p.Run(ctx, budget)
+				el := time.Since(t0)
+				if err != nil {
+					return 0, nil, err
+				}
+				res = r
+				if i == 0 || el < best {
+					best = el
+				}
+			}
+			return best, res, nil
+		}
+		rDur, rRes, err := time1(rowPlan)
+		if err != nil {
+			return fmt.Errorf("columnar bench %s (row): %w", c.name, err)
+		}
+		vDur, vRes, err := time1(vecPlan)
+		if err != nil {
+			return fmt.Errorf("columnar bench %s (vec): %w", c.name, err)
+		}
+		if len(rRes.Rows) != len(vRes.Rows) {
+			return fmt.Errorf("columnar bench %s: row executor returned %d rows, vectorized %d",
+				c.name, len(rRes.Rows), len(vRes.Rows))
+		}
+		for i := range rRes.Rows {
+			if rRes.Rows[i].Key() != vRes.Rows[i].Key() {
+				return fmt.Errorf("columnar bench %s: result mismatch at row %d", c.name, i)
+			}
+		}
+
+		cl := columnarClass{
+			Name: c.name, SQL: c.sql, Core: c.core,
+			RowMs: float64(rDur) / float64(time.Millisecond),
+			VecMs: float64(vDur) / float64(time.Millisecond),
+			Rows:  len(vRes.Rows),
+		}
+		if cl.VecMs > 0 {
+			cl.Speedup = cl.RowMs / cl.VecMs
+		}
+		rep.Classes = append(rep.Classes, cl)
+		if c.core && (rep.MinCoreSpeedup == 0 || cl.Speedup < rep.MinCoreSpeedup) {
+			rep.MinCoreSpeedup = cl.Speedup
+		}
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	for _, c := range rep.Classes {
+		fmt.Printf("columnar bench: %-13s %8.2fms (row) vs %7.2fms (vectorized) = %6.1fx\n",
+			c.Name, c.RowMs, c.VecMs, c.Speedup)
+	}
+	fmt.Printf("columnar bench: min core speedup %.1fx over %d classes\n",
+		rep.MinCoreSpeedup, len(rep.Classes))
+	return nil
+}

@@ -61,6 +61,7 @@ func main() {
 	obsShards := flag.Int("shards", 4, "cluster width for the -obs sharded-overhead section")
 	cachePath := flag.String("cache", "", "write the answer-cache benchmark (cold/warm percentiles, serial-vs-parallel throughput) to this JSON file and exit")
 	planPath := flag.String("plan", "", "write the planner benchmark (nested-loop vs hash-join latency per query class) to this JSON file and exit")
+	columnarPath := flag.String("columnar", "", "write the columnar benchmark (row vs vectorized executor latency per query class) to this JSON file and exit")
 	overloadPath := flag.String("overload", "", "write the overload benchmark (goodput and admitted p99 at 1×–10× offered load, with and without admission control) to this JSON file and exit")
 	shardPath := flag.String("shard", "", "write the sharding benchmark (N-shard scaling curve, kill/restore goodput timelines) to this JSON file and exit")
 	flag.Parse()
@@ -81,6 +82,13 @@ func main() {
 	}
 	if *planPath != "" {
 		if err := runPlanBench(*planPath, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "nlidb-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *columnarPath != "" {
+		if err := runColumnarBench(*columnarPath, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "nlidb-bench: %v\n", err)
 			os.Exit(1)
 		}

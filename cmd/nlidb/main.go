@@ -283,7 +283,7 @@ func main() {
 	for _, t := range d.DB.Tables() {
 		fmt.Printf("  %s\n", t.Schema.DDL())
 	}
-	fmt.Println(`type a question ("exit" to quit; "? <prefix>" for completions; "slowlog" for slow queries):`)
+	fmt.Println(`type a question ("exit" to quit; "? <prefix>" for completions; "slowlog" for slow queries; "explain [analyze] <question>" for plans):`)
 
 	completer := autocomplete.New(d.DB, ontology.FromDatabase(d.DB), lex)
 	eng := sqlexec.New(d.DB)
@@ -319,6 +319,23 @@ func main() {
 			for _, s := range completer.Suggest(prefix, 8) {
 				fmt.Printf("  %-24s (%s)\n", s.Text, s.Kind)
 			}
+			continue
+		}
+		if q, ok := strings.CutPrefix(line, "explain analyze "); ok {
+			ins, err := primary.Interpret(q)
+			if err != nil {
+				fmt.Printf("  could not interpret: %v\n", err)
+				continue
+			}
+			best, _ := nlq.Best(ins)
+			fmt.Printf("  SQL: %s\n", best.SQL)
+			tree, res, err := eng.ExplainAnalyze(context.Background(), best.SQL, sqlexec.DefaultBudget())
+			if err != nil {
+				fmt.Printf("  explain analyze failed: %v\n", err)
+				continue
+			}
+			fmt.Println(indent(tree))
+			fmt.Printf("  (%d rows)\n", len(res.Rows))
 			continue
 		}
 		if q, ok := strings.CutPrefix(line, "explain "); ok {

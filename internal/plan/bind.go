@@ -374,6 +374,11 @@ func (b *binder) bindStmt(stmt *sqlparse.SelectStmt, parent *bindEnv) (*Plan, er
 		distinct: stmt.Distinct,
 		limit:    stmt.Limit,
 		grouped:  len(stmt.GroupBy) > 0 || stmt.HasAggregate(),
+		tabs:     tabs,
+	}
+	p.toffs = make([]int, len(sc.tables))
+	for i := range sc.tables {
+		p.toffs[i] = sc.tables[i].off
 	}
 
 	env := &bindEnv{sc: sc, n: len(sc.tables), parent: parent}

@@ -3,7 +3,6 @@ package plan
 import (
 	"context"
 	"fmt"
-	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -83,72 +82,81 @@ func (p *Plan) runSub(st *execState, fr *frame) (*sqldata.Result, error) {
 	return p.run(&execEnv{st: st, parent: fr})
 }
 
+// outRow is one projected output row plus its ORDER BY keys.
+type outRow struct {
+	proj sqldata.Row
+	keys []sqldata.Value
+}
+
+// projectFrame fills fr.proj slot by slot, so a select alias bound to an
+// earlier slot is readable by later items (and by ORDER BY).
+func (p *Plan) projectFrame(st *execState, fr *frame) error {
+	fr.proj = make(sqldata.Row, 0, len(p.cols))
+	for _, it := range p.items {
+		if it.star {
+			if len(it.offs) == 0 {
+				return fmt.Errorf("sqlexec: %s.* matched no table", it.starTable)
+			}
+			for _, off := range it.offs {
+				fr.proj = append(fr.proj, fr.row[off])
+			}
+			continue
+		}
+		v, err := evalExpr(st, fr, it.expr)
+		if err != nil {
+			return err
+		}
+		fr.proj = append(fr.proj, v)
+	}
+	return nil
+}
+
+// orderKeysFrame evaluates the ORDER BY keys against a projected frame.
+func (p *Plan) orderKeysFrame(st *execState, fr *frame) ([]sqldata.Value, error) {
+	if len(p.orderBy) == 0 {
+		return nil, nil
+	}
+	keys := make([]sqldata.Value, len(p.orderBy))
+	for i, o := range p.orderBy {
+		v, err := evalExpr(st, fr, o.key)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = v
+	}
+	return keys, nil
+}
+
+// emitFrame projects one frame, evaluates its sort keys, charges the row,
+// and appends it to out.
+func (p *Plan) emitFrame(st *execState, fr *frame, out *[]outRow) error {
+	if err := p.projectFrame(st, fr); err != nil {
+		return err
+	}
+	keys, err := p.orderKeysFrame(st, fr)
+	if err != nil {
+		return err
+	}
+	if err := st.addRows(1); err != nil {
+		return err
+	}
+	*out = append(*out, outRow{proj: fr.proj, keys: keys})
+	return nil
+}
+
 // run executes the operator tree and the group/sort/project/limit tail.
 func (p *Plan) run(env *execEnv) (*sqldata.Result, error) {
+	if p.vec != nil {
+		return p.runVec(env)
+	}
 	st := env.st
 	rows, err := p.src.rows(env)
 	if err != nil {
 		return nil, err
 	}
 
-	type outRow struct {
-		proj sqldata.Row
-		keys []sqldata.Value
-	}
 	var out []outRow
-
-	// project fills fr.proj slot by slot, so a select alias bound to an
-	// earlier slot is readable by later items (and by ORDER BY).
-	project := func(fr *frame) error {
-		fr.proj = make(sqldata.Row, 0, len(p.cols))
-		for _, it := range p.items {
-			if it.star {
-				if len(it.offs) == 0 {
-					return fmt.Errorf("sqlexec: %s.* matched no table", it.starTable)
-				}
-				for _, off := range it.offs {
-					fr.proj = append(fr.proj, fr.row[off])
-				}
-				continue
-			}
-			v, err := evalExpr(st, fr, it.expr)
-			if err != nil {
-				return err
-			}
-			fr.proj = append(fr.proj, v)
-		}
-		return nil
-	}
-
-	orderKeys := func(fr *frame) ([]sqldata.Value, error) {
-		if len(p.orderBy) == 0 {
-			return nil, nil
-		}
-		keys := make([]sqldata.Value, len(p.orderBy))
-		for i, o := range p.orderBy {
-			v, err := evalExpr(st, fr, o.key)
-			if err != nil {
-				return nil, err
-			}
-			keys[i] = v
-		}
-		return keys, nil
-	}
-
-	emit := func(fr *frame) error {
-		if err := project(fr); err != nil {
-			return err
-		}
-		keys, err := orderKeys(fr)
-		if err != nil {
-			return err
-		}
-		if err := st.addRows(1); err != nil {
-			return err
-		}
-		out = append(out, outRow{proj: fr.proj, keys: keys})
-		return nil
-	}
+	emit := func(fr *frame) error { return p.emitFrame(st, fr, &out) }
 
 	if p.grouped {
 		groups, order, err := p.groupRows(env, rows)
@@ -188,6 +196,14 @@ func (p *Plan) run(env *execEnv) (*sqldata.Result, error) {
 		}
 	}
 
+	return p.finishRows(env, out)
+}
+
+// finishRows applies the shared ORDER BY / DISTINCT / LIMIT tail to the
+// emitted rows and fills the projection/result stat slots. Both executors
+// (row-at-a-time and vectorized) funnel through it, so the output ordering
+// and dedup semantics cannot drift between them.
+func (p *Plan) finishRows(env *execEnv, out []outRow) (*sqldata.Result, error) {
 	// ORDER BY (stable, so ties keep input order).
 	if len(p.orderBy) > 0 {
 		var sortErr error
@@ -542,9 +558,12 @@ func (j *joinNode) hashOf(st *execState, fr *frame, keys []bexpr) (string, bool,
 }
 
 // hashKey canonically encodes one key value under the pair's keyKind so
-// that equal-under-Compare values get equal strings: mixed numerics hash
-// by float64 (Compare widens INT to FLOAT for mixed pairs), -0 folds into
-// +0, and all NaNs share one slot (cmpFloat treats NaN == NaN).
+// that equal-under-Compare values get equal strings. Mixed numeric pairs
+// use the canonical Value.Key encoding, which is exact: hashing by
+// widened float64 (the previous encoding) collapsed distinct int64s
+// beyond 2^53 into one bucket, and since the hash path never re-checks
+// equality on bucket hits, that silently joined unequal keys. -0 folds
+// into +0 and all NaNs share one slot (Compare treats NaN == NaN).
 func hashKey(v sqldata.Value, kind keyKind) (string, bool) {
 	switch kind {
 	case kInt:
@@ -554,17 +573,10 @@ func hashKey(v sqldata.Value, kind keyKind) (string, bool) {
 		}
 		return strconv.FormatInt(n, 10), true
 	case kFloat:
-		f, ok := v.FloatOK()
-		if !ok {
+		if _, ok := v.FloatOK(); !ok {
 			return "", false
 		}
-		if math.IsNaN(f) {
-			return "NaN", true
-		}
-		if f == 0 {
-			f = 0 // fold -0 into +0; Compare treats them equal
-		}
-		return strconv.FormatFloat(f, 'b', -1, 64), true
+		return v.Key(), true
 	case kText:
 		s, ok := v.TextOK()
 		return s, ok

@@ -25,6 +25,7 @@ func (p *Plan) ExplainStats(s *Stats) string {
 type renderer struct {
 	sb    strings.Builder
 	stats *Stats
+	est   []int64
 }
 
 func (r *renderer) line(depth int, format string, args ...any) {
@@ -33,16 +34,21 @@ func (r *renderer) line(depth int, format string, args ...any) {
 	r.sb.WriteByte('\n')
 }
 
-// statLine is line plus a rows=N suffix when stats are present.
+// statLine is line plus a rows=N suffix when stats are present, and an
+// est=N suffix when the cost model annotated the operator — EXPLAIN
+// ANALYZE shows estimated vs actual rows side by side.
 func (r *renderer) statLine(depth, nid int, format string, args ...any) {
 	if r.stats != nil && nid < len(r.stats.rows) {
 		format += fmt.Sprintf(" rows=%d", r.stats.rows[nid])
+		if r.est != nil && nid < len(r.est) {
+			format += fmt.Sprintf(" est=%d", r.est[nid])
+		}
 	}
 	r.line(depth, format, args...)
 }
 
 func (p *Plan) render(s *Stats) string {
-	r := &renderer{stats: s}
+	r := &renderer{stats: s, est: p.est}
 	p.renderTo(r, 0)
 	return strings.TrimRight(r.sb.String(), "\n")
 }

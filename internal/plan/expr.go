@@ -2,6 +2,8 @@ package plan
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"strings"
 
 	"nlidb/internal/sqldata"
@@ -17,6 +19,11 @@ type frame struct {
 	group  []sqldata.Row
 	proj   sqldata.Row
 	parent *frame
+	// aggVals, when non-nil, short-circuits aggregate evaluation with
+	// values the vectorized executor precomputed per group; the boxed
+	// group tail (HAVING, projection, ORDER BY) then reuses the ordinary
+	// expression evaluator without re-walking the group's rows.
+	aggVals map[*bAgg]sqldata.Value
 }
 
 // at walks up level parent links. Levels are fixed at bind time, so the
@@ -184,6 +191,11 @@ func evalExpr(st *execState, fr *frame, e bexpr) (sqldata.Value, error) {
 		return evalScalarFunc(st, fr, t)
 
 	case *bAgg:
+		if fr.aggVals != nil {
+			if v, ok := fr.aggVals[t]; ok {
+				return v, nil
+			}
+		}
 		return evalAggregate(st, fr, t)
 
 	case *bIn:
@@ -455,14 +467,14 @@ func evalAggregate(st *execState, fr *frame, f *bAgg) (sqldata.Value, error) {
 		}
 		allInt := true
 		sum := 0.0
-		var isum int64
+		var ihi, ilo uint64 // 128-bit two's-complement integer SUM accumulator
 		for _, v := range vals {
 			fv, ok := v.FloatOK()
 			if !ok {
 				return sqldata.Value{}, fmt.Errorf("sqlexec: %s over %s", f.name, v.T)
 			}
 			if iv, isInt := v.IntOK(); isInt {
-				isum += iv
+				ihi, ilo = add128(ihi, ilo, iv)
 			} else {
 				allInt = false
 			}
@@ -470,7 +482,11 @@ func evalAggregate(st *execState, fr *frame, f *bAgg) (sqldata.Value, error) {
 		}
 		if f.name == "SUM" {
 			if allInt {
-				return sqldata.NewInt(isum), nil
+				// The 128-bit accumulator cannot wrap (that would take
+				// 2^64 addends), so an out-of-int64-range total is
+				// detected exactly and promoted to float instead of
+				// silently wrapping.
+				return int128Value(ihi, ilo), nil
 			}
 			return sqldata.NewFloat(sum), nil
 		}
@@ -492,6 +508,30 @@ func evalAggregate(st *execState, fr *frame, f *bAgg) (sqldata.Value, error) {
 		return best, nil
 	}
 	return sqldata.Value{}, fmt.Errorf("sqlexec: unknown aggregate %q", f.name)
+}
+
+// add128 adds a sign-extended int64 into a 128-bit two's-complement
+// accumulator. SUM over int64 columns uses it so overflow of the int64
+// range is detected exactly rather than wrapping silently — and since
+// 128-bit integer addition is associative, the total is independent of
+// accumulation order, which the vectorized executor's join reordering
+// depends on.
+func add128(hi, lo uint64, v int64) (uint64, uint64) {
+	vhi := uint64(v >> 63) // arithmetic shift: sign extension
+	nlo, carry := bits.Add64(lo, uint64(v), 0)
+	nhi, _ := bits.Add64(hi, vhi, carry)
+	return nhi, nlo
+}
+
+// int128Value renders a 128-bit two's-complement total as an INT when it
+// fits int64, else as the nearest FLOAT (the overflow-promotion case).
+func int128Value(hi, lo uint64) sqldata.Value {
+	if (hi == 0 && lo < 1<<63) || (hi == ^uint64(0) && lo >= 1<<63) {
+		return sqldata.NewInt(int64(lo))
+	}
+	// value = int64(hi)·2^64 + lo; hi is small (bounded by the addend
+	// count), so the first term is exact and the result deterministic.
+	return sqldata.NewFloat(math.Ldexp(float64(int64(hi)), 64) + float64(lo))
 }
 
 // evalScalarFunc evaluates the small set of supported scalar functions.

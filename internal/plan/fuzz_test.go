@@ -160,9 +160,41 @@ func FuzzPlanExec(f *testing.F) {
 		if err != nil {
 			return // bind-time rejection; naive may or may not agree
 		}
-		pRes, _, pErr := p.Run(ctx, fuzzBudget())
+		pRes, pu, pErr := p.Run(ctx, fuzzBudget())
 		if pErr != nil {
 			return // runtime/budget error; message parity is not required
+		}
+		if p.Vectorized() {
+			// Second differential axis: the vectorized executor against
+			// the row executor on the identical statement. When the
+			// optimizer kept the syntactic join order, results AND
+			// budget metering must agree exactly; a reordered join tree
+			// legitimately changes intermediate join cardinalities, so
+			// there only the (order-preserving) results are compared.
+			reordered := false
+			for i, k := range p.vec.order {
+				if k != i {
+					reordered = true
+				}
+			}
+			rp, rpErr := PrepareOpts(db, stmt, Options{NoVector: true})
+			if rpErr != nil {
+				t.Fatalf("NoVector prepare diverged for %q: %v", sql, rpErr)
+			}
+			rRes, ru, rErr := rp.Run(ctx, fuzzBudget())
+			if rErr != nil {
+				if reordered {
+					return // e.g. the syntactic order tripped a budget the chosen order avoids
+				}
+				t.Fatalf("row executor failed where vectorized succeeded for %q: %v", sql, rErr)
+			}
+			if !sameResult(rRes, pRes) {
+				t.Fatalf("vectorized mismatch for %q:\nrow: cols=%v rows=%v\nvec: cols=%v rows=%v",
+					sql, rRes.Columns, rRes.Rows, pRes.Columns, pRes.Rows)
+			}
+			if !reordered && ru != pu {
+				t.Fatalf("usage mismatch for %q: row %+v vec %+v", sql, ru, pu)
+			}
 		}
 		nRes, nErr := naiveRun(db, stmt, nil)
 		if nErr != nil {

@@ -695,14 +695,14 @@ func naiveAggregate(ctx *nCtx, f *sqlparse.FuncCall) (sqldata.Value, error) {
 		}
 		allInt := true
 		sum := 0.0
-		var isum int64
+		var ihi, ilo uint64 // 128-bit accumulator, mirroring evalAggregate
 		for _, v := range vals {
 			fv, ok := v.FloatOK()
 			if !ok {
 				return sqldata.Value{}, fmt.Errorf("sqlexec: %s over %s", f.Name, v.T)
 			}
 			if iv, isInt := v.IntOK(); isInt {
-				isum += iv
+				ihi, ilo = add128(ihi, ilo, iv)
 			} else {
 				allInt = false
 			}
@@ -710,7 +710,7 @@ func naiveAggregate(ctx *nCtx, f *sqlparse.FuncCall) (sqldata.Value, error) {
 		}
 		if f.Name == "SUM" {
 			if allInt {
-				return sqldata.NewInt(isum), nil
+				return int128Value(ihi, ilo), nil
 			}
 			return sqldata.NewFloat(sum), nil
 		}

@@ -24,6 +24,9 @@ type Options struct {
 	NoHashJoin bool
 	// NoPushdown keeps all WHERE conjuncts in a filter above the joins.
 	NoPushdown bool
+	// NoVector forces the row-at-a-time executor even for plans the
+	// vectorized engine could run.
+	NoVector bool
 }
 
 // Plan is a fully bound and planned statement, ready to execute. Plans are
@@ -53,10 +56,25 @@ type Plan struct {
 	nidGroup   int
 	nidProject int
 	nidResult  int
+
+	// tabs/toffs record the FROM tables and their tuple offsets, for the
+	// cost model and the vectorized compiler.
+	tabs  []*sqldata.Table
+	toffs []int
+	// est holds per-operator estimated output rows (indexed by nid, shared
+	// with sub-plans), filled by annotatePlan from column statistics.
+	est []int64
+	// vec is the compiled vectorized form of the plan, or nil when any
+	// part of the statement requires the row-at-a-time executor.
+	vec *vplan
 }
 
 // Columns returns the output column names.
 func (p *Plan) Columns() []string { return p.cols }
+
+// Vectorized reports whether the plan will run on the vectorized
+// columnar executor rather than the row-at-a-time interpreter.
+func (p *Plan) Vectorized() bool { return p.vec != nil }
 
 // node is one physical operator: it materializes its full output. The
 // paper's workloads are interactive-scale, so materialization keeps the
@@ -142,6 +160,10 @@ func PrepareOpts(db *sqldata.Database, stmt *sqlparse.SelectStmt, opts Options) 
 		return nil, err
 	}
 	p.nstats = b.nid
+	annotatePlan(p)
+	if !opts.NoVector {
+		p.vec = compileVec(p)
+	}
 	return p, nil
 }
 

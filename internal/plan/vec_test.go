@@ -1,0 +1,290 @@
+package plan
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"nlidb/internal/sqldata"
+	"nlidb/internal/sqlparse"
+)
+
+func mustPrepare(t *testing.T, db *sqldata.Database, sql string, opts Options) *Plan {
+	t.Helper()
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	p, err := PrepareOpts(db, stmt, opts)
+	if err != nil {
+		t.Fatalf("prepare %q: %v", sql, err)
+	}
+	return p
+}
+
+// TestVectorizedEligibility pins which plan shapes compile to the
+// vectorized engine and which fall back to the row executor.
+func TestVectorizedEligibility(t *testing.T) {
+	db := fuzzDB()
+	vectorized := []string{
+		"SELECT name FROM customer WHERE city = 'Berlin'",
+		"SELECT * FROM orders WHERE total > 100.5 AND status != 'done'",
+		"SELECT city, COUNT(*) FROM customer GROUP BY city ORDER BY COUNT(*) DESC LIMIT 3",
+		"SELECT AVG(total) FROM orders",
+		"SELECT customer.name, SUM(orders.total) FROM customer JOIN orders ON customer.id = orders.customer_id GROUP BY customer.name",
+		"SELECT p.name FROM product AS p LEFT JOIN category AS c ON p.category_id = c.id WHERE c.name IS NOT NULL",
+		"SELECT DISTINCT LOWER(name) FROM customer WHERE name LIKE 'a%' OR credit BETWEEN 1 AND 2",
+		"SELECT status, COUNT(DISTINCT customer_id) FROM orders GROUP BY status ORDER BY status",
+	}
+	for _, sql := range vectorized {
+		if p := mustPrepare(t, db, sql, Options{}); !p.Vectorized() {
+			t.Errorf("expected vectorized plan for %q", sql)
+		}
+		if p := mustPrepare(t, db, sql, Options{NoVector: true}); p.Vectorized() {
+			t.Errorf("NoVector must disable vectorization for %q", sql)
+		}
+	}
+	fallback := []string{
+		// Subqueries always run on the row executor.
+		"SELECT name FROM customer WHERE id IN (SELECT customer_id FROM orders)",
+		"SELECT name FROM customer WHERE EXISTS (SELECT id FROM orders WHERE orders.customer_id = customer.id)",
+		// Non-equi join: nested loop, not vectorizable.
+		"SELECT c.name FROM customer AS c JOIN orders AS o ON c.credit > o.total",
+	}
+	for _, sql := range fallback {
+		if p := mustPrepare(t, db, sql, Options{}); p.Vectorized() {
+			t.Errorf("expected row-executor fallback for %q", sql)
+		}
+	}
+}
+
+// TestVectorizedDifferential runs representative statements through both
+// executors and requires identical results, usage metering, and operator
+// statistics.
+func TestVectorizedDifferential(t *testing.T) {
+	db := fuzzDB()
+	ctx := context.Background()
+	queries := []string{
+		"SELECT name, credit FROM customer",
+		"SELECT name FROM customer WHERE city = 'Berlin' AND credit > 100",
+		"SELECT name, credit * 2 FROM customer WHERE credit BETWEEN 0 AND 1000 ORDER BY credit DESC",
+		"SELECT UPPER(city) FROM customer WHERE city IS NOT NULL ORDER BY city",
+		"SELECT name FROM customer WHERE city IN ('Berlin', 'Oslo') OR credit < 0",
+		"SELECT COUNT(*), SUM(credit), MIN(credit), MAX(credit), AVG(credit) FROM customer",
+		"SELECT city, COUNT(*), AVG(credit) FROM customer GROUP BY city ORDER BY city",
+		"SELECT c.name, o.total FROM customer AS c JOIN orders AS o ON c.id = o.customer_id WHERE o.total > 50 ORDER BY o.total",
+		"SELECT c.name, o.total FROM customer AS c LEFT JOIN orders AS o ON c.id = o.customer_id ORDER BY c.name",
+		"SELECT c.city, SUM(o.total) FROM customer AS c JOIN orders AS o ON c.id = o.customer_id GROUP BY c.city HAVING SUM(o.total) > 10 ORDER BY c.city",
+		"SELECT COUNT(*) FROM customer AS c JOIN orders AS o ON c.id = o.customer_id JOIN product AS p ON o.id = p.id",
+		"SELECT status, COUNT(DISTINCT customer_id) FROM orders GROUP BY status ORDER BY status",
+		"SELECT DISTINCT city FROM customer ORDER BY city LIMIT 2",
+		"SELECT name FROM customer WHERE name LIKE '%a%' ORDER BY name",
+	}
+	for _, sql := range queries {
+		vp := mustPrepare(t, db, sql, Options{})
+		rp := mustPrepare(t, db, sql, Options{NoVector: true})
+		if !vp.Vectorized() {
+			t.Errorf("expected vectorized plan for %q", sql)
+			continue
+		}
+		vRes, vu, vStats, vErr := vp.RunStats(ctx, DefaultBudget())
+		rRes, ru, _, rErr := rp.RunStats(ctx, DefaultBudget())
+		if vErr != nil || rErr != nil {
+			t.Errorf("%q: vec err=%v row err=%v", sql, vErr, rErr)
+			continue
+		}
+		if !sameResult(vRes, rRes) {
+			t.Errorf("result mismatch for %q:\nrow: %v\nvec: %v", sql, rRes.Rows, vRes.Rows)
+		}
+		if vu != ru {
+			t.Errorf("usage mismatch for %q: row %+v vec %+v", sql, ru, vu)
+		}
+		if vStats == nil {
+			t.Errorf("%q: RunStats returned nil stats", sql)
+		}
+	}
+}
+
+// TestVecSumOverflowPromotes exercises the integer-SUM overflow
+// promotion (satellite fix) on the vectorized aggregate path: sums that
+// exceed int64 range must promote to float instead of wrapping, while
+// sums that land exactly on the boundary stay exact integers.
+func TestVecSumOverflowPromotes(t *testing.T) {
+	db := sqldata.NewDatabase("ovf")
+	tab, err := db.CreateTable(&sqldata.Schema{
+		Name: "t",
+		Columns: []sqldata.Column{
+			{Name: "g", Type: sqldata.TypeInt},
+			{Name: "x", Type: sqldata.TypeInt},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group 1 overflows (MaxInt64 + 10); group 2 lands exactly on
+	// MaxInt64; group 3 cancels back into range after an intermediate
+	// overflow.
+	tab.MustInsert(sqldata.NewInt(1), sqldata.NewInt(math.MaxInt64))
+	tab.MustInsert(sqldata.NewInt(1), sqldata.NewInt(10))
+	tab.MustInsert(sqldata.NewInt(2), sqldata.NewInt(math.MaxInt64-5))
+	tab.MustInsert(sqldata.NewInt(2), sqldata.NewInt(5))
+	tab.MustInsert(sqldata.NewInt(3), sqldata.NewInt(math.MaxInt64))
+	tab.MustInsert(sqldata.NewInt(3), sqldata.NewInt(math.MaxInt64))
+	tab.MustInsert(sqldata.NewInt(3), sqldata.NewInt(math.MinInt64))
+
+	ctx := context.Background()
+	sql := "SELECT g, SUM(x) FROM t GROUP BY g ORDER BY g"
+	vp := mustPrepare(t, db, sql, Options{})
+	if !vp.Vectorized() {
+		t.Fatalf("expected vectorized plan for %q", sql)
+	}
+	vRes, _, vErr := vp.Run(ctx, DefaultBudget())
+	if vErr != nil {
+		t.Fatal(vErr)
+	}
+	rp := mustPrepare(t, db, sql, Options{NoVector: true})
+	rRes, _, rErr := rp.Run(ctx, DefaultBudget())
+	if rErr != nil {
+		t.Fatal(rErr)
+	}
+	if !sameResult(vRes, rRes) {
+		t.Fatalf("overflow semantics diverge:\nrow: %v\nvec: %v", rRes.Rows, vRes.Rows)
+	}
+
+	want := []sqldata.Value{
+		sqldata.NewFloat(float64(math.MaxInt64) + 10), // promoted
+		sqldata.NewInt(math.MaxInt64),                 // exact boundary stays int
+		sqldata.NewInt(math.MaxInt64 - 1),             // intermediate overflow cancels
+	}
+	if len(vRes.Rows) != len(want) {
+		t.Fatalf("got %d groups, want %d: %v", len(vRes.Rows), len(want), vRes.Rows)
+	}
+	for i, w := range want {
+		got := vRes.Rows[i][1]
+		if got.Null || got.T != w.T || got.Key() != w.Key() {
+			t.Errorf("group %d: SUM = %v (type %v), want %v", i+1, got, got.T, w)
+		}
+	}
+}
+
+// TestVecExplainAnalyze checks that EXPLAIN ANALYZE output pairs actual
+// row counts with the cost model's estimates.
+func TestVecExplainAnalyze(t *testing.T) {
+	db := fuzzDB()
+	sql := "SELECT city, COUNT(*) FROM customer WHERE credit > 0 GROUP BY city"
+	p := mustPrepare(t, db, sql, Options{})
+	_, _, stats, err := p.RunStats(context.Background(), DefaultBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.ExplainStats(stats)
+	if !strings.Contains(out, "rows=") {
+		t.Fatalf("ExplainStats missing actual row counts:\n%s", out)
+	}
+	if !strings.Contains(out, "est=") {
+		t.Fatalf("ExplainStats missing cost estimates:\n%s", out)
+	}
+	// Plain EXPLAIN must not grow est=/rows= annotations.
+	plain := p.Explain()
+	if strings.Contains(plain, "est=") || strings.Contains(plain, "rows=") {
+		t.Fatalf("Explain must not carry runtime annotations:\n%s", plain)
+	}
+}
+
+// TestVecBudgetParity requires the vectorized executor to trip the same
+// budgets the row executor does.
+func TestVecBudgetParity(t *testing.T) {
+	db := fuzzDB()
+	ctx := context.Background()
+	cases := []struct {
+		sql string
+		b   Budget
+	}{
+		{"SELECT name FROM customer", Budget{MaxRows: 3}},
+		{"SELECT c.name, o.total FROM customer AS c JOIN orders AS o ON c.id = o.customer_id", Budget{MaxRows: 1 << 20, MaxJoinRows: 2}},
+	}
+	for _, tc := range cases {
+		vp := mustPrepare(t, db, tc.sql, Options{})
+		if !vp.Vectorized() {
+			t.Fatalf("expected vectorized plan for %q", tc.sql)
+		}
+		_, _, vErr := vp.Run(ctx, tc.b)
+		rp := mustPrepare(t, db, tc.sql, Options{NoVector: true})
+		_, _, rErr := rp.Run(ctx, tc.b)
+		vb, vOK := vErr.(*BudgetError)
+		rb, rOK := rErr.(*BudgetError)
+		if !vOK || !rOK {
+			t.Fatalf("%q: expected budget errors, got vec=%v row=%v", tc.sql, vErr, rErr)
+		}
+		if vb.Resource != rb.Resource {
+			t.Errorf("%q: budget resource mismatch vec=%s row=%s", tc.sql, vb.Resource, rb.Resource)
+		}
+	}
+}
+
+// TestVecStatsDrivenChoices sanity-checks the cost model's planner
+// outputs on a skewed dataset: estimates exist for every operator and
+// the hash-join build side lands on the smaller input.
+func TestVecStatsDrivenChoices(t *testing.T) {
+	db := sqldata.NewDatabase("skew")
+	big, err := db.CreateTable(&sqldata.Schema{
+		Name: "fact",
+		Columns: []sqldata.Column{
+			{Name: "k", Type: sqldata.TypeInt},
+			{Name: "v", Type: sqldata.TypeInt},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		big.MustInsert(sqldata.NewInt(int64(i%10)), sqldata.NewInt(int64(i)))
+	}
+	small, err := db.CreateTable(&sqldata.Schema{
+		Name: "dim",
+		Columns: []sqldata.Column{
+			{Name: "k", Type: sqldata.TypeInt},
+			{Name: "label", Type: sqldata.TypeText},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		small.MustInsert(sqldata.NewInt(int64(i)), sqldata.NewText(strings.Repeat("x", i+1)))
+	}
+
+	// fact is on the left: with the dim side tiny, the planner should
+	// keep building on the right (the default), not on the 1000-row
+	// probe side.
+	p := mustPrepare(t, db, "SELECT SUM(fact.v) FROM fact JOIN dim ON fact.k = dim.k", Options{})
+	if !p.Vectorized() {
+		t.Fatal("expected vectorized plan")
+	}
+	if p.vec.joins[0].buildLeft {
+		t.Error("build side should stay on the small right table")
+	}
+	// dim on the left: now the left side is the cheap build side.
+	p2 := mustPrepare(t, db, "SELECT SUM(fact.v) FROM dim JOIN fact ON dim.k = fact.k", Options{})
+	if !p2.Vectorized() {
+		t.Fatal("expected vectorized plan")
+	}
+	if !p2.vec.joins[0].buildLeft {
+		t.Error("build side should move to the small left table")
+	}
+	// Estimates populated for the scan under both plans.
+	if p.est == nil || p.est[p.vec.scan0.nid] != 1000 {
+		t.Errorf("scan estimate = %v, want 1000", p.est)
+	}
+
+	// And the estimates agree with reality on an unfiltered scan.
+	_, _, stats, err := p.RunStats(context.Background(), DefaultBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.ExplainStats(stats)
+	if !strings.Contains(out, "rows=1000 est=1000") {
+		t.Errorf("expected exact scan estimate in:\n%s", out)
+	}
+}

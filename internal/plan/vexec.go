@@ -1,0 +1,1275 @@
+package plan
+
+import (
+	"strings"
+	"time"
+
+	"nlidb/internal/sqldata"
+)
+
+// The vectorized executor runs a compiled vplan batch-at-a-time over the
+// tables' typed column vectors (sqldata.Columnar). The working set is a
+// set of selection vectors — one row-index array per FROM table — so
+// filters and joins only shuffle int32 indices until the final emit
+// boxes result rows. Observable behavior is contractually identical to
+// the row-at-a-time executor: same results in the same order, the same
+// Usage totals and budget errors, the same operator spans and EXPLAIN
+// ANALYZE row counts. Only cancellation granularity differs (per batch
+// instead of every 64 rows).
+
+// vcol is one evaluated expression over the working set: a typed payload
+// slice plus an optional null mask. cnst marks a broadcast scalar whose
+// slices have length 1.
+type vcol struct {
+	t    sqldata.Type
+	cnst bool
+	null []bool
+
+	ints   []int64 // TypeInt, TypeDate
+	floats []float64
+	texts  []string
+	bools  []bool
+}
+
+func (c *vcol) ix(i int) int {
+	if c.cnst {
+		return 0
+	}
+	return i
+}
+
+func (c *vcol) nullAt(i int) bool {
+	return c.null != nil && c.null[c.ix(i)]
+}
+
+// boolAt reads a three-valued boolean lane.
+func (c *vcol) boolAt(i int) (b, isNull bool) {
+	i = c.ix(i)
+	if c.null != nil && c.null[i] {
+		return false, true
+	}
+	return c.bools[i], false
+}
+
+// asFloat widens an int lane to float64, matching Value.Float.
+func (c *vcol) asFloat(i int) float64 {
+	if c.t == sqldata.TypeFloat {
+		return c.floats[i]
+	}
+	return float64(c.ints[i])
+}
+
+// value boxes one lane back into a Value.
+func (c *vcol) value(i int) sqldata.Value {
+	i = c.ix(i)
+	if c.null != nil && c.null[i] {
+		return sqldata.NullValue()
+	}
+	switch c.t {
+	case sqldata.TypeInt:
+		return sqldata.NewInt(c.ints[i])
+	case sqldata.TypeFloat:
+		return sqldata.NewFloat(c.floats[i])
+	case sqldata.TypeText:
+		return sqldata.NewText(c.texts[i])
+	case sqldata.TypeBool:
+		return sqldata.NewBool(c.bools[i])
+	case sqldata.TypeDate:
+		return sqldata.NewDateDays(c.ints[i])
+	}
+	return sqldata.NullValue()
+}
+
+// vconst broadcasts one scalar.
+func vconst(v sqldata.Value) vcol {
+	c := vcol{cnst: true}
+	if v.Null {
+		c.null = []bool{true}
+		return c
+	}
+	c.t = v.T
+	switch v.T {
+	case sqldata.TypeInt:
+		c.ints = []int64{v.Int()}
+	case sqldata.TypeFloat:
+		c.floats = []float64{v.Float()}
+	case sqldata.TypeText:
+		c.texts = []string{v.Text()}
+	case sqldata.TypeBool:
+		c.bools = []bool{v.Bool()}
+	case sqldata.TypeDate:
+		c.ints = []int64{v.DateDays()}
+	}
+	return c
+}
+
+// cmpVC compares lane i of a with lane j of b, mirroring sqldata.Compare
+// exactly (int-vs-float without lossy widening, NaN == NaN and below all
+// numbers). Only called on lanes whose static types are comparable.
+func cmpVC(a *vcol, i int, b *vcol, j int) int {
+	switch {
+	case a.t == sqldata.TypeInt && b.t == sqldata.TypeInt,
+		a.t == sqldata.TypeDate && b.t == sqldata.TypeDate:
+		return cmpI64(a.ints[i], b.ints[j])
+	case a.t == sqldata.TypeInt && b.t == sqldata.TypeFloat:
+		return sqldata.CompareIntFloat(a.ints[i], b.floats[j])
+	case a.t == sqldata.TypeFloat && b.t == sqldata.TypeInt:
+		return -sqldata.CompareIntFloat(b.ints[j], a.floats[i])
+	case a.t == sqldata.TypeFloat && b.t == sqldata.TypeFloat:
+		return cmpF64(a.floats[i], b.floats[j])
+	case a.t == sqldata.TypeText && b.t == sqldata.TypeText:
+		return strings.Compare(a.texts[i], b.texts[j])
+	case a.t == sqldata.TypeBool && b.t == sqldata.TypeBool:
+		switch {
+		case !a.bools[i] && b.bools[j]:
+			return -1
+		case a.bools[i] && !b.bools[j]:
+			return 1
+		}
+		return 0
+	}
+	return 0 // unreachable: static typing gates comparable pairs
+}
+
+func cmpI64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpF64(a, b float64) int {
+	switch {
+	case a < b || (a != a && b == b): // NaN sorts below numbers
+		return -1
+	case a > b || (a == a && b != b):
+		return 1
+	}
+	return 0
+}
+
+// gather materializes one column of the working set. idx == nil means
+// identity (the vector itself, zero-copy); a negative index is a LEFT
+// JOIN null pad.
+func gather(cv *sqldata.ColumnVector, idx []int32, n int) vcol {
+	out := vcol{t: cv.Type}
+	if idx == nil {
+		if cv.Nulls != nil {
+			out.null = make([]bool, n)
+			for i := 0; i < n; i++ {
+				out.null[i] = cv.Nulls.Get(i)
+			}
+		}
+		out.ints, out.floats, out.texts, out.bools = cv.Ints, cv.Floats, cv.Texts, cv.Bools
+		return out
+	}
+	switch cv.Type {
+	case sqldata.TypeInt, sqldata.TypeDate:
+		out.ints = make([]int64, n)
+	case sqldata.TypeFloat:
+		out.floats = make([]float64, n)
+	case sqldata.TypeText:
+		out.texts = make([]string, n)
+	case sqldata.TypeBool:
+		out.bools = make([]bool, n)
+	}
+	for i, ix := range idx {
+		if ix < 0 || cv.Null(int(ix)) {
+			if out.null == nil {
+				out.null = make([]bool, n)
+			}
+			out.null[i] = true
+			continue
+		}
+		switch cv.Type {
+		case sqldata.TypeInt, sqldata.TypeDate:
+			out.ints[i] = cv.Ints[ix]
+		case sqldata.TypeFloat:
+			out.floats[i] = cv.Floats[ix]
+		case sqldata.TypeText:
+			out.texts[i] = cv.Texts[ix]
+		case sqldata.TypeBool:
+			out.bools[i] = cv.Bools[ix]
+		}
+	}
+	return out
+}
+
+// vctx supplies column vectors (with per-batch caching) and alias slots
+// to the vector evaluator.
+type vctx struct {
+	n     int
+	get   func(off int) vcol
+	slots []vcol
+}
+
+func cachedCtx(n int, raw func(off int) vcol) *vctx {
+	cache := map[int]vcol{}
+	return &vctx{n: n, get: func(off int) vcol {
+		if c, ok := cache[off]; ok {
+			return c
+		}
+		c := raw(off)
+		cache[off] = c
+		return c
+	}}
+}
+
+// evalVec evaluates a statically safe bound expression over the working
+// set. Kernel dispatch follows the static types established by safeType,
+// so no lane can raise an error the row evaluator would have raised.
+func evalVec(ctx *vctx, e bexpr) vcol {
+	n := ctx.n
+	switch t := e.(type) {
+	case *bLit:
+		return vconst(t.v)
+
+	case *bCol:
+		return ctx.get(t.off)
+
+	case *bAlias:
+		return ctx.slots[t.slot]
+
+	case *bBinary:
+		if t.op == "AND" || t.op == "OR" {
+			l, r := evalVec(ctx, t.l), evalVec(ctx, t.r)
+			return evalBool3(t.op, &l, &r, n)
+		}
+		l, r := evalVec(ctx, t.l), evalVec(ctx, t.r)
+		switch t.op {
+		case "=", "!=", "<", "<=", ">", ">=":
+			return evalCmp(t.op, &l, &r, n)
+		default:
+			return evalArith(t.op, &l, &r, n)
+		}
+
+	case *bUnary:
+		x := evalVec(ctx, t.x)
+		return evalUnary(t.op, &x, n)
+
+	case *bFunc:
+		x := evalVec(ctx, t.args[0])
+		return evalFuncVec(t.name, &x, n)
+
+	case *bIsNull:
+		x := evalVec(ctx, t.x)
+		m := laneCount(n, x.cnst)
+		out := vcol{t: sqldata.TypeBool, cnst: x.cnst, bools: make([]bool, m)}
+		for i := 0; i < m; i++ {
+			out.bools[i] = x.nullAt(i) != t.not
+		}
+		return out
+
+	case *bBetween:
+		x := evalVec(ctx, t.x)
+		lo := evalVec(ctx, t.lo)
+		hi := evalVec(ctx, t.hi)
+		cnst := x.cnst && lo.cnst && hi.cnst
+		m := laneCount(n, cnst)
+		out := vcol{t: sqldata.TypeBool, cnst: cnst, bools: make([]bool, m)}
+		for i := 0; i < m; i++ {
+			if x.nullAt(i) || lo.nullAt(i) || hi.nullAt(i) {
+				out.setNull(i, m)
+				continue
+			}
+			cl := cmpVC(&x, x.ix(i), &lo, lo.ix(i))
+			ch := cmpVC(&x, x.ix(i), &hi, hi.ix(i))
+			out.bools[i] = (cl >= 0 && ch <= 0) != t.not
+		}
+		return out
+
+	case *bIn:
+		x := evalVec(ctx, t.x)
+		elems := make([]vcol, len(t.list))
+		cnst := x.cnst
+		for i, el := range t.list {
+			elems[i] = evalVec(ctx, el)
+			cnst = cnst && elems[i].cnst
+		}
+		m := laneCount(n, cnst)
+		out := vcol{t: sqldata.TypeBool, cnst: cnst, bools: make([]bool, m)}
+		for i := 0; i < m; i++ {
+			if x.nullAt(i) {
+				if len(elems) == 0 {
+					out.bools[i] = t.not // x IN () is FALSE even for NULL probe
+				} else {
+					out.setNull(i, m)
+				}
+				continue
+			}
+			matched, sawNull := false, false
+			for ei := range elems {
+				el := &elems[ei]
+				if el.nullAt(i) {
+					sawNull = true
+					continue
+				}
+				if cmpVC(&x, x.ix(i), el, el.ix(i)) == 0 {
+					matched = true
+					break
+				}
+			}
+			switch {
+			case matched:
+				out.bools[i] = !t.not
+			case sawNull:
+				out.setNull(i, m)
+			default:
+				out.bools[i] = t.not
+			}
+		}
+		return out
+
+	case *bLike:
+		x := evalVec(ctx, t.x)
+		m := laneCount(n, x.cnst)
+		out := vcol{t: sqldata.TypeBool, cnst: x.cnst, bools: make([]bool, m)}
+		for i := 0; i < m; i++ {
+			if x.nullAt(i) {
+				out.setNull(i, m)
+				continue
+			}
+			out.bools[i] = likeMatch(t.pattern, x.texts[x.ix(i)]) != t.not
+		}
+		return out
+	}
+	// Unreachable: compileVec only admits the expression forms above.
+	out := vcol{cnst: true, null: []bool{true}}
+	return out
+}
+
+func laneCount(n int, cnst bool) int {
+	if cnst {
+		return 1
+	}
+	return n
+}
+
+func (c *vcol) setNull(i, m int) {
+	if c.null == nil {
+		c.null = make([]bool, m)
+	}
+	c.null[i] = true
+}
+
+func evalBool3(op string, l, r *vcol, n int) vcol {
+	cnst := l.cnst && r.cnst
+	m := laneCount(n, cnst)
+	out := vcol{t: sqldata.TypeBool, cnst: cnst, bools: make([]bool, m)}
+	and := op == "AND"
+	for i := 0; i < m; i++ {
+		lb, ln := l.boolAt(i)
+		rb, rn := r.boolAt(i)
+		if and {
+			switch {
+			case (!ln && !lb) || (!rn && !rb):
+				// false dominates
+			case ln || rn:
+				out.setNull(i, m)
+			default:
+				out.bools[i] = true
+			}
+		} else {
+			switch {
+			case (!ln && lb) || (!rn && rb):
+				out.bools[i] = true
+			case ln || rn:
+				out.setNull(i, m)
+			}
+		}
+	}
+	return out
+}
+
+func evalCmp(op string, l, r *vcol, n int) vcol {
+	cnst := l.cnst && r.cnst
+	m := laneCount(n, cnst)
+	out := vcol{t: sqldata.TypeBool, cnst: cnst, bools: make([]bool, m)}
+	for i := 0; i < m; i++ {
+		if l.nullAt(i) || r.nullAt(i) {
+			out.setNull(i, m)
+			continue
+		}
+		c := cmpVC(l, l.ix(i), r, r.ix(i))
+		var ok bool
+		switch op {
+		case "=":
+			ok = c == 0
+		case "!=":
+			ok = c != 0
+		case "<":
+			ok = c < 0
+		case "<=":
+			ok = c <= 0
+		case ">":
+			ok = c > 0
+		default:
+			ok = c >= 0
+		}
+		out.bools[i] = ok
+	}
+	return out
+}
+
+func evalArith(op string, l, r *vcol, n int) vcol {
+	cnst := l.cnst && r.cnst
+	m := laneCount(n, cnst)
+	if op != "/" && l.t == sqldata.TypeInt && r.t == sqldata.TypeInt {
+		out := vcol{t: sqldata.TypeInt, cnst: cnst, ints: make([]int64, m)}
+		for i := 0; i < m; i++ {
+			if l.nullAt(i) || r.nullAt(i) {
+				out.setNull(i, m)
+				continue
+			}
+			a, b := l.ints[l.ix(i)], r.ints[r.ix(i)]
+			switch op {
+			case "+":
+				out.ints[i] = a + b
+			case "-":
+				out.ints[i] = a - b
+			default:
+				out.ints[i] = a * b
+			}
+		}
+		return out
+	}
+	out := vcol{t: sqldata.TypeFloat, cnst: cnst, floats: make([]float64, m)}
+	for i := 0; i < m; i++ {
+		if l.nullAt(i) || r.nullAt(i) {
+			out.setNull(i, m)
+			continue
+		}
+		a, b := l.asFloat(l.ix(i)), r.asFloat(r.ix(i))
+		switch op {
+		case "+":
+			out.floats[i] = a + b
+		case "-":
+			out.floats[i] = a - b
+		case "*":
+			out.floats[i] = a * b
+		default:
+			if b == 0 {
+				out.setNull(i, m) // division by zero yields NULL, like the row path
+				continue
+			}
+			out.floats[i] = a / b
+		}
+	}
+	return out
+}
+
+func evalUnary(op string, x *vcol, n int) vcol {
+	m := laneCount(n, x.cnst)
+	if op == "NOT" {
+		out := vcol{t: sqldata.TypeBool, cnst: x.cnst, bools: make([]bool, m)}
+		for i := 0; i < m; i++ {
+			b, isNull := x.boolAt(i)
+			if isNull {
+				out.setNull(i, m)
+				continue
+			}
+			out.bools[i] = !b
+		}
+		return out
+	}
+	// unary minus over a statically numeric column
+	out := vcol{t: x.t, cnst: x.cnst}
+	if x.t == sqldata.TypeFloat {
+		out.floats = make([]float64, m)
+	} else {
+		out.ints = make([]int64, m)
+	}
+	for i := 0; i < m; i++ {
+		if x.nullAt(i) {
+			out.setNull(i, m)
+			continue
+		}
+		if x.t == sqldata.TypeFloat {
+			out.floats[i] = -x.floats[x.ix(i)]
+		} else {
+			out.ints[i] = -x.ints[x.ix(i)]
+		}
+	}
+	return out
+}
+
+func evalFuncVec(name string, x *vcol, n int) vcol {
+	m := laneCount(n, x.cnst)
+	var out vcol
+	switch name {
+	case "LOWER", "UPPER":
+		out = vcol{t: sqldata.TypeText, cnst: x.cnst, texts: make([]string, m)}
+	case "ABS":
+		out = vcol{t: x.t, cnst: x.cnst}
+		if x.t == sqldata.TypeFloat {
+			out.floats = make([]float64, m)
+		} else {
+			out.ints = make([]int64, m)
+		}
+	case "YEAR":
+		out = vcol{t: sqldata.TypeInt, cnst: x.cnst, ints: make([]int64, m)}
+	default:
+		return vcol{cnst: true, null: []bool{true}} // unreachable: gated by safeType
+	}
+	for i := 0; i < m; i++ {
+		if x.nullAt(i) {
+			out.setNull(i, m)
+			continue
+		}
+		j := x.ix(i)
+		switch name {
+		case "LOWER":
+			out.texts[i] = strings.ToLower(x.texts[j])
+		case "UPPER":
+			out.texts[i] = strings.ToUpper(x.texts[j])
+		case "ABS":
+			if x.t == sqldata.TypeFloat {
+				v := x.floats[j]
+				if v < 0 {
+					v = -v
+				}
+				out.floats[i] = v
+			} else {
+				v := x.ints[j]
+				if v < 0 {
+					v = -v
+				}
+				out.ints[i] = v
+			}
+		case "YEAR":
+			out.ints[i] = int64(time.Unix(x.ints[j]*86400, 0).UTC().Year())
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Plan execution over the working set.
+
+// wset is the vectorized working set: one selection vector per FROM
+// table (nil = identity over the whole table), all of length n. A
+// negative index marks a LEFT JOIN null pad.
+type wset struct {
+	n   int
+	idx [][]int32
+}
+
+type vrun struct {
+	p      *Plan
+	v      *vplan
+	env    *execEnv
+	st     *execState
+	cols   [][]*sqldata.ColumnVector
+	nrows  []int
+	placed []bool
+	ws     wset
+}
+
+func (e *execEnv) setStat(nid, n int) {
+	if e.stats != nil {
+		e.stats[nid] = int64(n)
+	}
+}
+
+// runVec executes the compiled vectorized plan.
+func (p *Plan) runVec(env *execEnv) (*sqldata.Result, error) {
+	v := p.vec
+	r := &vrun{
+		p: p, v: v, env: env, st: env.st,
+		cols:   make([][]*sqldata.ColumnVector, len(p.tabs)),
+		nrows:  make([]int, len(p.tabs)),
+		placed: make([]bool, len(p.tabs)),
+	}
+	for k, tab := range p.tabs {
+		cc := tab.Columnar()
+		r.cols[k] = cc
+		if len(cc) > 0 {
+			r.nrows[k] = cc[0].Len
+		}
+	}
+
+	sel, n0, err := r.scanFiltered(&v.scan0)
+	if err != nil {
+		return nil, err
+	}
+	env.setStat(v.scan0.nid, n0)
+	r.ws = wset{n: n0, idx: make([][]int32, len(p.tabs))}
+	r.ws.idx[v.scan0.tabIdx] = sel
+	r.placed[v.scan0.tabIdx] = true
+
+	for _, k := range v.order {
+		if err := r.joinStep(&v.joins[k]); err != nil {
+			return nil, err
+		}
+	}
+
+	if v.residNid >= 0 {
+		ctx := r.wsCtx()
+		keep := r.predMask(ctx, v.resid)
+		r.compact(keep)
+		env.setStat(v.residNid, r.ws.n)
+		if err := r.st.checkCtx(); err != nil {
+			return nil, err
+		}
+	}
+
+	if p.grouped {
+		return r.runGrouped()
+	}
+	return r.emitRows()
+}
+
+// wsCtx returns a fresh evaluation context over the current working set.
+func (r *vrun) wsCtx() *vctx {
+	ws := r.ws
+	return cachedCtx(ws.n, func(off int) vcol {
+		k := r.p.tableAtOff(off)
+		return gather(r.cols[k][off-r.p.toffs[k]], ws.idx[k], ws.n)
+	})
+}
+
+// predMask evaluates safe conjuncts over ctx and ANDs their definite
+// truth — identical to evaluating every conjunct per row, since safe
+// conjuncts cannot error.
+func (r *vrun) predMask(ctx *vctx, conj []bexpr) []bool {
+	keep := make([]bool, ctx.n)
+	for i := range keep {
+		keep[i] = true
+	}
+	for _, c := range conj {
+		v := evalVec(ctx, c)
+		for i := 0; i < ctx.n; i++ {
+			if !keep[i] {
+				continue
+			}
+			b, isNull := v.boolAt(i)
+			keep[i] = !isNull && b
+		}
+	}
+	return keep
+}
+
+// compact drops working-set tuples where keep is false.
+func (r *vrun) compact(keep []bool) {
+	kept := 0
+	for _, k := range keep {
+		if k {
+			kept++
+		}
+	}
+	out := make([][]int32, len(r.ws.idx))
+	for t := range r.ws.idx {
+		if !r.placed[t] {
+			continue
+		}
+		idx := r.ws.idx[t]
+		ni := make([]int32, 0, kept)
+		for i := 0; i < r.ws.n; i++ {
+			if !keep[i] {
+				continue
+			}
+			if idx == nil {
+				ni = append(ni, int32(i))
+			} else {
+				ni = append(ni, idx[i])
+			}
+		}
+		out[t] = ni
+	}
+	r.ws = wset{n: kept, idx: out}
+}
+
+// scanFiltered applies a scan step's pushed-down filters as successive
+// selection vectors, returning the surviving row indices (nil = whole
+// table) and their count. It emits the scan span and charges the budget
+// exactly like scanNode.rows.
+func (r *vrun) scanFiltered(s *vscanStep) ([]int32, int, error) {
+	cols := r.cols[s.tabIdx]
+	n := r.nrows[s.tabIdx]
+	if s.span != "" {
+		sp := r.env.span.Child(s.span)
+		if s.charge {
+			if err := r.st.addRows(n); err != nil {
+				sp.End()
+				return nil, 0, err
+			}
+		}
+		sp.Add("rows", int64(n))
+		sp.End()
+	}
+	var sel []int32
+	cur := n
+	for _, f := range s.filters {
+		ctx := cachedCtx(cur, func(off int) vcol { return gather(cols[off], sel, cur) })
+		v := evalVec(ctx, f)
+		next := make([]int32, 0, cur)
+		for i := 0; i < cur; i++ {
+			b, isNull := v.boolAt(i)
+			if isNull || !b {
+				continue
+			}
+			if sel == nil {
+				next = append(next, int32(i))
+			} else {
+				next = append(next, sel[i])
+			}
+		}
+		sel, cur = next, len(next)
+		if err := r.st.checkCtx(); err != nil {
+			return nil, 0, err
+		}
+	}
+	return sel, cur, nil
+}
+
+// joinStep hash-joins the working set with one scanned table, preserving
+// the row executor's left-major output order and per-row join metering.
+func (r *vrun) joinStep(j *vjoinStep) error {
+	leftN := r.ws.n
+	rsel, rn, err := r.scanFiltered(&j.right)
+	if err != nil {
+		return err
+	}
+	r.env.setStat(j.right.nid, rn)
+	rtab := j.right.tabIdx
+	rcols := r.cols[rtab]
+
+	sp := r.env.span.Child(j.span)
+	sp.Add("left_rows", int64(leftN))
+	sp.Add("right_rows", int64(rn))
+	sp.SetAttr("algo", "hash")
+
+	// Key vectors for both sides.
+	lctx := r.wsCtx()
+	lk := make([]vcol, len(j.lKeys))
+	for i, e := range j.lKeys {
+		lk[i] = evalVec(lctx, e)
+	}
+	rctx := cachedCtx(rn, func(off int) vcol { return gather(rcols[off], rsel, rn) })
+	rk := make([]vcol, len(j.rKeys))
+	for i, e := range j.rKeys {
+		rk[i] = evalVec(rctx, e)
+	}
+
+	rowAt := func(pos int) int32 {
+		if rsel == nil {
+			return int32(pos)
+		}
+		return rsel[pos]
+	}
+
+	// Candidate pairs in left-major order (candL: working-set tuple,
+	// candR: right-table row), with per-left-tuple boundaries for LEFT
+	// JOIN padding.
+	var candL, candR []int32
+	starts := make([]int32, leftN+1)
+
+	intKey := len(j.kinds) == 1 && (j.kinds[0] == kInt || j.kinds[0] == kDate)
+	if j.buildLeft {
+		matches := make([][]int32, leftN)
+		if intKey {
+			buckets := make(map[int64][]int32, leftN)
+			for i := 0; i < leftN; i++ {
+				if !lk[0].nullAt(i) {
+					k := lk[0].ints[lk[0].ix(i)]
+					buckets[k] = append(buckets[k], int32(i))
+				}
+			}
+			for pos := 0; pos < rn; pos++ {
+				if rk[0].nullAt(pos) {
+					continue
+				}
+				for _, li := range buckets[rk[0].ints[rk[0].ix(pos)]] {
+					matches[li] = append(matches[li], rowAt(pos))
+				}
+			}
+		} else {
+			buckets := make(map[string][]int32, leftN)
+			for i := 0; i < leftN; i++ {
+				if k, ok := vKeyString(lk, j.kinds, i); ok {
+					buckets[k] = append(buckets[k], int32(i))
+				}
+			}
+			for pos := 0; pos < rn; pos++ {
+				k, ok := vKeyString(rk, j.kinds, pos)
+				if !ok {
+					continue
+				}
+				for _, li := range buckets[k] {
+					matches[li] = append(matches[li], rowAt(pos))
+				}
+			}
+		}
+		for i := 0; i < leftN; i++ {
+			starts[i] = int32(len(candL))
+			for _, rr := range matches[i] {
+				candL = append(candL, int32(i))
+				candR = append(candR, rr)
+			}
+		}
+		starts[leftN] = int32(len(candL))
+	} else {
+		// Build right, probe left in order — the row executor's shape.
+		if intKey {
+			buckets := make(map[int64][]int32, rn)
+			for pos := 0; pos < rn; pos++ {
+				if !rk[0].nullAt(pos) {
+					k := rk[0].ints[rk[0].ix(pos)]
+					buckets[k] = append(buckets[k], rowAt(pos))
+				}
+			}
+			for i := 0; i < leftN; i++ {
+				starts[i] = int32(len(candL))
+				if lk[0].nullAt(i) {
+					continue
+				}
+				for _, rr := range buckets[lk[0].ints[lk[0].ix(i)]] {
+					candL = append(candL, int32(i))
+					candR = append(candR, rr)
+				}
+			}
+		} else {
+			buckets := make(map[string][]int32, rn)
+			for pos := 0; pos < rn; pos++ {
+				if k, ok := vKeyString(rk, j.kinds, pos); ok {
+					buckets[k] = append(buckets[k], rowAt(pos))
+				}
+			}
+			for i := 0; i < leftN; i++ {
+				starts[i] = int32(len(candL))
+				k, ok := vKeyString(lk, j.kinds, i)
+				if !ok {
+					continue
+				}
+				for _, rr := range buckets[k] {
+					candL = append(candL, int32(i))
+					candR = append(candR, rr)
+				}
+			}
+		}
+		starts[leftN] = int32(len(candL))
+	}
+
+	// Residual conjuncts over the candidate pairs.
+	var keep []bool
+	if len(j.residual) > 0 && len(candL) > 0 {
+		cand := wset{n: len(candL), idx: make([][]int32, len(r.p.tabs))}
+		for t := range r.ws.idx {
+			if !r.placed[t] {
+				continue
+			}
+			idx := r.ws.idx[t]
+			ci := make([]int32, len(candL))
+			for c, li := range candL {
+				if idx == nil {
+					ci[c] = li
+				} else {
+					ci[c] = idx[li]
+				}
+			}
+			cand.idx[t] = ci
+		}
+		cand.idx[rtab] = candR
+		cctx := cachedCtx(cand.n, func(off int) vcol {
+			k := r.p.tableAtOff(off)
+			return gather(r.cols[k][off-r.p.toffs[k]], cand.idx[k], cand.n)
+		})
+		keep = r.predMask(cctx, j.residual)
+	}
+
+	// Emit in left-major order, padding unmatched left tuples on LEFT
+	// JOIN.
+	out := make([][]int32, len(r.p.tabs))
+	for t := range out {
+		if r.placed[t] {
+			out[t] = make([]int32, 0, len(candL))
+		}
+	}
+	var rout []int32
+	emit := func(li int32, rr int32) {
+		for t := range out {
+			if !r.placed[t] {
+				continue
+			}
+			idx := r.ws.idx[t]
+			if idx == nil {
+				out[t] = append(out[t], li)
+			} else {
+				out[t] = append(out[t], idx[li])
+			}
+		}
+		rout = append(rout, rr)
+	}
+	for i := 0; i < leftN; i++ {
+		matched := false
+		for c := int(starts[i]); c < int(starts[i+1]); c++ {
+			if keep != nil && !keep[c] {
+				continue
+			}
+			matched = true
+			emit(int32(i), candR[c])
+		}
+		if !matched && j.leftJoin {
+			emit(int32(i), -1)
+		}
+	}
+	outN := len(rout)
+
+	sp.Add("out_rows", int64(outN))
+	sp.End()
+	if err := r.st.addJoinRows(outN); err != nil {
+		return err
+	}
+	r.env.setStat(j.nid, outN)
+
+	out[rtab] = rout
+	r.placed[rtab] = true
+	r.ws = wset{n: outN, idx: out}
+	return r.st.checkCtx()
+}
+
+// vKeyString renders the composite hash key of lane i, using the same
+// canonical per-kind encodings as the row executor's hashOf. ok=false
+// marks a NULL key component (the lane cannot match).
+func vKeyString(keys []vcol, kinds []keyKind, i int) (string, bool) {
+	var sb strings.Builder
+	for ki := range keys {
+		v := keys[ki].value(i)
+		if v.Null {
+			return "", false
+		}
+		s, ok := hashKey(v, kinds[ki])
+		if !ok {
+			s = v.Key()
+		}
+		sb.WriteString(s)
+		sb.WriteByte(0x1f)
+	}
+	return sb.String(), true
+}
+
+// boxTuple materializes working-set tuple i as a full statement row.
+func (r *vrun) boxTuple(i int) sqldata.Row {
+	row := make(sqldata.Row, 0, r.p.width)
+	for t := range r.p.tabs {
+		idx := r.ws.idx[t]
+		ri := int32(i)
+		if idx != nil {
+			ri = idx[i]
+		}
+		for _, cv := range r.cols[t] {
+			if ri < 0 {
+				row = append(row, sqldata.NullValue())
+			} else {
+				row = append(row, cv.Value(int(ri)))
+			}
+		}
+	}
+	return row
+}
+
+// emitRows projects the non-grouped working set and runs the shared
+// sort/distinct/limit tail.
+func (r *vrun) emitRows() (*sqldata.Result, error) {
+	p, st := r.p, r.st
+	n := r.ws.n
+	if !r.v.vecEmit {
+		var out []outRow
+		for i := 0; i < n; i++ {
+			if err := st.tick(); err != nil {
+				return nil, err
+			}
+			fr := &frame{row: r.boxTuple(i), parent: r.env.parent}
+			if err := p.emitFrame(st, fr, &out); err != nil {
+				return nil, err
+			}
+		}
+		return p.finishRows(r.env, out)
+	}
+
+	ctx := r.wsCtx()
+	var slots []vcol
+	for _, it := range p.items {
+		if it.star {
+			for _, off := range it.offs {
+				slots = append(slots, ctx.get(off))
+			}
+			continue
+		}
+		ctx.slots = slots
+		slots = append(slots, evalVec(ctx, it.expr))
+	}
+	ctx.slots = slots
+	keys := make([]vcol, len(p.orderBy))
+	for i, o := range p.orderBy {
+		keys[i] = evalVec(ctx, o.key)
+	}
+
+	if err := st.addRows(n); err != nil {
+		return nil, err
+	}
+	out := make([]outRow, n)
+	for i := 0; i < n; i++ {
+		proj := make(sqldata.Row, len(slots))
+		for s := range slots {
+			proj[s] = slots[s].value(i)
+		}
+		var ks []sqldata.Value
+		if len(keys) > 0 {
+			ks = make([]sqldata.Value, len(keys))
+			for k := range keys {
+				ks[k] = keys[k].value(i)
+			}
+		}
+		out[i] = outRow{proj: proj, keys: ks}
+	}
+	return p.finishRows(r.env, out)
+}
+
+// runGrouped hash-aggregates the working set: group ids in first-
+// appearance order, vectorized per-group aggregate accumulation, then
+// the ordinary boxed evaluator for HAVING/projection over one frame per
+// group with the precomputed aggregates attached.
+func (r *vrun) runGrouped() (*sqldata.Result, error) {
+	p, st := r.p, r.st
+	n := r.ws.n
+
+	var gids []int32
+	var repIdx []int32
+	ngroups := 0
+	if len(p.groupKeys) == 0 {
+		ngroups = 1
+		gids = make([]int32, n)
+		if n > 0 {
+			repIdx = []int32{0}
+		}
+		r.env.setStat(p.nidGroup, 1)
+	} else {
+		gsp := r.env.span.Child("group")
+		ctx := r.wsCtx()
+		kcols := make([]vcol, len(p.groupKeys))
+		for i, k := range p.groupKeys {
+			kcols[i] = evalVec(ctx, k)
+		}
+		gids = make([]int32, n)
+		if len(kcols) == 1 && !kcols[0].cnst &&
+			(kcols[0].t == sqldata.TypeInt || kcols[0].t == sqldata.TypeDate) && kcols[0].ints != nil {
+			// Single integer-typed key: group on the raw int64.
+			m := make(map[int64]int32, 64)
+			nullGid := int32(-1)
+			kc := &kcols[0]
+			for i := 0; i < n; i++ {
+				var gid int32
+				if kc.nullAt(i) {
+					if nullGid < 0 {
+						nullGid = int32(ngroups)
+						ngroups++
+						repIdx = append(repIdx, int32(i))
+					}
+					gid = nullGid
+				} else {
+					k := kc.ints[i]
+					g, ok := m[k]
+					if !ok {
+						g = int32(ngroups)
+						ngroups++
+						repIdx = append(repIdx, int32(i))
+						m[k] = g
+					}
+					gid = g
+				}
+				gids[i] = gid
+			}
+		} else {
+			// General path: the row executor's canonical string keys.
+			m := make(map[string]int32, 64)
+			var sb strings.Builder
+			for i := 0; i < n; i++ {
+				sb.Reset()
+				for ki := range kcols {
+					sb.WriteString(kcols[ki].value(i).Key())
+					sb.WriteByte(0x1f)
+				}
+				k := sb.String()
+				g, ok := m[k]
+				if !ok {
+					g = int32(ngroups)
+					ngroups++
+					repIdx = append(repIdx, int32(i))
+					m[k] = g
+				}
+				gids[i] = g
+			}
+		}
+		gsp.Add("in_rows", int64(n))
+		gsp.Add("groups", int64(ngroups))
+		gsp.End()
+		r.env.setStat(p.nidGroup, ngroups)
+		if err := st.checkCtx(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Vectorized aggregate accumulation, in tuple order so order-
+	// sensitive float sums accumulate exactly like the row path.
+	aggVals := make([][]sqldata.Value, len(r.v.aggs))
+	actx := r.wsCtx()
+	for ai, a := range r.v.aggs {
+		aggVals[ai] = r.aggregateVec(actx, a, gids, ngroups)
+	}
+	if err := st.checkCtx(); err != nil {
+		return nil, err
+	}
+
+	var out []outRow
+	for gid := 0; gid < ngroups; gid++ {
+		var rep sqldata.Row
+		if gid < len(repIdx) {
+			rep = r.boxTuple(int(repIdx[gid]))
+		} else {
+			rep = nullRow(p.width) // empty global group
+		}
+		var am map[*bAgg]sqldata.Value
+		if len(r.v.aggs) > 0 {
+			am = make(map[*bAgg]sqldata.Value, len(r.v.aggs))
+			for ai, a := range r.v.aggs {
+				am[a] = aggVals[ai][gid]
+			}
+		}
+		fr := &frame{row: rep, parent: r.env.parent, aggVals: am}
+		if p.having != nil {
+			ok, err := evalPredicate(st, fr, p.having)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		if err := p.emitFrame(st, fr, &out); err != nil {
+			return nil, err
+		}
+	}
+	return p.finishRows(r.env, out)
+}
+
+// aggregateVec computes one aggregate for every group. Accumulation
+// visits tuples in working-set order; integer SUM uses the same 128-bit
+// accumulator as the row path, so overflow promotes to float
+// identically.
+func (r *vrun) aggregateVec(ctx *vctx, a *bAgg, gids []int32, ngroups int) []sqldata.Value {
+	n := len(gids)
+	out := make([]sqldata.Value, ngroups)
+
+	if a.star { // COUNT(*)
+		counts := make([]int64, ngroups)
+		for i := 0; i < n; i++ {
+			counts[gids[i]]++
+		}
+		for g := range out {
+			out[g] = sqldata.NewInt(counts[g])
+		}
+		return out
+	}
+
+	arg := evalVec(ctx, a.arg)
+	var seen []map[string]bool
+	if a.distinct {
+		seen = make([]map[string]bool, ngroups)
+	}
+	dup := func(g int32, i int) bool {
+		if seen == nil {
+			return false
+		}
+		if seen[g] == nil {
+			seen[g] = make(map[string]bool, 8)
+		}
+		k := arg.value(i).Key()
+		if seen[g][k] {
+			return true
+		}
+		seen[g][k] = true
+		return false
+	}
+
+	switch a.name {
+	case "COUNT":
+		counts := make([]int64, ngroups)
+		for i := 0; i < n; i++ {
+			if arg.nullAt(i) || dup(gids[i], i) {
+				continue
+			}
+			counts[gids[i]]++
+		}
+		for g := range out {
+			out[g] = sqldata.NewInt(counts[g])
+		}
+
+	case "SUM", "AVG":
+		type acc struct {
+			hi, lo uint64 // 128-bit integer accumulator
+			fsum   float64
+			cnt    int64
+		}
+		accs := make([]acc, ngroups)
+		allInt := arg.t == sqldata.TypeInt // vectors are single-typed
+		for i := 0; i < n; i++ {
+			if arg.nullAt(i) || dup(gids[i], i) {
+				continue
+			}
+			ac := &accs[gids[i]]
+			if allInt {
+				v := arg.ints[arg.ix(i)]
+				ac.hi, ac.lo = add128(ac.hi, ac.lo, v)
+				ac.fsum += float64(v)
+			} else {
+				ac.fsum += arg.asFloat(arg.ix(i))
+			}
+			ac.cnt++
+		}
+		for g := range out {
+			ac := &accs[g]
+			switch {
+			case ac.cnt == 0:
+				out[g] = sqldata.NullValue()
+			case a.name == "AVG":
+				out[g] = sqldata.NewFloat(ac.fsum / float64(ac.cnt))
+			case allInt:
+				out[g] = int128Value(ac.hi, ac.lo)
+			default:
+				out[g] = sqldata.NewFloat(ac.fsum)
+			}
+		}
+
+	default: // MIN, MAX
+		best := make([]sqldata.Value, ngroups)
+		has := make([]bool, ngroups)
+		max := a.name == "MAX"
+		for i := 0; i < n; i++ {
+			if arg.nullAt(i) || dup(gids[i], i) {
+				continue
+			}
+			g := gids[i]
+			v := arg.value(i)
+			if !has[g] {
+				best[g], has[g] = v, true
+				continue
+			}
+			// Same static type on both sides: Compare cannot error.
+			if c, err := sqldata.Compare(v, best[g]); err == nil && ((max && c > 0) || (!max && c < 0)) {
+				best[g] = v
+			}
+		}
+		for g := range out {
+			if has[g] {
+				out[g] = best[g]
+			} else {
+				out[g] = sqldata.NullValue()
+			}
+		}
+	}
+	return out
+}

@@ -286,11 +286,16 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 	if h := r.Header.Get("X-Deadline-Ms"); h != "" {
 		ms, err := strconv.ParseInt(h, 10, 64)
 		if err != nil || ms <= 0 {
-			return nil, nil, fmt.Errorf("invalid X-Deadline-Ms %q", h)
+			return nil, nil, fmt.Errorf("invalid X-Deadline-Ms %q: want a positive integer of milliseconds", h)
 		}
-		d = time.Duration(ms) * time.Millisecond
-		if d > s.cfg.MaxTimeout {
+		// Compare in milliseconds: time.Duration(ms)*time.Millisecond
+		// overflows int64 for huge budgets, and a negative duration would
+		// yield an already-expired context (a confusing 504) instead of
+		// the cap.
+		if ms > int64(s.cfg.MaxTimeout/time.Millisecond) {
 			d = s.cfg.MaxTimeout
+		} else {
+			d = time.Duration(ms) * time.Millisecond
 		}
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), d)

@@ -24,7 +24,7 @@ type fakeInterp struct {
 	fn   func(q string) ([]nlq.Interpretation, error)
 }
 
-func (f *fakeInterp) Name() string                                 { return f.name }
+func (f *fakeInterp) Name() string                                     { return f.name }
 func (f *fakeInterp) Interpret(q string) ([]nlq.Interpretation, error) { return f.fn(q) }
 
 func answering(name, sql string) *fakeInterp {
@@ -151,6 +151,34 @@ func TestDeadlineHeaderPropagates(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Fatalf("50ms deadline took %v to enforce", elapsed)
+	}
+}
+
+// TestDeadlineHeaderEdgeCases pins the X-Deadline-Ms validation
+// boundary: non-positive and malformed budgets are 400s with a clear
+// message, while a huge budget must clamp to MaxTimeout rather than
+// overflow time.Duration into an already-expired context (which
+// surfaced as a baffling 504 on an instant query).
+func TestDeadlineHeaderEdgeCases(t *testing.T) {
+	db := testDB(t)
+	gw := resilient.New(db, []nlq.Interpreter{answering("a", "SELECT name FROM customer")}, resilient.Config{})
+	s := New(Config{Gateway: gw})
+
+	for _, h := range []string{"0", "-100", "soon", "1e9"} {
+		rec := post(s, "/query", `{"question": "customers"}`, map[string]string{"X-Deadline-Ms": h})
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("X-Deadline-Ms %q: status %d, want 400 (body %s)", h, rec.Code, rec.Body)
+		}
+		if !strings.Contains(rec.Body.String(), "X-Deadline-Ms") {
+			t.Errorf("X-Deadline-Ms %q: error does not name the header: %s", h, rec.Body)
+		}
+	}
+
+	// MaxInt64 milliseconds overflows time.Duration; it must behave like
+	// any over-cap budget and answer instantly.
+	rec := post(s, "/query", `{"question": "customers"}`, map[string]string{"X-Deadline-Ms": "9223372036854775807"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("huge deadline: status %d, want 200 (body %s)", rec.Code, rec.Body)
 	}
 }
 

@@ -1,0 +1,198 @@
+package sqldata
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func colFixture(t *testing.T) *Table {
+	t.Helper()
+	tbl, err := NewTable(&Schema{Name: "t", Columns: []Column{
+		{Name: "id", Type: TypeInt},
+		{Name: "score", Type: TypeFloat},
+		{Name: "name", Type: TypeText},
+		{Name: "ok", Type: TypeBool},
+		{Name: "day", Type: TypeDate},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.MustInsert(NewInt(1), NewFloat(0.5), NewText("ann"), NewBool(true), NewDateDays(100))
+	tbl.MustInsert(NewInt(2), NullValue(), NewText("bob"), NewBool(false), NewDateDays(200))
+	tbl.MustInsert(NewInt(3), NewFloat(2.5), NullValue(), NewBool(true), NullValue())
+	return tbl
+}
+
+func TestColumnarVectorsMirrorRows(t *testing.T) {
+	tbl := colFixture(t)
+	cols := tbl.Columnar()
+	if len(cols) != 5 {
+		t.Fatalf("got %d columns", len(cols))
+	}
+	for j, cv := range cols {
+		if cv.Len != 3 {
+			t.Fatalf("column %d Len = %d", j, cv.Len)
+		}
+		for i := 0; i < cv.Len; i++ {
+			if !cv.Value(i).Equal(tbl.Rows[i][j]) {
+				t.Errorf("col %d row %d: vector %v != row %v", j, i, cv.Value(i), tbl.Rows[i][j])
+			}
+		}
+	}
+	if cols[0].Nulls != nil {
+		t.Error("id column should have a nil null bitmap")
+	}
+	if cols[1].Nulls == nil || !cols[1].Null(1) || cols[1].Null(0) {
+		t.Error("score null bitmap wrong")
+	}
+}
+
+func TestColumnarCacheInvalidatesOnInsert(t *testing.T) {
+	tbl := colFixture(t)
+	c1 := tbl.Columnar()
+	if c2 := tbl.Columnar(); &c1[0] != &c2[0] {
+		t.Error("repeated Columnar() should return the cached snapshot")
+	}
+	tbl.MustInsert(NewInt(4), NewFloat(9), NewText("zed"), NewBool(false), NewDateDays(300))
+	c3 := tbl.Columnar()
+	if c3[0].Len != 4 {
+		t.Errorf("after Insert, vector Len = %d, want 4", c3[0].Len)
+	}
+	if got := c3[0].Ints[3]; got != 4 {
+		t.Errorf("new row not in rebuilt vector: %d", got)
+	}
+	s := tbl.Stats()
+	if s[0].Rows != 4 || s[0].NDV != 4 {
+		t.Errorf("stats after Insert: rows=%d ndv=%d, want 4/4", s[0].Rows, s[0].NDV)
+	}
+}
+
+func TestColStatsBasics(t *testing.T) {
+	tbl := colFixture(t)
+	s := tbl.Stats()
+
+	id := s[0]
+	if id.Rows != 3 || id.Nulls != 0 || id.NDV != 3 || !id.NDVExact {
+		t.Errorf("id stats: %+v", id)
+	}
+	if !id.HasMinMax || id.Min.Int() != 1 || id.Max.Int() != 3 {
+		t.Errorf("id min/max: %v..%v", id.Min, id.Max)
+	}
+
+	score := s[1]
+	if score.Nulls != 1 || score.NDV != 2 {
+		t.Errorf("score stats: %+v", score)
+	}
+	if score.NullFrac() != 1.0/3 {
+		t.Errorf("score null frac = %v", score.NullFrac())
+	}
+
+	day := s[4]
+	if !day.HasMinMax || day.Min.DateDays() != 100 || day.Max.DateDays() != 200 {
+		t.Errorf("day min/max: %v..%v", day.Min, day.Max)
+	}
+}
+
+func TestColStatsHistogramSelectivity(t *testing.T) {
+	tbl, err := NewTable(&Schema{Name: "h", Columns: []Column{{Name: "x", Type: TypeInt}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0..999 uniform: FracBelow(100) should be close to 0.1.
+	for i := 0; i < 1000; i++ {
+		tbl.MustInsert(NewInt(int64(i)))
+	}
+	s := tbl.Stats()[0]
+	if got := s.FracBelow(100, false); math.Abs(got-0.1) > 0.02 {
+		t.Errorf("FracBelow(100) = %v, want ≈0.1", got)
+	}
+	if got := s.FracBelow(-5, false); got != 0 {
+		t.Errorf("FracBelow(min-ε) = %v, want 0", got)
+	}
+	if got := s.FracBelow(5000, false); math.Abs(got-1) > 1e-9 {
+		t.Errorf("FracBelow(max+ε) = %v, want 1", got)
+	}
+	if got := s.EqSelectivity(); math.Abs(got-0.001) > 1e-4 {
+		t.Errorf("EqSelectivity = %v, want ≈1/1000", got)
+	}
+}
+
+func TestColStatsNDVSketchLargeColumn(t *testing.T) {
+	tbl, err := NewTable(&Schema{Name: "big", Columns: []Column{
+		{Name: "uniq", Type: TypeInt},
+		{Name: "mod", Type: TypeInt},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		tbl.MustInsert(NewInt(int64(i)), NewInt(int64(i%17)))
+	}
+	s := tbl.Stats()
+	uniq := s[0]
+	if uniq.NDVExact {
+		t.Error("20k distinct values should overflow the exact counter")
+	}
+	if float64(uniq.NDV) < 0.8*n || float64(uniq.NDV) > 1.2*n {
+		t.Errorf("sketched NDV = %d, want within 20%% of %d", uniq.NDV, n)
+	}
+	if s[1].NDV != 17 || !s[1].NDVExact {
+		t.Errorf("mod-17 NDV = %d (exact=%v), want 17 exact", s[1].NDV, s[1].NDVExact)
+	}
+}
+
+// Stats NDV must agree with Value.Key canonicalization: an int column
+// joined against a float column holding the same mathematical values
+// counts the same distinct set.
+func TestColStatsFloatCanonicalNDV(t *testing.T) {
+	tbl, err := NewTable(&Schema{Name: "f", Columns: []Column{{Name: "x", Type: TypeFloat}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.MustInsert(NewFloat(1))
+	tbl.MustInsert(NewFloat(1.0))
+	tbl.MustInsert(NewFloat(math.Copysign(0, -1)))
+	tbl.MustInsert(NewFloat(0))
+	tbl.MustInsert(NewFloat(math.NaN()))
+	tbl.MustInsert(NewFloat(math.NaN()))
+	if s := tbl.Stats()[0]; s.NDV != 3 {
+		t.Errorf("NDV = %d, want 3 (1, 0, NaN)", s.NDV)
+	}
+}
+
+func TestBitmap(t *testing.T) {
+	b := NewBitmap(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		b.Set(i)
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		if !b.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if b.Get(1) || b.Get(128) {
+		t.Error("unexpected bits set")
+	}
+	if b.Count() != 4 {
+		t.Errorf("Count = %d, want 4", b.Count())
+	}
+	if b.Len() != 130 {
+		t.Errorf("Len = %d", b.Len())
+	}
+}
+
+func TestLoadCSVBuildsStatsEagerly(t *testing.T) {
+	tbl, err := LoadCSV("t", strings.NewReader("a,b\n1,x\n2,y\n3,x\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := tbl.columnar.Load(); c == nil {
+		t.Fatal("LoadCSV did not populate the columnar cache")
+	}
+	s := tbl.Stats()
+	if s[0].NDV != 3 || s[1].NDV != 2 {
+		t.Errorf("csv stats NDV = %d/%d, want 3/2", s[0].NDV, s[1].NDV)
+	}
+}

@@ -61,10 +61,20 @@ func LoadCSV(name string, r io.Reader) (*Table, error) {
 			return nil, fmt.Errorf("sqldata: csv %q row %d: %w", name, ri+2, err)
 		}
 	}
+	// Build the columnar vectors and column statistics eagerly so a
+	// freshly loaded table is immediately ready for the vectorized
+	// executor and the cost model (Insert invalidates; see column.go).
+	tbl.colState()
 	return tbl, nil
 }
 
-// inferColumnType picks the narrowest type all non-empty cells fit.
+// inferColumnType picks the narrowest type all non-empty cells fit. A
+// cell only counts as numeric when it is the canonical rendering of the
+// parsed number — exactly what WriteCSV would emit back — so cells like
+// "007", "+5", ".5", or "1.50" keep their column TEXT instead of
+// silently losing the original spelling on a load/store round trip. A
+// column with no non-empty cells is TEXT (every parser vacuously
+// matches, and TEXT is the only honest choice).
 func inferColumnType(rows [][]string, c int) Type {
 	sawAny := false
 	isInt, isFloat, isBool, isDate := true, true, true, true
@@ -77,10 +87,10 @@ func inferColumnType(rows [][]string, c int) Type {
 			continue
 		}
 		sawAny = true
-		if _, err := strconv.ParseInt(cell, 10, 64); err != nil {
+		if !canonicalNumber(cell, TypeInt) {
 			isInt = false
 		}
-		if _, err := strconv.ParseFloat(cell, 64); err != nil {
+		if !canonicalNumber(cell, TypeFloat) {
 			isFloat = false
 		}
 		lc := strings.ToLower(cell)
@@ -104,6 +114,26 @@ func inferColumnType(rows [][]string, c int) Type {
 		return TypeDate
 	default:
 		return TypeText
+	}
+}
+
+// canonicalNumber reports whether cell is the canonical decimal form of
+// an int64 or float64 — i.e. parsing and re-rendering it (the way
+// Value.String and WriteCSV do) reproduces the cell byte-for-byte.
+// Rejects leading zeros ("007"), explicit plus signs ("+5"), bare
+// fractions (".5"), exponent respellings ("1e3"), and trailing zeros
+// ("1.50"), all of which would lose the original text if typed as a
+// number.
+func canonicalNumber(cell string, t Type) bool {
+	switch t {
+	case TypeInt:
+		n, err := strconv.ParseInt(cell, 10, 64)
+		return err == nil && strconv.FormatInt(n, 10) == cell
+	case TypeFloat:
+		f, err := strconv.ParseFloat(cell, 64)
+		return err == nil && strconv.FormatFloat(f, 'g', -1, 64) == cell
+	default:
+		return false
 	}
 }
 

@@ -130,3 +130,55 @@ func TestLoadCSVAllEmptyColumnIsText(t *testing.T) {
 		t.Errorf("empty column type = %v", tbl.Schema.Column("b").Type)
 	}
 }
+
+// Regression: cells that parse as numbers but are not the canonical
+// rendering of one — leading zeros, explicit plus signs, bare
+// fractions, trailing zeros — must keep their column TEXT, or a
+// load/store round trip silently rewrites the data ("007" → "7").
+func TestLoadCSVNonCanonicalNumbersStayText(t *testing.T) {
+	cases := []struct {
+		name  string
+		cells string
+		want  Type
+	}{
+		{"leading zeros", "007\n042\n", TypeText},
+		{"plus signed", "+5\n+12\n", TypeText},
+		{"mixed canonical and padded", "7\n007\n", TypeText},
+		{"bare fraction", ".5\n.25\n", TypeText},
+		{"trailing zeros", "1.50\n2.10\n", TypeText},
+		{"plus-signed float", "+1.5\n+2.5\n", TypeText},
+		{"exponent spelling", "1e3\n2e4\n", TypeText},
+		{"canonical ints", "7\n-42\n0\n", TypeInt},
+		{"canonical floats", "1.5\n-0.25\n", TypeFloat},
+	}
+	for _, c := range cases {
+		tbl, err := LoadCSV("t", strings.NewReader("a\n"+c.cells))
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got := tbl.Schema.Column("a").Type; got != c.want {
+			t.Errorf("%s: inferred %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// Round-trip fidelity: loading and re-writing a CSV with awkward
+// numeric-looking text reproduces the original bytes.
+func TestLoadCSVRoundTripFidelity(t *testing.T) {
+	in := "code,qty\n007,1\n+5,2\n0,3\n"
+	tbl, err := LoadCSV("t", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Schema.Column("code").Type; got != TypeText {
+		t.Fatalf("code column = %v, want TEXT", got)
+	}
+	res := &Result{Columns: []string{"code", "qty"}, Rows: tbl.Rows}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != in {
+		t.Errorf("round trip rewrote data:\n got %q\nwant %q", sb.String(), in)
+	}
+}

@@ -23,6 +23,11 @@ type Table struct {
 
 	// version counts mutations; read via Version, bumped by Insert.
 	version atomic.Uint64
+
+	// columnar caches the typed column vectors and per-column stats for
+	// the current version; see column.go. Rebuilt lazily on first read
+	// after a mutation.
+	columnar atomic.Pointer[colCache]
 }
 
 // Version returns the table's mutation counter: 0 for a fresh table,

@@ -267,9 +267,11 @@ func (v Value) Equal(o Value) bool {
 var ErrIncomparable = fmt.Errorf("sqldata: incomparable values")
 
 // Compare orders two non-NULL values. Numeric types compare numerically
-// (INT widens to FLOAT); TEXT compares lexicographically; BOOL orders
-// false < true; DATE chronologically. It returns ErrIncomparable for
-// mixed non-numeric types or NULL operands.
+// — int-vs-float exactly, without the lossy widening of the int operand
+// to float64 (so 2^53+1 > 2.0^53 even though float64(2^53+1) == 2.0^53);
+// TEXT compares lexicographically; BOOL orders false < true; DATE
+// chronologically. It returns ErrIncomparable for mixed non-numeric
+// types or NULL operands.
 func Compare(a, b Value) (int, error) {
 	if a.Null || b.Null {
 		return 0, ErrIncomparable
@@ -277,6 +279,10 @@ func Compare(a, b Value) (int, error) {
 	switch {
 	case a.T == TypeInt && b.T == TypeInt:
 		return cmpInt(a.i, b.i), nil
+	case a.T == TypeInt && b.T == TypeFloat:
+		return CompareIntFloat(a.i, b.f), nil
+	case a.T == TypeFloat && b.T == TypeInt:
+		return -CompareIntFloat(b.i, a.f), nil
 	case a.T.Numeric() && b.T.Numeric():
 		return cmpFloat(a.Float(), b.Float()), nil
 	case a.T == TypeText && b.T == TypeText:
@@ -312,6 +318,40 @@ func cmpFloat(a, b float64) int {
 	}
 }
 
+// CompareIntFloat orders an int64 against a float64 exactly. Converting
+// the int to float64 first loses precision beyond 2^53 and can declare
+// unequal values equal, which breaks hashing (equality must be
+// transitive to bucket). NaN sorts below every number, matching
+// cmpFloat.
+func CompareIntFloat(i int64, f float64) int {
+	switch {
+	case math.IsNaN(f):
+		return 1
+	case f >= maxInt64Float: // every int64 < 2^63 ≤ f (also +Inf)
+		return -1
+	case f < -maxInt64Float: // f < -2^63 ≤ every int64 (also -Inf)
+		return 1
+	}
+	t := math.Trunc(f) // in [-2^63, 2^63): int64-convertible
+	ti := int64(t)
+	switch {
+	case i < ti:
+		return -1
+	case i > ti:
+		return 1
+	case f > t: // equal integer parts; f has a positive fraction
+		return -1
+	case f < t:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// maxInt64Float is 2^63 as a float64 (the smallest float strictly above
+// every int64).
+const maxInt64Float = 9223372036854775808.0
+
 func cmpBool(a, b bool) int {
 	switch {
 	case !a && b:
@@ -344,7 +384,12 @@ func Coerce(v Value, t Type) (Value, error) {
 }
 
 // Key returns a map-key-safe representation for grouping and hashing.
-// NULLs group together, matching SQL GROUP BY semantics.
+// NULLs group together, matching SQL GROUP BY semantics. Numeric keys
+// are canonical over the mathematical value, not the representation:
+// a FLOAT that holds an integer in int64 range (including -0) keys the
+// same as the equal INT, so hash buckets agree with Compare/Equal for
+// mixed int/float operands. All NaNs share one key (Compare treats NaN
+// as equal to NaN).
 func (v Value) Key() string {
 	if v.Null {
 		return "\x00N"
@@ -353,7 +398,7 @@ func (v Value) Key() string {
 	case TypeInt:
 		return "\x00i" + strconv.FormatInt(v.i, 10)
 	case TypeFloat:
-		return "\x00f" + strconv.FormatFloat(v.f, 'b', -1, 64)
+		return FloatKey(v.f)
 	case TypeText:
 		return "\x00s" + v.s
 	case TypeBool:
@@ -366,6 +411,21 @@ func (v Value) Key() string {
 	default:
 		return "\x00?"
 	}
+}
+
+// FloatKey returns the canonical numeric Key form of a float64: the INT
+// encoding when the value is an integer representable as int64 (folding
+// -0 into 0), a shared key for all NaNs, and an exact bit-level encoding
+// otherwise. The vectorized hash paths use it directly so their buckets
+// inherit Value.Key's cross-type semantics.
+func FloatKey(f float64) string {
+	if math.IsNaN(f) {
+		return "\x00fNaN"
+	}
+	if f == math.Trunc(f) && f >= -maxInt64Float && f < maxInt64Float {
+		return "\x00i" + strconv.FormatInt(int64(f), 10)
+	}
+	return "\x00f" + strconv.FormatFloat(f, 'b', -1, 64)
 }
 
 // Row is a tuple of values.

@@ -1,6 +1,7 @@
 package sqldata
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -309,5 +310,90 @@ func TestTypeString(t *testing.T) {
 	}
 	if !TypeInt.Numeric() || !TypeFloat.Numeric() || TypeText.Numeric() {
 		t.Error("Numeric() misclassifies")
+	}
+}
+
+// Regression: int-vs-float equality, ordering, and hash keys must agree.
+// Before the fix, Compare widened the int operand to float64, so
+// 2^53+1 compared equal to 2.0^53 (both round to the same float), while
+// Key() encoded 1 and 1.0 differently even though Equal said they were
+// equal — group-by and hash joins disagreed with the comparator.
+func TestCrossTypeNumericSemantics(t *testing.T) {
+	big := int64(1) << 53 // 2^53: the first float64 precision cliff
+
+	// Exact comparison beyond float53 precision.
+	if c, err := Compare(NewInt(big+1), NewFloat(float64(big))); err != nil || c != 1 {
+		t.Errorf("Compare(2^53+1, 2.0^53) = %d, %v; want 1 (exact, not widened)", c, err)
+	}
+	if c, err := Compare(NewFloat(float64(big)), NewInt(big+1)); err != nil || c != -1 {
+		t.Errorf("Compare(2.0^53, 2^53+1) = %d, %v; want -1", c, err)
+	}
+	if NewInt(big + 1).Equal(NewFloat(float64(big))) {
+		t.Error("2^53+1 must not Equal 2.0^53")
+	}
+
+	// Equal numerics must share one hash key across types.
+	if NewInt(3).Key() != NewFloat(3).Key() {
+		t.Errorf("Key(3) = %q vs Key(3.0) = %q; equal values need equal keys",
+			NewInt(3).Key(), NewFloat(3).Key())
+	}
+	if NewFloat(math.Copysign(0, -1)).Key() != NewInt(0).Key() {
+		t.Error("Key(-0.0) must equal Key(0)")
+	}
+	if NewFloat(0.5).Key() == NewInt(0).Key() {
+		t.Error("Key(0.5) must differ from Key(0)")
+	}
+	if NewInt(big+1).Key() == NewFloat(float64(big)).Key() {
+		t.Error("Key(2^53+1) must differ from Key(2.0^53)")
+	}
+
+	// NaN keeps its total-order position (smallest) and a single key.
+	if c, _ := Compare(NewInt(0), NewFloat(math.NaN())); c != 1 {
+		t.Errorf("Compare(0, NaN) = %d, want 1 (NaN sorts first)", c)
+	}
+	if c, _ := Compare(NewFloat(math.NaN()), NewInt(0)); c != -1 {
+		t.Errorf("Compare(NaN, 0) = %d, want -1", c)
+	}
+	if NewFloat(math.NaN()).Key() != NewFloat(-math.NaN()).Key() {
+		t.Error("all NaNs must share one key")
+	}
+
+	// Infinities order around every int64 and keep distinct keys.
+	if c, _ := Compare(NewInt(math.MaxInt64), NewFloat(math.Inf(1))); c != -1 {
+		t.Error("MaxInt64 must compare below +Inf")
+	}
+	if c, _ := Compare(NewInt(math.MinInt64), NewFloat(math.Inf(-1))); c != 1 {
+		t.Error("MinInt64 must compare above -Inf")
+	}
+	if NewFloat(math.Inf(1)).Key() == NewFloat(math.Inf(-1)).Key() {
+		t.Error("+Inf and -Inf must have distinct keys")
+	}
+
+	// Boundary: 2^63 as a float is strictly above MaxInt64.
+	if c, _ := Compare(NewInt(math.MaxInt64), NewFloat(9223372036854775808.0)); c != -1 {
+		t.Error("MaxInt64 must compare below 2.0^63")
+	}
+	if c, _ := Compare(NewInt(math.MinInt64), NewFloat(-9223372036854775808.0)); c != 0 {
+		t.Error("MinInt64 must compare equal to -2.0^63")
+	}
+}
+
+// Property: cross-type Key equality coincides with Equal on pairs built
+// to hit the int/float boundary (the generic property test above almost
+// never generates integral floats).
+func TestCrossTypeKeyAgreesWithEqual(t *testing.T) {
+	f := func(n int64, frac bool) bool {
+		i := n % (1 << 60)
+		var fv Value
+		if frac {
+			fv = NewFloat(float64(i) + 0.5)
+		} else {
+			fv = NewFloat(float64(i))
+		}
+		iv := NewInt(i)
+		return (iv.Key() == fv.Key()) == iv.Equal(fv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
 	}
 }
