@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test short race vet staticcheck chaos fuzz check metrics-smoke cache-smoke plan-smoke overload-smoke trace-smoke bench-cache bench-plan bench-columnar bench-overload bench-shard bench-obs
+.PHONY: build test short race vet staticcheck chaos fuzz check metrics-smoke cache-smoke plan-smoke overload-smoke trace-smoke session-smoke bench-cache bench-plan bench-columnar bench-overload bench-shard bench-obs bench-session
 
 build:
 	$(GO) build ./...
@@ -38,9 +38,11 @@ staticcheck:
 
 # The seeded chaos suites under the race detector: engine-level fault
 # injection (panics, errors, slowness at every pipeline site), the
-# serving-layer surge/drain tests, and the shard-kill/restore harness.
+# serving-layer surge/drain tests, the shard-kill/restore harness, and
+# the concurrent-conversation suites (session store churn, shared
+# dialogue managers).
 chaos:
-	$(GO) test -race -run 'Chaos|Surge|Drain|Hedge|Flight' ./internal/resilient/ ./internal/server/ ./internal/shard/ ./internal/qcache/ -count=1
+	$(GO) test -race -run 'Chaos|Surge|Drain|Hedge|Flight|Concurrent|Session' ./internal/resilient/ ./internal/server/ ./internal/shard/ ./internal/qcache/ ./internal/session/ ./internal/dialogue/ -count=1
 
 # Short coverage-guided fuzz sessions over the SQL parser, the NL
 # tokenizer, and the cache-key normalizer (seed corpora always run as
@@ -51,6 +53,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzTokenize -fuzztime=$(FUZZTIME) ./internal/nlp
 	$(GO) test -run='^$$' -fuzz=FuzzCacheKey -fuzztime=$(FUZZTIME) ./internal/qcache
 	$(GO) test -run='^$$' -fuzz=FuzzPlanExec -fuzztime=$(FUZZTIME) ./internal/plan
+	$(GO) test -run='^$$' -fuzz=FuzzFollowUp -fuzztime=$(FUZZTIME) ./internal/dialogue
 
 # End-to-end scrape check: start cmd/nlidb with -metrics-addr, serve one
 # question, and assert /metrics exposes every required family.
@@ -79,6 +82,13 @@ overload-smoke: build
 # coordinator/replica boundary and /fleet, /slo, and /metrics agree.
 trace-smoke: build
 	./scripts/trace_smoke.sh
+
+# End-to-end conversational-serving check: open a session over HTTP, ask
+# a question plus a context-resolving follow-up, assert the session
+# metric families are scraped, and walk the 404/410 protocol (end,
+# expiry, unknown ID).
+session-smoke: build
+	./scripts/session_smoke.sh
 
 # Answer-cache benchmark: cold/warm latency percentiles and serial-vs-
 # parallel throughput, written to BENCH_cache.json.
@@ -115,5 +125,13 @@ bench-shard: build
 # BENCH_obs.json.
 bench-obs: build
 	$(GO) run ./cmd/nlidb-bench -obs BENCH_obs.json -shards 4
+
+# Conversational-serving benchmark, run under the race detector on
+# purpose: thousands of interleaved three-turn conversations served
+# through the session store vs the stateless replay baseline, with
+# warm-vs-cold follow-up percentiles and a zero-context-bleed assertion,
+# written to BENCH_session.json.
+bench-session: build
+	$(GO) run -race ./cmd/nlidb-bench -session BENCH_session.json
 
 check: build vet test race

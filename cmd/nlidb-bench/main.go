@@ -42,6 +42,16 @@
 // then a whole shard) while goodput is bucketed over time — complete,
 // partial, and failed answers per 100ms — and the recovery point after
 // restore is recorded.
+//
+// With -session the conversational-serving benchmark runs instead:
+// thousands of three-turn conversations (query → refine → aggregate) are
+// interleaved turn-by-turn across a worker pool, served through the
+// session store and — as the baseline — statelessly, where every turn
+// replays its whole history through a fresh dialogue context. Goodput and
+// per-turn latency percentiles for both modes, warm-vs-cold follow-up
+// p50, and the cross-session context-bleed count (must be zero) are
+// written to the given JSON file. Run it under the race detector
+// (`make bench-session`) — the interleaving doubles as a race harness.
 package main
 
 import (
@@ -64,6 +74,7 @@ func main() {
 	columnarPath := flag.String("columnar", "", "write the columnar benchmark (row vs vectorized executor latency per query class) to this JSON file and exit")
 	overloadPath := flag.String("overload", "", "write the overload benchmark (goodput and admitted p99 at 1×–10× offered load, with and without admission control) to this JSON file and exit")
 	shardPath := flag.String("shard", "", "write the sharding benchmark (N-shard scaling curve, kill/restore goodput timelines) to this JSON file and exit")
+	sessionPath := flag.String("session", "", "write the conversational-serving benchmark (interleaved sessions vs stateless replay, warm vs cold follow-ups) to this JSON file and exit")
 	flag.Parse()
 
 	if *obsPath != "" {
@@ -103,6 +114,13 @@ func main() {
 	}
 	if *shardPath != "" {
 		if err := runShardBench(*shardPath, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "nlidb-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *sessionPath != "" {
+		if err := runSessionBench(*sessionPath, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "nlidb-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,270 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nlidb/internal/athena"
+	"nlidb/internal/benchdata"
+	"nlidb/internal/dialogue"
+	"nlidb/internal/lexicon"
+	"nlidb/internal/resilient"
+	"nlidb/internal/session"
+)
+
+// sessionReport is the BENCH_session.json schema. The workload is
+// thousands of three-turn conversations (query → refine → aggregate)
+// interleaved turn-by-turn across a worker pool, served two ways:
+//
+//   - session mode: each conversation holds a session in the store, so a
+//     follow-up sends only the short utterance and resolves against
+//     tracked context (hitting the context-keyed turn cache on repeats);
+//   - stateless mode: the status quo without sessions — to answer turn k
+//     the client must replay the whole history (turns 1..k) through a
+//     fresh dialogue context, every time.
+//
+// Headline numbers: SessionGoodputQPS vs StatelessGoodputQPS and the two
+// p99s (acceptance: sessions no worse, and warm follow-up p50 below cold
+// — the turn cache pays for itself), with ContextBleeds == 0 pinning that
+// no conversation ever observed another's context.
+type sessionReport struct {
+	Seed          int64 `json:"seed"`
+	Conversations int   `json:"conversations"`
+	TurnsPerConv  int   `json:"turns_per_conversation"`
+	TotalTurns    int   `json:"total_turns"`
+	Workers       int   `json:"workers"`
+	Shapes        int   `json:"distinct_conversation_shapes"`
+
+	SessionGoodputQPS float64 `json:"session_goodput_qps"`
+	SessionP50ms      float64 `json:"session_p50_ms"`
+	SessionP95ms      float64 `json:"session_p95_ms"`
+	SessionP99ms      float64 `json:"session_p99_ms"`
+
+	StatelessGoodputQPS float64 `json:"stateless_goodput_qps"`
+	StatelessP50ms      float64 `json:"stateless_p50_ms"`
+	StatelessP95ms      float64 `json:"stateless_p95_ms"`
+	StatelessP99ms      float64 `json:"stateless_p99_ms"`
+	// SessionSpeedup = session goodput / stateless goodput.
+	SessionSpeedup float64 `json:"session_speedup"`
+
+	// Cold vs warm follow-up resolution inside session mode: cold turns
+	// ran resolve+execute, warm ones were served from the context-keyed
+	// turn cache.
+	ColdFollowUpP50ms float64 `json:"cold_followup_p50_ms"`
+	WarmFollowUpP50ms float64 `json:"warm_followup_p50_ms"`
+	WarmSpeedupP50    float64 `json:"warm_followup_speedup_p50"`
+
+	// ContextBleeds counts conversations whose aggregate answer did not
+	// match their own refined row set (acceptance: 0).
+	ContextBleeds int64 `json:"context_bleeds"`
+
+	SessionsCreated int64 `json:"sessions_created"`
+	ContextHits     int64 `json:"context_cache_hits"`
+	PeakLive        int   `json:"peak_live_sessions"`
+}
+
+const (
+	sessionBenchConvs   = 2000
+	sessionBenchWorkers = 16
+)
+
+// sessionConv is one scripted conversation: the short follow-up turns the
+// session client sends, and the city/threshold shape behind them.
+type sessionConv struct {
+	turns [3]string
+	id    string // session ID (session mode)
+	rows  int64  // rows after the refine turn
+	count int64  // the aggregate turn's answer
+}
+
+// runSessionBench measures conversational serving against the stateless
+// replay baseline and writes the JSON report to path.
+func runSessionBench(path string, seed int64) error {
+	d := benchdata.Sales(seed)
+	lex := lexicon.New()
+	interp := athena.New(d.DB, lex)
+	exec := resilient.New(d.DB, nil, resilient.Config{NoTrace: true})
+	agent := dialogue.NewAgent(d.DB, interp, lex, exec)
+
+	// 24 distinct shapes over thousands of conversations: most
+	// conversations replay a shape someone already spoke, so the
+	// context-keyed turn cache gets a realistic hit rate while cold
+	// entries still exist to measure.
+	cities := []string{"Berlin", "Munich", "Hamburg"}
+	thresholds := []int{5000, 10000, 15000, 20000, 25000, 30000, 35000, 40000}
+	rng := rand.New(rand.NewSource(seed * 104729))
+	convs := make([]*sessionConv, sessionBenchConvs)
+	for i := range convs {
+		city := cities[rng.Intn(len(cities))]
+		thr := thresholds[rng.Intn(len(thresholds))]
+		convs[i] = &sessionConv{turns: [3]string{
+			"show customers with city " + city,
+			fmt.Sprintf("only those with credit over %d", thr),
+			"how many are there",
+		}}
+	}
+
+	st, err := session.New(session.Config{
+		Responder: agent,
+		DB:        d.DB,
+		NoTrace:   true,
+	})
+	if err != nil {
+		return err
+	}
+
+	// forEach fans the conversations across the worker pool in a seeded
+	// shuffled order, so turns from thousands of conversations interleave.
+	forEach := func(fn func(c *sessionConv)) {
+		order := rng.Perm(len(convs))
+		work := make(chan *sessionConv)
+		var wg sync.WaitGroup
+		for w := 0; w < sessionBenchWorkers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for c := range work {
+					fn(c)
+				}
+			}()
+		}
+		for _, i := range order {
+			work <- convs[i]
+		}
+		close(work)
+		wg.Wait()
+	}
+
+	ctx := context.Background()
+	var bleeds atomic.Int64
+	var mu sync.Mutex
+	var sessionLat, coldFollow, warmFollow []float64
+
+	// --- Session mode: one session per conversation, turns interleaved
+	// round by round so thousands of conversations are live at once.
+	for _, c := range convs {
+		c.id = st.Create()
+	}
+	peakLive := st.Len()
+	t0 := time.Now()
+	for turn := 0; turn < 3; turn++ {
+		turn := turn
+		forEach(func(c *sessionConv) {
+			start := time.Now()
+			res, err := st.Ask(ctx, c.id, c.turns[turn])
+			el := float64(time.Since(start)) / float64(time.Millisecond)
+			if err != nil {
+				bleeds.Add(1) // a failed turn counts against correctness
+				return
+			}
+			mu.Lock()
+			sessionLat = append(sessionLat, el)
+			if res.ContextFP != 0 {
+				if res.Cached {
+					warmFollow = append(warmFollow, el)
+				} else {
+					coldFollow = append(coldFollow, el)
+				}
+			}
+			mu.Unlock()
+			switch turn {
+			case 1:
+				c.rows = int64(len(res.Resp.Result.Rows))
+			case 2:
+				c.count = res.Resp.Result.Rows[0][0].Int()
+			}
+		})
+	}
+	sessionElapsed := time.Since(t0)
+	for _, c := range convs {
+		// The bleed check: each conversation's count must equal its own
+		// refined row set, regardless of what the other 1999 asked.
+		if c.count != c.rows {
+			bleeds.Add(1)
+		}
+		st.End(c.id)
+	}
+	stats := st.Stats()
+
+	// --- Stateless mode: no session state anywhere, so turn k replays the
+	// whole history through a fresh context. That replay IS the cost of
+	// the turn: it is what a stateless server must execute to answer it.
+	var statelessLat []float64
+	t0 = time.Now()
+	for turn := 0; turn < 3; turn++ {
+		turn := turn
+		forEach(func(c *sessionConv) {
+			start := time.Now()
+			conv := &dialogue.Context{}
+			var res *dialogue.Response
+			var err error
+			for k := 0; k <= turn; k++ {
+				if res, err = agent.RespondWith(ctx, conv, c.turns[k]); err != nil {
+					return
+				}
+			}
+			el := float64(time.Since(start)) / float64(time.Millisecond)
+			mu.Lock()
+			statelessLat = append(statelessLat, el)
+			mu.Unlock()
+			if turn == 2 && res.Result.Rows[0][0].Int() != c.count {
+				bleeds.Add(1)
+			}
+		})
+	}
+	statelessElapsed := time.Since(t0)
+
+	rep := sessionReport{
+		Seed: seed, Conversations: len(convs), TurnsPerConv: 3,
+		TotalTurns: len(convs) * 3, Workers: sessionBenchWorkers,
+		Shapes:            len(cities) * len(thresholds),
+		SessionGoodputQPS: float64(len(sessionLat)) / sessionElapsed.Seconds(),
+		SessionP50ms:      percentile(sessionLat, 0.50),
+		SessionP95ms:      percentile(sessionLat, 0.95),
+		SessionP99ms:      percentile(sessionLat, 0.99),
+
+		StatelessGoodputQPS: float64(len(statelessLat)) / statelessElapsed.Seconds(),
+		StatelessP50ms:      percentile(statelessLat, 0.50),
+		StatelessP95ms:      percentile(statelessLat, 0.95),
+		StatelessP99ms:      percentile(statelessLat, 0.99),
+
+		ColdFollowUpP50ms: percentile(coldFollow, 0.50),
+		WarmFollowUpP50ms: percentile(warmFollow, 0.50),
+
+		ContextBleeds:   bleeds.Load(),
+		SessionsCreated: stats.Created,
+		ContextHits:     stats.ContextHits,
+		PeakLive:        peakLive,
+	}
+	if rep.StatelessGoodputQPS > 0 {
+		rep.SessionSpeedup = rep.SessionGoodputQPS / rep.StatelessGoodputQPS
+	}
+	if rep.WarmFollowUpP50ms > 0 {
+		rep.WarmSpeedupP50 = rep.ColdFollowUpP50ms / rep.WarmFollowUpP50ms
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("session bench: %d conversations × 3 turns, %d workers: session %.0f qps p99 %.3fms vs stateless %.0f qps p99 %.3fms (%.1fx); warm follow-up p50 %.3fms vs cold %.3fms (%.1fx); bleeds %d → %s\n",
+		rep.Conversations, rep.Workers,
+		rep.SessionGoodputQPS, rep.SessionP99ms,
+		rep.StatelessGoodputQPS, rep.StatelessP99ms, rep.SessionSpeedup,
+		rep.WarmFollowUpP50ms, rep.ColdFollowUpP50ms, rep.WarmSpeedupP50,
+		rep.ContextBleeds, path)
+	if rep.ContextBleeds > 0 {
+		return fmt.Errorf("session bench: %d context bleeds", rep.ContextBleeds)
+	}
+	return nil
+}

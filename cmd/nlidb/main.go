@@ -9,6 +9,8 @@
 //	      [-cache 1024] [-cache-ttl 0] [-parallel 8] [-plan-cache 256]
 //	      [-serve 127.0.0.1:8080] [-drain-timeout 10s] [-max-inflight N]
 //	      [-rate-limit R] [-shards N] [-replicas R] [-breaker-jitter D]
+//	      [-session-ttl D] [-session-max N] [-session-mem BYTES]
+//	      [-session-cache N] [-session-rate R]
 //	      [-trace-sample P] [-trace-retain N] [-slo-latency D]
 //	      [-slo-latency-objective P] [-slo-availability-objective P]
 //	      ["one-shot question" | "q1; q2; q3"]
@@ -52,6 +54,19 @@
 // -drain-timeout to finish, stragglers are cancelled. See the README's
 // Overload protection section for the protocol.
 //
+// Conversational serving (serve mode): POST /session opens a dialogue
+// session, POST /session/ask resolves turns — follow-ups like "only
+// those with credit over 20000" and "how many are there" — against the
+// session's tracked context, DELETE /session ends it. Sessions live in
+// a sharded store with a sliding -session-ttl, a -session-max cap, and
+// a -session-mem byte budget (least-recently-used conversations are
+// evicted under pressure and answer 410 Gone afterwards); repeated
+// turns are answered from a context-keyed cache (-session-cache), and
+// -session-rate adds a per-session token bucket on top of the
+// per-client -rate-limit. Turn execution flows through the same serving
+// backend as /query, so conversations inherit its caching, tracing, and
+// fault tolerance.
+//
 // Fleet observability (serve mode): every uncached question is traced
 // end-to-end — coordinator classify/route, per-replica attempts with
 // hedge/retry/breaker annotations, merge — and tail-sampled into the
@@ -82,6 +97,7 @@ import (
 	"strings"
 	"time"
 
+	"nlidb/internal/admission"
 	"nlidb/internal/autocomplete"
 	"nlidb/internal/benchdata"
 	"nlidb/internal/dialogue"
@@ -92,6 +108,7 @@ import (
 	"nlidb/internal/qcache"
 	"nlidb/internal/resilient"
 	"nlidb/internal/server"
+	"nlidb/internal/session"
 	"nlidb/internal/shard"
 	"nlidb/internal/sqldata"
 	"nlidb/internal/sqlexec"
@@ -125,6 +142,11 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain budget for in-flight requests on SIGINT/SIGTERM (serve mode)")
 	maxInflight := flag.Int("max-inflight", 0, "admission concurrency ceiling in serve mode (0 = 2×GOMAXPROCS)")
 	rateLimit := flag.Float64("rate-limit", 0, "per-client request rate limit in req/s in serve mode (0 disables)")
+	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "idle lifetime of a conversational session in serve mode (sliding; expired sessions answer 410 Gone)")
+	sessionMax := flag.Int("session-max", 65536, "maximum live conversational sessions in serve mode (least-recently-used evicted beyond)")
+	sessionMem := flag.Int64("session-mem", 64<<20, "memory budget in bytes for live session state in serve mode (least-recently-used evicted over budget)")
+	sessionCache := flag.Int("session-cache", 4096, "context-keyed turn cache capacity in entries (0 disables)")
+	sessionRate := flag.Float64("session-rate", 0, "per-session turn rate limit in req/s in serve mode (0 disables)")
 	shards := flag.Int("shards", 0, "partition the data across N replicated engine shards in serve mode (0/1 = unsharded)")
 	replicas := flag.Int("replicas", 2, "replicas per shard when -shards is set")
 	breakerJitter := flag.Duration("breaker-jitter", -1, "max random delay added to circuit-breaker half-open probes (-1 = auto: cooldown/8, 0 disables)")
@@ -212,6 +234,11 @@ func main() {
 			obs.WithProm(slo.WriteProm),
 		}
 		var backend server.Backend = gw
+		// The session responder executes through the same backend the
+		// stateless API uses — the gateway, or the shard coordinator when
+		// -shards is set — so follow-up turns share its plan cache,
+		// breakers, tracing, and partial-answer semantics.
+		var sessExec dialogue.Executor = gw
 		if *shards > 1 {
 			cl, err := shard.New(d.DB, *shards, shard.Config{
 				Replicas: *replicas,
@@ -233,17 +260,46 @@ func main() {
 				fatalf("%v", err)
 			}
 			backend = cl
+			sessExec = cl
 			obsOpts = append(obsOpts,
 				obs.WithPage("/fleet", cl.FleetHandler()),
 				obs.WithProm(cl.WriteProm))
 			fmt.Printf("sharded: %d shards × %d replicas, rows/shard %v\n",
 				cl.ShardCount(), cl.ReplicaCount(), cl.Partitioning().RowsPerShard)
 		}
+		var sessionRL *admission.RateLimiter
+		if *sessionRate > 0 {
+			sessionRL = admission.NewRateLimiter(admission.RateConfig{RPS: *sessionRate})
+		}
+		var onEvict func(id, reason string)
+		if sessionRL != nil {
+			// Evicted sessions release their rate-limiter bucket so dead
+			// conversations stop occupying tracked-client slots.
+			onEvict = func(id, _ string) { sessionRL.Forget(id) }
+		}
+		sessions, err := session.New(session.Config{
+			Responder:    dialogue.NewAgent(d.DB, primary, lex, sessExec),
+			DB:           d.DB,
+			TTL:          *sessionTTL,
+			MaxSessions:  *sessionMax,
+			MemoryBudget: *sessionMem,
+			CacheSize:    disabledIfZero(*sessionCache),
+			CacheTTL:     *cacheTTL,
+			Metrics:      reg,
+			SlowLog:      slow,
+			Traces:       traces,
+			OnEvict:      onEvict,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
 		if err := serve(backend, reg, slow, slo, serveOptions{
 			addr:         *serveAddr,
 			drainTimeout: *drainTimeout,
 			maxInflight:  *maxInflight,
 			rateLimit:    *rateLimit,
+			sessions:     sessions,
+			sessionRL:    sessionRL,
 		}, obsOpts...); err != nil {
 			fatalf("%v", err)
 		}
@@ -289,7 +345,9 @@ func main() {
 	eng := sqlexec.New(d.DB)
 	var agent *dialogue.Agent
 	if *chat {
-		agent = dialogue.NewAgent(d.DB, primary, lex)
+		// The chat agent executes through the same gateway as one-shot and
+		// serve modes: plan cache, budgets, breakers, traces.
+		agent = dialogue.NewAgent(d.DB, primary, lex, gw)
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -356,7 +414,7 @@ func main() {
 		}
 
 		if agent != nil {
-			resp, err := agent.Respond(line)
+			resp, err := agent.Respond(context.Background(), line)
 			if err != nil {
 				fmt.Printf("  %s (%v)\n", resp.Message, err)
 				continue

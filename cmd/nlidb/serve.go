@@ -12,6 +12,7 @@ import (
 	"nlidb/internal/admission"
 	"nlidb/internal/obs"
 	"nlidb/internal/server"
+	"nlidb/internal/session"
 )
 
 // serveOptions carries the -serve flag family.
@@ -20,6 +21,10 @@ type serveOptions struct {
 	drainTimeout time.Duration
 	maxInflight  int
 	rateLimit    float64
+	// sessions enables the conversational /session API; sessionRL is its
+	// per-session turn limiter (both may be nil).
+	sessions  *session.Store
+	sessionRL *admission.RateLimiter
 }
 
 // serve runs the HTTP front end until SIGINT/SIGTERM, then drains: the
@@ -33,11 +38,13 @@ func serve(backend server.Backend, reg *obs.Registry, slow *obs.SlowLog, slo *ob
 		rl = admission.NewRateLimiter(admission.RateConfig{RPS: opts.rateLimit})
 	}
 	api := server.New(server.Config{
-		Backend:   backend,
-		Admission: ctrl,
-		RateLimit: rl,
-		Metrics:   reg,
-		SLO:       slo,
+		Backend:          backend,
+		Admission:        ctrl,
+		RateLimit:        rl,
+		Metrics:          reg,
+		SLO:              slo,
+		Sessions:         opts.sessions,
+		SessionRateLimit: opts.sessionRL,
 	})
 
 	// One mux serves the query API and the debug suite, so a single port
@@ -53,6 +60,9 @@ func serve(backend server.Backend, reg *obs.Registry, slow *obs.SlowLog, slo *ob
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 	fmt.Printf("serving http://%s  (POST /query, POST /batch; metrics at /metrics)\n", ln.Addr())
+	if opts.sessions != nil {
+		fmt.Printf("sessions: POST /session, /session/ask; ttl %s\n", opts.sessions.TTL())
+	}
 	fmt.Printf("admission: max in-flight %d, rate limit %s\n",
 		ctrl.Limit(), map[bool]string{true: fmt.Sprintf("%.1f req/s per client", opts.rateLimit), false: "off"}[opts.rateLimit > 0])
 

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 	"nlidb/internal/dialogue"
 	"nlidb/internal/lexicon"
 	"nlidb/internal/ontology"
+	"nlidb/internal/resilient"
 )
 
 func main() {
@@ -49,17 +51,20 @@ func main() {
 		"reset",
 	}
 
+	// Dialogue turns execute through the same resilient gateway as the
+	// serving stack — plans, budgets, and traces included.
+	exec := resilient.New(d.DB, nil, resilient.Config{NoTrace: true})
 	managers := []dialogue.Manager{
-		dialogue.NewFiniteState(d.DB, interp),
-		dialogue.NewFrame(d.DB, interp, lex),
-		dialogue.NewAgent(d.DB, interp, lex),
+		dialogue.NewFiniteState(interp, exec),
+		dialogue.NewFrame(d.DB, interp, lex, exec),
+		dialogue.NewAgent(d.DB, interp, lex, exec),
 	}
 
 	for _, mgr := range managers {
 		fmt.Printf("=== %s manager ===\n", mgr.Name())
 		mgr.Reset()
 		for _, u := range script {
-			resp, err := mgr.Respond(u)
+			resp, err := mgr.Respond(context.Background(), u)
 			fmt.Printf("user  > %s\n", u)
 			switch {
 			case err != nil:

@@ -86,6 +86,15 @@ func (l *RateLimiter) Allow(client string) (ok bool, retryAfter time.Duration) {
 	return false, time.Duration((1 - b.tokens) / l.cfg.RPS * float64(time.Second))
 }
 
+// Forget drops a client's bucket immediately. Session-scoped limiters
+// call it when a session ends or is evicted, so dead conversations stop
+// occupying tracked-client slots ahead of the staleness eviction.
+func (l *RateLimiter) Forget(client string) {
+	l.mu.Lock()
+	delete(l.clients, client)
+	l.mu.Unlock()
+}
+
 // Clients reports how many clients are currently tracked.
 func (l *RateLimiter) Clients() int {
 	l.mu.Lock()

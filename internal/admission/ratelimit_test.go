@@ -62,3 +62,21 @@ func TestRateLimiterEvictsStalestClient(t *testing.T) {
 		t.Fatal("evicted client should restart with a full bucket")
 	}
 }
+
+func TestRateLimiterForget(t *testing.T) {
+	clock := newFakeClock()
+	l := NewRateLimiter(RateConfig{RPS: 1, Burst: 1, Now: clock.Now})
+	l.Allow("sess")
+	if ok, _ := l.Allow("sess"); ok {
+		t.Fatal("bucket should be empty")
+	}
+	l.Forget("sess")
+	if n := l.Clients(); n != 0 {
+		t.Fatalf("%d clients tracked after Forget, want 0", n)
+	}
+	// A forgotten session that somehow speaks again simply starts a fresh
+	// bucket — Forget is reclamation, not a ban.
+	if ok, _ := l.Allow("sess"); !ok {
+		t.Fatal("fresh bucket refused after Forget")
+	}
+}

@@ -1,6 +1,7 @@
 package dialogue
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -117,14 +118,14 @@ func TestAgentWithIntentModel(t *testing.T) {
 		t.Fatal(err)
 	}
 	lex := lexicon.New()
-	agent := NewAgent(d.DB, athena.New(d.DB, lex), lex)
+	agent := NewAgent(d.DB, athena.New(d.DB, lex), lex, testExec(d))
 	agent.IntentModel = cls
-	if _, err := agent.Respond("show customers with city Berlin"); err != nil {
+	if _, err := agent.Respond(context.Background(), "show customers with city Berlin"); err != nil {
 		t.Fatal(err)
 	}
 	// A refinement phrased without any rule opener: the statistical
 	// classifier must catch it.
-	r, err := agent.Respond("those with credit over 20000")
+	r, err := agent.Respond(context.Background(), "those with credit over 20000")
 	if err != nil {
 		t.Fatalf("statistical refine failed: %v", err)
 	}

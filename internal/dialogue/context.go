@@ -2,6 +2,7 @@ package dialogue
 
 import (
 	"fmt"
+	"hash/fnv"
 	"strings"
 
 	"nlidb/internal/invindex"
@@ -24,6 +25,73 @@ type Context struct {
 	Anchor string
 	// Turns counts resolved turns.
 	Turns int
+	// Pending holds the ranked interpretations of the last full query so
+	// an agent can fall back to a lower-ranked hypothesis. Transient —
+	// not part of Snapshot.
+	Pending []nlq.Interpretation
+}
+
+// Fingerprint hashes the context state that determines how an utterance
+// resolves: the tracked query and the pre-aggregation query. It is 0 if and
+// only if the context is empty (no turn resolved yet), so an empty context
+// keys a question exactly like the stateless path. Non-empty contexts force
+// the low bit, so a hash that happens to land on 0 can't masquerade as
+// "no context".
+func (c *Context) Fingerprint() uint64 {
+	if c.LastSQL == nil {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(c.LastSQL.String()))
+	h.Write([]byte{0})
+	if c.BeforeAggregate != nil {
+		h.Write([]byte(c.BeforeAggregate.String()))
+	}
+	return h.Sum64() | 1
+}
+
+// Snapshot is the serializable form of a Context: SQL as text, anchors and
+// transient hypotheses recomputed/dropped on restore.
+type Snapshot struct {
+	LastSQL         string `json:"last_sql,omitempty"`
+	BeforeAggregate string `json:"before_aggregate,omitempty"`
+	Turns           int    `json:"turns"`
+}
+
+// Snapshot captures the durable conversational state.
+func (c *Context) Snapshot() Snapshot {
+	s := Snapshot{Turns: c.Turns}
+	if c.LastSQL != nil {
+		s.LastSQL = c.LastSQL.String()
+	}
+	if c.BeforeAggregate != nil {
+		s.BeforeAggregate = c.BeforeAggregate.String()
+	}
+	return s
+}
+
+// RestoreContext rebuilds a Context from a Snapshot, reparsing the SQL and
+// recomputing the anchor table.
+func RestoreContext(s Snapshot) (*Context, error) {
+	c := &Context{Turns: s.Turns}
+	if s.LastSQL != "" {
+		stmt, err := sqlparse.Parse(s.LastSQL)
+		if err != nil {
+			return nil, fmt.Errorf("dialogue: restore last_sql: %w", err)
+		}
+		c.LastSQL = stmt
+		if stmt.From != nil {
+			c.Anchor = strings.ToLower(stmt.From.First.EffName())
+		}
+	}
+	if s.BeforeAggregate != "" {
+		stmt, err := sqlparse.Parse(s.BeforeAggregate)
+		if err != nil {
+			return nil, fmt.Errorf("dialogue: restore before_aggregate: %w", err)
+		}
+		c.BeforeAggregate = stmt
+	}
+	return c, nil
 }
 
 // Remember records a resolved query as the new context.

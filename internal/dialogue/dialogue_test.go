@@ -1,12 +1,14 @@
 package dialogue
 
 import (
+	"context"
 	"testing"
 
 	"nlidb/internal/athena"
 	"nlidb/internal/benchdata"
 	"nlidb/internal/lexicon"
 	"nlidb/internal/nlq"
+	"nlidb/internal/resilient"
 	"nlidb/internal/sqlexec"
 	"nlidb/internal/sqlparse"
 )
@@ -35,33 +37,40 @@ func TestClassifyIntent(t *testing.T) {
 	}
 }
 
+// testExec builds the serving-stack executor the managers run through in
+// tests: a chain-less gateway over the domain database.
+func testExec(d *benchdata.Domain) Executor {
+	return resilient.New(d.DB, nil, resilient.Config{NoTrace: true})
+}
+
 func managers(t *testing.T) (*FiniteState, *Frame, *Agent, *benchdata.Domain) {
 	t.Helper()
 	d := benchdata.Sales(60)
 	lex := lexicon.New()
 	interp := athena.New(d.DB, lex)
-	return NewFiniteState(d.DB, interp), NewFrame(d.DB, interp, lex), NewAgent(d.DB, interp, lex), d
+	exec := testExec(d)
+	return NewFiniteState(interp, exec), NewFrame(d.DB, interp, lex, exec), NewAgent(d.DB, interp, lex, exec), d
 }
 
 func TestFiniteStateGrammarGate(t *testing.T) {
 	fsm, _, _, _ := managers(t)
-	if _, err := fsm.Respond("show customers with city Berlin"); err != nil {
+	if _, err := fsm.Respond(context.Background(), "show customers with city Berlin"); err != nil {
 		t.Fatalf("in-grammar command failed: %v", err)
 	}
-	if _, err := fsm.Respond("only those with credit over 5000"); err == nil {
+	if _, err := fsm.Respond(context.Background(), "only those with credit over 5000"); err == nil {
 		t.Fatal("finite-state accepted a follow-up")
 	}
 }
 
 func TestFrameHandlesRefineAndAggregate(t *testing.T) {
 	_, frame, _, d := managers(t)
-	r1, err := frame.Respond("show customers with city Berlin")
+	r1, err := frame.Respond(context.Background(), "show customers with city Berlin")
 	if err != nil {
 		t.Fatal(err)
 	}
 	n1 := len(r1.Result.Rows)
 
-	r2, err := frame.Respond("only those with credit over 20000")
+	r2, err := frame.Respond(context.Background(), "only those with credit over 20000")
 	if err != nil {
 		t.Fatalf("frame refine: %v", err)
 	}
@@ -69,7 +78,7 @@ func TestFrameHandlesRefineAndAggregate(t *testing.T) {
 		t.Fatal("refinement grew the result")
 	}
 
-	r3, err := frame.Respond("how many are there")
+	r3, err := frame.Respond(context.Background(), "how many are there")
 	if err != nil {
 		t.Fatalf("frame aggregate: %v", err)
 	}
@@ -81,33 +90,33 @@ func TestFrameHandlesRefineAndAggregate(t *testing.T) {
 
 func TestFrameRejectsFreeShift(t *testing.T) {
 	_, frame, _, _ := managers(t)
-	if _, err := frame.Respond("show customers with city Berlin"); err != nil {
+	if _, err := frame.Respond(context.Background(), "show customers with city Berlin"); err != nil {
 		t.Fatal(err)
 	}
 	// Canonical pattern works…
-	if _, err := frame.Respond("show their credit instead"); err != nil {
+	if _, err := frame.Respond(context.Background(), "show their credit instead"); err != nil {
 		t.Fatalf("canonical shift failed: %v", err)
 	}
 	// …free phrasing does not.
-	if _, err := frame.Respond("what about their segment instead"); err == nil {
+	if _, err := frame.Respond(context.Background(), "what about their segment instead"); err == nil {
 		t.Fatal("frame accepted free-form shift")
 	}
 }
 
 func TestAgentFullConversation(t *testing.T) {
 	_, _, agent, _ := managers(t)
-	r1, err := agent.Respond("show customers with city Berlin")
+	r1, err := agent.Respond(context.Background(), "show customers with city Berlin")
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := agent.Respond("only those with credit over 20000")
+	r2, err := agent.Respond(context.Background(), "only those with credit over 20000")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(r2.Result.Rows) > len(r1.Result.Rows) {
 		t.Fatal("refine grew result")
 	}
-	r3, err := agent.Respond("how many are there")
+	r3, err := agent.Respond(context.Background(), "how many are there")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +124,7 @@ func TestAgentFullConversation(t *testing.T) {
 		t.Fatal("aggregate inconsistent with refine")
 	}
 	// Shift after aggregate applies to the rows, not the count.
-	r4, err := agent.Respond("what about their segment instead")
+	r4, err := agent.Respond(context.Background(), "what about their segment instead")
 	if err != nil {
 		t.Fatalf("agent free shift: %v", err)
 	}
@@ -126,17 +135,17 @@ func TestAgentFullConversation(t *testing.T) {
 
 func TestAgentGreetingAndReset(t *testing.T) {
 	_, _, agent, _ := managers(t)
-	r, err := agent.Respond("hello")
+	r, err := agent.Respond(context.Background(), "hello")
 	if err != nil || r.SQL != nil {
 		t.Fatalf("greeting: %v %v", r, err)
 	}
-	if _, err := agent.Respond("show customers with city Berlin"); err != nil {
+	if _, err := agent.Respond(context.Background(), "show customers with city Berlin"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := agent.Respond("reset"); err != nil {
+	if _, err := agent.Respond(context.Background(), "reset"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := agent.Respond("how many are there"); err == nil {
+	if _, err := agent.Respond(context.Background(), "how many are there"); err == nil {
 		// After reset there is no context; "how many are there" becomes a
 		// full query that may or may not parse — but must not use stale
 		// context. Verify the context is actually empty.
@@ -168,14 +177,14 @@ func TestAgentWithUserSimRecovers(t *testing.T) {
 	d := benchdata.Sales(60)
 	lex := lexicon.New()
 	interp := athena.New(d.DB, lex)
-	agent := NewAgent(d.DB, interp, lex)
+	agent := NewAgent(d.DB, interp, lex, testExec(d))
 	gold := sqlparse.MustParse("SELECT name FROM customer WHERE city = 'Berlin'")
 	u, err := NewUserSim(d.DB, gold)
 	if err != nil {
 		t.Fatal(err)
 	}
 	agent.User = u
-	r, err := agent.Respond("list customers with city Berlin")
+	r, err := agent.Respond(context.Background(), "list customers with city Berlin")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,18 +213,18 @@ func TestManagerResets(t *testing.T) {
 	fsm, frame, agent, _ := managers(t)
 	// Resets must be callable at any time and clear state.
 	fsm.Reset()
-	if _, err := frame.Respond("show customers with city Berlin"); err != nil {
+	if _, err := frame.Respond(context.Background(), "show customers with city Berlin"); err != nil {
 		t.Fatal(err)
 	}
 	frame.Reset()
 	if frame.ctx.LastSQL != nil {
 		t.Error("frame reset did not clear context")
 	}
-	if _, err := agent.Respond("show customers with city Berlin"); err != nil {
+	if _, err := agent.Respond(context.Background(), "show customers with city Berlin"); err != nil {
 		t.Fatal(err)
 	}
 	agent.Reset()
-	if agent.ctx.LastSQL != nil || agent.pending != nil {
+	if agent.ctx.LastSQL != nil || agent.ctx.Pending != nil {
 		t.Error("agent reset did not clear state")
 	}
 }

@@ -1,15 +1,27 @@
 package dialogue
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"nlidb/internal/lexicon"
 	"nlidb/internal/nlq"
+	"nlidb/internal/resilient"
 	"nlidb/internal/sqldata"
-	"nlidb/internal/sqlexec"
 	"nlidb/internal/sqlparse"
 )
+
+// Executor runs a resolved SQL statement through the serving stack. In
+// production it is a *resilient.Gateway (or the shard coordinator when the
+// data is partitioned), so conversational turns get the same plan cache,
+// resource budgets, deadlines, fault isolation, and trace spans as every
+// stateless question — the dialogue layer owns *resolution*, never
+// execution. Implementations must be safe for concurrent use.
+type Executor interface {
+	AskSQL(ctx context.Context, sql string) (*resilient.Answer, error)
+}
 
 // Response is what a dialogue manager returns for one utterance.
 type Response struct {
@@ -21,16 +33,58 @@ type Response struct {
 	Message string
 	// Clarification, when non-nil, asks the user to choose a reading.
 	Clarification *nlq.Clarification
+	// Answer is the serving-stack answer behind Result (nil when SQL is
+	// nil): engine provenance, usage meters, and the turn's trace.
+	Answer *resilient.Answer
 }
 
 // Manager is a dialogue manager bound to one database.
+//
+// Goroutine-safety contract: Respond serializes turns internally — the
+// manager's own conversational context is mutated under a lock, so
+// concurrent Respond calls interleave as whole turns, never mid-turn.
+// For one conversation per caller (a session store holding many live
+// conversations over one shared manager), use the ContextResponder form,
+// which keeps all per-conversation state in the caller's *Context.
 type Manager interface {
 	// Name identifies the family in experiment tables.
 	Name() string
-	// Respond processes one utterance in conversation order.
-	Respond(utterance string) (*Response, error)
+	// Respond processes one utterance in conversation order. The context
+	// cancels mid-turn work: a caller that goes away stops the underlying
+	// execution instead of burning budget on an unwanted answer.
+	Respond(ctx context.Context, utterance string) (*Response, error)
 	// Reset clears conversational state between conversations.
 	Reset()
+}
+
+// ContextResponder is the session-serving form of a dialogue manager: all
+// per-conversation state lives in the caller-owned *Context, so one shared
+// manager (its resolver indexes are immutable after construction) serves
+// any number of live conversations concurrently, as long as each Context
+// is touched by one turn at a time.
+type ContextResponder interface {
+	RespondWith(ctx context.Context, conv *Context, utterance string) (*Response, error)
+}
+
+// finishTurn executes a resolved statement through the serving stack and
+// advances the conversational context. Shared by the frame and agent
+// families (and by any future manager): the statement executes with plans,
+// budgets, and traces exactly like a stateless question.
+func finishTurn(ctx context.Context, exec Executor, conv *Context, stmt *sqlparse.SelectStmt, wasAggregate bool) (*Response, error) {
+	ans, err := exec.AskSQL(ctx, stmt.String())
+	if err != nil {
+		return &Response{Message: "That request failed to execute."}, err
+	}
+	if wasAggregate {
+		conv.BeforeAggregate = rowContext(conv)
+	} else {
+		conv.BeforeAggregate = nil
+	}
+	conv.Remember(ans.SQL)
+	return &Response{
+		SQL: ans.SQL, Result: ans.Result, Answer: ans,
+		Message: fmt.Sprintf("%d row(s).", len(ans.Result.Rows)),
+	}, nil
 }
 
 // --- finite-state manager ---------------------------------------------------
@@ -40,12 +94,12 @@ type Manager interface {
 // rejected — "restricting user input to predetermined words and phrases".
 type FiniteState struct {
 	interp nlq.Interpreter
-	eng    *sqlexec.Engine
+	exec   Executor
 }
 
-// NewFiniteState builds the manager over an interpreter.
-func NewFiniteState(db *sqldata.Database, interp nlq.Interpreter) *FiniteState {
-	return &FiniteState{interp: interp, eng: sqlexec.New(db)}
+// NewFiniteState builds the manager over an interpreter and an executor.
+func NewFiniteState(interp nlq.Interpreter, exec Executor) *FiniteState {
+	return &FiniteState{interp: interp, exec: exec}
 }
 
 // Name implements Manager.
@@ -62,7 +116,10 @@ var commandOpeners = []string{
 
 // Respond accepts only utterances matching the command grammar and treats
 // each independently.
-func (f *FiniteState) Respond(utterance string) (*Response, error) {
+func (f *FiniteState) Respond(ctx context.Context, utterance string) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return &Response{Message: "The request was cancelled."}, err
+	}
 	u := strings.ToLower(strings.TrimSpace(utterance))
 	ok := false
 	for _, c := range commandOpeners {
@@ -80,11 +137,14 @@ func (f *FiniteState) Respond(utterance string) (*Response, error) {
 		return &Response{Message: "I could not understand that command."}, err
 	}
 	best, _ := nlq.Best(ins)
-	res, err := f.eng.Run(best.SQL)
+	ans, err := f.exec.AskSQL(ctx, best.SQL.String())
 	if err != nil {
 		return &Response{Message: "That command failed to execute."}, err
 	}
-	return &Response{SQL: best.SQL, Result: res, Message: fmt.Sprintf("%d row(s).", len(res.Rows))}, nil
+	return &Response{
+		SQL: ans.SQL, Result: ans.Result, Answer: ans,
+		Message: fmt.Sprintf("%d row(s).", len(ans.Result.Rows)),
+	}, nil
 }
 
 // --- frame-based manager ----------------------------------------------------
@@ -95,47 +155,66 @@ func (f *FiniteState) Respond(utterance string) (*Response, error) {
 // canonical aggregate/shift forms).
 type Frame struct {
 	interp nlq.Interpreter
-	eng    *sqlexec.Engine
+	exec   Executor
 	res    *resolver
-	ctx    Context
+
+	mu  sync.Mutex
+	ctx Context
 }
 
-// NewFrame builds the manager.
-func NewFrame(db *sqldata.Database, interp nlq.Interpreter, lex *lexicon.Lexicon) *Frame {
-	return &Frame{interp: interp, eng: sqlexec.New(db), res: newResolver(db, lex)}
+// NewFrame builds the manager. The resolver index over db is immutable
+// after construction, so one Frame may serve concurrent conversations via
+// RespondWith.
+func NewFrame(db *sqldata.Database, interp nlq.Interpreter, lex *lexicon.Lexicon, exec Executor) *Frame {
+	return &Frame{interp: interp, exec: exec, res: newResolver(db, lex)}
 }
 
 // Name implements Manager.
 func (f *Frame) Name() string { return "frame" }
 
 // Reset implements Manager.
-func (f *Frame) Reset() { f.ctx.Reset() }
+func (f *Frame) Reset() {
+	f.mu.Lock()
+	f.ctx.Reset()
+	f.mu.Unlock()
+}
 
-// Respond fills frame slots; unrecognized follow-up phrasings are asked
-// back to the user instead of being guessed.
-func (f *Frame) Respond(utterance string) (*Response, error) {
-	intent := ClassifyIntent(utterance, f.ctx.LastSQL != nil)
+// Respond fills frame slots against the manager's own conversation.
+func (f *Frame) Respond(ctx context.Context, utterance string) (*Response, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.RespondWith(ctx, &f.ctx, utterance)
+}
+
+// RespondWith implements ContextResponder: the turn resolves and advances
+// the caller-owned conversation. Unrecognized follow-up phrasings are
+// asked back to the user instead of being guessed.
+func (f *Frame) RespondWith(ctx context.Context, conv *Context, utterance string) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return &Response{Message: "The request was cancelled."}, err
+	}
+	intent := ClassifyIntent(utterance, conv.LastSQL != nil)
 	switch intent {
 	case IntentGreeting:
 		return &Response{Message: "Hello! Ask me about the data."}, nil
 	case IntentReset:
-		f.ctx.Reset()
+		conv.Reset()
 		return &Response{Message: "Context cleared."}, nil
 	case IntentRefine:
 		// The frame requires the canonical "only …" slot phrasing, which
 		// ClassifyIntent guarantees; anything its resolver cannot slot is
 		// re-asked.
-		stmt, err := f.res.refine(&f.ctx, utterance)
+		stmt, err := f.res.refine(conv, utterance)
 		if err != nil {
 			return &Response{Message: "Which attribute should I filter by?"}, err
 		}
-		return f.finish(stmt, false)
+		return finishTurn(ctx, f.exec, conv, stmt, false)
 	case IntentAggregate:
-		stmt, err := f.res.aggregate(&f.ctx)
+		stmt, err := f.res.aggregate(conv)
 		if err != nil {
 			return &Response{Message: "There is nothing to count yet."}, err
 		}
-		return f.finish(stmt, true)
+		return finishTurn(ctx, f.exec, conv, stmt, true)
 	case IntentShift:
 		// Frame-based systems track a projection slot only for the exact
 		// "show their X" pattern.
@@ -143,33 +222,19 @@ func (f *Frame) Respond(utterance string) (*Response, error) {
 			return &Response{Message: "Which attribute would you like to see?"},
 				fmt.Errorf("dialogue: shift outside frame patterns")
 		}
-		stmt, err := f.res.shift(&f.ctx, utterance)
+		stmt, err := f.res.shift(conv, utterance)
 		if err != nil {
 			return &Response{Message: "Which attribute would you like to see?"}, err
 		}
-		return f.finish(stmt, false)
+		return finishTurn(ctx, f.exec, conv, stmt, false)
 	default:
 		ins, err := f.interp.Interpret(utterance)
 		if err != nil {
 			return &Response{Message: "I could not understand; try naming the data you need."}, err
 		}
 		best, _ := nlq.Best(ins)
-		return f.finish(best.SQL, false)
+		return finishTurn(ctx, f.exec, conv, best.SQL, false)
 	}
-}
-
-func (f *Frame) finish(stmt *sqlparse.SelectStmt, wasAggregate bool) (*Response, error) {
-	res, err := f.eng.Run(stmt)
-	if err != nil {
-		return &Response{Message: "That request failed to execute."}, err
-	}
-	if wasAggregate {
-		f.ctx.BeforeAggregate = rowContext(&f.ctx)
-	} else {
-		f.ctx.BeforeAggregate = nil
-	}
-	f.ctx.Remember(stmt)
-	return &Response{SQL: stmt, Result: res, Message: fmt.Sprintf("%d row(s).", len(res.Rows))}, nil
 }
 
 // --- agent-based manager ------------------------------------------------------
@@ -181,9 +246,8 @@ func (f *Frame) finish(stmt *sqlparse.SelectStmt, wasAggregate bool) (*Response,
 // initiate and lead the conversation."
 type Agent struct {
 	interp nlq.Interpreter
-	eng    *sqlexec.Engine
+	exec   Executor
 	res    *resolver
-	ctx    Context
 	// User, when non-nil, answers validation questions (DialSQL).
 	User *UserSim
 	// IntentModel, when non-nil, augments the rule-based intent
@@ -191,13 +255,16 @@ type Agent struct {
 	// artifacts (Quamar et al.) — "agent-based methods … are typically
 	// statistical models trained on corpora".
 	IntentModel *IntentClassifier
-	// pending holds lower-ranked hypotheses for feedback recovery.
-	pending []nlq.Interpretation
+
+	mu  sync.Mutex
+	ctx Context
 }
 
-// NewAgent builds the manager.
-func NewAgent(db *sqldata.Database, interp nlq.Interpreter, lex *lexicon.Lexicon) *Agent {
-	return &Agent{interp: interp, eng: sqlexec.New(db), res: newResolver(db, lex)}
+// NewAgent builds the manager. The resolver index over db is immutable
+// after construction, so one Agent may serve concurrent conversations via
+// RespondWith.
+func NewAgent(db *sqldata.Database, interp nlq.Interpreter, lex *lexicon.Lexicon, exec Executor) *Agent {
+	return &Agent{interp: interp, exec: exec, res: newResolver(db, lex)}
 }
 
 // Name implements Manager.
@@ -205,19 +272,31 @@ func (a *Agent) Name() string { return "agent" }
 
 // Reset implements Manager.
 func (a *Agent) Reset() {
+	a.mu.Lock()
 	a.ctx.Reset()
-	a.pending = nil
+	a.mu.Unlock()
 }
 
-// Respond resolves the utterance flexibly: follow-up intents edit the
-// context query (with free phrasing); full queries go through the
-// interpreter; when a simulated user is attached, candidate queries are
-// validated and lower-ranked hypotheses retried (DialSQL).
-func (a *Agent) Respond(utterance string) (*Response, error) {
-	intent := ClassifyIntent(utterance, a.ctx.LastSQL != nil)
+// Respond resolves one turn of the manager's own conversation.
+func (a *Agent) Respond(ctx context.Context, utterance string) (*Response, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.RespondWith(ctx, &a.ctx, utterance)
+}
+
+// RespondWith implements ContextResponder: the utterance resolves against
+// the caller-owned conversation — follow-up intents edit the context query
+// (with free phrasing); full queries go through the interpreter; when a
+// simulated user is attached, candidate queries are validated and
+// lower-ranked hypotheses retried (DialSQL).
+func (a *Agent) RespondWith(ctx context.Context, conv *Context, utterance string) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return &Response{Message: "The request was cancelled."}, err
+	}
+	intent := ClassifyIntent(utterance, conv.LastSQL != nil)
 	// The statistical classifier can upgrade a generic "query" reading to
 	// a context intent the rule patterns missed — never the reverse.
-	if a.IntentModel != nil && intent == IntentQuery && a.ctx.LastSQL != nil {
+	if a.IntentModel != nil && intent == IntentQuery && conv.LastSQL != nil {
 		name, p := a.IntentModel.Classify(utterance)
 		if p >= 0.6 {
 			switch name {
@@ -232,35 +311,35 @@ func (a *Agent) Respond(utterance string) (*Response, error) {
 	case IntentGreeting:
 		return &Response{Message: "Hi! What would you like to explore?"}, nil
 	case IntentReset:
-		a.Reset()
+		conv.Reset()
 		return &Response{Message: "Starting fresh."}, nil
 	case IntentRefine:
-		stmt, err := a.res.refine(&a.ctx, utterance)
+		stmt, err := a.res.refine(conv, utterance)
 		if err != nil {
 			return &Response{Message: "I could not find that filter; can you name the attribute?"}, err
 		}
-		return a.finish(stmt, false)
+		return finishTurn(ctx, a.exec, conv, stmt, false)
 	case IntentAggregate:
-		stmt, err := a.res.aggregate(&a.ctx)
+		stmt, err := a.res.aggregate(conv)
 		if err != nil {
 			return &Response{Message: "There is nothing to count yet."}, err
 		}
-		return a.finish(stmt, true)
+		return finishTurn(ctx, a.exec, conv, stmt, true)
 	case IntentShift:
-		stmt, err := a.res.shift(&a.ctx, utterance)
+		stmt, err := a.res.shift(conv, utterance)
 		if err != nil {
 			return &Response{Message: "Which attribute should I show?"}, err
 		}
-		return a.finish(stmt, false)
+		return finishTurn(ctx, a.exec, conv, stmt, false)
 	}
 
 	ins, err := a.interp.Interpret(utterance)
 	if err != nil {
 		// Agent flexibility: an unparseable utterance with context is
 		// retried as a refinement before giving up.
-		if a.ctx.LastSQL != nil {
-			if stmt, rerr := a.res.refine(&a.ctx, utterance); rerr == nil {
-				return a.finish(stmt, false)
+		if conv.LastSQL != nil {
+			if stmt, rerr := a.res.refine(conv, utterance); rerr == nil {
+				return finishTurn(ctx, a.exec, conv, stmt, false)
 			}
 		}
 		return &Response{Message: "I could not map that to the data."}, err
@@ -273,25 +352,11 @@ func (a *Agent) Respond(utterance string) (*Response, error) {
 				break
 			}
 			if a.User.Validate(cand.SQL) {
-				return a.finish(cand.SQL, false)
+				return finishTurn(ctx, a.exec, conv, cand.SQL, false)
 			}
 		}
 	}
 	best, _ := nlq.Best(ins)
-	a.pending = ins
-	return a.finish(best.SQL, false)
-}
-
-func (a *Agent) finish(stmt *sqlparse.SelectStmt, wasAggregate bool) (*Response, error) {
-	res, err := a.eng.Run(stmt)
-	if err != nil {
-		return &Response{Message: "That failed to execute."}, err
-	}
-	if wasAggregate {
-		a.ctx.BeforeAggregate = rowContext(&a.ctx)
-	} else {
-		a.ctx.BeforeAggregate = nil
-	}
-	a.ctx.Remember(stmt)
-	return &Response{SQL: stmt, Result: res, Message: fmt.Sprintf("%d row(s).", len(res.Rows))}, nil
+	conv.Pending = ins
+	return finishTurn(ctx, a.exec, conv, best.SQL, false)
 }

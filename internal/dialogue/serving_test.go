@@ -1,0 +1,142 @@
+package dialogue
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"nlidb/internal/athena"
+	"nlidb/internal/benchdata"
+	"nlidb/internal/lexicon"
+	"nlidb/internal/qcache"
+	"nlidb/internal/resilient"
+)
+
+// selfCancelExec cancels the turn's context the moment execution starts,
+// simulating a caller that goes away while the statement runs.
+type selfCancelExec struct {
+	cancel context.CancelFunc
+}
+
+func (e selfCancelExec) AskSQL(ctx context.Context, sql string) (*resilient.Answer, error) {
+	e.cancel()
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func TestRespondCancelledBeforeTurn(t *testing.T) {
+	_, _, agent, _ := managers(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := agent.Respond(ctx, "show customers with city Berlin")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if r == nil || r.Message == "" {
+		t.Fatal("cancellation must still carry a conversational message")
+	}
+	if agent.ctx.LastSQL != nil || agent.ctx.Turns != 0 {
+		t.Fatal("cancelled turn advanced the conversation")
+	}
+}
+
+// TestRespondCancelledMidTurn is the regression test for cancellation
+// arriving while the resolved statement is executing: the turn must
+// return the cancellation error and leave the conversational context
+// exactly as it was — a half-applied turn would poison every follow-up.
+func TestRespondCancelledMidTurn(t *testing.T) {
+	d := benchdata.Sales(60)
+	lex := lexicon.New()
+	interp := athena.New(d.DB, lex)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	agent := NewAgent(d.DB, interp, lex, selfCancelExec{cancel: cancel})
+
+	r, err := agent.Respond(ctx, "show customers with city Berlin")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if r == nil || r.SQL != nil || r.Result != nil {
+		t.Fatalf("cancelled turn leaked a result: %+v", r)
+	}
+	if agent.ctx.LastSQL != nil || agent.ctx.Turns != 0 {
+		t.Fatal("mid-turn cancellation advanced the conversation")
+	}
+}
+
+// TestFollowUpHitsPlanCache pins the point of executing dialogue turns
+// through the gateway instead of a private engine: a follow-up whose
+// resolved SQL was planned before reuses the shared physical-plan cache,
+// visible as the plan_cache=hit attribute on the turn's plan span.
+func TestFollowUpHitsPlanCache(t *testing.T) {
+	d := benchdata.Sales(60)
+	lex := lexicon.New()
+	interp := athena.New(d.DB, lex)
+	gw := resilient.New(d.DB, nil, resilient.Config{
+		PlanCache: qcache.New(qcache.Config{MaxEntries: 64}),
+	})
+	agent := NewAgent(d.DB, interp, lex, gw)
+
+	run := func() *Response {
+		t.Helper()
+		conv := &Context{}
+		if _, err := agent.RespondWith(context.Background(), conv, "show customers with city Berlin"); err != nil {
+			t.Fatal(err)
+		}
+		r, err := agent.RespondWith(context.Background(), conv, "only those with credit over 20000")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	run() // cold: plans both statements
+	r := run()
+	if r.Answer == nil || r.Answer.Trace == nil {
+		t.Fatal("follow-up answer carries no trace")
+	}
+	plan := r.Answer.Trace.Find("plan")
+	if plan == nil {
+		t.Fatalf("no plan span in trace:\n%s", r.Answer.Trace)
+	}
+	if plan.Attr("plan_cache") != "hit" {
+		t.Fatalf("repeated follow-up missed the plan cache:\n%s", r.Answer.Trace)
+	}
+}
+
+// TestSharedManagerConcurrentConversations drives many conversations
+// through one shared agent via RespondWith under the race detector: each
+// conversation must resolve follow-ups against its own context only.
+func TestSharedManagerConcurrentConversations(t *testing.T) {
+	d := benchdata.Sales(60)
+	lex := lexicon.New()
+	interp := athena.New(d.DB, lex)
+	agent := NewAgent(d.DB, interp, lex, testExec(d))
+
+	cities := []string{"Berlin", "Munich", "Hamburg"}
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			city := cities[i%len(cities)]
+			conv := &Context{}
+			r1, err := agent.RespondWith(context.Background(), conv, "show customers with city "+city)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			r2, err := agent.RespondWith(context.Background(), conv, "how many are there")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// The count must match THIS conversation's rows — a bleed from a
+			// concurrent conversation over another city would break it.
+			if got, want := r2.Result.Rows[0][0].Int(), int64(len(r1.Result.Rows)); got != want {
+				t.Errorf("conversation %d (%s): count %d != own rows %d — context bled across conversations", i, city, got, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

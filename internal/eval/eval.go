@@ -252,7 +252,7 @@ func EvaluateConversations(mgr dialogue.Manager, cs *dataset.ConvSet) (*ConvRepo
 			if err != nil {
 				return nil, fmt.Errorf("eval: conversation gold fails: %w", err)
 			}
-			resp, err := mgr.Respond(turn.Utterance)
+			resp, err := mgr.Respond(context.Background(), turn.Utterance)
 			if err != nil || resp.SQL == nil || resp.Result == nil {
 				continue
 			}

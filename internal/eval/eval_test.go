@@ -10,6 +10,7 @@ import (
 	"nlidb/internal/dialogue"
 	"nlidb/internal/keywordnl"
 	"nlidb/internal/lexicon"
+	"nlidb/internal/resilient"
 	"nlidb/internal/nlq"
 	"nlidb/internal/sqlparse"
 )
@@ -139,7 +140,8 @@ func TestEvaluateConversations(t *testing.T) {
 	lex := lexicon.New()
 	interp := athena.New(d.DB, lex)
 
-	agent := dialogue.NewAgent(d.DB, interp, lex)
+	exec := resilient.New(d.DB, nil, resilient.Config{NoTrace: true})
+	agent := dialogue.NewAgent(d.DB, interp, lex, exec)
 	rep, err := EvaluateConversations(agent, cs)
 	if err != nil {
 		t.Fatal(err)
@@ -147,7 +149,7 @@ func TestEvaluateConversations(t *testing.T) {
 	if rep.Overall.Total != cs.TotalTurns() {
 		t.Fatalf("turns = %d, want %d", rep.Overall.Total, cs.TotalTurns())
 	}
-	fsm := dialogue.NewFiniteState(d.DB, interp)
+	fsm := dialogue.NewFiniteState(interp, exec)
 	frep, err := EvaluateConversations(fsm, cs)
 	if err != nil {
 		t.Fatal(err)

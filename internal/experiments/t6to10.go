@@ -14,6 +14,7 @@ import (
 	"nlidb/internal/mlsql"
 	"nlidb/internal/nlq"
 	"nlidb/internal/parsenl"
+	"nlidb/internal/resilient"
 	"nlidb/internal/schemagraph"
 	"nlidb/internal/sqlexec"
 	"nlidb/internal/sqlparse"
@@ -58,10 +59,11 @@ func T6Dialogue(seed int64) (*Table, error) {
 			}
 		}
 		interp := athena.New(d.DB, lex)
+		exec := resilient.New(d.DB, nil, resilient.Config{NoTrace: true})
 		mgrs := []dialogue.Manager{
-			dialogue.NewFiniteState(d.DB, interp),
-			dialogue.NewFrame(d.DB, interp, lex),
-			dialogue.NewAgent(d.DB, interp, lex),
+			dialogue.NewFiniteState(interp, exec),
+			dialogue.NewFrame(d.DB, interp, lex, exec),
+			dialogue.NewAgent(d.DB, interp, lex, exec),
 		}
 		for _, m := range mgrs {
 			rep, err := eval.EvaluateConversations(m, cs)

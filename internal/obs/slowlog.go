@@ -40,6 +40,10 @@ type SlowEntry struct {
 	// DroppedSpans is the trace's DroppedTotal — spans lost to the child
 	// cap, so a truncated tree is never mistaken for a complete one.
 	DroppedSpans int
+	// Session identifies the conversation a slow turn belonged to
+	// ("" for stateless queries), so an operator can pull the whole
+	// conversation's trace from one slow line.
+	Session string
 }
 
 // SlowLog is a fixed-capacity ring buffer of the most recent queries
@@ -145,6 +149,9 @@ func fleetSuffix(e SlowEntry) string {
 	}
 	if e.DroppedSpans > 0 {
 		parts = append(parts, fmt.Sprintf("dropped_spans=%d", e.DroppedSpans))
+	}
+	if e.Session != "" {
+		parts = append(parts, "session="+e.Session)
 	}
 	if e.TraceID != "" {
 		parts = append(parts, "trace="+string(e.TraceID))

@@ -57,6 +57,21 @@ func WithFingerprint(fp uint64, key string) string {
 	return fmt.Sprintf("%016x|%s", fp, key)
 }
 
+// WithContext prefixes a key with a dialogue-context fingerprint so the
+// same utterance under different conversational context is never
+// conflated ("how many are there" counts whatever the session was just
+// looking at). A zero fingerprint means "no context" and returns the key
+// unchanged, so context-free questions share cache entries with the
+// stateless path. The "c" tag keeps the space prefix-free against
+// WithFingerprint keys: a context key's first '|' sits at offset 17,
+// a database-fingerprint key's at offset 16.
+func WithContext(ctxFP uint64, key string) string {
+	if ctxFP == 0 {
+		return key
+	}
+	return fmt.Sprintf("c%016x|%s", ctxFP, key)
+}
+
 // Canonical rebuilds a question from its normalized tokens. It is the
 // key's inverse in the sense that Key(Canonical(q)) == Key(q) for every
 // q — the property the fuzz target leans on to generate key-equal

@@ -81,3 +81,40 @@ func TestCanonicalIsKeyStable(t *testing.T) {
 		}
 	}
 }
+
+func TestWithContext(t *testing.T) {
+	k := WithFingerprint(7, Key("how many are there"))
+	if WithContext(0, k) != k {
+		t.Fatal("zero context fingerprint must leave the key unchanged")
+	}
+	a, b := WithContext(1, k), WithContext(2, k)
+	if a == b {
+		t.Fatal("different context fingerprints must give different keys")
+	}
+	if WithContext(1, k) != a {
+		t.Fatal("WithContext must be deterministic")
+	}
+	if a == k {
+		t.Fatal("nonzero context fingerprint must change the key")
+	}
+}
+
+// TestWithContextPrefixFree pins the framing: a context-keyed key can
+// never collide with a fingerprint-keyed one, whatever the embedded
+// question text is — the two prefixes put their first '|' at different
+// offsets and WithContext's leading 'c' is not a hex digit.
+func TestWithContextPrefixFree(t *testing.T) {
+	seen := map[string]string{}
+	for _, q := range []string{"x", "c deadbeef", "0123456789abcdef|x"} {
+		base := WithFingerprint(0xfeed, Key(q))
+		for name, k := range map[string]string{
+			"plain":   base,
+			"context": WithContext(0xbeef, base),
+		} {
+			if prev, ok := seen[k]; ok {
+				t.Fatalf("key %q produced by both %s and %s", k, prev, name+" "+q)
+			}
+			seen[k] = name + " " + q
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"nlidb/internal/admission"
 	"nlidb/internal/obs"
 	"nlidb/internal/resilient"
+	"nlidb/internal/session"
 	"nlidb/internal/shard"
 )
 
@@ -48,6 +49,8 @@ func Mux(api *Server, reg *obs.Registry, slow *obs.SlowLog, opts ...obs.HandlerO
 	mux := http.NewServeMux()
 	mux.Handle("/query", api)
 	mux.Handle("/batch", api)
+	mux.Handle("/session", api)
+	mux.Handle("/session/ask", api)
 	mux.Handle("/", obs.Handler(reg, slow, opts...))
 	return mux
 }
@@ -82,6 +85,12 @@ type Config struct {
 	Admission *admission.Controller
 	// RateLimit, when non-nil, is consulted per client before admission.
 	RateLimit *admission.RateLimiter
+	// Sessions, when non-nil, enables the conversational /session API.
+	Sessions *session.Store
+	// SessionRateLimit, when non-nil, bounds each conversation's turn
+	// rate, layered on the per-client RateLimit. Wire its Forget into the
+	// store's OnEvict so ended sessions release their buckets.
+	SessionRateLimit *admission.RateLimiter
 	// Metrics, when non-nil, receives the server's request counters,
 	// latency histograms, and in-flight gauge.
 	Metrics *obs.Registry
@@ -148,9 +157,15 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/query", s.instrument("/query", s.handleQuery))
 	s.mux.HandleFunc("/batch", s.instrument("/batch", s.handleBatch))
+	s.mux.HandleFunc("/session", s.instrument("/session", s.handleSession))
+	s.mux.HandleFunc("/session/ask", s.instrument("/session/ask", s.handleSessionAsk))
 	if m := cfg.Metrics; m != nil {
 		m.Gauge(MetricHTTPInFlight).Set(0)
-		for _, route := range []string{"/query", "/batch"} {
+		routes := []string{"/query", "/batch"}
+		if cfg.Sessions != nil {
+			routes = append(routes, "/session", "/session/ask")
+		}
+		for _, route := range routes {
 			m.Counter(MetricHTTPRequests, "route", route, "code", "200")
 			m.Histogram(MetricHTTPSeconds, "route", route)
 		}

@@ -1,0 +1,237 @@
+package session
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"nlidb/internal/dialogue"
+	"nlidb/internal/obs"
+	"nlidb/internal/qcache"
+	"nlidb/internal/sqldata"
+)
+
+// Turn is the outcome of one utterance resolved inside a session.
+type Turn struct {
+	// Session is the conversation's ID.
+	Session string
+	// N is the 1-based turn number within the conversation.
+	N int
+	// Intent is the classified intent the utterance resolved under.
+	Intent dialogue.Intent
+	// ContextFP fingerprints the dialogue context the utterance resolved
+	// against (0 = empty context, i.e. a context-free turn).
+	ContextFP uint64
+	// Cached marks a turn answered from the context-keyed turn cache.
+	Cached bool
+	// Resp is the dialogue response (always non-nil, even on error).
+	Resp *dialogue.Response
+	// Elapsed is the turn's wall-clock time.
+	Elapsed time.Duration
+	// TraceID names the turn's trace ("" when tracing is off). Every turn
+	// of a conversation carries the session attribute, so /trace shows
+	// whole conversations.
+	TraceID obs.TraceID
+}
+
+// cacheEntry is one cached turn: the post-turn context as SQL text (so a
+// hit replays the context advance exactly) plus the response surface. The
+// Result is shared read-only across goroutines — the same contract the
+// gateway's answer cache established.
+type cacheEntry struct {
+	lastSQL   string
+	beforeAgg string
+	message   string
+	engine    string
+	result    *sqldata.Result
+}
+
+// Ask resolves one utterance in the identified session. Turns within a
+// session are serialized (a second Ask on the same ID blocks until the
+// first finishes); turns on different sessions proceed in parallel over
+// the shared Responder. The session's idle TTL slides forward on every
+// turn. Returns ErrNotFound for an ID never issued, ErrExpired for one
+// that ended, expired, or was evicted.
+func (s *Store) Ask(ctx context.Context, id, utterance string) (*Turn, error) {
+	se, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+
+	se.mu.Lock()
+	defer se.mu.Unlock()
+
+	start := s.cfg.Now()
+	turn := &Turn{Session: id, N: se.conv.Turns + 1}
+
+	var qt *obs.QueryTrace
+	if !s.cfg.NoTrace {
+		ctx, qt = obs.NewQueryTrace(ctx, utterance)
+		qt.Root.SetAttr("session", id)
+		qt.Root.SetAttr("turn", strconv.Itoa(turn.N))
+	}
+
+	turn.Intent = dialogue.ClassifyIntent(utterance, se.conv.LastSQL != nil)
+	turn.ContextFP = se.conv.Fingerprint()
+	if qt != nil {
+		qt.Root.SetAttr("intent", turn.Intent.String())
+		if turn.ContextFP != 0 {
+			qt.Root.SetAttr("context_fp", fmt.Sprintf("%016x", turn.ContextFP))
+		}
+	}
+
+	key := qcache.WithContext(turn.ContextFP,
+		qcache.WithFingerprint(s.cfg.DB.Fingerprint(), qcache.Key(utterance)))
+
+	resp, rerr := s.serveTurn(ctx, se, key, utterance, turn, qt)
+	turn.Resp = resp
+	turn.Elapsed = s.cfg.Now().Sub(start)
+
+	s.finishTurnObs(turn, utterance, rerr, qt)
+
+	if rerr == nil {
+		s.recost(se)
+	}
+	return turn, rerr
+}
+
+// serveTurn answers the utterance from the turn cache when possible,
+// otherwise through the Responder, caching successful executed turns.
+// Called with the session's turn lock held.
+func (s *Store) serveTurn(ctx context.Context, se *sess, key, utterance string, turn *Turn, qt *obs.QueryTrace) (*dialogue.Response, error) {
+	followup := turn.ContextFP != 0
+	if s.cache != nil {
+		if v, ok := s.cache.Get(key); ok {
+			ent := v.(*cacheEntry)
+			resp, err := s.replayCached(se, ent)
+			if err == nil {
+				turn.Cached = true
+				s.ctxHits.inc()
+				if followup {
+					s.resolved.inc()
+				}
+				if qt != nil {
+					qt.Root.SetAttr("cached", "true")
+				}
+				return resp, nil
+			}
+			// A stored turn that no longer replays (parse drift) falls
+			// through to the live path.
+		}
+	}
+	s.ctxMiss.inc()
+
+	resp, err := s.cfg.Responder.RespondWith(ctx, se.conv, utterance)
+	if resp == nil {
+		resp = &dialogue.Response{Message: "The request failed."}
+	}
+	if followup {
+		if err != nil {
+			s.failed.inc()
+		} else {
+			s.resolved.inc()
+		}
+	}
+	if err == nil && s.cache != nil && resp.SQL != nil && resp.Result != nil &&
+		(resp.Answer == nil || !resp.Answer.Partial) {
+		ent := &cacheEntry{
+			lastSQL: resp.SQL.String(),
+			message: resp.Message,
+			result:  resp.Result,
+		}
+		if se.conv.BeforeAggregate != nil {
+			ent.beforeAgg = se.conv.BeforeAggregate.String()
+		}
+		if resp.Answer != nil {
+			ent.engine = resp.Answer.Engine
+		}
+		s.cache.Put(key, ent)
+	}
+	return resp, err
+}
+
+// replayCached advances the conversation exactly as the live turn did —
+// the entry stores the post-turn context as SQL text — and rebuilds the
+// response. Called with the session's turn lock held.
+func (s *Store) replayCached(se *sess, ent *cacheEntry) (*dialogue.Response, error) {
+	stmt, err := parseStored(ent.lastSQL)
+	if err != nil || stmt == nil {
+		return nil, fmt.Errorf("session: cached turn does not replay: %v", err)
+	}
+	before, err := parseStored(ent.beforeAgg)
+	if err != nil {
+		return nil, fmt.Errorf("session: cached turn does not replay: %v", err)
+	}
+	se.conv.BeforeAggregate = before
+	se.conv.Remember(stmt)
+	return &dialogue.Response{SQL: stmt, Result: ent.result, Message: ent.message}, nil
+}
+
+// finishTurnObs closes the turn's trace, offers it for retention, feeds
+// the slow log, and bumps the turn counters.
+func (s *Store) finishTurnObs(turn *Turn, utterance string, rerr error, qt *obs.QueryTrace) {
+	s.turns.inc()
+	outcome := "ok"
+	if rerr != nil {
+		outcome = "error"
+	}
+	engine := ""
+	partial := false
+	if a := turn.Resp.Answer; a != nil {
+		engine = a.Engine
+		partial = a.Partial
+	}
+	if m := s.cfg.Metrics; m != nil {
+		m.Counter(MetricTurns, "intent", turn.Intent.String()).Inc()
+		m.Histogram(MetricTurnSeconds).Observe(turn.Elapsed.Seconds())
+	}
+	if qt != nil {
+		turn.TraceID = qt.ID
+		qt.Root.SetAttr("outcome", outcome)
+		qt.Root.End()
+		s.cfg.Traces.Offer(qt, outcome, turn.Elapsed, partial)
+		s.cfg.SlowLog.Observe(obs.SlowEntry{
+			Question:     utterance,
+			Engine:       engine,
+			Outcome:      outcome,
+			Duration:     turn.Elapsed,
+			When:         s.cfg.Now(),
+			Trace:        qt,
+			TraceID:      qt.ID,
+			Partial:      partial,
+			DroppedSpans: qt.DroppedTotal(),
+			Session:      turn.Session,
+		})
+	} else {
+		s.cfg.SlowLog.Observe(obs.SlowEntry{
+			Question: utterance,
+			Engine:   engine,
+			Outcome:  outcome,
+			Duration: turn.Elapsed,
+			When:     s.cfg.Now(),
+			Partial:  partial,
+			Session:  turn.Session,
+		})
+	}
+}
+
+// recost re-accounts the session's memory cost after a turn mutated its
+// context, enforcing the budget against other sessions (never the one
+// that just spoke). Skipped if the session was evicted mid-turn.
+func (s *Store) recost(se *sess) {
+	c := costOf(se.conv)
+	sh := s.shardFor(se.id)
+	now := s.cfg.Now()
+	sh.mu.Lock()
+	if se.gone {
+		sh.mu.Unlock()
+		return
+	}
+	sh.mem += c - se.cost
+	se.cost = c
+	evs := s.reclaimLocked(sh, now, se)
+	sh.mu.Unlock()
+	s.publishGauges()
+	s.notifyEvicted(evs)
+}

@@ -19,6 +19,7 @@ import (
 	"nlidb/internal/resilient"
 	"nlidb/internal/sqldata"
 	"nlidb/internal/sqlexec"
+	"nlidb/internal/sqlparse"
 )
 
 // Config tunes a Cluster. The zero value is serviceable: 1 replica per
@@ -430,6 +431,114 @@ func (c *Cluster) askRoot(ctx context.Context, question string) (*resilient.Answ
 		Retries: int(st.retries.Load()), DroppedSpans: trace.DroppedTotal(),
 	})
 	return ans, err
+}
+
+// AskSQL executes one trusted SQL statement over the fleet, mirroring the
+// single-gateway AskSQL contract: no NL chain, no answer cache — just
+// classification and routed execution with the coordinator's full
+// deadline, retry, hedging, and telemetry treatment. It is how dialogue
+// turns execute when serving is sharded: the session layer resolves a
+// follow-up to SQL, and that SQL routes exactly like any distributed
+// statement (pruned to its owner shard, or scatter-gathered with partial
+// aggregates merged).
+func (c *Cluster) AskSQL(ctx context.Context, sql string) (*resilient.Answer, error) {
+	start := time.Now()
+	if c.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.Timeout)
+		defer cancel()
+	}
+	var trace *obs.QueryTrace
+	if !c.cfg.NoTrace {
+		ctx, trace = obs.NewQueryTrace(ctx, sql)
+	}
+	st := &reqStats{}
+	ans, err := c.askSQL(ctx, sql, st)
+	elapsed := time.Since(start)
+	outcome := askOutcome(err)
+	partial := ans != nil && ans.Partial
+	if trace != nil {
+		root := trace.Root
+		root.SetAttr("engine", resilient.SQLEngine)
+		if st.route != "" {
+			root.SetAttr("route", st.route)
+		}
+		root.SetAttr("outcome", outcome)
+		if partial {
+			root.SetAttr("partial", "true")
+		}
+		root.End()
+		if ans != nil {
+			ans.Trace = trace
+		}
+		c.cfg.Traces.Offer(trace, outcome, elapsed, partial)
+	}
+	var tid obs.TraceID
+	if trace != nil {
+		tid = trace.ID
+	}
+	c.cfg.SlowLog.Observe(obs.SlowEntry{
+		Question: sql, Engine: resilient.SQLEngine, Outcome: outcome,
+		Duration: elapsed, When: time.Now(), Trace: trace,
+		TraceID: tid, Route: st.route, Shards: int(st.shards.Load()),
+		Partial: partial, Hedged: int(st.hedged.Load()),
+		Retries: int(st.retries.Load()), DroppedSpans: trace.DroppedTotal(),
+	})
+	if ans != nil {
+		ans.Elapsed = elapsed
+	}
+	return ans, err
+}
+
+// askSQL is AskSQL minus deadline and trace-root wrapping: parse,
+// classify, route.
+func (c *Cluster) askSQL(ctx context.Context, sql string, st *reqStats) (*resilient.Answer, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	_, csp := childSpan(ctx, "classify")
+	rt, cerr := classify(stmt, c.part)
+	if cerr != nil {
+		csp.SetAttr("error", cerr.Error())
+		csp.End()
+		return nil, cerr
+	}
+	switch rt.kind {
+	case routeHome:
+		csp.SetAttr("route", "home")
+	case routePruned:
+		csp.SetAttr("route", "pruned")
+		csp.SetAttr("shard", strconv.Itoa(rt.shard))
+	default:
+		csp.SetAttr("route", "scatter")
+	}
+	csp.End()
+
+	switch rt.kind {
+	case routeHome:
+		// Any shard can answer (no partitioned table involved): run it on
+		// the rendezvous-home shard, failing over like interpretation does.
+		c.countRoute("home", st)
+		var ans *resilient.Answer
+		for _, s := range c.rendezvous(sql) {
+			ans, err = c.askShard(ctx, s, sql, false, st)
+			if err == nil {
+				return ans, nil
+			}
+			if ctx.Err() != nil || !errors.Is(err, ErrShardDown) {
+				return nil, err
+			}
+		}
+		return nil, err // every shard down
+	case routePruned:
+		c.countRoute("pruned", st)
+		return c.askShard(ctx, rt.shard, sql, false, st)
+	default:
+		c.countRoute("scatter", st)
+		phase1 := &resilient.Answer{Engine: resilient.SQLEngine, SQL: stmt, Score: 1}
+		return c.scatter(ctx, phase1, rt, st)
+	}
 }
 
 // askOutcome maps an Ask error to its outcome label.
