@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test short race vet staticcheck chaos fuzz check metrics-smoke cache-smoke plan-smoke overload-smoke trace-smoke session-smoke bench-cache bench-plan bench-columnar bench-overload bench-shard bench-obs bench-session
+.PHONY: build test short race vet staticcheck chaos proc-chaos fuzz check metrics-smoke cache-smoke plan-smoke overload-smoke trace-smoke session-smoke bench-cache bench-plan bench-columnar bench-overload bench-shard bench-obs bench-session bench-remote-shard
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,15 @@ staticcheck:
 # dialogue managers).
 chaos:
 	$(GO) test -race -run 'Chaos|Surge|Drain|Hedge|Flight|Concurrent|Session' ./internal/resilient/ ./internal/server/ ./internal/shard/ ./internal/qcache/ ./internal/session/ ./internal/dialogue/ -count=1
+
+# Real-process chaos: a coordinator with -remote-shards spawn:2 forks
+# four actual cmd/nlidb children, the smoke SIGKILLs one replica of every
+# shard under load, and asserts zero wrong answers, bounded supervisor
+# recovery, and that no child outlives the coordinator. Deliberately a
+# shell smoke, not a `go test`: it must exercise real fork/exec, real
+# signals, and real sockets.
+proc-chaos: build
+	./scripts/proc_chaos_smoke.sh
 
 # Short coverage-guided fuzz sessions over the SQL parser, the NL
 # tokenizer, and the cache-key normalizer (seed corpora always run as
@@ -126,6 +135,13 @@ bench-shard: build
 bench-obs: build
 	$(GO) run ./cmd/nlidb-bench -obs BENCH_obs.json -shards 4
 
+# Remote-shard benchmark: the closed-loop workload served by in-process
+# clusters vs supervisor-launched fleets of real cmd/nlidb processes
+# (the socket+wire tax per cluster width), plus SIGKILL/restore goodput
+# timelines against real children, written to BENCH_remote_shard.json.
+bench-remote-shard: build
+	$(GO) run ./cmd/nlidb-bench -remote-shard BENCH_remote_shard.json
+
 # Conversational-serving benchmark, run under the race detector on
 # purpose: thousands of interleaved three-turn conversations served
 # through the session store vs the stateless replay baseline, with
@@ -134,4 +150,4 @@ bench-obs: build
 bench-session: build
 	$(GO) run -race ./cmd/nlidb-bench -session BENCH_session.json
 
-check: build vet test race
+check: build vet test race proc-chaos

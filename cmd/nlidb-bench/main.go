@@ -43,6 +43,15 @@
 // partial, and failed answers per 100ms — and the recovery point after
 // restore is recorded.
 //
+// With -remote-shard the out-of-process variant runs instead: the same
+// closed-loop workload is served by in-process clusters and by
+// supervisor-launched fleets of real cmd/nlidb child processes speaking
+// the HTTP shard protocol, pricing the socket+wire hop per cluster
+// width; then a 2×2 fleet of real processes runs SIGKILL/restore
+// timelines (one replica, then a whole shard) with goodput bucketed
+// over time. Requires the go toolchain (the child binary is built on
+// the fly) or a prebuilt binary via NLIDB_BIN.
+//
 // With -session the conversational-serving benchmark runs instead:
 // thousands of three-turn conversations (query → refine → aggregate) are
 // interleaved turn-by-turn across a worker pool, served through the
@@ -74,6 +83,7 @@ func main() {
 	columnarPath := flag.String("columnar", "", "write the columnar benchmark (row vs vectorized executor latency per query class) to this JSON file and exit")
 	overloadPath := flag.String("overload", "", "write the overload benchmark (goodput and admitted p99 at 1×–10× offered load, with and without admission control) to this JSON file and exit")
 	shardPath := flag.String("shard", "", "write the sharding benchmark (N-shard scaling curve, kill/restore goodput timelines) to this JSON file and exit")
+	remoteShardPath := flag.String("remote-shard", "", "write the remote-shard benchmark (in-process vs out-of-process scaling, real-process SIGKILL timelines) to this JSON file and exit")
 	sessionPath := flag.String("session", "", "write the conversational-serving benchmark (interleaved sessions vs stateless replay, warm vs cold follow-ups) to this JSON file and exit")
 	flag.Parse()
 
@@ -114,6 +124,13 @@ func main() {
 	}
 	if *shardPath != "" {
 		if err := runShardBench(*shardPath, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "nlidb-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *remoteShardPath != "" {
+		if err := runRemoteShardBench(*remoteShardPath, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "nlidb-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -9,6 +9,7 @@
 //	      [-cache 1024] [-cache-ttl 0] [-parallel 8] [-plan-cache 256]
 //	      [-serve 127.0.0.1:8080] [-drain-timeout 10s] [-max-inflight N]
 //	      [-rate-limit R] [-shards N] [-replicas R] [-breaker-jitter D]
+//	      [-remote-shards spawn:N|endpoints] [-join S@E] [-health-sql Q]
 //	      [-session-ttl D] [-session-max N] [-session-mem BYTES]
 //	      [-session-cache N] [-session-rate R]
 //	      [-trace-sample P] [-trace-retain N] [-slo-latency D]
@@ -84,6 +85,19 @@
 // failure-modes matrix). Circuit-breaker half-open probes are jittered by
 // default to avoid synchronized retry storms; -breaker-jitter 0 opts out,
 // a positive value overrides the auto default (cooldown/8).
+//
+// Out-of-process shards (serve mode): -remote-shards spawn:N forks N×R
+// real child processes of this binary — each importing its CSV partition
+// and serving the internal HTTP protocol — supervised with /healthz
+// readiness gates and jittered-backoff restart; mutually exclusive with
+// -shards. Alternatively -remote-shards takes explicit endpoints
+// ("http://h1:9001,http://h2:9001;http://h3:9002" — ';' between shards,
+// ',' between replicas) for externally managed processes. Children are
+// started with -join shard@epoch, which fences every internal request
+// against a stale shard map (typed 409 on mismatch); GET /shardmap
+// serves the coordinator's current versioned map. -health-sql overrides
+// the deep-probe query /healthz?deep=1 executes (default: SELECT
+// COUNT(*) on the first table; "none" disables the deep probe).
 package main
 
 import (
@@ -149,6 +163,9 @@ func main() {
 	sessionRate := flag.Float64("session-rate", 0, "per-session turn rate limit in req/s in serve mode (0 disables)")
 	shards := flag.Int("shards", 0, "partition the data across N replicated engine shards in serve mode (0/1 = unsharded)")
 	replicas := flag.Int("replicas", 2, "replicas per shard when -shards is set")
+	remoteShards := flag.String("remote-shards", "", "serve through out-of-process shard nodes: \"spawn:N\" supervises N×replicas child processes, or list endpoints \"host:p1,host:p2;host:p3,host:p4\" (';' between shards, ',' between replicas)")
+	join := flag.String("join", "", "run as a shard node joined at SHARD@EPOCH (set by the supervisor; refuses requests stamped with a different shard-map epoch)")
+	healthSQL := flag.String("health-sql", "", "deep /healthz probe statement in serve mode (default: SELECT COUNT(*) over the first table; \"none\" disables the deep probe)")
 	breakerJitter := flag.Duration("breaker-jitter", -1, "max random delay added to circuit-breaker half-open probes (-1 = auto: cooldown/8, 0 disables)")
 	traceSample := flag.Float64("trace-sample", 0.01, "probability of retaining a healthy fast query's trace as an exemplar (slow/failed/partial traces are always retained; 1 keeps everything)")
 	traceRetain := flag.Int("trace-retain", 16384, "retained-trace memory budget in spans for the /trace exemplar store")
@@ -267,6 +284,31 @@ func main() {
 			fmt.Printf("sharded: %d shards × %d replicas, rows/shard %v\n",
 				cl.ShardCount(), cl.ReplicaCount(), cl.Partitioning().RowsPerShard)
 		}
+		if *remoteShards != "" {
+			if *shards > 1 {
+				fatalf("-shards and -remote-shards are mutually exclusive")
+			}
+			cl, mapSrc, sup, err := remoteCluster(d.DB, *remoteShards, *replicas, remoteClusterConfig{
+				engine: *engine, fallback: *fallback, timeout: *timeout,
+				cacheSize: *cacheSize, cacheTTL: *cacheTTL, planCacheSize: *planCacheSize,
+				jitter: jitter, seed: *seed, workers: *parallel,
+				metrics: reg, slow: slow, traces: traces,
+			})
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if sup != nil {
+				defer sup.Close()
+			}
+			backend = cl
+			sessExec = cl
+			obsOpts = append(obsOpts,
+				obs.WithPage("/fleet", cl.FleetHandler()),
+				obs.WithPage("/shardmap", mapSrc.Handler()),
+				obs.WithProm(cl.WriteProm))
+			fmt.Printf("remote shards: %d shards × %d replicas (out-of-process), rows/shard %v\n",
+				cl.ShardCount(), cl.ReplicaCount(), cl.Partitioning().RowsPerShard)
+		}
 		var sessionRL *admission.RateLimiter
 		if *sessionRate > 0 {
 			sessionRL = admission.NewRateLimiter(admission.RateConfig{RPS: *sessionRate})
@@ -293,6 +335,22 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
+		// Deep /healthz probes default to a COUNT over the first table: a
+		// statement every partition can answer, so a wedged pipeline fails
+		// the probe while the port still accepts.
+		probe := *healthSQL
+		switch {
+		case strings.EqualFold(probe, "none"):
+			probe = ""
+		case probe == "":
+			if ts := d.DB.Tables(); len(ts) > 0 {
+				probe = "SELECT COUNT(*) FROM " + ts[0].Schema.Name
+			}
+		}
+		shardIdx, shardEpoch, err := parseJoin(*join)
+		if err != nil {
+			fatalf("%v", err)
+		}
 		if err := serve(backend, reg, slow, slo, serveOptions{
 			addr:         *serveAddr,
 			drainTimeout: *drainTimeout,
@@ -300,6 +358,9 @@ func main() {
 			rateLimit:    *rateLimit,
 			sessions:     sessions,
 			sessionRL:    sessionRL,
+			healthSQL:    probe,
+			shardIndex:   shardIdx,
+			shardEpoch:   shardEpoch,
 		}, obsOpts...); err != nil {
 			fatalf("%v", err)
 		}

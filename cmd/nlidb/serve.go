@@ -25,6 +25,12 @@ type serveOptions struct {
 	// per-session turn limiter (both may be nil).
 	sessions  *session.Store
 	sessionRL *admission.RateLimiter
+	// healthSQL is the deep /healthz probe statement ("" = shallow only).
+	healthSQL string
+	// shardIndex/shardEpoch identify this process as a shard node joined
+	// under a versioned shard map (-join); epoch 0 = not a shard node.
+	shardIndex int
+	shardEpoch int64
 }
 
 // serve runs the HTTP front end until SIGINT/SIGTERM, then drains: the
@@ -45,6 +51,9 @@ func serve(backend server.Backend, reg *obs.Registry, slow *obs.SlowLog, slo *ob
 		SLO:              slo,
 		Sessions:         opts.sessions,
 		SessionRateLimit: opts.sessionRL,
+		HealthSQL:        opts.healthSQL,
+		ShardIndex:       opts.shardIndex,
+		ShardEpoch:       opts.shardEpoch,
 	})
 
 	// One mux serves the query API and the debug suite, so a single port

@@ -1,0 +1,272 @@
+package resilient
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"nlidb/internal/obs"
+	"nlidb/internal/sqldata"
+	"nlidb/internal/sqlexec"
+	"nlidb/internal/sqlparse"
+)
+
+// This file defines the typed answer wire form: how an Answer — in
+// particular the partial-aggregate pushdown results the shard coordinator
+// merges (SUM+COUNT pairs for AVG, ORDER BY/LIMIT re-sort inputs) —
+// travels between processes. The human-facing /query protocol serializes
+// every cell through Value.String(), which is lossy: "3" could be the
+// integer 3, the text "3", or a float, and a coordinator that merged
+// re-parsed strings could be silently wrong. The wire form keeps the type
+// tag on every cell and fails typed on anything malformed, truncated, or
+// NaN-bearing — a corrupt payload must never become a quietly-wrong merge.
+
+// ErrWire marks a wire-form answer that could not be decoded (or an
+// answer that cannot be encoded, e.g. a NaN aggregate). Match with
+// errors.Is; the concrete error is a *WireError carrying the reason.
+var ErrWire = errors.New("resilient: malformed wire answer")
+
+// WireError reports why a wire answer was rejected.
+type WireError struct {
+	// Reason is the human-readable rejection.
+	Reason string
+}
+
+func (e *WireError) Error() string { return "resilient: malformed wire answer: " + e.Reason }
+
+// Unwrap lets errors.Is(err, ErrWire) match.
+func (e *WireError) Unwrap() error { return ErrWire }
+
+func wireErrf(format string, args ...any) error {
+	return &WireError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// Wire type tags, one per sqldata type plus NULL. Dates travel as days
+// since epoch (the Value representation), not as formatted strings.
+const (
+	wireNull  = "n"
+	wireInt   = "i"
+	wireFloat = "f"
+	wireText  = "s"
+	wireBool  = "b"
+	wireDate  = "d"
+)
+
+// WireValue is one typed cell on the wire: a type tag plus the value's
+// canonical string form. Text travels verbatim; numerics through strconv
+// so they round-trip exactly (floats via 'g'/-1 shortest-exact form).
+type WireValue struct {
+	T string `json:"t"`
+	V string `json:"v,omitempty"`
+}
+
+// EncodeValue converts one typed cell to its wire form. NaN and ±Inf are
+// rejected: they cannot come out of a correct aggregate over real data,
+// and letting one travel would poison a downstream merge.
+func EncodeValue(v sqldata.Value) (WireValue, error) {
+	if v.Null {
+		return WireValue{T: wireNull}, nil
+	}
+	switch v.T {
+	case sqldata.TypeInt:
+		return WireValue{T: wireInt, V: strconv.FormatInt(v.Int(), 10)}, nil
+	case sqldata.TypeFloat:
+		f := v.Float()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return WireValue{}, wireErrf("non-finite float %v", f)
+		}
+		return WireValue{T: wireFloat, V: strconv.FormatFloat(f, 'g', -1, 64)}, nil
+	case sqldata.TypeText:
+		return WireValue{T: wireText, V: v.Text()}, nil
+	case sqldata.TypeBool:
+		return WireValue{T: wireBool, V: strconv.FormatBool(v.Bool())}, nil
+	case sqldata.TypeDate:
+		return WireValue{T: wireDate, V: strconv.FormatInt(v.DateDays(), 10)}, nil
+	default:
+		return WireValue{}, wireErrf("unknown value type %v", v.T)
+	}
+}
+
+// DecodeValue converts a wire cell back to a typed Value, failing typed
+// on unknown tags, unparseable payloads, and non-finite floats (the
+// decode side re-checks NaN/Inf: strconv.ParseFloat accepts "NaN").
+func DecodeValue(w WireValue) (sqldata.Value, error) {
+	switch w.T {
+	case wireNull:
+		return sqldata.NullValue(), nil
+	case wireInt:
+		i, err := strconv.ParseInt(w.V, 10, 64)
+		if err != nil {
+			return sqldata.Value{}, wireErrf("bad int cell %q", w.V)
+		}
+		return sqldata.NewInt(i), nil
+	case wireFloat:
+		f, err := strconv.ParseFloat(w.V, 64)
+		if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+			return sqldata.Value{}, wireErrf("bad float cell %q", w.V)
+		}
+		return sqldata.NewFloat(f), nil
+	case wireText:
+		return sqldata.NewText(w.V), nil
+	case wireBool:
+		b, err := strconv.ParseBool(w.V)
+		if err != nil {
+			return sqldata.Value{}, wireErrf("bad bool cell %q", w.V)
+		}
+		return sqldata.NewBool(b), nil
+	case wireDate:
+		d, err := strconv.ParseInt(w.V, 10, 64)
+		if err != nil {
+			return sqldata.Value{}, wireErrf("bad date cell %q", w.V)
+		}
+		return sqldata.NewDateDays(d), nil
+	default:
+		return sqldata.Value{}, wireErrf("unknown cell tag %q", w.T)
+	}
+}
+
+// WireUsage mirrors sqlexec.Usage with stable JSON names.
+type WireUsage struct {
+	Rows       int `json:"rows,omitempty"`
+	JoinRows   int `json:"join_rows,omitempty"`
+	Subqueries int `json:"subqueries,omitempty"`
+}
+
+// WireAnswer is the process-boundary form of an Answer: typed cells, the
+// SQL as text (re-parsed on decode), and the node's span tree as an
+// opaque payload the coordinator grafts into its own trace.
+type WireAnswer struct {
+	Engine        string          `json:"engine"`
+	SQL           string          `json:"sql,omitempty"`
+	Columns       []string        `json:"columns"`
+	Rows          [][]WireValue   `json:"rows"`
+	Score         float64         `json:"score"`
+	Simplified    bool            `json:"simplified,omitempty"`
+	Partial       bool            `json:"partial,omitempty"`
+	MissingShards []int           `json:"missing_shards,omitempty"`
+	Usage         WireUsage       `json:"usage,omitempty"`
+	ElapsedNS     int64           `json:"elapsed_ns,omitempty"`
+	Trace         json.RawMessage `json:"trace,omitempty"`
+}
+
+// EncodeAnswer converts an executed Answer to its wire form. The span
+// tree, when the answer carries one, is serialized alongside so the
+// coordinator can graft the remote work into its distributed trace.
+func EncodeAnswer(a *Answer) (*WireAnswer, error) {
+	if a == nil || a.Result == nil {
+		return nil, wireErrf("nil answer")
+	}
+	if math.IsNaN(a.Score) || math.IsInf(a.Score, 0) {
+		return nil, wireErrf("non-finite score %v", a.Score)
+	}
+	w := &WireAnswer{
+		Engine:        a.Engine,
+		Columns:       a.Result.Columns,
+		Rows:          make([][]WireValue, len(a.Result.Rows)),
+		Score:         a.Score,
+		Simplified:    a.Simplified,
+		Partial:       a.Partial,
+		MissingShards: a.MissingShards,
+		Usage:         WireUsage{Rows: a.Usage.Rows, JoinRows: a.Usage.JoinRows, Subqueries: a.Usage.Subqueries},
+		ElapsedNS:     int64(a.Elapsed),
+	}
+	if a.SQL != nil {
+		w.SQL = a.SQL.String()
+	}
+	ncols := len(a.Result.Columns)
+	for i, row := range a.Result.Rows {
+		if len(row) != ncols {
+			return nil, wireErrf("row %d has %d cells, want %d", i, len(row), ncols)
+		}
+		cells := make([]WireValue, len(row))
+		for j, v := range row {
+			wv, err := EncodeValue(v)
+			if err != nil {
+				return nil, fmt.Errorf("row %d column %d: %w", i, j, err)
+			}
+			cells[j] = wv
+		}
+		w.Rows[i] = cells
+	}
+	if a.Trace != nil {
+		data, err := obs.MarshalTrace(a.Trace)
+		if err == nil {
+			w.Trace = data
+		}
+	}
+	return w, nil
+}
+
+// Decode converts the wire form back to an Answer. Every cell is
+// re-typed and validated — row arity against the header, tags against
+// the known set, numerics through strconv with NaN/Inf rejected — so a
+// truncated or corrupted payload fails typed instead of merging wrong.
+// The SQL text is re-parsed; the remote span tree is NOT attached (use
+// RemoteTrace, then graft it under the coordinator's own span).
+func (w *WireAnswer) Decode() (*Answer, error) {
+	if math.IsNaN(w.Score) || math.IsInf(w.Score, 0) {
+		return nil, wireErrf("non-finite score")
+	}
+	a := &Answer{
+		Engine:        w.Engine,
+		Score:         w.Score,
+		Simplified:    w.Simplified,
+		Partial:       w.Partial,
+		MissingShards: w.MissingShards,
+		Usage:         sqlexec.Usage{Rows: w.Usage.Rows, JoinRows: w.Usage.JoinRows, Subqueries: w.Usage.Subqueries},
+		Elapsed:       time.Duration(w.ElapsedNS),
+		Result:        &sqldata.Result{Columns: w.Columns},
+	}
+	if w.SQL != "" {
+		stmt, err := sqlparse.Parse(w.SQL)
+		if err != nil {
+			return nil, wireErrf("unparseable sql %q: %v", w.SQL, err)
+		}
+		a.SQL = stmt
+	}
+	ncols := len(w.Columns)
+	a.Result.Rows = make([]sqldata.Row, len(w.Rows))
+	for i, cells := range w.Rows {
+		if len(cells) != ncols {
+			return nil, wireErrf("row %d has %d cells, want %d", i, len(cells), ncols)
+		}
+		row := make(sqldata.Row, len(cells))
+		for j, wv := range cells {
+			v, err := DecodeValue(wv)
+			if err != nil {
+				return nil, fmt.Errorf("row %d column %d: %w", i, j, err)
+			}
+			row[j] = v
+		}
+		a.Result.Rows[i] = row
+	}
+	return a, nil
+}
+
+// RemoteTrace rebuilds the remote node's span tree from the payload, or
+// (nil, nil) when none traveled. The rebuilt trace is frozen and ready
+// for Span.Graft under the coordinator's leg span.
+func (w *WireAnswer) RemoteTrace() (*obs.QueryTrace, error) {
+	if len(w.Trace) == 0 {
+		return nil, nil
+	}
+	return obs.UnmarshalTrace(w.Trace)
+}
+
+// DecodeAnswerJSON unmarshals and decodes a wire answer in one step,
+// wrapping JSON-level failures in the same typed error as cell-level
+// ones so transports have a single malformed-payload signal.
+func DecodeAnswerJSON(data []byte) (*Answer, *WireAnswer, error) {
+	var w WireAnswer
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, nil, wireErrf("bad json: %v", err)
+	}
+	a, err := w.Decode()
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, &w, nil
+}

@@ -1,0 +1,199 @@
+package resilient
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"nlidb/internal/sqldata"
+	"nlidb/internal/sqlexec"
+	"nlidb/internal/sqlparse"
+)
+
+// randomValue draws one typed cell, NULLs included, covering every tag.
+func randomValue(rng *rand.Rand) sqldata.Value {
+	switch rng.Intn(6) {
+	case 0:
+		return sqldata.NullValue()
+	case 1:
+		return sqldata.NewInt(rng.Int63() - rng.Int63())
+	case 2:
+		// Mix integral floats in deliberately: "12000" must come back as
+		// the FLOAT 12000, not the INT — that is the whole point of tags.
+		if rng.Intn(3) == 0 {
+			return sqldata.NewFloat(float64(rng.Intn(100000)))
+		}
+		return sqldata.NewFloat(rng.NormFloat64() * math.Pow(10, float64(rng.Intn(30)-15)))
+	case 3:
+		runes := []rune("aé∞\"\\,\n\x00日")
+		n := rng.Intn(12)
+		s := make([]rune, n)
+		for i := range s {
+			s[i] = runes[rng.Intn(len(runes))]
+		}
+		return sqldata.NewText(string(s))
+	case 4:
+		return sqldata.NewBool(rng.Intn(2) == 0)
+	default:
+		return sqldata.NewDateDays(int64(rng.Intn(40000) - 10000))
+	}
+}
+
+// TestWireValueRoundTrip is the property test: any typed cell encodes,
+// survives JSON, and decodes to an equal cell with the same type.
+func TestWireValueRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		v := randomValue(rng)
+		wv, err := EncodeValue(v)
+		if err != nil {
+			t.Fatalf("encode %v: %v", v, err)
+		}
+		data, err := json.Marshal(wv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back WireValue
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeValue(back)
+		if err != nil {
+			t.Fatalf("decode %+v (from %v): %v", back, v, err)
+		}
+		if got.Null != v.Null || (!v.Null && got.T != v.T) {
+			t.Fatalf("round trip changed type: %v -> %v", v, got)
+		}
+		if !v.Null && !got.Equal(v) {
+			t.Fatalf("round trip changed value: %v -> %v", v, got)
+		}
+	}
+}
+
+// TestWireAnswerRoundTrip: a full answer — typed rows, usage, partial
+// markers, SQL — survives the wire byte-exactly in meaning.
+func TestWireAnswerRoundTrip(t *testing.T) {
+	stmt := sqlparse.MustParse("SELECT city, SUM(credit), COUNT(*) FROM customers GROUP BY city")
+	a := &Answer{
+		Engine: "parse",
+		SQL:    stmt,
+		Score:  0.75,
+		Result: &sqldata.Result{
+			Columns: []string{"city", "SUM(credit)", "COUNT(*)"},
+			Rows: []sqldata.Row{
+				{sqldata.NewText("Berlin"), sqldata.NewFloat(12000), sqldata.NewInt(4)},
+				{sqldata.NewText("Oslo"), sqldata.NullValue(), sqldata.NewInt(0)},
+			},
+		},
+		Usage:         sqlexec.Usage{Rows: 40, JoinRows: 7, Subqueries: 1},
+		Elapsed:       1500 * time.Microsecond,
+		Partial:       true,
+		MissingShards: []int{2},
+	}
+	w, err := EncodeAnswer(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeAnswerJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Engine != a.Engine || got.Score != a.Score || !got.Partial ||
+		len(got.MissingShards) != 1 || got.MissingShards[0] != 2 ||
+		got.Usage != a.Usage || got.Elapsed != a.Elapsed {
+		t.Fatalf("metadata changed: %+v", got)
+	}
+	if got.SQL == nil || got.SQL.String() != stmt.String() {
+		t.Fatalf("SQL changed: %v", got.SQL)
+	}
+	if !got.Result.EqualOrdered(a.Result) {
+		t.Fatalf("rows changed:\n%s\nwant:\n%s", got.Result, a.Result)
+	}
+	// The integral float kept its tag: it must still be a FLOAT cell.
+	if v := got.Result.Rows[0][1]; v.T != sqldata.TypeFloat || v.Float() != 12000 {
+		t.Fatalf("SUM cell = %v (type %v), want FLOAT 12000", v, v.T)
+	}
+}
+
+// TestWireRejectsNonFinite: NaN/Inf must fail typed on both sides —
+// encode (a NaN aggregate must not travel) and decode (ParseFloat
+// accepts "NaN", so the decoder re-checks).
+func TestWireRejectsNonFinite(t *testing.T) {
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := EncodeValue(sqldata.NewFloat(f)); !errors.Is(err, ErrWire) {
+			t.Errorf("encode %v: err = %v, want ErrWire", f, err)
+		}
+	}
+	for _, v := range []string{"NaN", "nan", "+Inf", "-Inf", "Infinity"} {
+		if _, err := DecodeValue(WireValue{T: "f", V: v}); !errors.Is(err, ErrWire) {
+			t.Errorf("decode float %q: err = %v, want ErrWire", v, err)
+		}
+	}
+	if _, err := EncodeAnswer(&Answer{Score: math.NaN(), Result: &sqldata.Result{}}); !errors.Is(err, ErrWire) {
+		t.Errorf("NaN score: err = %v, want ErrWire", err)
+	}
+}
+
+// TestWireRejectsMalformed: corrupted payloads of every shape fail with
+// ErrWire — never a silently-wrong Answer.
+func TestWireRejectsMalformed(t *testing.T) {
+	good, err := EncodeAnswer(&Answer{
+		Engine: "e",
+		Score:  1,
+		Result: &sqldata.Result{
+			Columns: []string{"a", "b"},
+			Rows:    []sqldata.Row{{sqldata.NewInt(1), sqldata.NewFloat(2.5)}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodJSON, _ := json.Marshal(good)
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"not json", []byte("%%%")},
+		{"truncated", goodJSON[:len(goodJSON)/2]},
+		{"wrong arity", []byte(`{"engine":"e","score":1,"columns":["a","b"],"rows":[[{"t":"i","v":"1"}]]}`)},
+		{"unknown tag", []byte(`{"engine":"e","score":1,"columns":["a"],"rows":[[{"t":"x","v":"1"}]]}`)},
+		{"bad int", []byte(`{"engine":"e","score":1,"columns":["a"],"rows":[[{"t":"i","v":"12z"}]]}`)},
+		{"nan cell", []byte(`{"engine":"e","score":1,"columns":["a"],"rows":[[{"t":"f","v":"NaN"}]]}`)},
+		{"bad sql", []byte(`{"engine":"e","score":1,"sql":"SELEC nope","columns":[],"rows":[]}`)},
+	}
+	for _, tc := range cases {
+		if _, _, err := DecodeAnswerJSON(tc.data); !errors.Is(err, ErrWire) {
+			t.Errorf("%s: err = %v, want ErrWire", tc.name, err)
+		}
+	}
+	// The control: the untampered payload decodes fine.
+	if _, _, err := DecodeAnswerJSON(goodJSON); err != nil {
+		t.Errorf("control payload failed: %v", err)
+	}
+}
+
+// TestWireRefusesUnencodableAnswer: nil answers and ragged rows are
+// encode-side failures, not wire garbage for the peer to choke on.
+func TestWireRefusesUnencodableAnswer(t *testing.T) {
+	if _, err := EncodeAnswer(nil); !errors.Is(err, ErrWire) {
+		t.Errorf("nil answer: err = %v, want ErrWire", err)
+	}
+	if _, err := EncodeAnswer(&Answer{Result: nil}); !errors.Is(err, ErrWire) {
+		t.Errorf("nil result: err = %v, want ErrWire", err)
+	}
+	ragged := &Answer{Engine: "e", Result: &sqldata.Result{
+		Columns: []string{"a", "b"},
+		Rows:    []sqldata.Row{{sqldata.NewInt(1)}},
+	}}
+	if _, err := EncodeAnswer(ragged); !errors.Is(err, ErrWire) {
+		t.Errorf("ragged row: err = %v, want ErrWire", err)
+	}
+}

@@ -51,6 +51,8 @@ func Mux(api *Server, reg *obs.Registry, slow *obs.SlowLog, opts ...obs.HandlerO
 	mux.Handle("/batch", api)
 	mux.Handle("/session", api)
 	mux.Handle("/session/ask", api)
+	mux.Handle("/internal/query", api)
+	mux.Handle("/healthz", api)
 	mux.Handle("/", obs.Handler(reg, slow, opts...))
 	return mux
 }
@@ -107,9 +109,42 @@ type Config struct {
 	MaxTimeout time.Duration
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// HealthSQL is the probe statement GET /healthz?deep=1 executes
+	// through the backend: proof the whole pipeline answers, not just
+	// that the process holds the port. Empty disables deep mode.
+	HealthSQL string
+	// ShardEpoch, when non-zero, declares the shard map epoch this node
+	// was configured under: /internal/query requests stamped with a
+	// different X-Shard-Epoch are refused typed (409) instead of being
+	// answered for a partition this node may no longer own. ShardIndex
+	// names the partition served (reported on /healthz).
+	ShardEpoch int64
+	ShardIndex int
+	// DrainClassifier assigns each request a DrainClass (nil: every
+	// route gets DrainSweep except /internal/query, which gets
+	// DrainOwnDeadline — a coordinator's scatter leg carries a deadline
+	// budgeted upstream, and cutting it short at the global drain
+	// timeout would turn an answerable leg into a spurious failure).
+	DrainClassifier func(*http.Request) DrainClass
 	// Now is the clock, injectable for tests (default time.Now).
 	Now func() time.Time
 }
+
+// DrainClass selects how an in-flight request behaves when a drain
+// overruns its budget.
+type DrainClass int
+
+const (
+	// DrainSweep requests are cancelled when Drain's timeout overruns —
+	// the default: interactive callers would rather retry elsewhere.
+	DrainSweep DrainClass = iota
+	// DrainOwnDeadline requests keep the remainder of their own
+	// X-Deadline-Ms budget through a drain overrun; Drain waits for
+	// them. Requests in this class without an explicit X-Deadline-Ms
+	// fall back to DrainSweep — an unbounded straggler must not be able
+	// to hold shutdown hostage for the whole DefaultTimeout.
+	DrainOwnDeadline
+)
 
 // Server is an http.Handler exposing the gateway with overload
 // protection. Safe for concurrent use.
@@ -159,9 +194,15 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/batch", s.instrument("/batch", s.handleBatch))
 	s.mux.HandleFunc("/session", s.instrument("/session", s.handleSession))
 	s.mux.HandleFunc("/session/ask", s.instrument("/session/ask", s.handleSessionAsk))
+	s.mux.HandleFunc("/internal/query", s.instrument("/internal/query", s.handleInternalQuery))
+	// /healthz deliberately skips the instrument drain barrier: a
+	// draining server must keep answering probes (with a 503 and an
+	// honest "draining" status) so supervisors and LBs see the state
+	// change instead of a connection that vanished.
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	if m := cfg.Metrics; m != nil {
 		m.Gauge(MetricHTTPInFlight).Set(0)
-		routes := []string{"/query", "/batch"}
+		routes := []string{"/query", "/batch", "/internal/query"}
 		if cfg.Sessions != nil {
 			routes = append(routes, "/session", "/session/ask")
 		}
@@ -294,10 +335,12 @@ func (s *Server) Draining() bool {
 
 // requestContext derives the handler context: the client's X-Deadline-Ms
 // budget (capped at MaxTimeout, defaulted to DefaultTimeout) on top of
-// the request context, additionally cancelled when a drain overruns and
-// sweeps stragglers.
+// the request context. DrainSweep requests are additionally cancelled
+// when a drain overruns and sweeps stragglers; DrainOwnDeadline requests
+// with an explicit client deadline keep the remainder of it instead.
 func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
 	d := s.cfg.DefaultTimeout
+	explicit := false
 	if h := r.Header.Get("X-Deadline-Ms"); h != "" {
 		ms, err := strconv.ParseInt(h, 10, 64)
 		if err != nil || ms <= 0 {
@@ -312,10 +355,29 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 		} else {
 			d = time.Duration(ms) * time.Millisecond
 		}
+		explicit = true
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), d)
+	if explicit && s.drainClass(r) == DrainOwnDeadline {
+		// No straggler sweep: this request runs out its own (bounded,
+		// explicit) budget even if a drain overruns around it; Drain's
+		// final wait covers it.
+		return ctx, cancel, nil
+	}
 	stop := context.AfterFunc(s.baseCtx, cancel)
 	return ctx, func() { stop(); cancel() }, nil
+}
+
+// drainClass resolves a request's drain class via the configured
+// classifier, defaulting coordinator scatter legs to DrainOwnDeadline.
+func (s *Server) drainClass(r *http.Request) DrainClass {
+	if s.cfg.DrainClassifier != nil {
+		return s.cfg.DrainClassifier(r)
+	}
+	if r.URL.Path == "/internal/query" {
+		return DrainOwnDeadline
+	}
+	return DrainSweep
 }
 
 // clientID identifies the caller for rate limiting: the X-Client header

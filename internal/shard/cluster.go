@@ -165,6 +165,30 @@ type reqStats struct {
 // interpreter chain in cfg.Chain should be built over db itself (see
 // Config.Chain); the shard databases only ever execute SQL.
 func New(db *sqldata.Database, n int, cfg Config) (*Cluster, error) {
+	return newCluster(db, n, cfg, func(s, r int, dbs []*sqldata.Database) Node {
+		gwCfg := cfg.Gateway
+		gwCfg.Cache = nil // the cluster caches fleet-wide
+		gwCfg.Metrics = nil
+		gwCfg.SlowLog = nil // the coordinator slow-logs once, with routing context
+		gwCfg.Traces = nil  // likewise: exemplars retained at the coordinator
+		if cfg.PlanCacheSize >= 0 {
+			size := cfg.PlanCacheSize
+			if size == 0 {
+				size = 256
+			}
+			gwCfg.PlanCache = qcache.New(qcache.Config{MaxEntries: size})
+		} else {
+			gwCfg.PlanCache = nil
+		}
+		return &LocalNode{GW: resilient.New(dbs[s], cfg.Chain, gwCfg)}
+	})
+}
+
+// newCluster is the shared fleet constructor behind New (in-process
+// replicas) and NewRemote (out-of-process replicas over HTTP): split the
+// source database for the partitioning map and fingerprint, then build
+// the replica grid with nodeFor supplying each endpoint.
+func newCluster(db *sqldata.Database, n int, cfg Config, nodeFor func(s, r int, dbs []*sqldata.Database) Node) (*Cluster, error) {
 	if cfg.Replicas <= 0 {
 		cfg.Replicas = 1
 	}
@@ -237,21 +261,7 @@ func New(db *sqldata.Database, n int, cfg Config) (*Cluster, error) {
 		c.hists[s] = obs.NewHistogram()
 		c.reps[s] = make([]*replica, cfg.Replicas)
 		for r := 0; r < cfg.Replicas; r++ {
-			gwCfg := cfg.Gateway
-			gwCfg.Cache = nil // the cluster caches fleet-wide
-			gwCfg.Metrics = nil
-			gwCfg.SlowLog = nil // the coordinator slow-logs once, with routing context
-			gwCfg.Traces = nil  // likewise: exemplars retained at the coordinator
-			if cfg.PlanCacheSize >= 0 {
-				size := cfg.PlanCacheSize
-				if size == 0 {
-					size = 256
-				}
-				gwCfg.PlanCache = qcache.New(qcache.Config{MaxEntries: size})
-			} else {
-				gwCfg.PlanCache = nil
-			}
-			var node Node = &LocalNode{GW: resilient.New(dbs[s], cfg.Chain, gwCfg)}
+			node := nodeFor(s, r, dbs)
 			if cfg.WrapNode != nil {
 				node = cfg.WrapNode(s, r, node)
 			}
@@ -767,8 +777,12 @@ func (c *Cluster) askShard(ctx context.Context, s int, q string, nl bool, st *re
 		if errors.Is(err, context.Canceled) && ctx.Err() != nil {
 			return nil, err
 		}
-		if !errors.Is(err, ErrShardDown) && !replicaCountable(err) {
-			return nil, err // semantic failure: identical on every replica
+		if !errors.Is(err, ErrShardDown) && !replicaCountable(err) && !errors.Is(err, ErrBackpressure) {
+			// Semantic and protocol failures repeat identically on every
+			// replica: return as-is. Backpressure is the exception among
+			// non-countable errors — the replica shed under load, so the
+			// leg is worth retrying elsewhere.
+			return nil, err
 		}
 		lastErr = err
 		if try >= c.cfg.Retries {
@@ -780,12 +794,22 @@ func (c *Cluster) askShard(ctx context.Context, s int, q string, nl bool, st *re
 		if m := c.cfg.Metrics; m != nil {
 			m.Counter(MetricRetries, "shard", strconv.Itoa(s)).Inc()
 		}
+		delay := c.backoff(try)
 		if len(tried) >= len(c.reps[s]) {
 			// Every replica has had a direct attempt this leg; let the
-			// next round reconsider all of them.
+			// next round reconsider all of them. When the whole replica
+			// set shed (backpressure), honor the server's Retry-After —
+			// capped so a scatter leg never parks for a whole advisory
+			// second inside a 2s budget.
 			clear(tried)
+			if ra := retryAfterHint(lastErr); ra > delay {
+				if ra > 250*time.Millisecond {
+					ra = 250 * time.Millisecond
+				}
+				delay = ra
+			}
 		}
-		if !c.sleep(ctx, c.backoff(try)) {
+		if !c.sleep(ctx, delay) {
 			break
 		}
 	}
@@ -983,6 +1007,10 @@ func callOutcome(err error) string {
 		return "ok"
 	case errors.Is(err, ErrNodeDown):
 		return "down"
+	case errors.Is(err, ErrBackpressure):
+		return "backpressure"
+	case errors.Is(err, ErrStaleEpoch):
+		return "stale_epoch"
 	case errors.Is(err, context.DeadlineExceeded):
 		return "timeout"
 	case errors.Is(err, context.Canceled):

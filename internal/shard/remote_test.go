@@ -1,0 +1,429 @@
+// Out-of-process shard tests: real internal/server instances behind
+// httptest listeners, driven through RemoteNode and NewRemote. External
+// test package — internal/server imports internal/shard, so these tests
+// cannot live inside package shard.
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nlidb/internal/nlq"
+	"nlidb/internal/resilient"
+	"nlidb/internal/server"
+	"nlidb/internal/shard"
+	"nlidb/internal/sqldata"
+	"nlidb/internal/sqlparse"
+)
+
+// echoInterp treats the question text as SQL so tests drive routing with
+// precise statements (mirrors the in-package sqlInterp).
+type echoInterp struct{}
+
+func (echoInterp) Name() string { return "sqlecho" }
+
+func (echoInterp) Interpret(q string) ([]nlq.Interpretation, error) {
+	stmt, err := sqlparse.Parse(q)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", nlq.ErrNoInterpretation, err)
+	}
+	return []nlq.Interpretation{{SQL: stmt, Score: 1}}, nil
+}
+
+// remoteDB is the FK dataset the remote tests shard.
+func remoteDB(t testing.TB) *sqldata.Database {
+	t.Helper()
+	db := sqldata.NewDatabase("fleet")
+	cust, err := db.CreateTable(&sqldata.Schema{Name: "customers", Columns: []sqldata.Column{
+		{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+		{Name: "name", Type: sqldata.TypeText},
+		{Name: "city", Type: sqldata.TypeText},
+		{Name: "credit", Type: sqldata.TypeFloat},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cities := []string{"Berlin", "Munich", "Paris", "Oslo"}
+	for i := 0; i < 40; i++ {
+		cust.MustInsert(
+			sqldata.NewInt(int64(i+1)),
+			sqldata.NewText(fmt.Sprintf("cust%02d", i)),
+			sqldata.NewText(cities[i%len(cities)]),
+			sqldata.NewFloat(float64(i%7)*10.5),
+		)
+	}
+	ord, err := db.CreateTable(&sqldata.Schema{
+		Name: "orders",
+		Columns: []sqldata.Column{
+			{Name: "id", Type: sqldata.TypeInt, PrimaryKey: true},
+			{Name: "customer_id", Type: sqldata.TypeInt},
+			{Name: "amount", Type: sqldata.TypeInt},
+		},
+		ForeignKeys: []sqldata.ForeignKey{{Column: "customer_id", RefTable: "customers", RefColumn: "id"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 120; j++ {
+		ord.MustInsert(
+			sqldata.NewInt(int64(j+1)),
+			sqldata.NewInt(int64(j%40)+1),
+			sqldata.NewInt(int64((j*13)%97)),
+		)
+	}
+	return db
+}
+
+// remoteFleet boots one real internal/server process-equivalent per
+// replica (same handler stack a child process serves, minus the OS
+// process) and returns the fleet plus per-replica address slots that
+// tests can blank to simulate a dead process.
+func remoteFleet(t testing.TB, db *sqldata.Database, shards, replicas int, epoch int64) (shard.RemoteFleet, [][]*atomic.Value) {
+	t.Helper()
+	dbs, _, err := shard.Split(db, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([][]*atomic.Value, shards)
+	fns := make([][]func() string, shards)
+	for s := 0; s < shards; s++ {
+		addrs[s] = make([]*atomic.Value, replicas)
+		fns[s] = make([]func() string, replicas)
+		for r := 0; r < replicas; r++ {
+			gw := resilient.New(dbs[s], []nlq.Interpreter{echoInterp{}}, resilient.Config{NoRetry: true})
+			api := server.New(server.Config{Backend: gw, ShardEpoch: epoch, ShardIndex: s})
+			ts := httptest.NewServer(api)
+			t.Cleanup(ts.Close)
+			slot := &atomic.Value{}
+			slot.Store(ts.URL)
+			addrs[s][r] = slot
+			fns[s][r] = func() string { return slot.Load().(string) }
+		}
+	}
+	return shard.RemoteFleet{Epoch: epoch, Addrs: fns}, addrs
+}
+
+// TestRemoteMatchesLocal is the out-of-process correctness contract: a
+// cluster whose replicas answer over HTTP returns exactly what the
+// unsharded engine returns, typed cells intact, for every distributable
+// shape including the partial-aggregate pushdowns.
+func TestRemoteMatchesLocal(t *testing.T) {
+	db := remoteDB(t)
+	single := resilient.New(db, []nlq.Interpreter{echoInterp{}}, resilient.Config{NoRetry: true})
+	fleet, _ := remoteFleet(t, db, 3, 2, 1)
+	cl, err := shard.NewRemote(db, shard.Config{Seed: 11, CacheSize: -1}, fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []struct {
+		sql     string
+		ordered bool
+	}{
+		{sql: "SELECT name, city FROM customers"},
+		{sql: "SELECT * FROM customers WHERE id = 7"},
+		{sql: "SELECT COUNT(*) FROM customers"},
+		{sql: "SELECT AVG(credit) FROM customers"},
+		{sql: "SELECT SUM(amount), MIN(amount), MAX(amount), COUNT(amount) FROM orders"},
+		{sql: "SELECT city, COUNT(*), AVG(credit) FROM customers GROUP BY city"},
+		{sql: "SELECT DISTINCT city FROM customers"},
+		{sql: "SELECT name FROM customers ORDER BY name LIMIT 5", ordered: true},
+		{sql: "SELECT customers.city, SUM(orders.amount) FROM customers JOIN orders ON orders.customer_id = customers.id GROUP BY customers.city"},
+		{sql: "SELECT COUNT(*), SUM(credit) FROM customers WHERE city = 'Nowhere'"},
+	}
+	ctx := context.Background()
+	for _, q := range queries {
+		want, err := single.Ask(ctx, q.sql)
+		if err != nil {
+			t.Fatalf("unsharded %q: %v", q.sql, err)
+		}
+		got, err := cl.Ask(ctx, q.sql)
+		if err != nil {
+			t.Fatalf("remote %q: %v", q.sql, err)
+		}
+		if got.Partial {
+			t.Errorf("%q: Partial with every node healthy", q.sql)
+		}
+		equal := got.Result.EqualUnordered(want.Result)
+		if q.ordered {
+			equal = got.Result.EqualOrdered(want.Result)
+		}
+		if !equal {
+			t.Errorf("%q:\nremote:\n%s\nunsharded:\n%s", q.sql, got.Result, want.Result)
+		}
+	}
+	// Typed cells survived the wire: AVG stays FLOAT even when integral.
+	ans, err := cl.Ask(ctx, "SELECT AVG(credit) FROM customers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := ans.Result.Rows[0][0]; v.T != sqldata.TypeFloat {
+		t.Fatalf("AVG cell type = %v, want FLOAT", v.T)
+	}
+}
+
+// TestRemoteErrorTaxonomy drives one RemoteNode against every failure
+// shape and asserts the classification — the contract the breaker and
+// retry layers rely on.
+func TestRemoteErrorTaxonomy(t *testing.T) {
+	ctx := context.Background()
+	kindOf := func(err error) shard.RemoteErrorKind {
+		t.Helper()
+		var re *shard.RemoteError
+		if !errors.As(err, &re) {
+			t.Fatalf("err = %v (%T), want *RemoteError", err, err)
+		}
+		return re.Kind
+	}
+
+	t.Run("conn refused", func(t *testing.T) {
+		n := shard.NewRemoteNode(func() string { return "http://127.0.0.1:1" }, 0, nil)
+		_, err := n.AskSQL(ctx, "SELECT 1")
+		if kindOf(err) != shard.RemoteConn || !errors.Is(err, shard.ErrNodeDown) {
+			t.Fatalf("err = %v, want RemoteConn unwrapping to ErrNodeDown", err)
+		}
+	})
+
+	t.Run("supervisor says down", func(t *testing.T) {
+		n := shard.NewRemoteNode(func() string { return "" }, 0, nil)
+		_, err := n.AskSQL(ctx, "SELECT 1")
+		if kindOf(err) != shard.RemoteConn || !errors.Is(err, shard.ErrNodeDown) {
+			t.Fatalf("err = %v, want RemoteConn/ErrNodeDown without a dial", err)
+		}
+	})
+
+	t.Run("backpressure", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", "2")
+			w.Header().Set("X-Shed-Reason", "queue_full")
+			http.Error(w, `{"error":"shed"}`, http.StatusServiceUnavailable)
+		}))
+		defer ts.Close()
+		n := shard.NewRemoteNode(func() string { return ts.URL }, 0, nil)
+		_, err := n.AskSQL(ctx, "SELECT 1")
+		if kindOf(err) != shard.RemoteBackpressure || !errors.Is(err, shard.ErrBackpressure) {
+			t.Fatalf("err = %v, want backpressure", err)
+		}
+		var re *shard.RemoteError
+		errors.As(err, &re)
+		if re.RetryAfter != 2*time.Second || re.ShedReason != "queue_full" {
+			t.Fatalf("RetryAfter=%v ShedReason=%q, want 2s/queue_full", re.RetryAfter, re.ShedReason)
+		}
+		if errors.Is(err, shard.ErrNodeDown) {
+			t.Fatal("shedding must not look like a dead node")
+		}
+	})
+
+	t.Run("stale epoch", func(t *testing.T) {
+		db := remoteDB(t)
+		gw := resilient.New(db, []nlq.Interpreter{echoInterp{}}, resilient.Config{NoRetry: true})
+		api := server.New(server.Config{Backend: gw, ShardEpoch: 2})
+		ts := httptest.NewServer(api)
+		defer ts.Close()
+		n := shard.NewRemoteNode(func() string { return ts.URL }, 1, nil)
+		_, err := n.AskSQL(ctx, "SELECT COUNT(*) FROM customers")
+		if kindOf(err) != shard.RemoteStale || !errors.Is(err, shard.ErrStaleEpoch) {
+			t.Fatalf("err = %v, want stale epoch", err)
+		}
+		var se *shard.StaleEpochError
+		if !errors.As(err, &se) || se.Have != 1 || se.Want != 2 {
+			t.Fatalf("stale detail = %+v, want have=1 want=2", se)
+		}
+		// Matching epochs answer fine — the fence, not the path, was the problem.
+		n2 := shard.NewRemoteNode(func() string { return ts.URL }, 2, nil)
+		if _, err := n2.AskSQL(ctx, "SELECT COUNT(*) FROM customers"); err != nil {
+			t.Fatalf("matching epoch failed: %v", err)
+		}
+	})
+
+	t.Run("semantic", func(t *testing.T) {
+		db := remoteDB(t)
+		gw := resilient.New(db, []nlq.Interpreter{echoInterp{}}, resilient.Config{NoRetry: true})
+		ts := httptest.NewServer(server.New(server.Config{Backend: gw}))
+		defer ts.Close()
+		n := shard.NewRemoteNode(func() string { return ts.URL }, 0, nil)
+		_, err := n.Ask(ctx, "colorless green ideas sleep furiously")
+		if kindOf(err) != shard.RemoteSemantic || !errors.Is(err, resilient.ErrExhausted) {
+			t.Fatalf("err = %v, want semantic/ErrExhausted", err)
+		}
+	})
+
+	t.Run("protocol garbage", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte(`{"rows": [[{"t":"f","v":"NaN"}]], "columns":["x"]}`))
+		}))
+		defer ts.Close()
+		n := shard.NewRemoteNode(func() string { return ts.URL }, 0, nil)
+		_, err := n.AskSQL(ctx, "SELECT 1")
+		if kindOf(err) != shard.RemoteProtocol || !errors.Is(err, resilient.ErrWire) {
+			t.Fatalf("err = %v, want protocol/ErrWire — NaN must never merge", err)
+		}
+	})
+
+	t.Run("node-side timeout", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, `{"error":"deadline exceeded"}`, http.StatusGatewayTimeout)
+		}))
+		defer ts.Close()
+		n := shard.NewRemoteNode(func() string { return ts.URL }, 0, nil)
+		_, err := n.AskSQL(ctx, "SELECT 1")
+		if kindOf(err) != shard.RemoteTimeout || !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want timeout", err)
+		}
+	})
+
+	t.Run("caller cancellation is not node illness", func(t *testing.T) {
+		blocked := make(chan struct{})
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			<-blocked
+		}))
+		defer ts.Close()
+		defer close(blocked)
+		n := shard.NewRemoteNode(func() string { return ts.URL }, 0, nil)
+		cctx, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+		defer cancel()
+		_, err := n.AskSQL(cctx, "SELECT 1")
+		var re *shard.RemoteError
+		if errors.As(err, &re) {
+			t.Fatalf("cancelled call classified as %v; must surface the context error", re.Kind)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+		}
+	})
+}
+
+// TestRemoteClusterChaos kills every replica-server of one shard (the
+// address slots go blank, exactly what a supervisor reports mid-restart)
+// and asserts the honest-degradation contract holds across process
+// boundaries: scatter answers degrade to Partial+MissingShards, pruned
+// questions for the dead shard refuse with ErrShardDown, and restoring
+// the addresses recovers complete answers.
+func TestRemoteClusterChaos(t *testing.T) {
+	db := remoteDB(t)
+	fleet, addrs := remoteFleet(t, db, 2, 2, 1)
+	cl, err := shard.NewRemote(db, shard.Config{
+		Seed:             3,
+		CacheSize:        -1,
+		Retries:          1,
+		RetryBackoff:     time.Millisecond,
+		ReplicaThreshold: 2,
+		ReplicaCooldown:  20 * time.Millisecond,
+		ShardTimeout:     time.Second,
+	}, fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	scatter := "SELECT COUNT(*) FROM customers"
+
+	ans, err := cl.Ask(ctx, scatter)
+	if err != nil || ans.Partial {
+		t.Fatalf("healthy scatter: err=%v partial=%v", err, ans != nil && ans.Partial)
+	}
+
+	const dead = 1
+	saved := make([]string, len(addrs[dead]))
+	for r, slot := range addrs[dead] {
+		saved[r] = slot.Load().(string)
+		slot.Store("")
+	}
+
+	sawPartial := false
+	for i := 0; i < 6; i++ {
+		ans, err := cl.Ask(ctx, scatter)
+		if err != nil {
+			t.Fatalf("kill window scatter %d: %v", i, err)
+		}
+		if ans.Partial {
+			sawPartial = true
+			if len(ans.MissingShards) != 1 || ans.MissingShards[0] != dead {
+				t.Fatalf("missing shards %v, want [%d]", ans.MissingShards, dead)
+			}
+		}
+	}
+	if !sawPartial {
+		t.Fatal("no scatter answer went Partial with a whole shard's processes gone")
+	}
+
+	// A question pruned to the dead shard refuses typed.
+	part := cl.Partitioning()
+	var deadID, liveID int64
+	for id := int64(1); id <= 40; id++ {
+		owner, ok := part.Owner("customers", sqldata.NewInt(id))
+		if !ok {
+			t.Fatal("customers not in the partitioning map")
+		}
+		if owner == dead {
+			if deadID == 0 {
+				deadID = id
+			}
+		} else if liveID == 0 {
+			liveID = id
+		}
+	}
+	if _, err := cl.Ask(ctx, fmt.Sprintf("SELECT name FROM customers WHERE id = %d", deadID)); !errors.Is(err, shard.ErrShardDown) {
+		t.Fatalf("pruned-to-dead err = %v, want ErrShardDown", err)
+	}
+	if _, err := cl.Ask(ctx, fmt.Sprintf("SELECT name FROM customers WHERE id = %d", liveID)); err != nil {
+		t.Fatalf("pruned-to-live err = %v, want success", err)
+	}
+
+	// Addresses come back (supervisor restarted the children): recovery.
+	for r, slot := range addrs[dead] {
+		slot.Store(saved[r])
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ans, err := cl.Ask(ctx, scatter)
+		if err == nil && !ans.Partial {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no complete answer within 5s of address restore")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRemoteTraceGraft: the distributed trace is one tree — the
+// coordinator's attempt span carries a "remote" child for the HTTP leg,
+// and the server process's own span tree hangs beneath it.
+func TestRemoteTraceGraft(t *testing.T) {
+	db := remoteDB(t)
+	fleet, _ := remoteFleet(t, db, 2, 1, 1)
+	cl, err := shard.NewRemote(db, shard.Config{Seed: 5, CacheSize: -1}, fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := cl.Ask(context.Background(), "SELECT COUNT(*) FROM customers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Trace == nil {
+		t.Fatal("no coordinator trace")
+	}
+	remote := ans.Trace.Find("remote")
+	if remote == nil {
+		t.Fatalf("no remote span in trace:\n%s", ans.Trace)
+	}
+	if remote.Attr("outcome") != "ok" || remote.Attr("addr") == "" {
+		t.Fatalf("remote span attrs outcome=%q addr=%q", remote.Attr("outcome"), remote.Attr("addr"))
+	}
+	grafted := false
+	for _, c := range remote.Children() {
+		if c.Name == "query" {
+			grafted = true
+		}
+	}
+	if !grafted {
+		t.Fatalf("server-side span tree not grafted under the remote span:\n%s", ans.Trace)
+	}
+}

@@ -82,6 +82,20 @@ func replicaCountable(err error) bool {
 	if errors.Is(err, context.Canceled) {
 		return false
 	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		switch re.Kind {
+		case RemoteBackpressure, RemoteProtocol, RemoteSemantic:
+			// Shedding is load, not ill-health: a breaker opened by 503s
+			// would amplify an overload into an outage. Protocol and
+			// semantic refusals are deterministic properties of the
+			// request; they say nothing about the replica either.
+			return false
+		}
+		// Conn, timeout, stale-epoch, and execution failures all count:
+		// the process is unreachable, too slow, misconfigured, or broken.
+		return true
+	}
 	if errors.Is(err, resilient.ErrExhausted) {
 		// An exhausted chain can mean "healthy but cannot interpret the
 		// question". Count it only when some attempt failed for an

@@ -1,0 +1,80 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// HeaderShardEpoch is the request/response header carrying the shard
+// map's epoch across the fleet: the coordinator stamps every internal
+// request with the epoch it routed under, and a node configured for a
+// different epoch refuses typed (409) instead of answering for a
+// partition it may no longer own. The response always carries the
+// node's own epoch so a stale peer learns the current one.
+const HeaderShardEpoch = "X-Shard-Epoch"
+
+// ErrStaleEpoch marks a request routed under an out-of-date shard map:
+// the coordinator's epoch and the node's disagree, so the node cannot
+// know the request's partition assumptions still hold. The concrete
+// error is a *StaleEpochError carrying both epochs.
+var ErrStaleEpoch = errors.New("shard: stale shard map epoch")
+
+// StaleEpochError reports the epoch disagreement.
+type StaleEpochError struct {
+	// Have is the epoch the request was routed under.
+	Have int64
+	// Want is the epoch the refusing node serves.
+	Want int64
+}
+
+func (e *StaleEpochError) Error() string {
+	return fmt.Sprintf("shard: stale shard map epoch %d (node at %d)", e.Have, e.Want)
+}
+
+// Unwrap lets errors.Is(err, ErrStaleEpoch) match.
+func (e *StaleEpochError) Unwrap() error { return ErrStaleEpoch }
+
+// Map is the versioned shard map: which replica endpoints serve which
+// shard, under a monotonic epoch. The coordinator owns it, serves it on
+// /shardmap, and bumps Epoch whenever placement changes (a shard added
+// or drained, a replica moved) — the seam for live topology changes.
+type Map struct {
+	// Epoch is the map's monotonic version. 0 means "unversioned": epoch
+	// checks are disabled fleet-wide.
+	Epoch int64 `json:"epoch"`
+	// Shards lists each shard's replica base URLs, [shard][replica]. An
+	// empty string marks a replica currently down (no process bound).
+	Shards [][]string `json:"shards"`
+}
+
+// MapSource serves the current shard map; Supervisor-backed fleets
+// regenerate it per call so restarted replicas show their new address.
+type MapSource struct {
+	mu sync.Mutex
+	fn func() Map
+}
+
+// NewMapSource wraps a map generator (called under a lock, so it may
+// read mutable supervisor state without its own synchronization).
+func NewMapSource(fn func() Map) *MapSource { return &MapSource{fn: fn} }
+
+// Current returns the map as of now.
+func (s *MapSource) Current() Map {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fn()
+}
+
+// Handler serves the shard map as JSON (GET /shardmap): the discovery
+// endpoint an external LB or a joining node reads for topology.
+func (s *MapSource) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m := s.Current()
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(HeaderShardEpoch, fmt.Sprint(m.Epoch))
+		json.NewEncoder(w).Encode(m)
+	})
+}

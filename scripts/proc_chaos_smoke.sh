@@ -1,0 +1,205 @@
+#!/bin/sh
+# proc_chaos_smoke.sh — real-process chaos over out-of-process shards.
+#
+# Starts cmd/nlidb -serve as a coordinator with -remote-shards spawn:2
+# -replicas 2: the supervisor forks four REAL child processes (the same
+# binary with -join S@E), ships each its CSV partition, and the
+# coordinator routes over HTTP. Under a steady query load the smoke then
+# SIGKILLs one replica of EVERY shard mid-flight and asserts the
+# honesty-under-chaos contract:
+#   - zero wrong answers: every 200 response either carries the correct
+#     fleet-wide COUNT, or says so when it could not ("partial": true
+#     with a smaller count); errors/sheds are honest refusals,
+#   - bounded recovery: the supervisor relaunches the killed children
+#     (with backoff) and a correct non-partial answer returns within
+#     the recovery deadline,
+#   - the supervisor log shows the SIGKILL exits and the restarts,
+#   - SIGTERM drains the coordinator, and no child process outlives it.
+set -eu
+
+PORT="${SERVE_PORT:-19377}"
+ADDR="127.0.0.1:${PORT}"
+TMP="$(mktemp -d)"
+NLIDB_PID=""
+LOAD_PID=""
+cleanup() {
+    kill "$LOAD_PID" 2>/dev/null || true
+    kill "$NLIDB_PID" 2>/dev/null || true
+    # Belt and braces: no shard child may outlive the smoke. The children
+    # run the tmp-dir binary, so the path is unique to this run.
+    pkill -9 -f "$TMP/nlidb" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+cd "$(dirname "$0")/.."
+go build -o "$TMP/nlidb" ./cmd/nlidb
+
+# -cache 0: every query must pay the full scatter so the kill window is
+# actually observed, not papered over by the answer cache.
+"$TMP/nlidb" -serve "$ADDR" -remote-shards spawn:2 -replicas 2 -cache 0 \
+    -drain-timeout 5s >"$TMP/out.log" 2>&1 &
+NLIDB_PID=$!
+
+# Readiness: the coordinator only listens after all four children have
+# imported their partitions and passed /healthz, so give it a while.
+i=0
+until curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 300 ]; then
+        echo "proc-chaos: $ADDR never came up" >&2
+        cat "$TMP/out.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+if ! grep -q 'remote shards: 2 shards × 2 replicas' "$TMP/out.log"; then
+    echo "proc-chaos: coordinator did not report the out-of-process topology" >&2
+    cat "$TMP/out.log" >&2
+    exit 1
+fi
+if [ "$(pgrep -cf "$TMP/nlidb .*-join")" -ne 4 ]; then
+    echo "proc-chaos: expected 4 shard child processes, found:" >&2
+    pgrep -af "$TMP/nlidb" >&2 || true
+    exit 1
+fi
+
+QUESTION='{"question": "how many customers are there"}'
+
+# Ground truth from the healthy fleet.
+curl -sf -X POST "http://$ADDR/query" -d "$QUESTION" >"$TMP/base.json"
+TOTAL="$(sed -n 's/.*"rows":\[\["\([0-9][0-9]*\)"\]\].*/\1/p' "$TMP/base.json")"
+if [ -z "$TOTAL" ]; then
+    echo "proc-chaos: baseline COUNT unreadable: $(cat "$TMP/base.json")" >&2
+    exit 1
+fi
+if grep -q '"partial": *true' "$TMP/base.json"; then
+    echo "proc-chaos: healthy fleet answered partial: $(cat "$TMP/base.json")" >&2
+    exit 1
+fi
+
+# Steady load, one response per line.
+(
+    while :; do
+        curl -s -m 5 -X POST "http://$ADDR/query" -d "$QUESTION" >>"$TMP/load.jsonl" 2>/dev/null || true
+        printf '\n' >>"$TMP/load.jsonl"
+        sleep 0.02
+    done
+) &
+LOAD_PID=$!
+sleep 0.5
+
+# Mid-load: SIGKILL one replica of EVERY shard. Children carry their
+# shard assignment as -join S@E on the command line.
+for s in 0 1; do
+    CHILD="$(pgrep -f "$TMP/nlidb .*-join ${s}@" | head -1)"
+    if [ -z "$CHILD" ]; then
+        echo "proc-chaos: no child found for shard $s" >&2
+        exit 1
+    fi
+    kill -9 "$CHILD"
+done
+
+# Let the load run through the kill window.
+sleep 1
+
+# Bounded recovery: the supervisor must relaunch the killed children and
+# a correct, non-partial answer must return within the deadline.
+RECOVERED=""
+i=0
+while [ "$i" -lt 300 ]; do
+    ANS="$(curl -s -m 5 -X POST "http://$ADDR/query" -d "$QUESTION" || true)"
+    case "$ANS" in
+    *'"rows":[["'"$TOTAL"'"]]'*)
+        if ! printf '%s' "$ANS" | grep -q '"partial": *true'; then
+            RECOVERED=1
+            break
+        fi
+        ;;
+    esac
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ -z "$RECOVERED" ]; then
+    echo "proc-chaos: no correct non-partial answer within 30s of the kills" >&2
+    cat "$TMP/out.log" >&2
+    exit 1
+fi
+
+kill "$LOAD_PID" 2>/dev/null || true
+wait "$LOAD_PID" 2>/dev/null || true
+LOAD_PID=""
+
+status=0
+
+# Zero wrong answers: every 200 under chaos is either the correct total
+# or an honest partial (smaller count, flagged). Non-200s (sheds, shard
+# down) are honest refusals and don't count against correctness.
+ANSWERS=0
+WRONG=0
+while IFS= read -r line; do
+    [ -z "$line" ] && continue
+    count="$(printf '%s' "$line" | sed -n 's/.*"rows":\[\["\([0-9][0-9]*\)"\]\].*/\1/p')"
+    [ -z "$count" ] && continue
+    ANSWERS=$((ANSWERS + 1))
+    if printf '%s' "$line" | grep -q '"partial": *true'; then
+        if [ "$count" -ge "$TOTAL" ]; then
+            echo "proc-chaos: partial answer claims count $count >= total $TOTAL" >&2
+            WRONG=$((WRONG + 1))
+        fi
+    elif [ "$count" -ne "$TOTAL" ]; then
+        echo "proc-chaos: WRONG answer: count $count != $TOTAL and not flagged partial: $line" >&2
+        WRONG=$((WRONG + 1))
+    fi
+done <"$TMP/load.jsonl"
+if [ "$ANSWERS" -lt 5 ]; then
+    echo "proc-chaos: load loop produced only $ANSWERS answers" >&2
+    status=1
+fi
+if [ "$WRONG" -ne 0 ]; then
+    echo "proc-chaos: $WRONG wrong answers out of $ANSWERS" >&2
+    status=1
+fi
+
+# The supervisor must have seen the SIGKILLs and scheduled restarts.
+if ! grep -q 'signal: killed' "$TMP/out.log"; then
+    echo "proc-chaos: supervisor log shows no SIGKILL exit" >&2
+    status=1
+fi
+if ! grep -q 'restarting in' "$TMP/out.log"; then
+    echo "proc-chaos: supervisor log shows no restart event" >&2
+    status=1
+fi
+
+# SIGTERM must drain the coordinator AND reap every child.
+kill -TERM "$NLIDB_PID"
+i=0
+while kill -0 "$NLIDB_PID" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "proc-chaos: coordinator did not exit within 10s of SIGTERM" >&2
+        cat "$TMP/out.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+NLIDB_PID=""
+if ! grep -q 'drained' "$TMP/out.log"; then
+    echo "proc-chaos: no drain log line" >&2
+    status=1
+fi
+sleep 0.3
+if pgrep -f "$TMP/nlidb" >/dev/null 2>&1; then
+    echo "proc-chaos: shard children outlived the coordinator:" >&2
+    pgrep -af "$TMP/nlidb" >&2 || true
+    pkill -9 -f "$TMP/nlidb" 2>/dev/null || true
+    status=1
+fi
+
+if [ "$status" -ne 0 ]; then
+    echo "--- coordinator log ---" >&2
+    cat "$TMP/out.log" >&2
+    exit "$status"
+fi
+echo "proc-chaos: ok ($ANSWERS answers under real-process SIGKILL chaos, 0 wrong; children restarted and reaped on $ADDR)"
